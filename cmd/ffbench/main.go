@@ -1,0 +1,125 @@
+// Command ffbench regenerates the paper's tables and figures. Each
+// -experiment corresponds to one evaluation artifact (see DESIGN.md's
+// per-experiment index):
+//
+//	datasets      Figure 3b (dataset details table)
+//	bandwidth     Figure 4  (bandwidth vs event F1, both MC archs)
+//	throughput    Figure 5  (throughput vs number of classifiers)
+//	breakdown     Figure 6  (execution-time split, all three archs)
+//	cost-accuracy Figure 7  (multiply-adds vs event F1, both datasets)
+//	crop          §3.2 crop ablation
+//	window-buffer §3.3.3 buffering ablation
+//	all           everything above
+//
+// Accuracy experiments train classifiers from scratch and take minutes
+// at the default scale; use -train-frames/-test-frames/-epochs to
+// trade fidelity for time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/filter"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "datasets|bandwidth|throughput|breakdown|cost-accuracy|crop|window-buffer|pooling-baseline|phased-pipelined|all")
+		width      = flag.Int("width", 96, "working-scale frame width")
+		trainN     = flag.Int("train-frames", 1200, "training-day frames")
+		testN      = flag.Int("test-frames", 1200, "test-day frames")
+		epochs     = flag.Int("epochs", 8, "classifier training epochs")
+		stride     = flag.Int("sample-stride", 1, "training-frame subsampling stride")
+		seed       = flag.Int64("seed", 1, "master seed")
+		quiet      = flag.Bool("quiet", false, "suppress progress logging")
+	)
+	flag.Parse()
+
+	o := experiments.Options{
+		WorkingWidth: *width,
+		TrainFrames:  *trainN, TestFrames: *testN,
+		Epochs: *epochs, SampleStride: *stride,
+		Seed: *seed, Verbose: !*quiet,
+	}
+	w := os.Stdout
+
+	run := func(name string, fn func() error) {
+		fmt.Fprintf(w, "=== %s ===\n", name)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "ffbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	want := func(name string) bool { return *experiment == name || *experiment == "all" }
+
+	if want("datasets") {
+		run("datasets (Figure 3b)", func() error {
+			experiments.Datasets(w, o)
+			return nil
+		})
+	}
+	if want("cost-accuracy") {
+		run("cost-accuracy (Figure 7)", func() error {
+			for _, ds := range []string{"jackson", "roadway"} {
+				if _, err := experiments.CostAccuracy(w, o, ds); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+	if want("bandwidth") {
+		run("bandwidth (Figure 4)", func() error {
+			sweep := []float64{8_000, 15_000, 30_000, 60_000, 120_000, 240_000}
+			if _, err := experiments.Bandwidth(w, o, filter.FullFrameObjectDetector, 30_000, sweep); err != nil {
+				return err
+			}
+			_, err := experiments.Bandwidth(w, o, filter.LocalizedBinary, 60_000, sweep)
+			return err
+		})
+	}
+	if want("throughput") {
+		run("throughput (Figure 5)", func() error {
+			_, err := experiments.Throughput(w, o, []int{1, 2, 4, 8, 16, 32, 50}, 10)
+			return err
+		})
+	}
+	if want("breakdown") {
+		run("breakdown (Figure 6)", func() error {
+			for _, arch := range []filter.Arch{filter.FullFrameObjectDetector, filter.LocalizedBinary, filter.WindowedLocalizedBinary} {
+				if _, err := experiments.Breakdown(w, o, arch, []int{1, 2, 5, 10, 25, 50}, 8); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+	if want("crop") {
+		run("crop ablation (§3.2)", func() error {
+			_, err := experiments.CropAblation(w, o, "roadway")
+			return err
+		})
+	}
+	if want("pooling-baseline") {
+		run("pooling-classifier baseline (§5.2.2)", func() error {
+			_, err := experiments.PoolingBaseline(w, o, "roadway")
+			return err
+		})
+	}
+	if want("phased-pipelined") {
+		run("phased vs pipelined execution (§4.4)", func() error {
+			_, err := experiments.PhasedVsPipelined(w, o, 8, 30)
+			return err
+		})
+	}
+	if want("window-buffer") {
+		run("window-buffer ablation (§3.3.3)", func() error {
+			_, err := experiments.WindowBufferAblation(w, o, 40)
+			return err
+		})
+	}
+}

@@ -1,0 +1,126 @@
+// Command ffrun runs the FilterForward edge pipeline end to end on a
+// synthetic camera stream: it deploys a microclassifier (either one
+// trained by fftrain or a freshly trained quick one), processes the
+// test day, and reports uploads, bandwidth, and event F1 against
+// ground truth.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/filter"
+	"repro/internal/metrics"
+	"repro/internal/mobilenet"
+	"repro/internal/pretrain"
+	"repro/internal/transport"
+)
+
+func main() {
+	var (
+		dsName    = flag.String("dataset", "roadway", "jackson|roadway")
+		width     = flag.Int("width", 96, "working-scale frame width")
+		frames    = flag.Int("frames", 1200, "stream length")
+		seed      = flag.Int64("seed", 2, "stream seed (2 = the test day)")
+		weights   = flag.String("weights", "", "MC weights from fftrain (required)")
+		threshold = flag.Float64("threshold", 0.5, "decision threshold from fftrain")
+		bitrate   = flag.Float64("bitrate", 60_000, "upload re-encode bitrate (b/s)")
+		uplink    = flag.Float64("uplink", 0, "uplink capacity in b/s (0 = unmodelled)")
+		connect   = flag.String("connect", "", "optional ffserve address to stream uploads to")
+	)
+	flag.Parse()
+	if *weights == "" {
+		fmt.Fprintln(os.Stderr, "ffrun: -weights is required (train one with fftrain)")
+		os.Exit(1)
+	}
+
+	var cfg dataset.Config
+	switch *dsName {
+	case "jackson":
+		cfg = dataset.Jackson(*width, *frames, *seed)
+	case "roadway":
+		cfg = dataset.Roadway(*width, *frames, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "ffrun: unknown dataset %q\n", *dsName)
+		os.Exit(1)
+	}
+	d := dataset.Generate(cfg)
+
+	// The base DNN must match fftrain's (same seed derivation).
+	base := mobilenet.New(mobilenet.Config{WidthMult: 0.25, BatchNorm: true, Seed: 1 + 100})
+	if _, err := pretrain.Run(base, pretrain.Config{Seed: 1 + 101}); err != nil {
+		fmt.Fprintln(os.Stderr, "ffrun:", err)
+		os.Exit(1)
+	}
+	mc, err := filter.LoadMCFile(*weights, base, cfg.Width, cfg.Height)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ffrun:", err)
+		os.Exit(1)
+	}
+
+	edge, err := core.NewEdgeNode(core.Config{
+		FrameWidth: cfg.Width, FrameHeight: cfg.Height, FPS: cfg.FPS,
+		Base: base, UploadBitrate: *bitrate, UplinkBandwidth: *uplink,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ffrun:", err)
+		os.Exit(1)
+	}
+	if err := edge.Deploy(mc, float32(*threshold)); err != nil {
+		fmt.Fprintln(os.Stderr, "ffrun:", err)
+		os.Exit(1)
+	}
+
+	var remote *transport.Client
+	if *connect != "" {
+		var err error
+		remote, err = transport.Dial("tcp", *connect)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ffrun:", err)
+			os.Exit(1)
+		}
+		defer remote.Close()
+	}
+
+	dc := core.NewDatacenter()
+	send := func(ups []core.Upload) {
+		dc.ReceiveAll(ups)
+		if remote != nil {
+			if err := remote.SendAll(ups); err != nil {
+				fmt.Fprintln(os.Stderr, "ffrun: remote:", err)
+				os.Exit(1)
+			}
+		}
+	}
+	for i := 0; i < cfg.Frames; i++ {
+		ups, err := edge.ProcessFrame(d.Frame(i))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ffrun:", err)
+			os.Exit(1)
+		}
+		for _, u := range ups {
+			fmt.Printf("upload: mc=%s event=%d frames=[%d,%d) bits=%d final=%v\n",
+				u.MCName, u.EventID, u.Start, u.End, u.Bits, u.Final)
+		}
+		send(ups)
+	}
+	ups, err := edge.Flush()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ffrun:", err)
+		os.Exit(1)
+	}
+	send(ups)
+
+	st := edge.Stats()
+	pred := dc.PredictedLabels(mc.Spec().Name, cfg.Frames)
+	r := metrics.Evaluate(d.Labels, pred)
+	fmt.Printf("\nframes processed   %d\n", st.Frames)
+	fmt.Printf("uploads            %d (%d frames, %d bits)\n", st.Uploads, st.UploadedFrames, st.UploadedBits)
+	fmt.Printf("average uplink     %.1f kb/s\n", st.AverageUploadBitrate(cfg.FPS)/1000)
+	fmt.Printf("event precision    %.3f\n", r.Precision)
+	fmt.Printf("event recall       %.3f\n", r.Recall)
+	fmt.Printf("event F1           %.3f\n", r.F1)
+}

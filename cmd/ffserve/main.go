@@ -1,0 +1,71 @@
+// Command ffserve runs the datacenter side of FilterForward as a
+// network service: it listens for edge connections (see ffrun
+// -connect) and periodically prints per-application upload summaries.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+func main() {
+	var (
+		addr     = flag.String("listen", "127.0.0.1:7004", "listen address")
+		interval = flag.Duration("interval", 5*time.Second, "summary interval")
+		frames   = flag.Int("frames", 2000, "stream length assumed when printing coverage")
+	)
+	flag.Parse()
+
+	dc := core.NewDatacenter()
+	srv := transport.NewServer(dc)
+	bound, err := srv.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ffserve:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("ffserve: listening on %s\n", bound)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+	seen := 0
+	for {
+		select {
+		case <-tick.C:
+			if srv.Received() == seen {
+				continue
+			}
+			seen = srv.Received()
+			fmt.Printf("-- %d uploads received --\n", seen)
+			names := collectNames(dc, *frames)
+			for _, name := range names {
+				labels := dc.PredictedLabels(name, *frames)
+				covered := 0
+				for _, l := range labels {
+					if l {
+						covered++
+					}
+				}
+				fmt.Printf("  %-32s %6d frames, %8d bits, %d events\n",
+					name, covered, dc.TotalBits(name), len(dc.Events(name)))
+			}
+		case <-stop:
+			fmt.Println("ffserve: shutting down")
+			srv.Close()
+			return
+		}
+	}
+}
+
+// collectNames lists application names that have uploads, sorted.
+func collectNames(dc *core.Datacenter, frames int) []string {
+	_ = frames
+	return dc.KnownApplications()
+}

@@ -1,0 +1,132 @@
+// Command fftrain performs the application developer's offline step
+// (§3.2): it pretrains a base DNN, trains one microclassifier on the
+// training day of a synthetic dataset, tunes its decision threshold,
+// reports train-day accuracy, and saves the weights for ffrun.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/event"
+	"repro/internal/filter"
+	"repro/internal/metrics"
+	"repro/internal/mobilenet"
+	"repro/internal/pretrain"
+	"repro/internal/tensor"
+	"repro/internal/train"
+)
+
+func main() {
+	var (
+		dsName = flag.String("dataset", "roadway", "jackson|roadway")
+		archS  = flag.String("arch", "localized", "detector|localized|windowed|pooling")
+		width  = flag.Int("width", 96, "working-scale frame width")
+		frames = flag.Int("frames", 1200, "training-day frames")
+		epochs = flag.Int("epochs", 8, "training epochs")
+		seed   = flag.Int64("seed", 1, "seed")
+		out    = flag.String("out", "mc.weights", "output weights file")
+	)
+	flag.Parse()
+
+	arch, ok := map[string]filter.Arch{
+		"detector":  filter.FullFrameObjectDetector,
+		"localized": filter.LocalizedBinary,
+		"windowed":  filter.WindowedLocalizedBinary,
+		"pooling":   filter.PoolingClassifier,
+	}[*archS]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "fftrain: unknown arch %q\n", *archS)
+		os.Exit(1)
+	}
+	var cfg dataset.Config
+	switch *dsName {
+	case "jackson":
+		cfg = dataset.Jackson(*width, *frames, *seed)
+	case "roadway":
+		cfg = dataset.Roadway(*width, *frames, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "fftrain: unknown dataset %q\n", *dsName)
+		os.Exit(1)
+	}
+	d := dataset.Generate(cfg)
+
+	fmt.Println("pretraining base DNN on the sprite pretext task ...")
+	base := mobilenet.New(mobilenet.Config{WidthMult: 0.25, BatchNorm: true, Seed: *seed + 100})
+	if _, err := pretrain.Run(base, pretrain.Config{Seed: *seed + 101, Log: os.Stdout}); err != nil {
+		fmt.Fprintln(os.Stderr, "fftrain:", err)
+		os.Exit(1)
+	}
+
+	crop := cfg.Region()
+	spec := filter.Spec{Name: *dsName + "-" + *archS, Arch: arch, Crop: &crop, Seed: *seed + 1}
+	mc, err := filter.NewMC(spec, base, cfg.Width, cfg.Height)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fftrain:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("extracting %s features for %d frames ...\n", mc.Stage(), cfg.Frames)
+	fms := make([]*tensor.Tensor, cfg.Frames)
+	for i := range fms {
+		fm, err := base.Extract(d.FrameTensor(i), mc.Stage())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fftrain:", err)
+			os.Exit(1)
+		}
+		fms[i] = fm
+	}
+	mean, std := filter.ChannelStats(fms)
+	if err := mc.SetNormalization(mean, std); err != nil {
+		fmt.Fprintln(os.Stderr, "fftrain:", err)
+		os.Exit(1)
+	}
+
+	var samples []train.Sample
+	for i := range fms {
+		y := float32(0)
+		if d.Labels[i] {
+			y = 1
+		}
+		samples = append(samples, train.Sample{X: mc.BuildInput(fms, i), Y: y})
+	}
+	fmt.Printf("training %s (%v) on %d samples ...\n", spec.Name, arch, len(samples))
+	loss, err := train.Fit(mc.Net(), samples, train.Config{
+		Epochs: *epochs, BatchSize: 16, Seed: *seed, BalanceClasses: true,
+		Optimizer: train.NewAdam(0.003),
+		Progress:  func(e int, l float64) { fmt.Printf("  epoch %d loss %.4f\n", e, l) },
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fftrain:", err)
+		os.Exit(1)
+	}
+
+	// Tune the threshold on the training day.
+	scores := make([]float32, len(fms))
+	mc.Reset()
+	record := func(cs []filter.Classification) {
+		for _, c := range cs {
+			scores[c.Frame] = c.Prob
+		}
+	}
+	for _, fm := range fms {
+		record(mc.Push(fm))
+	}
+	record(mc.Flush())
+	var grid []float32
+	for t := float32(0.05); t < 1; t += 0.05 {
+		grid = append(grid, t)
+	}
+	best, th := metrics.BestF1(d.Labels, scores, grid, func(raw []bool) []bool {
+		return event.SmoothKofN(raw, event.DefaultN, event.DefaultK)
+	})
+	fmt.Printf("final loss %.4f; train-day event F1 %.3f at threshold %.2f\n", loss, best.F1, th)
+
+	if err := mc.SaveFile(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "fftrain:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("saved weights to %s (deploy with: ffrun -weights %s -threshold %.2f)\n", *out, *out, th)
+}

@@ -1,0 +1,132 @@
+// Pedestrian: the paper's Jackson scenario end to end.
+//
+// An application developer trains a localized binary classifier to
+// detect pedestrians in the crosswalks (the Jackson dataset's task),
+// deploys it to an edge node, and the datacenter evaluates what
+// arrives against ground truth. This is the workflow of §3.2: train
+// offline on day one, filter day two on the edge.
+//
+// Run with: go run ./examples/pedestrian   (takes a couple of minutes)
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/event"
+	"repro/internal/filter"
+	"repro/internal/metrics"
+	"repro/internal/mobilenet"
+	"repro/internal/pretrain"
+	"repro/internal/tensor"
+	"repro/internal/train"
+)
+
+func main() {
+	trainDay := dataset.Generate(dataset.Jackson(96, 900, 1))
+	testDay := dataset.Generate(dataset.Jackson(96, 900, 2))
+	cfg := trainDay.Cfg
+
+	fmt.Println("pretraining the base DNN (stands in for ImageNet weights) ...")
+	base := mobilenet.New(mobilenet.Config{WidthMult: 0.25, BatchNorm: true, Seed: 42})
+	if _, err := pretrain.Run(base, pretrain.Config{Seed: 43, Log: os.Stdout}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Build the MC: localized binary classifier over the crosswalk
+	// crop, tapping a middle base-DNN stage (§3.4's size heuristic at
+	// this scale picks conv3_2/sep).
+	crop := cfg.Region()
+	mc, err := filter.NewMC(filter.Spec{
+		Name: "pedestrian", Arch: filter.LocalizedBinary,
+		Stage: "conv3_2/sep", Crop: &crop, Seed: 7,
+	}, base, cfg.Width, cfg.Height)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("extracting training-day features ...")
+	fms := make([]*tensor.Tensor, cfg.Frames)
+	for i := range fms {
+		fm, err := base.Extract(trainDay.FrameTensor(i), mc.Stage())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fms[i] = fm
+	}
+	mean, std := filter.ChannelStats(fms)
+	if err := mc.SetNormalization(mean, std); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("training the microclassifier ...")
+	var samples []train.Sample
+	for i := range fms {
+		y := float32(0)
+		if trainDay.Labels[i] {
+			y = 1
+		}
+		samples = append(samples, train.Sample{X: mc.BuildInput(fms, i), Y: y})
+	}
+	if _, err := train.Fit(mc.Net(), samples, train.Config{
+		Epochs: 8, BatchSize: 16, Seed: 1, BalanceClasses: true,
+		Optimizer: train.NewAdam(0.003),
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Tune the decision threshold on the training day.
+	scores := make([]float32, len(fms))
+	mc.Reset()
+	for _, fm := range fms {
+		for _, c := range mc.Push(fm) {
+			scores[c.Frame] = c.Prob
+		}
+	}
+	for _, c := range mc.Flush() {
+		scores[c.Frame] = c.Prob
+	}
+	var grid []float32
+	for t := float32(0.05); t < 1; t += 0.05 {
+		grid = append(grid, t)
+	}
+	_, threshold := metrics.BestF1(trainDay.Labels, scores, grid, func(raw []bool) []bool {
+		return event.SmoothKofN(raw, event.DefaultN, event.DefaultK)
+	})
+	mc.Reset()
+
+	fmt.Printf("deploying at threshold %.2f and filtering the test day ...\n", threshold)
+	edge, err := core.NewEdgeNode(core.Config{
+		FrameWidth: cfg.Width, FrameHeight: cfg.Height, FPS: cfg.FPS,
+		Base: base, UploadBitrate: 60_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := edge.Deploy(mc, threshold); err != nil {
+		log.Fatal(err)
+	}
+	dc := core.NewDatacenter()
+	for i := 0; i < testDay.Cfg.Frames; i++ {
+		ups, err := edge.ProcessFrame(testDay.Frame(i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		dc.ReceiveAll(ups)
+	}
+	tail, err := edge.Flush()
+	if err != nil {
+		log.Fatal(err)
+	}
+	dc.ReceiveAll(tail)
+
+	st := edge.Stats()
+	pred := dc.PredictedLabels("pedestrian", testDay.Cfg.Frames)
+	r := metrics.Evaluate(testDay.Labels, pred)
+	fmt.Printf("\ntest day: %d frames, uploaded %d frames (%.1f kb/s)\n",
+		st.Frames, st.UploadedFrames, st.AverageUploadBitrate(cfg.FPS)/1000)
+	fmt.Printf("event precision %.3f, event recall %.3f, event F1 %.3f\n", r.Precision, r.Recall, r.F1)
+}

@@ -1,0 +1,134 @@
+package codec
+
+import "repro/internal/vision"
+
+// plane is a single-channel float32 image with values in [0,255].
+type plane struct {
+	w, h int
+	pix  []float32
+}
+
+func newPlane(w, h int) *plane {
+	return &plane{w: w, h: h, pix: make([]float32, w*h)}
+}
+
+func (p *plane) at(x, y int) float32 {
+	// Clamp-to-edge addressing pads frames whose dims are not block
+	// multiples.
+	if x >= p.w {
+		x = p.w - 1
+	}
+	if y >= p.h {
+		y = p.h - 1
+	}
+	return p.pix[y*p.w+x]
+}
+
+func (p *plane) set(x, y int, v float32) {
+	if x >= p.w || y >= p.h {
+		return
+	}
+	p.pix[y*p.w+x] = v
+}
+
+// toYCbCr converts an RGB image ([0,1]) into full-resolution Y and
+// half-resolution Cb, Cr planes scaled to [0,255] (BT.601).
+func toYCbCr(im *vision.Image) (y, cb, cr *plane) {
+	y = newPlane(im.W, im.H)
+	cw, ch := (im.W+1)/2, (im.H+1)/2
+	cb = newPlane(cw, ch)
+	cr = newPlane(cw, ch)
+	cbSum := make([]float32, cw*ch)
+	crSum := make([]float32, cw*ch)
+	cnt := make([]float32, cw*ch)
+	for yy := 0; yy < im.H; yy++ {
+		for xx := 0; xx < im.W; xx++ {
+			r, g, b := im.At(xx, yy)
+			lum := 0.299*r + 0.587*g + 0.114*b
+			y.pix[yy*im.W+xx] = lum * 255
+			ci := (yy/2)*cw + xx/2
+			cbSum[ci] += ((b-lum)*0.564 + 0.5) * 255
+			crSum[ci] += ((r-lum)*0.713 + 0.5) * 255
+			cnt[ci]++
+		}
+	}
+	for i := range cbSum {
+		if cnt[i] > 0 {
+			cb.pix[i] = cbSum[i] / cnt[i]
+			cr.pix[i] = crSum[i] / cnt[i]
+		}
+	}
+	return y, cb, cr
+}
+
+// fromYCbCr reconstructs an RGB image from Y and subsampled Cb, Cr
+// planes (nearest-neighbour chroma upsampling).
+func fromYCbCr(y, cb, cr *plane) *vision.Image {
+	im := vision.NewImage(y.w, y.h)
+	cw := cb.w
+	for yy := 0; yy < y.h; yy++ {
+		for xx := 0; xx < y.w; xx++ {
+			lum := y.pix[yy*y.w+xx] / 255
+			ci := (yy/2)*cw + xx/2
+			cbv := cb.pix[ci]/255 - 0.5
+			crv := cr.pix[ci]/255 - 0.5
+			r := lum + crv/0.713
+			b := lum + cbv/0.564
+			g := (lum - 0.299*r - 0.114*b) / 0.587
+			im.Set(xx, yy, clamp01(r), clamp01(g), clamp01(b))
+		}
+	}
+	return im
+}
+
+func clamp01(v float32) float32 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// codePlane codes src against the prediction pred (nil for intra),
+// writing the reconstruction into recon and returning the bits used.
+func codePlane(src, pred, recon *plane, qp float64) int64 {
+	var bits int64
+	var blk [blockSize][blockSize]float64
+	for by := 0; by < src.h; by += blockSize {
+		for bx := 0; bx < src.w; bx += blockSize {
+			// Residual (or raw for intra, shifted to be zero-centred).
+			for y := 0; y < blockSize; y++ {
+				for x := 0; x < blockSize; x++ {
+					v := float64(src.at(bx+x, by+y))
+					if pred != nil {
+						v -= float64(pred.at(bx+x, by+y))
+					} else {
+						v -= 128
+					}
+					blk[y][x] = v
+				}
+			}
+			bits += quantizeBlock(&blk, qp)
+			for y := 0; y < blockSize; y++ {
+				for x := 0; x < blockSize; x++ {
+					v := blk[y][x]
+					if pred != nil {
+						v += float64(pred.at(bx+x, by+y))
+					} else {
+						v += 128
+					}
+					if v < 0 {
+						v = 0
+					}
+					if v > 255 {
+						v = 255
+					}
+					recon.set(bx+x, by+y, float32(v))
+				}
+			}
+		}
+	}
+	return bits
+}

@@ -1,0 +1,451 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/filter"
+	"repro/internal/mobilenet"
+	"repro/internal/tensor"
+	"repro/internal/vision"
+)
+
+func testBase() *mobilenet.Model {
+	return mobilenet.New(mobilenet.Config{WidthMult: 0.25, Seed: 1})
+}
+
+func testFrames(n int) []*vision.Image {
+	bg := vision.Background(48, 27, nil, 2)
+	scene := &vision.Scene{Background: bg, NoiseStd: 0.01}
+	frames := make([]*vision.Image, n)
+	for i := range frames {
+		frames[i] = scene.Render(nil, 1, tensor.NewRNG(int64(i)))
+	}
+	return frames
+}
+
+func newNode(t *testing.T, cfg Config, thresholds map[filter.Arch]float32) *EdgeNode {
+	t.Helper()
+	e, err := NewEdgeNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for arch, th := range thresholds {
+		mc, err := filter.NewMC(filter.Spec{Name: "mc-" + arch.String(), Arch: arch, Hidden: 8, Seed: 3}, cfg.Base, cfg.FrameWidth, cfg.FrameHeight)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Deploy(mc, th); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e
+}
+
+func TestTokenBucketBasics(t *testing.T) {
+	b := NewTokenBucket(1000, 500)
+	if d := b.Send(400); d != 0 {
+		t.Fatalf("within burst delayed %v", d)
+	}
+	// 100 tokens left; sending 600 queues 500 bits -> 0.5 s delay.
+	if d := b.Send(600); math.Abs(d-0.5) > 1e-9 {
+		t.Fatalf("overload delay = %v, want 0.5", d)
+	}
+	b.Advance(0.25) // drains 250 bits of backlog
+	if math.Abs(b.Backlog()-250) > 1e-9 {
+		t.Fatalf("backlog = %v, want 250", b.Backlog())
+	}
+	b.Advance(10)
+	if b.Backlog() != 0 {
+		t.Fatal("backlog not drained")
+	}
+	if b.SentBits() != 1000 {
+		t.Fatalf("sent = %d", b.SentBits())
+	}
+}
+
+func TestEdgeNodeAlwaysMatchUploadsEverything(t *testing.T) {
+	base := testBase()
+	cfg := Config{FrameWidth: 48, FrameHeight: 27, FPS: 15, Base: base,
+		UploadBitrate: 50_000, KeepReconstructions: true, MaxChunkFrames: 8}
+	e := newNode(t, cfg, map[filter.Arch]float32{filter.LocalizedBinary: -1}) // threshold -1: always positive
+	frames := testFrames(20)
+	var ups []Upload
+	for _, f := range frames {
+		u, err := e.ProcessFrame(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ups = append(ups, u...)
+	}
+	tail, err := e.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ups = append(ups, tail...)
+
+	dc := NewDatacenter()
+	dc.ReceiveAll(ups)
+	name := e.MCNames()[0]
+	labels := dc.PredictedLabels(name, 20)
+	for i, l := range labels {
+		if !l {
+			t.Fatalf("frame %d not uploaded despite always-match", i)
+		}
+	}
+	if dc.TotalBits(name) <= 0 {
+		t.Fatal("no bits uploaded")
+	}
+	// All uploads belong to one event (no gap ever appeared).
+	events := dc.Events(name)
+	if len(events) != 1 {
+		t.Fatalf("expected 1 event, got %d", len(events))
+	}
+	// Chunking respected MaxChunkFrames.
+	for _, u := range ups {
+		if u.End-u.Start > cfg.MaxChunkFrames {
+			t.Fatalf("chunk [%d,%d) exceeds max %d", u.Start, u.End, cfg.MaxChunkFrames)
+		}
+		if len(u.Frames) != u.End-u.Start {
+			t.Fatalf("chunk has %d recons for range [%d,%d)", len(u.Frames), u.Start, u.End)
+		}
+	}
+}
+
+func TestEdgeNodeNeverMatchUploadsNothing(t *testing.T) {
+	base := testBase()
+	cfg := Config{FrameWidth: 48, FrameHeight: 27, FPS: 15, Base: base, UploadBitrate: 50_000}
+	e := newNode(t, cfg, map[filter.Arch]float32{filter.LocalizedBinary: 2}) // threshold 2: never positive
+	for _, f := range testFrames(15) {
+		ups, err := e.ProcessFrame(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ups) != 0 {
+			t.Fatalf("unexpected uploads: %+v", ups)
+		}
+	}
+	tail, err := e.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tail) != 0 {
+		t.Fatalf("flush produced uploads: %+v", tail)
+	}
+	if e.Stats().UploadedBits != 0 {
+		t.Fatal("bits uploaded despite never-match")
+	}
+}
+
+func TestEdgeNodeMultiTenantSharedExtraction(t *testing.T) {
+	base := testBase()
+	cfg := Config{FrameWidth: 48, FrameHeight: 27, FPS: 15, Base: base, UploadBitrate: 50_000}
+	e := newNode(t, cfg, map[filter.Arch]float32{
+		filter.LocalizedBinary:         -1,
+		filter.FullFrameObjectDetector: -1,
+		filter.WindowedLocalizedBinary: -1,
+		filter.PoolingClassifier:       -1,
+	})
+	frames := testFrames(12)
+	var ups []Upload
+	for _, f := range frames {
+		u, err := e.ProcessFrame(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ups = append(ups, u...)
+	}
+	tail, err := e.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ups = append(ups, tail...)
+	dc := NewDatacenter()
+	dc.ReceiveAll(ups)
+	for _, name := range e.MCNames() {
+		labels := dc.PredictedLabels(name, 12)
+		for i, l := range labels {
+			if !l {
+				t.Fatalf("MC %s missing frame %d", name, i)
+			}
+		}
+	}
+	// Frame metadata carries one event ID per MC (§3.5).
+	m := e.Meta(5)
+	if len(m) != 4 {
+		t.Fatalf("frame 5 metadata has %d entries, want 4: %v", len(m), m)
+	}
+	st := e.Stats()
+	if st.BaseDNNTime <= 0 || st.MCTime <= 0 {
+		t.Fatal("timing stats not collected")
+	}
+	if len(st.MCTimeBy) != 4 {
+		t.Fatalf("per-MC timing has %d entries", len(st.MCTimeBy))
+	}
+}
+
+func TestUploadRangesDisjointPerMC(t *testing.T) {
+	base := testBase()
+	cfg := Config{FrameWidth: 48, FrameHeight: 27, FPS: 15, Base: base,
+		UploadBitrate: 50_000, MaxChunkFrames: 4}
+	e := newNode(t, cfg, map[filter.Arch]float32{filter.LocalizedBinary: -1})
+	var ups []Upload
+	for _, f := range testFrames(13) {
+		u, err := e.ProcessFrame(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ups = append(ups, u...)
+	}
+	tail, _ := e.Flush()
+	ups = append(ups, tail...)
+	end := -1
+	for _, u := range ups {
+		if u.Start < end {
+			t.Fatalf("overlapping uploads at %d (prev end %d)", u.Start, end)
+		}
+		end = u.End
+	}
+	if end != 13 {
+		t.Fatalf("uploads end at %d, want 13", end)
+	}
+}
+
+func TestUplinkAccounting(t *testing.T) {
+	base := testBase()
+	cfg := Config{FrameWidth: 48, FrameHeight: 27, FPS: 15, Base: base,
+		UploadBitrate: 50_000, UplinkBandwidth: 1_000} // tiny link
+	e := newNode(t, cfg, map[filter.Arch]float32{filter.LocalizedBinary: -1})
+	var worst float64
+	for _, f := range testFrames(30) {
+		ups, err := e.ProcessFrame(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, u := range ups {
+			if u.Delay > worst {
+				worst = u.Delay
+			}
+		}
+	}
+	tail, _ := e.Flush()
+	for _, u := range tail {
+		if u.Delay > worst {
+			worst = u.Delay
+		}
+	}
+	if worst <= 0 {
+		t.Fatal("tiny uplink produced no queueing delay")
+	}
+	if e.Stats().MaxUplinkDelay <= 0 {
+		t.Fatal("MaxUplinkDelay not recorded")
+	}
+}
+
+func TestDeployValidation(t *testing.T) {
+	base := testBase()
+	cfg := Config{FrameWidth: 48, FrameHeight: 27, Base: base, UploadBitrate: 1000}
+	e, err := NewEdgeNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, _ := filter.NewMC(filter.Spec{Name: "a", Arch: filter.PoolingClassifier, Seed: 1}, base, 48, 27)
+	if err := e.Deploy(mc, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	mc2, _ := filter.NewMC(filter.Spec{Name: "a", Arch: filter.LocalizedBinary, Seed: 1}, base, 48, 27)
+	if err := e.Deploy(mc2, 0.5); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if _, err := e.ProcessFrame(vision.NewImage(48, 27)); err != nil {
+		t.Fatal(err)
+	}
+	mc3, _ := filter.NewMC(filter.Spec{Name: "b", Arch: filter.LocalizedBinary, Seed: 1}, base, 48, 27)
+	if err := e.Deploy(mc3, 0.5); err == nil {
+		t.Fatal("deploy after stream start accepted")
+	}
+	if _, err := e.ProcessFrame(vision.NewImage(10, 10)); err == nil {
+		t.Fatal("wrong frame size accepted")
+	}
+}
+
+func TestNoMCsIsAnError(t *testing.T) {
+	base := testBase()
+	e, err := NewEdgeNode(Config{FrameWidth: 48, FrameHeight: 27, Base: base, UploadBitrate: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ProcessFrame(vision.NewImage(48, 27)); err == nil {
+		t.Fatal("processing with no MCs accepted")
+	}
+}
+
+func TestEvictionGuard(t *testing.T) {
+	base := testBase()
+	cfg := Config{FrameWidth: 48, FrameHeight: 27, FPS: 15, Base: base,
+		UploadBitrate: 50_000, RetainFrames: 4, MaxChunkFrames: 64}
+	e := newNode(t, cfg, map[filter.Arch]float32{filter.LocalizedBinary: -1})
+	var failed bool
+	for _, f := range testFrames(30) {
+		if _, err := e.ProcessFrame(f); err != nil {
+			failed = true
+			break
+		}
+	}
+	if !failed {
+		if _, err := e.Flush(); err != nil {
+			failed = true
+		}
+	}
+	if !failed {
+		t.Fatal("expected an eviction error with RetainFrames < chunk size")
+	}
+}
+
+func TestDemandFetch(t *testing.T) {
+	base := testBase()
+	cfg := Config{FrameWidth: 48, FrameHeight: 27, FPS: 15, Base: base, UploadBitrate: 50_000}
+	e := newNode(t, cfg, map[filter.Arch]float32{filter.LocalizedBinary: 2})
+	frames := testFrames(10)
+	for _, f := range frames {
+		if _, err := e.ProcessFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src := frameSlice(frames)
+	dc := NewDatacenter()
+	recons, bits, err := dc.DemandFetch(e, src, 2, 6, 30_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recons) != 4 || bits <= 0 {
+		t.Fatalf("demand fetch: %d frames, %d bits", len(recons), bits)
+	}
+	if _, _, err := dc.DemandFetch(e, src, 5, 5, 30_000); err == nil {
+		t.Fatal("empty fetch range accepted")
+	}
+}
+
+// frameSlice adapts a slice to FrameSource.
+type frameSlice []*vision.Image
+
+func (s frameSlice) Frame(i int) *vision.Image { return s[i] }
+
+func TestArchiveAccounting(t *testing.T) {
+	base := testBase()
+	cfg := Config{FrameWidth: 48, FrameHeight: 27, FPS: 15, Base: base,
+		UploadBitrate: 50_000, ArchiveToDisk: true}
+	e := newNode(t, cfg, map[filter.Arch]float32{filter.LocalizedBinary: 2})
+	for _, f := range testFrames(5) {
+		if _, err := e.ProcessFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Stats().ArchivedBits <= 0 {
+		t.Fatal("archive bits not accounted")
+	}
+}
+
+func TestAverageUploadBitrate(t *testing.T) {
+	s := Stats{Frames: 150, UploadedBits: 1_000_000}
+	got := s.AverageUploadBitrate(15)
+	if math.Abs(got-100_000) > 1e-6 {
+		t.Fatalf("avg bitrate = %v, want 100000", got)
+	}
+}
+
+// Property: under arbitrary interleavings of Send and Advance, the
+// bucket never reports negative backlog, delays are non-negative and
+// non-decreasing in queued bits, and SentBits accounts every send.
+func TestQuickTokenBucket(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := tensor.NewRNG(seed)
+		b := NewTokenBucket(1+rng.Float64()*10000, 1+rng.Float64()*5000)
+		var sent int64
+		prevDelay := -1.0
+		for i := 0; i < 50; i++ {
+			if rng.Float32() < 0.5 {
+				bits := int64(rng.Intn(4000))
+				d := b.Send(bits)
+				sent += bits
+				if d < 0 {
+					return false
+				}
+				prevDelay = d
+			} else {
+				b.Advance(rng.Float64())
+				prevDelay = -1
+			}
+			if b.Backlog() < 0 {
+				return false
+			}
+		}
+		_ = prevDelay
+		return b.SentBits() == sent
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for any classification pattern, the union of uploaded
+// ranges equals exactly the smoothed-positive frames (no frame is
+// uploaded twice, none is dropped).
+func TestQuickUploadsMatchSmoothing(t *testing.T) {
+	base := testBase()
+	f := func(seed int64) bool {
+		rng := tensor.NewRNG(seed)
+		n := 10 + rng.Intn(30)
+		cfg := Config{FrameWidth: 48, FrameHeight: 27, FPS: 15, Base: base,
+			UploadBitrate: 30_000, MaxChunkFrames: 3 + rng.Intn(6)}
+		e, err := NewEdgeNode(cfg)
+		if err != nil {
+			return false
+		}
+		// A pooling MC with random threshold gives a pseudo-random but
+		// deterministic classification pattern over noise frames.
+		mc, err := filter.NewMC(filter.Spec{Name: "q", Arch: filter.PoolingClassifier, Seed: seed}, base, 48, 27)
+		if err != nil {
+			return false
+		}
+		th := 0.3 + 0.4*rng.Float32()
+		if err := e.Deploy(mc, th); err != nil {
+			return false
+		}
+		frames := testFrames(n)
+		var ups []Upload
+		for _, fr := range frames {
+			u, err := e.ProcessFrame(fr)
+			if err != nil {
+				return false
+			}
+			ups = append(ups, u...)
+		}
+		tail, err := e.Flush()
+		if err != nil {
+			return false
+		}
+		ups = append(ups, tail...)
+
+		uploaded := make([]bool, n)
+		for _, u := range ups {
+			for fi := u.Start; fi < u.End; fi++ {
+				if uploaded[fi] {
+					return false // double upload
+				}
+				uploaded[fi] = true
+			}
+		}
+		// Frames with metadata are exactly the uploaded ones.
+		for i := 0; i < n; i++ {
+			if (e.Meta(i) != nil) != uploaded[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/codec"
+	"repro/internal/vision"
+)
+
+// Datacenter is the cloud side of FilterForward: it receives uploaded
+// event segments per application and can demand-fetch additional
+// context video from an edge node's local archive.
+type Datacenter struct {
+	uploads map[string][]Upload // MC name -> segments
+}
+
+// NewDatacenter constructs an empty receiver.
+func NewDatacenter() *Datacenter {
+	return &Datacenter{uploads: make(map[string][]Upload)}
+}
+
+// Receive accepts one upload.
+func (d *Datacenter) Receive(u Upload) {
+	d.uploads[u.MCName] = append(d.uploads[u.MCName], u)
+}
+
+// ReceiveAll accepts a batch of uploads.
+func (d *Datacenter) ReceiveAll(us []Upload) {
+	for _, u := range us {
+		d.Receive(u)
+	}
+}
+
+// KnownApplications returns the sorted MC names that have received at
+// least one upload.
+func (d *Datacenter) KnownApplications() []string {
+	names := make([]string, 0, len(d.uploads))
+	for name := range d.uploads {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Uploads returns the segments received for an application, ordered by
+// start frame.
+func (d *Datacenter) Uploads(mcName string) []Upload {
+	us := append([]Upload(nil), d.uploads[mcName]...)
+	sort.Slice(us, func(i, j int) bool { return us[i].Start < us[j].Start })
+	return us
+}
+
+// TotalBits returns the bits received for an application.
+func (d *Datacenter) TotalBits(mcName string) int64 {
+	var total int64
+	for _, u := range d.uploads[mcName] {
+		total += u.Bits
+	}
+	return total
+}
+
+// PredictedLabels reconstructs the per-frame relevance prediction an
+// application observes: frame i is predicted positive iff some
+// received segment covers it. This is what the paper's event F1 is
+// computed over.
+func (d *Datacenter) PredictedLabels(mcName string, totalFrames int) []bool {
+	labels := make([]bool, totalFrames)
+	for _, u := range d.uploads[mcName] {
+		for f := u.Start; f < u.End && f < totalFrames; f++ {
+			if f >= 0 {
+				labels[f] = true
+			}
+		}
+	}
+	return labels
+}
+
+// Events groups received segments by event ID, returning the set of
+// distinct events and their covered frame ranges.
+func (d *Datacenter) Events(mcName string) map[uint64][]Upload {
+	out := make(map[uint64][]Upload)
+	for _, u := range d.uploads[mcName] {
+		out[u.EventID] = append(out[u.EventID], u)
+	}
+	return out
+}
+
+// DemandFetch retrieves frames [start, end) from the edge node's
+// archive (its FrameSource), re-encoded at the given bitrate, and
+// accounts the transfer against the uplink. This is the §3.2
+// demand-fetch path for context around matched segments.
+func (d *Datacenter) DemandFetch(edge *EdgeNode, src FrameSource, start, end int, bitrate float64) ([]*vision.Image, int64, error) {
+	if start < 0 || end <= start {
+		return nil, 0, fmt.Errorf("core: bad demand-fetch range [%d,%d)", start, end)
+	}
+	frames := make([]*vision.Image, 0, end-start)
+	for f := start; f < end; f++ {
+		frames = append(frames, src.Frame(f))
+	}
+	bits, recons := codec.EncodeSegment(codec.Config{
+		Width: edge.cfg.FrameWidth, Height: edge.cfg.FrameHeight, FPS: edge.cfg.FPS,
+		TargetBitrate: bitrate,
+	}, frames)
+	if edge.uplink != nil {
+		edge.uplink.Send(bits)
+	}
+	edge.stats.UploadedBits += bits
+	return recons, bits, nil
+}

@@ -1,0 +1,450 @@
+// Package core is FilterForward itself: the edge-node pipeline that
+// runs one shared base DNN per frame, fans its feature maps out to
+// many microclassifiers, smooths their per-frame classifications into
+// events, re-encodes matched event segments at a user-configured
+// bitrate, and sends them over a bandwidth-constrained uplink to
+// datacenter applications (Figure 1 of the paper).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/event"
+	"repro/internal/filter"
+	"repro/internal/mobilenet"
+	"repro/internal/vision"
+)
+
+// FrameSource supplies original frames by index. dataset.Dataset
+// implements it; it also models the edge node's local archive for
+// demand-fetch (§3.2: "edge nodes record the original video stream to
+// disk so that datacenter applications can demand-fetch additional
+// video").
+type FrameSource interface {
+	Frame(i int) *vision.Image
+}
+
+// Config parameterizes an edge node.
+type Config struct {
+	// FrameWidth, FrameHeight are the incoming stream dimensions.
+	FrameWidth, FrameHeight int
+	// FPS is the stream frame rate.
+	FPS int
+	// Base is the shared feature-extraction DNN.
+	Base *mobilenet.Model
+	// UploadBitrate is the H.264 target bitrate (bits/s) for
+	// re-encoding matched segments. The paper uses 250 kb/s and
+	// 500 kb/s at 1080p; scale to the working resolution.
+	UploadBitrate float64
+	// UplinkBandwidth is the link capacity in bits/s. Zero disables
+	// uplink modelling.
+	UplinkBandwidth float64
+	// SmoothN, SmoothK are the K-of-N voting parameters (§3.5;
+	// defaults 5 and 2).
+	SmoothN, SmoothK int
+	// MaxChunkFrames bounds how many frames of an open event are
+	// buffered before a partial segment is encoded and sent
+	// (default 48).
+	MaxChunkFrames int
+	// RetainFrames bounds the original-frame ring buffer
+	// (default 256). It must cover classifier lag + smoothing lag +
+	// MaxChunkFrames.
+	RetainFrames int
+	// KeepReconstructions stores decoded uploads in each Upload for
+	// accuracy analysis. Disable for long throughput runs.
+	KeepReconstructions bool
+	// ArchiveToDisk accounts the bits of continuously archiving the
+	// full original stream to local disk at ArchiveBitrate. Disabled
+	// by default (costs an extra encode per frame).
+	ArchiveToDisk  bool
+	ArchiveBitrate float64
+}
+
+func (c *Config) fillDefaults() error {
+	if c.FrameWidth <= 0 || c.FrameHeight <= 0 {
+		return fmt.Errorf("core: bad frame dims %dx%d", c.FrameWidth, c.FrameHeight)
+	}
+	if c.Base == nil {
+		return fmt.Errorf("core: config needs a base DNN")
+	}
+	if c.FPS <= 0 {
+		c.FPS = 15
+	}
+	if c.SmoothN == 0 {
+		c.SmoothN = event.DefaultN
+	}
+	if c.SmoothK == 0 {
+		c.SmoothK = event.DefaultK
+	}
+	if c.MaxChunkFrames <= 0 {
+		c.MaxChunkFrames = 48
+	}
+	if c.RetainFrames <= 0 {
+		c.RetainFrames = 256
+	}
+	if c.UploadBitrate <= 0 {
+		c.UploadBitrate = 100_000
+	}
+	if c.ArchiveToDisk && c.ArchiveBitrate <= 0 {
+		c.ArchiveBitrate = 4 * c.UploadBitrate
+	}
+	return nil
+}
+
+// Upload is one coded segment sent to the datacenter.
+type Upload struct {
+	// MCName identifies which application's microclassifier matched.
+	MCName string
+	// EventID is the MC-local monotonically increasing event ID
+	// carried in frame metadata (§3.5).
+	EventID uint64
+	// Start, End delimit the frame range [Start, End).
+	Start, End int
+	// Bits is the coded size.
+	Bits int64
+	// Delay is the uplink queueing delay in seconds at send time.
+	Delay float64
+	// Frames holds the decoder-side reconstructions when the edge
+	// node is configured with KeepReconstructions.
+	Frames []*vision.Image
+	// Final marks the last chunk of an event.
+	Final bool
+}
+
+// FrameMeta is the per-frame metadata map from MC name to event ID
+// (§3.5: "if frame F is part of event X for MC A and event Y for MC B,
+// F's metadata will contain the mapping (A→X; B→Y)").
+type FrameMeta map[string]uint64
+
+// Stats aggregates an edge node's counters.
+type Stats struct {
+	// Frames is the number of frames processed.
+	Frames int
+	// DecodeTime, BaseDNNTime and MCTime split the pipeline's
+	// per-frame execution (Figure 6 reports the latter two).
+	DecodeTime  time.Duration
+	BaseDNNTime time.Duration
+	MCTime      time.Duration
+	// EncodeTime is spent re-encoding matched segments.
+	EncodeTime time.Duration
+	// MCTimeBy splits MCTime per microclassifier.
+	MCTimeBy map[string]time.Duration
+	// UploadedBits and UploadedFrames count what was sent.
+	UploadedBits   int64
+	UploadedFrames int
+	// Uploads counts coded segments.
+	Uploads int
+	// ArchivedBits counts local-disk archive bits (if enabled).
+	ArchivedBits int64
+	// MaxUplinkDelay is the worst queueing delay seen.
+	MaxUplinkDelay float64
+}
+
+// AverageUploadBitrate returns realized uplink usage in bits/s.
+func (s *Stats) AverageUploadBitrate(fps int) float64 {
+	if s.Frames == 0 {
+		return 0
+	}
+	seconds := float64(s.Frames) / float64(fps)
+	return float64(s.UploadedBits) / seconds
+}
+
+// deployedMC is one application's MC with its per-stream state.
+type deployedMC struct {
+	mc        *filter.MC
+	threshold float32
+	smoother  *event.Smoother
+	detector  *event.Detector
+
+	// open event segment assembly.
+	openID    uint64
+	segStart  int
+	segFrames int
+}
+
+// EdgeNode is a FilterForward edge instance bound to one camera
+// stream.
+type EdgeNode struct {
+	cfg  Config
+	mcs  []*deployedMC
+	meta map[int]FrameMeta
+
+	uplink  *TokenBucket
+	archive *codec.Encoder
+
+	frames     map[int]*vision.Image // retained originals
+	oldestKept int
+	nextFrame  int
+
+	stats Stats
+}
+
+// NewEdgeNode constructs an edge node.
+func NewEdgeNode(cfg Config) (*EdgeNode, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	e := &EdgeNode{
+		cfg:    cfg,
+		frames: make(map[int]*vision.Image),
+		meta:   make(map[int]FrameMeta),
+	}
+	e.stats.MCTimeBy = make(map[string]time.Duration)
+	if cfg.UplinkBandwidth > 0 {
+		e.uplink = NewTokenBucket(cfg.UplinkBandwidth, cfg.UplinkBandwidth) // 1 s burst
+	}
+	if cfg.ArchiveToDisk {
+		e.archive = codec.NewEncoder(codec.Config{
+			Width: cfg.FrameWidth, Height: cfg.FrameHeight, FPS: cfg.FPS,
+			TargetBitrate: cfg.ArchiveBitrate,
+		})
+	}
+	return e, nil
+}
+
+// Deploy installs a microclassifier with a decision threshold. All MCs
+// must be deployed before the first frame is processed.
+func (e *EdgeNode) Deploy(mc *filter.MC, threshold float32) error {
+	if e.nextFrame != 0 {
+		return fmt.Errorf("core: deploy after stream start")
+	}
+	for _, d := range e.mcs {
+		if d.mc.Spec().Name == mc.Spec().Name {
+			return fmt.Errorf("core: duplicate MC name %q", mc.Spec().Name)
+		}
+	}
+	shape := mc.FeatureMapShape()
+	if shape[1] <= 0 || shape[2] <= 0 {
+		return fmt.Errorf("core: MC %q has empty feature map", mc.Spec().Name)
+	}
+	e.mcs = append(e.mcs, &deployedMC{
+		mc:        mc,
+		threshold: threshold,
+		smoother:  event.NewSmoother(e.cfg.SmoothN, e.cfg.SmoothK),
+		detector:  event.NewDetector(),
+	})
+	return nil
+}
+
+// MCNames returns deployed MC names in deployment order.
+func (e *EdgeNode) MCNames() []string {
+	names := make([]string, len(e.mcs))
+	for i, d := range e.mcs {
+		names[i] = d.mc.Spec().Name
+	}
+	return names
+}
+
+// Stats returns a copy of the node's counters.
+func (e *EdgeNode) Stats() Stats { return e.stats }
+
+// Meta returns the event-ID metadata recorded for a frame (nil when
+// the frame matched no MC).
+func (e *EdgeNode) Meta(frame int) FrameMeta { return e.meta[frame] }
+
+// ProcessFrame pushes the next frame of the stream through the
+// pipeline and returns any uploads that became ready. Execution is
+// phased, not pipelined: the base DNN runs to completion, then every
+// MC consumes the shared feature maps (§4.4).
+func (e *EdgeNode) ProcessFrame(img *vision.Image) ([]Upload, error) {
+	if len(e.mcs) == 0 {
+		return nil, fmt.Errorf("core: no microclassifiers deployed")
+	}
+	if img.W != e.cfg.FrameWidth || img.H != e.cfg.FrameHeight {
+		return nil, fmt.Errorf("core: frame %dx%d does not match stream %dx%d", img.W, img.H, e.cfg.FrameWidth, e.cfg.FrameHeight)
+	}
+	idx := e.nextFrame
+	e.nextFrame++
+	e.stats.Frames++
+	e.retain(idx, img)
+	if e.uplink != nil {
+		e.uplink.Advance(1 / float64(e.cfg.FPS))
+	}
+	if e.archive != nil {
+		out := e.archive.Encode(img)
+		e.stats.ArchivedBits += out.Bits
+	}
+
+	// Phase 1: the shared base DNN, run once for the union of stages.
+	stages := e.stageUnion()
+	t0 := time.Now()
+	maps, err := e.cfg.Base.ExtractMulti(img.ToTensor(), stages)
+	if err != nil {
+		return nil, err
+	}
+	e.stats.BaseDNNTime += time.Since(t0)
+
+	// Phase 2: every MC consumes the shared maps.
+	var uploads []Upload
+	for _, d := range e.mcs {
+		t1 := time.Now()
+		classifications := d.mc.Push(maps[d.mc.Stage()])
+		dt := time.Since(t1)
+		e.stats.MCTime += dt
+		e.stats.MCTimeBy[d.mc.Spec().Name] += dt
+		for _, c := range classifications {
+			ups, err := e.observe(d, c)
+			if err != nil {
+				return nil, err
+			}
+			uploads = append(uploads, ups...)
+		}
+	}
+	e.evict()
+	return uploads, nil
+}
+
+// Flush drains classifier and smoother tails and closes all open
+// events, returning the final uploads.
+func (e *EdgeNode) Flush() ([]Upload, error) {
+	var uploads []Upload
+	for _, d := range e.mcs {
+		for _, c := range d.mc.Flush() {
+			ups, err := e.observe(d, c)
+			if err != nil {
+				return nil, err
+			}
+			uploads = append(uploads, ups...)
+		}
+		for _, dec := range d.smoother.Flush() {
+			ups, err := e.decide(d, dec)
+			if err != nil {
+				return nil, err
+			}
+			uploads = append(uploads, ups...)
+		}
+		if d.openID != 0 {
+			up, err := e.closeSegment(d, e.nextFrame, true)
+			if err != nil {
+				return nil, err
+			}
+			uploads = append(uploads, up)
+		}
+	}
+	return uploads, nil
+}
+
+// observe feeds one raw classification into smoothing and event
+// assembly.
+func (e *EdgeNode) observe(d *deployedMC, c filter.Classification) ([]Upload, error) {
+	var uploads []Upload
+	for _, dec := range d.smoother.Push(c.Prob >= d.threshold) {
+		ups, err := e.decide(d, dec)
+		if err != nil {
+			return nil, err
+		}
+		uploads = append(uploads, ups...)
+	}
+	return uploads, nil
+}
+
+// decide handles one smoothed frame decision: transition detection,
+// metadata, segment assembly, and chunked upload.
+func (e *EdgeNode) decide(d *deployedMC, dec event.Decision) ([]Upload, error) {
+	id, started := d.detector.Observe(dec.Positive)
+	var uploads []Upload
+	if !dec.Positive {
+		if d.openID != 0 {
+			up, err := e.closeSegment(d, dec.Frame, true)
+			if err != nil {
+				return nil, err
+			}
+			uploads = append(uploads, up)
+		}
+		return uploads, nil
+	}
+	if started {
+		d.openID = id
+		d.segStart = dec.Frame
+		d.segFrames = 0
+	}
+	m := e.meta[dec.Frame]
+	if m == nil {
+		m = make(FrameMeta)
+		e.meta[dec.Frame] = m
+	}
+	m[d.mc.Spec().Name] = id
+	d.segFrames++
+	if d.segFrames >= e.cfg.MaxChunkFrames {
+		up, err := e.closeSegment(d, dec.Frame+1, false)
+		if err != nil {
+			return nil, err
+		}
+		uploads = append(uploads, up)
+		// Continue the same event in a fresh chunk.
+		d.openID = id
+		d.segStart = dec.Frame + 1
+		d.segFrames = 0
+	}
+	return uploads, nil
+}
+
+// closeSegment re-encodes the open segment [segStart, end) at the
+// upload bitrate and sends it over the uplink.
+func (e *EdgeNode) closeSegment(d *deployedMC, end int, final bool) (Upload, error) {
+	start := d.segStart
+	id := d.openID
+	d.openID = 0
+	if end <= start {
+		return Upload{MCName: d.mc.Spec().Name, EventID: id, Start: start, End: start, Final: final}, nil
+	}
+	frames := make([]*vision.Image, 0, end-start)
+	for f := start; f < end; f++ {
+		img, ok := e.frames[f]
+		if !ok {
+			return Upload{}, fmt.Errorf("core: frame %d evicted before upload (increase RetainFrames)", f)
+		}
+		frames = append(frames, img)
+	}
+	t0 := time.Now()
+	bits, recons := codec.EncodeSegment(codec.Config{
+		Width: e.cfg.FrameWidth, Height: e.cfg.FrameHeight, FPS: e.cfg.FPS,
+		TargetBitrate: e.cfg.UploadBitrate,
+	}, frames)
+	e.stats.EncodeTime += time.Since(t0)
+
+	up := Upload{MCName: d.mc.Spec().Name, EventID: id, Start: start, End: end, Bits: bits, Final: final}
+	if e.cfg.KeepReconstructions {
+		up.Frames = recons
+	}
+	if e.uplink != nil {
+		up.Delay = e.uplink.Send(bits)
+		if up.Delay > e.stats.MaxUplinkDelay {
+			e.stats.MaxUplinkDelay = up.Delay
+		}
+	}
+	e.stats.UploadedBits += bits
+	e.stats.UploadedFrames += end - start
+	e.stats.Uploads++
+	return up, nil
+}
+
+// stageUnion returns the distinct base-DNN stages needed by the
+// deployed MCs.
+func (e *EdgeNode) stageUnion() []string {
+	seen := make(map[string]bool)
+	var stages []string
+	for _, d := range e.mcs {
+		s := d.mc.Stage()
+		if !seen[s] {
+			seen[s] = true
+			stages = append(stages, s)
+		}
+	}
+	return stages
+}
+
+// retain stores an original frame in the ring buffer.
+func (e *EdgeNode) retain(idx int, img *vision.Image) {
+	e.frames[idx] = img
+}
+
+// evict drops frames that have fallen out of the retention window.
+func (e *EdgeNode) evict() {
+	for e.oldestKept < e.nextFrame-e.cfg.RetainFrames {
+		delete(e.frames, e.oldestKept)
+		e.oldestKept++
+	}
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/filter"
+	"repro/internal/vision"
+)
+
+// MultiStreamNode hosts several camera streams on one edge node — the
+// paper's other deployment shape: "an edge node can run many MCs on a
+// single camera stream, or fewer MCs on several streams" (§3.2). Each
+// stream has its own pipeline state (classifier windows, smoothing,
+// events, frame buffer) but every stream shares the single base DNN
+// model, so weights are resident once.
+type MultiStreamNode struct {
+	cfg     Config
+	streams map[string]*EdgeNode
+	order   []string
+}
+
+// NewMultiStreamNode constructs an empty node; cfg supplies shared
+// defaults (base DNN, bitrates, smoothing) for every stream.
+func NewMultiStreamNode(cfg Config) (*MultiStreamNode, error) {
+	probe := cfg
+	if err := (&probe).fillDefaults(); err != nil {
+		return nil, err
+	}
+	return &MultiStreamNode{cfg: cfg, streams: make(map[string]*EdgeNode)}, nil
+}
+
+// AddStream registers a camera stream and returns its pipeline so the
+// caller can deploy microclassifiers on it. Frame dimensions may
+// differ per stream.
+func (m *MultiStreamNode) AddStream(name string, frameW, frameH int) (*EdgeNode, error) {
+	if _, dup := m.streams[name]; dup {
+		return nil, fmt.Errorf("core: duplicate stream %q", name)
+	}
+	cfg := m.cfg
+	cfg.FrameWidth, cfg.FrameHeight = frameW, frameH
+	e, err := NewEdgeNode(cfg)
+	if err != nil {
+		return nil, err
+	}
+	m.streams[name] = e
+	m.order = append(m.order, name)
+	return e, nil
+}
+
+// Stream returns a registered stream's pipeline, or nil.
+func (m *MultiStreamNode) Stream(name string) *EdgeNode { return m.streams[name] }
+
+// StreamNames returns the registered stream names in addition order.
+func (m *MultiStreamNode) StreamNames() []string {
+	return append([]string(nil), m.order...)
+}
+
+// ProcessFrame pushes one frame of the named stream.
+func (m *MultiStreamNode) ProcessFrame(stream string, img *vision.Image) ([]Upload, error) {
+	e, ok := m.streams[stream]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown stream %q", stream)
+	}
+	ups, err := e.ProcessFrame(img)
+	for i := range ups {
+		ups[i].MCName = stream + "/" + ups[i].MCName
+	}
+	return ups, err
+}
+
+// FlushAll drains every stream.
+func (m *MultiStreamNode) FlushAll() ([]Upload, error) {
+	var all []Upload
+	for _, name := range m.order {
+		ups, err := m.streams[name].Flush()
+		if err != nil {
+			return nil, err
+		}
+		for i := range ups {
+			ups[i].MCName = name + "/" + ups[i].MCName
+		}
+		all = append(all, ups...)
+	}
+	return all, nil
+}
+
+// Stats aggregates counters across streams; per-MC entries are keyed
+// "<stream>/<mc>".
+func (m *MultiStreamNode) Stats() Stats {
+	var total Stats
+	total.MCTimeBy = make(map[string]time.Duration)
+	for _, name := range m.order {
+		s := m.streams[name].Stats()
+		total.Frames += s.Frames
+		total.DecodeTime += s.DecodeTime
+		total.BaseDNNTime += s.BaseDNNTime
+		total.MCTime += s.MCTime
+		total.EncodeTime += s.EncodeTime
+		total.UploadedBits += s.UploadedBits
+		total.UploadedFrames += s.UploadedFrames
+		total.Uploads += s.Uploads
+		total.ArchivedBits += s.ArchivedBits
+		if s.MaxUplinkDelay > total.MaxUplinkDelay {
+			total.MaxUplinkDelay = s.MaxUplinkDelay
+		}
+		for k, v := range s.MCTimeBy {
+			total.MCTimeBy[name+"/"+k] += v
+		}
+	}
+	return total
+}
+
+// DeployBalanced spreads k identical microclassifier specs across the
+// registered streams round-robin, a convenience for symmetric
+// deployments.
+func (m *MultiStreamNode) DeployBalanced(specs []filter.Spec, threshold float32) error {
+	if len(m.order) == 0 {
+		return fmt.Errorf("core: no streams registered")
+	}
+	for i, spec := range specs {
+		name := m.order[i%len(m.order)]
+		e := m.streams[name]
+		mc, err := filter.NewMC(spec, m.cfg.Base, e.cfg.FrameWidth, e.cfg.FrameHeight)
+		if err != nil {
+			return err
+		}
+		if err := e.Deploy(mc, threshold); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/filter"
+	"repro/internal/vision"
+)
+
+func TestMultiStreamBasics(t *testing.T) {
+	base := testBase()
+	node, err := NewMultiStreamNode(Config{FrameWidth: 1, FrameHeight: 1, Base: base, UploadBitrate: 30_000, FPS: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := node.AddStream("cam-a", 48, 27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := node.AddStream("cam-b", 64, 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := node.AddStream("cam-a", 48, 27); err == nil {
+		t.Fatal("duplicate stream accepted")
+	}
+	mcA, _ := filter.NewMC(filter.Spec{Name: "m", Arch: filter.PoolingClassifier, Seed: 1}, base, 48, 27)
+	mcB, _ := filter.NewMC(filter.Spec{Name: "m", Arch: filter.PoolingClassifier, Seed: 2}, base, 64, 36)
+	if err := a.Deploy(mcA, -1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Deploy(mcB, -1); err != nil {
+		t.Fatal(err)
+	}
+
+	var ups []Upload
+	for i := 0; i < 6; i++ {
+		u1, err := node.ProcessFrame("cam-a", vision.NewImage(48, 27))
+		if err != nil {
+			t.Fatal(err)
+		}
+		u2, err := node.ProcessFrame("cam-b", vision.NewImage(64, 36))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ups = append(ups, u1...)
+		ups = append(ups, u2...)
+	}
+	tail, err := node.FlushAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ups = append(ups, tail...)
+	seenA, seenB := false, false
+	for _, u := range ups {
+		if strings.HasPrefix(u.MCName, "cam-a/") {
+			seenA = true
+		}
+		if strings.HasPrefix(u.MCName, "cam-b/") {
+			seenB = true
+		}
+	}
+	if !seenA || !seenB {
+		t.Fatalf("uploads missing stream prefixes: %+v", ups)
+	}
+	st := node.Stats()
+	if st.Frames != 12 {
+		t.Fatalf("aggregated frames = %d, want 12", st.Frames)
+	}
+	if len(st.MCTimeBy) != 2 {
+		t.Fatalf("per-MC stats entries = %d", len(st.MCTimeBy))
+	}
+	if _, err := node.ProcessFrame("nope", vision.NewImage(1, 1)); err == nil {
+		t.Fatal("unknown stream accepted")
+	}
+}
+
+func TestMultiStreamDeployBalanced(t *testing.T) {
+	base := testBase()
+	node, _ := NewMultiStreamNode(Config{FrameWidth: 1, FrameHeight: 1, Base: base, UploadBitrate: 30_000})
+	node.AddStream("a", 48, 27)
+	node.AddStream("b", 48, 27)
+	specs := make([]filter.Spec, 5)
+	for i := range specs {
+		specs[i] = filter.Spec{Name: "mc" + string(rune('0'+i)), Arch: filter.PoolingClassifier, Seed: int64(i)}
+	}
+	if err := node.DeployBalanced(specs, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	// Round-robin: 3 on a, 2 on b.
+	if got := len(node.Stream("a").MCNames()); got != 3 {
+		t.Fatalf("stream a has %d MCs, want 3", got)
+	}
+	if got := len(node.Stream("b").MCNames()); got != 2 {
+		t.Fatalf("stream b has %d MCs, want 2", got)
+	}
+}

@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/filter"
+)
+
+// tinyOptions keeps experiment tests fast: no pretraining, short
+// splits, coarse training.
+func tinyOptions() Options {
+	return Options{
+		WorkingWidth: 64, TrainFrames: 240, TestFrames: 240,
+		Seed: 3, Epochs: 1, SampleStride: 4, SkipPretrain: true,
+	}
+}
+
+func TestDatasetsTable(t *testing.T) {
+	var sb strings.Builder
+	rows := Datasets(&sb, tinyOptions())
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.Stats.Frames != 240 {
+			t.Fatalf("row %s frames %d", r.Name, r.Stats.Frames)
+		}
+		if r.PaperFraction <= 0 {
+			t.Fatal("paper fraction missing")
+		}
+	}
+	if !strings.Contains(sb.String(), "jackson") || !strings.Contains(sb.String(), "roadway") {
+		t.Fatal("table output incomplete")
+	}
+}
+
+func TestWorkingStagesHeuristic(t *testing.T) {
+	j := dataset.Jackson(96, 10, 1)
+	det, loc := workingStages(j)
+	if loc != "conv3_2/sep" {
+		t.Fatalf("jackson localized stage = %s", loc)
+	}
+	if det != "conv4_2/sep" {
+		t.Fatalf("jackson detector stage = %s", det)
+	}
+	r := dataset.Roadway(96, 10, 1)
+	det, loc = workingStages(r)
+	if loc != "conv2_2/sep" {
+		t.Fatalf("roadway localized stage = %s (detail is the small red garment)", loc)
+	}
+	if det != "conv3_2/sep" {
+		t.Fatalf("roadway detector stage = %s", det)
+	}
+}
+
+func TestCostAccuracySmoke(t *testing.T) {
+	res, err := CostAccuracy(io.Discard, tinyOptions(), "roadway")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("points = %d, want 3 (two MCs + DC)", len(res.Points))
+	}
+	// The MCs' paper-scale marginal cost must be far below the DC's —
+	// the Figure 7 cost axis.
+	var mcMax, dcCost int64
+	for _, p := range res.Points {
+		if strings.Contains(p.System, "MC") && p.PaperMAdds > mcMax {
+			mcMax = p.PaperMAdds
+		}
+		if strings.Contains(p.System, "discrete") {
+			dcCost = p.PaperMAdds
+		}
+	}
+	if dcCost < 4*mcMax {
+		t.Fatalf("DC cost %d not well above MC cost %d", dcCost, mcMax)
+	}
+	for _, p := range res.Points {
+		if p.Result.F1 < 0 || p.Result.F1 > 1 {
+			t.Fatalf("F1 out of range: %+v", p)
+		}
+	}
+}
+
+func TestCostAccuracyUnknownDataset(t *testing.T) {
+	if _, err := CostAccuracy(io.Discard, tinyOptions(), "nope"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestBandwidthSmoke(t *testing.T) {
+	o := tinyOptions()
+	res, err := Bandwidth(io.Discard, o, filter.LocalizedBinary, 40_000, []float64{20_000, 80_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Compress) != 2 {
+		t.Fatalf("compress points = %d", len(res.Compress))
+	}
+	// Higher target bitrate must not reduce realized bandwidth.
+	if res.Compress[1].BitsPerSecond <= res.Compress[0].BitsPerSecond {
+		t.Fatalf("bitrate sweep not monotone: %+v", res.Compress)
+	}
+	// FF uploads only matched segments: it must use less bandwidth
+	// than compressing everything at the higher rate.
+	if res.FF.BitsPerSecond >= res.Compress[1].BitsPerSecond {
+		t.Fatalf("FF bandwidth %v not below full-stream %v", res.FF.BitsPerSecond, res.Compress[1].BitsPerSecond)
+	}
+}
+
+func TestThroughputSmoke(t *testing.T) {
+	res, err := Throughput(io.Discard, tinyOptions(), []int{1, 4}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Measured) != 2 || len(res.Projected) != 2 {
+		t.Fatalf("points: measured %d projected %d", len(res.Measured), len(res.Projected))
+	}
+	for _, p := range res.Measured {
+		for _, sys := range throughputSystems {
+			if v := p.FPS[sys]; v <= 0 || math.IsNaN(v) {
+				t.Fatalf("measured %s at k=%d: %v", sys, p.K, v)
+			}
+		}
+	}
+	// Independent classifiers scale ~1/k; FF should not.
+	dcRatio := res.Measured[0].FPS["discrete"] / res.Measured[1].FPS["discrete"]
+	ffRatio := res.Measured[0].FPS["ff-localized"] / res.Measured[1].FPS["ff-localized"]
+	if ffRatio >= dcRatio {
+		t.Fatalf("FF scaled as badly as DCs: ff %v dc %v", ffRatio, dcRatio)
+	}
+	// Paper-scale projection: MobileNets OOM beyond 30 instances.
+	proj, err := Throughput(io.Discard, tinyOptions(), []int{32}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(proj.Projected[0].FPS["mobilenets"]) {
+		t.Fatal("projected MobileNets at k=32 should be OOM")
+	}
+}
+
+func TestBreakdownSmoke(t *testing.T) {
+	res, err := Breakdown(io.Discard, tinyOptions(), filter.LocalizedBinary, []int{1, 8}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	// MC time grows with k; base DNN time stays roughly flat.
+	if res.Points[1].MCSeconds <= res.Points[0].MCSeconds {
+		t.Fatal("MC time did not grow with k")
+	}
+	if res.Points[1].BaseSeconds > res.Points[0].BaseSeconds*3 {
+		t.Fatal("base DNN time should not grow with k")
+	}
+}
+
+func TestWindowBufferAblationSmoke(t *testing.T) {
+	res, err := WindowBufferAblation(io.Discard, tinyOptions(), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MAddsSavings <= 1 {
+		t.Fatalf("buffering saved no madds: %+v", res)
+	}
+	if res.BufferedSec <= 0 || res.UnbufferedSec <= 0 {
+		t.Fatalf("timing missing: %+v", res)
+	}
+}
+
+func TestPoolingBaselineSmoke(t *testing.T) {
+	res, err := PoolingBaseline(io.Discard, tinyOptions(), "roadway")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []float64{res.Pooling.F1, res.Localized.F1} {
+		if r < 0 || r > 1 {
+			t.Fatalf("F1 out of range: %+v", res)
+		}
+	}
+}
+
+func TestPhasedVsPipelinedSmoke(t *testing.T) {
+	res, err := PhasedVsPipelined(io.Discard, tinyOptions(), 3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PhasedFPS <= 0 || res.PipelinedFPS <= 0 {
+		t.Fatalf("fps not measured: %+v", res)
+	}
+	if res.K != 3 {
+		t.Fatalf("k = %d", res.K)
+	}
+}

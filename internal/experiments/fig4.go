@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/filter"
+	"repro/internal/metrics"
+	"repro/internal/mobilenet"
+)
+
+// BandwidthPoint is one point of Figure 4: realized bandwidth against
+// event F1.
+type BandwidthPoint struct {
+	System        string
+	BitsPerSecond float64
+	Result        metrics.Result
+}
+
+// BandwidthResult holds one Figure 4 panel (one MC architecture).
+type BandwidthResult struct {
+	Dataset string
+	Arch    filter.Arch
+	// FF is FilterForward filtering on the edge and re-encoding
+	// matched segments.
+	FF BandwidthPoint
+	// Compress is the compress-everything baseline swept over target
+	// bitrates (upload the whole stream, filter in the cloud).
+	Compress []BandwidthPoint
+	// BandwidthSavings is the factor between the cheapest
+	// compress-everything bitrate that reaches FF's F1 and FF's
+	// realized bitrate (the paper's 6.3×/13× numbers). Zero when the
+	// baseline never reaches FF's F1 within the sweep.
+	BandwidthSavings float64
+	// F1GainAtMatchedBandwidth compares FF's F1 with the baseline
+	// point whose bandwidth is closest to FF's (the paper's
+	// 1.5×/1.9× numbers).
+	F1GainAtMatchedBandwidth float64
+}
+
+// Bandwidth regenerates one Figure 4 panel on the Roadway dataset's
+// People-with-red task. uploadBitrate is FF's re-encode target in
+// bits/s at working scale (the paper uses 250 kb/s for the full-frame
+// MC and 500 kb/s for the localized MC at native scale);
+// compressSweep is the baseline's target bitrates.
+func Bandwidth(w io.Writer, o Options, arch filter.Arch, uploadBitrate float64, compressSweep []float64) (*BandwidthResult, error) {
+	o.fillDefaults()
+	trainD, testD := datasetPair(dataset.Roadway, o)
+	base := newBase(o)
+
+	detStage, locStage := workingStages(trainD.Cfg)
+	spec := filter.Spec{Name: "fig4-" + arch.String(), Arch: arch, Stage: detStage, Seed: o.Seed + 21}
+	if arch == filter.LocalizedBinary || arch == filter.WindowedLocalizedBinary {
+		crop := trainD.Cfg.Region()
+		spec.Crop = &crop
+		spec.Stage = locStage
+	}
+	mc, err := filter.NewMC(spec, base, trainD.Cfg.Width, trainD.Cfg.Height)
+	if err != nil {
+		return nil, err
+	}
+	logf(w, o, "training %s for Figure 4 ...", spec.Name)
+	trainFMs, err := extractForMC(trainD, base, mc)
+	if err != nil {
+		return nil, err
+	}
+	tm, err := fitMC(w, o, mc, trainFMs, trainD.Labels)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &BandwidthResult{Dataset: "roadway", Arch: arch}
+
+	// FilterForward on the edge: the real pipeline, uploading only
+	// matched segments re-encoded at the target bitrate.
+	logf(w, o, "running FilterForward over the test day ...")
+	mc.Reset()
+	edge, err := core.NewEdgeNode(core.Config{
+		FrameWidth: testD.Cfg.Width, FrameHeight: testD.Cfg.Height, FPS: testD.Cfg.FPS,
+		Base: base, UploadBitrate: uploadBitrate,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := edge.Deploy(mc, tm.threshold); err != nil {
+		return nil, err
+	}
+	dc := core.NewDatacenter()
+	for i := 0; i < testD.Cfg.Frames; i++ {
+		ups, err := edge.ProcessFrame(testD.Frame(i))
+		if err != nil {
+			return nil, err
+		}
+		dc.ReceiveAll(ups)
+	}
+	ups, err := edge.Flush()
+	if err != nil {
+		return nil, err
+	}
+	dc.ReceiveAll(ups)
+	st := edge.Stats()
+	predicted := dc.PredictedLabels(spec.Name, testD.Cfg.Frames)
+	res.FF = BandwidthPoint{
+		System:        "FilterForward",
+		BitsPerSecond: st.AverageUploadBitrate(testD.Cfg.FPS),
+		Result:        metrics.Evaluate(testD.Labels, predicted),
+	}
+
+	// Compress everything: upload the whole stream at a low bitrate
+	// and run the same (FF) filter in the cloud on the degraded video.
+	for _, target := range compressSweep {
+		logf(w, o, "compress-everything at %.0f b/s ...", target)
+		point, err := compressEverything(testD, base, mc, tm.threshold, target)
+		if err != nil {
+			return nil, err
+		}
+		res.Compress = append(res.Compress, point)
+	}
+
+	res.BandwidthSavings = bandwidthSavings(res)
+	res.F1GainAtMatchedBandwidth = f1GainAtMatchedBandwidth(res)
+	printBandwidth(w, res)
+	return res, nil
+}
+
+// compressEverything encodes the full test stream at the target
+// bitrate, decodes it, and runs the trained MC in the cloud over the
+// degraded frames.
+func compressEverything(testD *dataset.Dataset, base *mobilenet.Model, mc *filter.MC, threshold float32, target float64) (BandwidthPoint, error) {
+	enc := codec.NewEncoder(codec.Config{
+		Width: testD.Cfg.Width, Height: testD.Cfg.Height, FPS: testD.Cfg.FPS,
+		TargetBitrate: target,
+	})
+	mc.Reset()
+	scores := make([]float32, testD.Cfg.Frames)
+	record := func(cs []filter.Classification) {
+		for _, c := range cs {
+			scores[c.Frame] = c.Prob
+		}
+	}
+	var bits int64
+	for i := 0; i < testD.Cfg.Frames; i++ {
+		out := enc.Encode(testD.Frame(i))
+		bits += out.Bits
+		fm, err := base.Extract(out.Recon.ToTensor(), mc.Stage())
+		if err != nil {
+			return BandwidthPoint{}, err
+		}
+		record(mc.Push(fm))
+	}
+	record(mc.Flush())
+	r := evalScores(testD.Labels, scores, threshold)
+	bps := float64(bits) / float64(testD.Cfg.Frames) * float64(testD.Cfg.FPS)
+	return BandwidthPoint{System: "Compress everything", BitsPerSecond: bps, Result: r}, nil
+}
+
+// bandwidthSavings finds the cheapest baseline point whose F1 reaches
+// FF's and returns its bandwidth ratio to FF.
+func bandwidthSavings(res *BandwidthResult) float64 {
+	best := 0.0
+	for _, p := range res.Compress {
+		if p.Result.F1 >= res.FF.Result.F1 {
+			if best == 0 || p.BitsPerSecond < best {
+				best = p.BitsPerSecond
+			}
+		}
+	}
+	if best == 0 || res.FF.BitsPerSecond == 0 {
+		// Baseline never reaches FF's F1: report against the largest
+		// swept bitrate as a lower bound.
+		for _, p := range res.Compress {
+			if p.BitsPerSecond > best {
+				best = p.BitsPerSecond
+			}
+		}
+	}
+	if res.FF.BitsPerSecond == 0 {
+		return 0
+	}
+	return best / res.FF.BitsPerSecond
+}
+
+// f1GainAtMatchedBandwidth compares FF's F1 to the baseline point
+// closest in bandwidth to FF's.
+func f1GainAtMatchedBandwidth(res *BandwidthResult) float64 {
+	if len(res.Compress) == 0 {
+		return 0
+	}
+	var closest *BandwidthPoint
+	for i := range res.Compress {
+		p := &res.Compress[i]
+		if closest == nil || absF(p.BitsPerSecond-res.FF.BitsPerSecond) < absF(closest.BitsPerSecond-res.FF.BitsPerSecond) {
+			closest = p
+		}
+	}
+	if closest.Result.F1 == 0 {
+		return 0
+	}
+	return res.FF.Result.F1 / closest.Result.F1
+}
+
+func absF(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func printBandwidth(w io.Writer, res *BandwidthResult) {
+	fmt.Fprintf(w, "Figure 4 — bandwidth vs event F1 (%s, %v MC)\n", res.Dataset, res.Arch)
+	fmt.Fprintf(w, "%-24s %14s %10s %10s %10s\n", "system", "kb/s", "precision", "recall", "event F1")
+	p := res.FF
+	fmt.Fprintf(w, "%-24s %14.1f %10.3f %10.3f %10.3f\n", p.System, p.BitsPerSecond/1000, p.Result.Precision, p.Result.Recall, p.Result.F1)
+	for _, c := range res.Compress {
+		fmt.Fprintf(w, "%-24s %14.1f %10.3f %10.3f %10.3f\n", c.System, c.BitsPerSecond/1000, c.Result.Precision, c.Result.Recall, c.Result.F1)
+	}
+	fmt.Fprintf(w, "bandwidth savings at matched F1: %.1fx (paper: 6.3x full-frame, 13x localized)\n", res.BandwidthSavings)
+	fmt.Fprintf(w, "F1 gain at matched bandwidth:    %.2fx (paper: 1.5x full-frame, 1.9x localized)\n\n", res.F1GainAtMatchedBandwidth)
+}

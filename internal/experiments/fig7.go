@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/dataset"
+	"repro/internal/filter"
+	"repro/internal/metrics"
+	"repro/internal/perfmodel"
+	"repro/internal/vision"
+)
+
+// CostAccuracyPoint is one point of Figure 7: a classifier's marginal
+// compute cost at paper scale against its test-day event F1.
+type CostAccuracyPoint struct {
+	System     string
+	PaperMAdds int64
+	Result     metrics.Result
+	Threshold  float32
+}
+
+// CostAccuracyResult holds one dataset's Figure 7 panel.
+type CostAccuracyResult struct {
+	Dataset string
+	Task    string
+	Points  []CostAccuracyPoint
+}
+
+// CostAccuracy regenerates Figure 7 for one dataset ("jackson" or
+// "roadway"): it trains the full-frame object detector MC, the
+// localized binary classifier MC (with the Table 3c crop), and a
+// discrete classifier on the training day, evaluates event F1 on the
+// test day, and reports each system's paper-scale multiply-adds.
+func CostAccuracy(w io.Writer, o Options, datasetName string) (*CostAccuracyResult, error) {
+	o.fillDefaults()
+	cfgFn, paperW, paperH, crop := datasetParams(datasetName)
+	if cfgFn == nil {
+		return nil, fmt.Errorf("experiments: unknown dataset %q", datasetName)
+	}
+	trainD, testD := datasetPair(cfgFn, o)
+	base := newBase(o)
+	pm := perfmodel.New(paperW, paperH)
+	res := &CostAccuracyResult{Dataset: datasetName, Task: trainD.Cfg.TaskName}
+
+	workingCrop := trainD.Cfg.Region()
+	detStage, locStage := workingStages(trainD.Cfg)
+
+	// Microclassifiers (stages chosen by the §3.4 heuristic at
+	// working scale; paper-scale costs use the paper's native stages).
+	specs := []filter.Spec{
+		{Name: "ff-detector", Arch: filter.FullFrameObjectDetector, Stage: detStage, Seed: o.Seed + 11},
+		{Name: "localized", Arch: filter.LocalizedBinary, Stage: locStage, Crop: &workingCrop, Seed: o.Seed + 12},
+	}
+	paperSpecs := []filter.Spec{
+		{Name: "ff-detector", Arch: filter.FullFrameObjectDetector, Seed: 0},
+		{Name: "localized", Arch: filter.LocalizedBinary, Crop: &crop, Seed: 0},
+	}
+	for i, spec := range specs {
+		logf(w, o, "training %s on %s ...", spec.Name, datasetName)
+		mc, err := filter.NewMC(spec, base, trainD.Cfg.Width, trainD.Cfg.Height)
+		if err != nil {
+			return nil, err
+		}
+		trainFMs, err := extractForMC(trainD, base, mc)
+		if err != nil {
+			return nil, err
+		}
+		tm, err := fitMC(w, o, mc, trainFMs, trainD.Labels)
+		if err != nil {
+			return nil, err
+		}
+		testFMs, err := extractForMC(testD, base, mc)
+		if err != nil {
+			return nil, err
+		}
+		scores := scoreMCOnMaps(mc, testFMs)
+		r := evalScores(testD.Labels, scores, tm.threshold)
+		paperCost, err := pm.MCCost(paperSpecs[i])
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, CostAccuracyPoint{
+			System: spec.Arch.String() + " MC", PaperMAdds: paperCost, Result: r, Threshold: tm.threshold,
+		})
+	}
+
+	// Discrete classifier (the paper's representative Pareto point).
+	dcCfg := filter.DCConfig{Name: "dc", ConvLayers: 3, Kernels: 32, Stride: 2, Pools: 1, Seed: o.Seed + 13}
+	if datasetName == "roadway" {
+		// §4.5: the Roadway DC benefits from the spatial crop; the
+		// Jackson DC does not.
+		dcCfg.Crop = &workingCrop
+	}
+	logf(w, o, "training %s on %s ...", dcCfg.Name, datasetName)
+	dc, err := filter.NewDC(dcCfg, trainD.Cfg.Width, trainD.Cfg.Height)
+	if err != nil {
+		return nil, err
+	}
+	td, err := fitDC(w, o, dc, trainD)
+	if err != nil {
+		return nil, err
+	}
+	dcScores := scoreDCOnDataset(dc, testD)
+	dcRes := evalScores(testD.Labels, dcScores, td.threshold)
+	paperDCCfg := dcCfg
+	if dcCfg.Crop != nil {
+		paperDCCfg.Crop = &crop
+	}
+	dcPaperCost, err := pm.DCCost(paperDCCfg)
+	if err != nil {
+		return nil, err
+	}
+	res.Points = append(res.Points, CostAccuracyPoint{
+		System: "discrete classifier", PaperMAdds: dcPaperCost, Result: dcRes, Threshold: td.threshold,
+	})
+
+	printCostAccuracy(w, res)
+	return res, nil
+}
+
+func printCostAccuracy(w io.Writer, res *CostAccuracyResult) {
+	fmt.Fprintf(w, "Figure 7 — multiply-adds vs event F1 (%s, %s task)\n", res.Dataset, res.Task)
+	fmt.Fprintf(w, "%-32s %16s %10s %10s %10s\n", "system", "paper madds (M)", "precision", "recall", "event F1")
+	for _, p := range res.Points {
+		fmt.Fprintf(w, "%-32s %16.1f %10.3f %10.3f %10.3f\n",
+			p.System, float64(p.PaperMAdds)/1e6, p.Result.Precision, p.Result.Recall, p.Result.F1)
+	}
+	fmt.Fprintln(w)
+}
+
+// datasetParams maps a dataset name to its generator, native
+// resolution, and native crop region (Table 3c).
+func datasetParams(name string) (fn func(int, int, int64) dataset.Config, paperW, paperH int, crop vision.Rect) {
+	switch name {
+	case "jackson":
+		return dataset.Jackson, 1920, 1080, vision.Rect{X0: 0, Y0: 539, X1: 1920, Y1: 1080}
+	case "roadway":
+		return dataset.Roadway, 2048, 850, vision.Rect{X0: 0, Y0: 315, X1: 2048, Y1: 819}
+	default:
+		return nil, 0, 0, vision.Rect{}
+	}
+}

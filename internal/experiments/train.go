@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/dataset"
+	"repro/internal/event"
+	"repro/internal/filter"
+	"repro/internal/metrics"
+	"repro/internal/mobilenet"
+	"repro/internal/tensor"
+	"repro/internal/train"
+)
+
+// trainedMC bundles a fitted microclassifier with its tuned decision
+// threshold.
+type trainedMC struct {
+	mc        *filter.MC
+	threshold float32
+	trainF1   float64
+}
+
+// fitMC trains an MC on the training split's feature maps and tunes
+// its threshold by best event F1 on the training day (with the
+// standard K-of-N smoothing applied).
+func fitMC(w io.Writer, o Options, mc *filter.MC, fms []*tensor.Tensor, labels []bool) (*trainedMC, error) {
+	// Standardize the MC's input against training-day statistics (the
+	// paper's base DNN is batch-normalized; ours is not — see
+	// filter.MC.SetNormalization).
+	mean, std := filter.ChannelStats(fms)
+	if err := mc.SetNormalization(mean, std); err != nil {
+		return nil, err
+	}
+	var samples []train.Sample
+	for i := 0; i < len(fms); i += o.SampleStride {
+		samples = append(samples, train.Sample{X: mc.BuildInput(fms, i), Y: labelAt(labels, i)})
+	}
+	loss, err := train.Fit(mc.Net(), samples, train.Config{
+		Epochs: o.Epochs, BatchSize: 16, Seed: o.Seed + 7,
+		BalanceClasses: true, Optimizer: train.NewAdam(0.003),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: train %s: %w", mc.Spec().Name, err)
+	}
+	logf(w, o, "  trained %s: final loss %.4f (%d samples)", mc.Spec().Name, loss, len(samples))
+
+	scores := scoreMCOnMaps(mc, fms)
+	res, th := metrics.BestF1(labels, scores, thresholdGrid(), smoothFn())
+	logf(w, o, "  %s train-day F1 %.3f at threshold %.2f", mc.Spec().Name, res.F1, th)
+	return &trainedMC{mc: mc, threshold: th, trainF1: res.F1}, nil
+}
+
+// scoreMCOnMaps streams a full feature-map sequence through the MC and
+// returns per-frame probabilities.
+func scoreMCOnMaps(mc *filter.MC, fms []*tensor.Tensor) []float32 {
+	scores := make([]float32, len(fms))
+	mc.Reset()
+	record := func(cs []filter.Classification) {
+		for _, c := range cs {
+			scores[c.Frame] = c.Prob
+		}
+	}
+	for _, fm := range fms {
+		record(mc.Push(fm))
+	}
+	record(mc.Flush())
+	return scores
+}
+
+// trainedDC bundles a fitted discrete classifier with its threshold.
+type trainedDC struct {
+	dc        *filter.DC
+	threshold float32
+	trainF1   float64
+}
+
+// fitDC trains a discrete classifier on raw pixels. Frames are
+// rendered on demand; the DC sees o.SampleStride-strided frames (its
+// samples are much larger than feature maps, so the stride is doubled).
+func fitDC(w io.Writer, o Options, dc *filter.DC, d *dataset.Dataset) (*trainedDC, error) {
+	stride := o.SampleStride * 2
+	// Estimate pixel statistics on a frame subsample, then build
+	// normalized samples.
+	var statFrames []*tensor.Tensor
+	for i := 0; i < d.Cfg.Frames; i += stride * 4 {
+		statFrames = append(statFrames, d.FrameTensor(i))
+	}
+	mean, std := filter.ChannelStats(statFrames)
+	if err := dc.SetNormalization(mean, std); err != nil {
+		return nil, err
+	}
+	var samples []train.Sample
+	for i := 0; i < d.Cfg.Frames; i += stride {
+		samples = append(samples, train.Sample{X: dc.BuildInput(d.FrameTensor(i)), Y: labelAt(d.Labels, i)})
+	}
+	loss, err := train.Fit(dc.Net(), samples, train.Config{
+		Epochs: o.Epochs, BatchSize: 16, Seed: o.Seed + 8,
+		BalanceClasses: true, Optimizer: train.NewAdam(0.003),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: train %s: %w", dc.Config().Name, err)
+	}
+	logf(w, o, "  trained %s: final loss %.4f (%d samples)", dc.Config().Name, loss, len(samples))
+
+	scores := scoreDCOnDataset(dc, d)
+	res, th := metrics.BestF1(d.Labels, scores, thresholdGrid(), smoothFn())
+	logf(w, o, "  %s train-day F1 %.3f at threshold %.2f", dc.Config().Name, res.F1, th)
+	return &trainedDC{dc: dc, threshold: th, trainF1: res.F1}, nil
+}
+
+// scoreDCOnDataset renders each frame and classifies it with the DC.
+func scoreDCOnDataset(dc *filter.DC, d *dataset.Dataset) []float32 {
+	scores := make([]float32, d.Cfg.Frames)
+	for i := 0; i < d.Cfg.Frames; i++ {
+		scores[i] = dc.Prob(d.FrameTensor(i))
+	}
+	return scores
+}
+
+// smoothFn returns the standard K-of-N smoothing for threshold sweeps.
+func smoothFn() func([]bool) []bool {
+	return func(raw []bool) []bool {
+		return event.SmoothKofN(raw, event.DefaultN, event.DefaultK)
+	}
+}
+
+// evalScores applies the threshold and smoothing and scores against
+// ground truth.
+func evalScores(truth []bool, scores []float32, threshold float32) metrics.Result {
+	pred := make([]bool, len(scores))
+	for i, s := range scores {
+		pred[i] = s >= threshold
+	}
+	pred = event.SmoothKofN(pred, event.DefaultN, event.DefaultK)
+	return metrics.Evaluate(truth, pred)
+}
+
+// extractForMC extracts the MC's stage over a dataset.
+func extractForMC(d *dataset.Dataset, base *mobilenet.Model, mc *filter.MC) ([]*tensor.Tensor, error) {
+	maps, err := extractStages(d, base, []string{mc.Stage()})
+	if err != nil {
+		return nil, err
+	}
+	return maps[mc.Stage()], nil
+}

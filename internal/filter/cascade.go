@@ -1,0 +1,87 @@
+package filter
+
+import (
+	"fmt"
+
+	"repro/internal/mobilenet"
+	"repro/internal/vision"
+)
+
+// Cascade composes an optional frame-difference early-discard stage
+// with a microclassifier, NoScope-style (§5.2.1): "a cascade of
+// progressively more accurate and expensive detectors, stopping
+// execution at the cheapest model that produces a high confidence
+// prediction". Frames suppressed by the difference detector skip
+// feature extraction and classification entirely and inherit the
+// previous decision — on a fixed-view camera, an unchanged frame has
+// an unchanged label.
+type Cascade struct {
+	// Diff is the early-discard stage (nil disables it).
+	Diff *FrameDiff
+	// Base extracts features for the MC stage.
+	Base *mobilenet.Model
+	// MC is the expensive stage.
+	MC *MC
+
+	lastProb  float32
+	haveLast  bool
+	frameIdx  int
+	extracted int
+	skipped   int
+}
+
+// NewCascade wires the stages together. The MC must be a plain
+// (non-windowed) architecture: skipping frames would desynchronize a
+// temporal window.
+func NewCascade(diff *FrameDiff, base *mobilenet.Model, mc *MC) (*Cascade, error) {
+	if mc.Spec().Arch == WindowedLocalizedBinary {
+		return nil, fmt.Errorf("filter: cascade cannot skip frames for a windowed MC")
+	}
+	return &Cascade{Diff: diff, Base: base, MC: mc}, nil
+}
+
+// Push classifies the next frame, running the MC only when the frame
+// changed (or when there is no prior decision to reuse).
+func (c *Cascade) Push(frame *vision.Image) (Classification, error) {
+	idx := c.frameIdx
+	c.frameIdx++
+	changed := true
+	if c.Diff != nil {
+		changed = c.Diff.Changed(frame)
+	}
+	if !changed && c.haveLast {
+		c.skipped++
+		return Classification{Frame: idx, Prob: c.lastProb}, nil
+	}
+	fm, err := c.Base.Extract(frame.ToTensor(), c.MC.Stage())
+	if err != nil {
+		return Classification{}, err
+	}
+	prob := c.MC.Prob(c.MC.CropMap(fm))
+	c.lastProb, c.haveLast = prob, true
+	c.extracted++
+	return Classification{Frame: idx, Prob: prob}, nil
+}
+
+// Stats reports how many frames ran the expensive stage versus how
+// many were served from the early-discard fast path.
+func (c *Cascade) Stats() (extracted, skipped int) { return c.extracted, c.skipped }
+
+// Reset clears all streaming state.
+func (c *Cascade) Reset() {
+	if c.Diff != nil {
+		c.Diff.Reset()
+	}
+	c.lastProb, c.haveLast = 0, false
+	c.frameIdx, c.extracted, c.skipped = 0, 0, 0
+}
+
+// EstimateSavings returns the fraction of base-DNN executions the
+// cascade avoided.
+func (c *Cascade) EstimateSavings() float64 {
+	total := c.extracted + c.skipped
+	if total == 0 {
+		return 0
+	}
+	return float64(c.skipped) / float64(total)
+}

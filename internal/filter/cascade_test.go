@@ -1,0 +1,71 @@
+package filter
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/vision"
+)
+
+func TestCascadeRejectsWindowedMC(t *testing.T) {
+	base := testBase(t)
+	mc, _ := NewMC(Spec{Name: "w", Arch: WindowedLocalizedBinary, Seed: 1}, base, 64, 36)
+	if _, err := NewCascade(NewFrameDiff(0.01), base, mc); err == nil {
+		t.Fatal("windowed MC accepted in cascade")
+	}
+}
+
+func TestCascadeSkipsStaticFrames(t *testing.T) {
+	base := testBase(t)
+	d := dataset.Generate(dataset.Jackson(64, 120, 5))
+	mc, err := NewMC(Spec{Name: "c", Arch: PoolingClassifier, Seed: 2}, base, d.Cfg.Width, d.Cfg.Height)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := d.Frame(firstAllQuiet(d))
+	cas, err := NewCascade(NewReferenceDiff(0.03, ref), base, mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < d.Cfg.Frames; i++ {
+		c, err := cas.Push(d.Frame(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Frame != i {
+			t.Fatalf("frame index %d, want %d", c.Frame, i)
+		}
+	}
+	extracted, skipped := cas.Stats()
+	if extracted+skipped != d.Cfg.Frames {
+		t.Fatal("stats do not cover all frames")
+	}
+	if skipped == 0 {
+		t.Fatal("cascade never used the fast path on a mostly-static stream")
+	}
+	if cas.EstimateSavings() <= 0 {
+		t.Fatal("savings not reported")
+	}
+}
+
+func TestCascadeWithoutDiffAlwaysExtracts(t *testing.T) {
+	base := testBase(t)
+	mc, _ := NewMC(Spec{Name: "n", Arch: PoolingClassifier, Seed: 3}, base, 32, 18)
+	cas, err := NewCascade(nil, base, mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := cas.Push(vision.NewImage(32, 18)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	extracted, skipped := cas.Stats()
+	if extracted != 5 || skipped != 0 {
+		t.Fatalf("extracted %d skipped %d, want 5/0", extracted, skipped)
+	}
+	cas.Reset()
+	if e, s := cas.Stats(); e != 0 || s != 0 {
+		t.Fatal("reset did not clear stats")
+	}
+}

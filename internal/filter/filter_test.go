@@ -1,0 +1,384 @@
+package filter
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/mobilenet"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/train"
+	"repro/internal/vision"
+)
+
+func testBase(t *testing.T) *mobilenet.Model {
+	t.Helper()
+	return mobilenet.New(mobilenet.Config{WidthMult: 0.25, Seed: 1})
+}
+
+func TestMCDefaultStages(t *testing.T) {
+	// §3.4: the full-frame object detector taps the penultimate stage,
+	// the localized variants a middle stage.
+	if DefaultStage(FullFrameObjectDetector) != "conv5_6/sep" {
+		t.Fatal("full-frame default stage wrong")
+	}
+	if DefaultStage(LocalizedBinary) != "conv4_2/sep" {
+		t.Fatal("localized default stage wrong")
+	}
+	if DefaultStage(WindowedLocalizedBinary) != "conv4_2/sep" {
+		t.Fatal("windowed default stage wrong")
+	}
+}
+
+func TestMCInputShapes(t *testing.T) {
+	base := testBase(t)
+	for _, arch := range []Arch{FullFrameObjectDetector, LocalizedBinary, WindowedLocalizedBinary, PoolingClassifier} {
+		mc, err := NewMC(Spec{Name: "t-" + arch.String(), Arch: arch, Seed: 2}, base, 96, 54)
+		if err != nil {
+			t.Fatalf("%v: %v", arch, err)
+		}
+		in := mc.InputShape()
+		x := tensor.New(in...)
+		logit := mc.Net().Forward(x, false)
+		if logit.Len() != 1 {
+			t.Fatalf("%v: logit shape %v", arch, logit.Shape)
+		}
+	}
+}
+
+func TestMCCropShrinksInput(t *testing.T) {
+	base := testBase(t)
+	full, err := NewMC(Spec{Name: "full", Arch: LocalizedBinary, Seed: 3}, base, 96, 54)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crop := vision.Rect{X0: 0, Y0: 27, X1: 96, Y1: 54} // bottom half
+	cropped, err := NewMC(Spec{Name: "crop", Arch: LocalizedBinary, Crop: &crop, Seed: 3}, base, 96, 54)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fh := full.InputShape()[1]
+	ch := cropped.InputShape()[1]
+	if ch >= fh {
+		t.Fatalf("crop did not shrink input: %d vs %d", ch, fh)
+	}
+	// §3.2: cost drops proportionally to input size.
+	if cropped.MAddsPerFrame(false) >= full.MAddsPerFrame(false) {
+		t.Fatal("crop did not reduce madds")
+	}
+}
+
+func TestMCPushPlainImmediate(t *testing.T) {
+	base := testBase(t)
+	mc, err := NewMC(Spec{Name: "p", Arch: LocalizedBinary, Seed: 4}, base, 96, 54)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm := tensor.New(mc.FeatureMapShape()...)
+	tensor.NewRNG(5).FillNormal(fm, 0, 1)
+	cs := mc.Push(fm)
+	if len(cs) != 1 || cs[0].Frame != 0 {
+		t.Fatalf("plain push = %+v", cs)
+	}
+	if cs[0].Prob < 0 || cs[0].Prob > 1 {
+		t.Fatalf("prob out of range: %v", cs[0].Prob)
+	}
+}
+
+func TestWindowedStreamingMatchesBatch(t *testing.T) {
+	// The buffering optimization must be semantics-preserving: the
+	// streaming path (reduce once per frame, reuse buffers) must equal
+	// running the full network on each window built from scratch.
+	base := testBase(t)
+	mc, err := NewMC(Spec{Name: "w", Arch: WindowedLocalizedBinary, Window: 5, Hidden: 16, Seed: 6}, base, 64, 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(7)
+	const n = 9
+	fms := make([]*tensor.Tensor, n)
+	for i := range fms {
+		fms[i] = tensor.New(mc.FeatureMapShape()...)
+		rng.FillNormal(fms[i], 0, 1)
+	}
+	var streamed []Classification
+	for _, fm := range fms {
+		streamed = append(streamed, mc.Push(fm)...)
+	}
+	streamed = append(streamed, mc.Flush()...)
+	if len(streamed) != n {
+		t.Fatalf("streamed %d classifications, want %d", len(streamed), n)
+	}
+	for i, c := range streamed {
+		if c.Frame != i {
+			t.Fatalf("classification %d has frame %d", i, c.Frame)
+		}
+		want := mc.Prob(mc.BuildInput(fms, i))
+		if diff := c.Prob - want; diff > 1e-5 || diff < -1e-5 {
+			t.Fatalf("frame %d: streamed %v, batch %v", i, c.Prob, want)
+		}
+	}
+}
+
+func TestWindowedLag(t *testing.T) {
+	base := testBase(t)
+	mc, _ := NewMC(Spec{Name: "lag", Arch: WindowedLocalizedBinary, Window: 5, Hidden: 8, Seed: 8}, base, 64, 36)
+	if mc.Lag() != 2 {
+		t.Fatalf("lag = %d, want 2", mc.Lag())
+	}
+	fm := tensor.New(mc.FeatureMapShape()...)
+	if got := mc.Push(fm); len(got) != 0 {
+		t.Fatalf("windowed MC classified with 1 frame: %+v", got)
+	}
+	mc.Push(fm)
+	got := mc.Push(fm)
+	if len(got) != 1 || got[0].Frame != 0 {
+		t.Fatalf("expected frame-0 decision after 3 pushes, got %+v", got)
+	}
+}
+
+func TestWindowedEvenWindowRejected(t *testing.T) {
+	base := testBase(t)
+	if _, err := NewMC(Spec{Name: "e", Arch: WindowedLocalizedBinary, Window: 4, Seed: 1}, base, 64, 36); err == nil {
+		t.Fatal("even window accepted")
+	}
+}
+
+func TestBufferingSavesMAdds(t *testing.T) {
+	base := testBase(t)
+	mc, _ := NewMC(Spec{Name: "b", Arch: WindowedLocalizedBinary, Window: 5, Seed: 9}, base, 96, 54)
+	buffered := mc.MAddsPerFrame(true)
+	unbuffered := mc.MAddsPerFrame(false)
+	if buffered >= unbuffered {
+		t.Fatalf("buffering saved nothing: %d vs %d", buffered, unbuffered)
+	}
+	// Plain MC is indifferent to the flag.
+	p, _ := NewMC(Spec{Name: "pl", Arch: LocalizedBinary, Seed: 9}, base, 96, 54)
+	if p.MAddsPerFrame(true) != p.MAddsPerFrame(false) {
+		t.Fatal("plain MC madds depend on buffering flag")
+	}
+}
+
+func TestMCMarginalCostFarBelowBaseDNN(t *testing.T) {
+	// The premise of computation sharing: one MC costs a small
+	// fraction of the base DNN (§4.4: base DNN ≈ 15–40 MCs).
+	base := testBase(t)
+	mc, _ := NewMC(Spec{Name: "c", Arch: LocalizedBinary, Seed: 10}, base, 96, 54)
+	baseCost, err := base.MAddsTo("conv6/sep", []int{1, 54, 96, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.MAddsPerFrame(true)*5 > baseCost {
+		t.Fatalf("MC cost %d not well below base %d", mc.MAddsPerFrame(true), baseCost)
+	}
+}
+
+func TestWindowReduceGradients(t *testing.T) {
+	rng := tensor.NewRNG(11)
+	conv := nn.NewConv2D("wr/conv", 2, 4, 1, 1, nn.Same, rng)
+	wr := NewWindowReduce("wr", conv, 3, 2)
+	x := tensor.New(1, 3, 3, 6)
+	rng.FillNormal(x, 0, 1)
+
+	out := wr.Forward(x.Clone(), true)
+	grad := tensor.New(out.Shape...)
+	grad.Fill(1)
+	gin := wr.Backward(grad)
+
+	const eps = 1e-2
+	for i := 0; i < x.Len(); i++ {
+		orig := x.Data[i]
+		x.Data[i] = orig + eps
+		up := wr.Forward(x.Clone(), false).Sum()
+		x.Data[i] = orig - eps
+		down := wr.Forward(x.Clone(), false).Sum()
+		x.Data[i] = orig
+		num := (up - down) / (2 * eps)
+		diff := num - float64(gin.Data[i])
+		if diff > 2e-2*(1+abs(num)) || diff < -2e-2*(1+abs(num)) {
+			t.Fatalf("WindowReduce grad[%d]: analytic %v numeric %v", i, gin.Data[i], num)
+		}
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestMCTrainsOnSyntheticFeatureMaps(t *testing.T) {
+	// An MC must be able to learn a simple feature-space pattern:
+	// positives have elevated channel-0 activations in the crop.
+	base := testBase(t)
+	mc, err := NewMC(Spec{Name: "learn", Arch: LocalizedBinary, Hidden: 16, Seed: 12}, base, 64, 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(13)
+	var samples []train.Sample
+	for i := 0; i < 120; i++ {
+		x := tensor.New(mc.InputShape()...)
+		rng.FillNormal(x, 0, 0.3)
+		y := float32(i % 2)
+		if y == 1 {
+			for p := 0; p < x.Len(); p += x.Shape[3] {
+				x.Data[p] += 1.5
+			}
+		}
+		samples = append(samples, train.Sample{X: x, Y: y})
+	}
+	if _, err := train.Fit(mc.Net(), samples, train.Config{Epochs: 6, BatchSize: 8, Seed: 1, Optimizer: train.NewAdam(0.01)}); err != nil {
+		t.Fatal(err)
+	}
+	if acc := train.Accuracy(mc.Net(), samples, 0.5); acc < 0.9 {
+		t.Fatalf("MC failed to learn: accuracy %v", acc)
+	}
+}
+
+func TestDCBuildsAcrossSweep(t *testing.T) {
+	for _, cfg := range DCSweep(1) {
+		dc, err := NewDC(cfg, 96, 54)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		x := tensor.New(1, 54, 96, 3)
+		p := dc.Prob(x)
+		if p < 0 || p > 1 {
+			t.Fatalf("%s: prob %v", cfg.Name, p)
+		}
+		if dc.MAddsPerFrame() <= 0 {
+			t.Fatalf("%s: madds %d", cfg.Name, dc.MAddsPerFrame())
+		}
+	}
+}
+
+func TestDCSweepCostOrdering(t *testing.T) {
+	cfgs := DCSweep(1)
+	var prev int64
+	for i, cfg := range cfgs {
+		dc, err := NewDC(cfg, 192, 108)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := dc.MAddsPerFrame()
+		if i > 0 && m <= prev {
+			t.Fatalf("sweep not increasing: %s %d <= %d", cfg.Name, m, prev)
+		}
+		prev = m
+	}
+}
+
+func TestDCCropValidation(t *testing.T) {
+	bad := vision.Rect{X0: 0, Y0: 0, X1: 999, Y1: 10}
+	if _, err := NewDC(DCConfig{Name: "bad", Crop: &bad, Seed: 1}, 96, 54); err == nil {
+		t.Fatal("oversized crop accepted")
+	}
+}
+
+func TestDCCropAppliedToPixels(t *testing.T) {
+	crop := vision.Rect{X0: 10, Y0: 10, X1: 50, Y1: 40}
+	dc, err := NewDC(DCConfig{Name: "c", Crop: &crop, Seed: 1}, 96, 54)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := dc.InputShape()
+	if in[1] != 30 || in[2] != 40 {
+		t.Fatalf("DC input shape %v, want [1 30 40 3]", in)
+	}
+	frame := tensor.New(1, 54, 96, 3)
+	x := dc.BuildInput(frame)
+	if x.Shape[1] != 30 || x.Shape[2] != 40 {
+		t.Fatalf("BuildInput shape %v", x.Shape)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	base := testBase(t)
+	if _, err := NewMC(Spec{Arch: LocalizedBinary}, base, 64, 36); err == nil {
+		t.Fatal("nameless spec accepted")
+	}
+	if _, err := NewMC(Spec{Name: "x", Stage: "conv42/zz"}, base, 64, 36); err == nil {
+		t.Fatal("bad stage accepted")
+	}
+}
+
+func TestMCSaveLoadRoundTrip(t *testing.T) {
+	base := testBase(t)
+	crop := vision.Rect{X0: 0, Y0: 18, X1: 96, Y1: 54}
+	src, err := NewMC(Spec{Name: "ser", Arch: LocalizedBinary, Crop: &crop, Hidden: 16, Seed: 21}, base, 96, 54)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmShape := src.FeatureMapShape()
+	mean := make([]float32, fmShape[3])
+	std := make([]float32, fmShape[3])
+	for i := range mean {
+		mean[i] = 0.1 * float32(i%5)
+		std[i] = 1 + 0.01*float32(i%7)
+	}
+	if err := src.SetNormalization(mean, std); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst, err := LoadMC(&buf, base, 96, 54)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm := tensor.New(fmShape...)
+	tensor.NewRNG(22).FillNormal(fm, 0, 1)
+	a := src.Prob(src.CropMap(fm))
+	b := dst.Prob(dst.CropMap(fm))
+	if a != b {
+		t.Fatalf("loaded MC differs: %v vs %v", a, b)
+	}
+	if dst.Spec().Arch != LocalizedBinary || dst.Spec().Crop == nil {
+		t.Fatalf("spec not restored: %+v", dst.Spec())
+	}
+}
+
+func TestChannelStats(t *testing.T) {
+	a := tensor.FromSlice([]float32{1, 10, 3, 20}, 1, 1, 2, 2)
+	b := tensor.FromSlice([]float32{5, 30, 7, 40}, 1, 1, 2, 2)
+	mean, std := ChannelStats([]*tensor.Tensor{a, b})
+	if mean[0] != 4 || mean[1] != 25 {
+		t.Fatalf("mean = %v", mean)
+	}
+	if std[0] <= 0 || std[1] <= 0 {
+		t.Fatalf("std = %v", std)
+	}
+	if m, s := ChannelStats(nil); m != nil || s != nil {
+		t.Fatal("empty stats should be nil")
+	}
+}
+
+func TestNormalizationAffectsCropMap(t *testing.T) {
+	base := testBase(t)
+	mc, _ := NewMC(Spec{Name: "nrm", Arch: PoolingClassifier, Seed: 23}, base, 64, 36)
+	fm := tensor.New(mc.FeatureMapShape()...)
+	fm.Fill(2)
+	c := mc.FeatureMapShape()[3]
+	mean := make([]float32, c)
+	std := make([]float32, c)
+	for i := range mean {
+		mean[i], std[i] = 2, 4
+	}
+	if err := mc.SetNormalization(mean, std); err != nil {
+		t.Fatal(err)
+	}
+	out := mc.CropMap(fm)
+	if out.Data[0] != 0 {
+		t.Fatalf("normalized value = %v, want 0", out.Data[0])
+	}
+	if fm.Data[0] != 2 {
+		t.Fatal("CropMap mutated its input")
+	}
+	if err := mc.SetNormalization(mean[:1], std[:1]); err == nil {
+		t.Fatal("wrong-length normalization accepted")
+	}
+}

@@ -1,0 +1,94 @@
+package filter
+
+import (
+	"fmt"
+
+	"repro/internal/vision"
+)
+
+// FrameDiff is the NoScope-style difference detector (§5.2.1 of the
+// paper): it "drops frames whose pixel-level differences from a
+// reference image or previous frame do not meet a threshold" before
+// any classifier runs. It is the cheapest stage of a filter cascade —
+// a handful of subtractions per sampled pixel — and is provided as an
+// optional early-discard step in front of MCs or DCs.
+type FrameDiff struct {
+	// Threshold is the mean-absolute-difference (per sampled channel
+	// value, in [0,1] pixel units) above which a frame is "changed".
+	Threshold float32
+	// Stride subsamples pixels for the difference computation
+	// (default 2; cost drops with the square of the stride).
+	Stride int
+	// AgainstReference, when true, compares every frame to a fixed
+	// reference (set via SetReference) rather than to the previous
+	// frame — the configuration for fixed-view cameras where the
+	// background is static.
+	AgainstReference bool
+
+	reference *vision.Image
+	prev      *vision.Image
+}
+
+// NewFrameDiff returns a previous-frame difference detector.
+func NewFrameDiff(threshold float32) *FrameDiff {
+	return &FrameDiff{Threshold: threshold, Stride: 2}
+}
+
+// NewReferenceDiff returns a fixed-reference difference detector.
+func NewReferenceDiff(threshold float32, reference *vision.Image) *FrameDiff {
+	return &FrameDiff{Threshold: threshold, Stride: 2, AgainstReference: true, reference: reference}
+}
+
+// SetReference replaces the reference image.
+func (f *FrameDiff) SetReference(ref *vision.Image) { f.reference = ref }
+
+// Score returns the mean absolute difference between the frame and
+// its comparison image (0 when no comparison image exists yet).
+func (f *FrameDiff) Score(frame *vision.Image) float32 {
+	base := f.prev
+	if f.AgainstReference {
+		base = f.reference
+	}
+	if base == nil {
+		return 0
+	}
+	if base.W != frame.W || base.H != frame.H {
+		panic(fmt.Sprintf("filter: framediff size mismatch %dx%d vs %dx%d", base.W, base.H, frame.W, frame.H))
+	}
+	stride := f.Stride
+	if stride < 1 {
+		stride = 1
+	}
+	var sum float64
+	count := 0
+	for y := 0; y < frame.H; y += stride {
+		row := y * frame.W * 3
+		for x := 0; x < frame.W*3; x += 3 * stride {
+			d := frame.Pix[row+x] - base.Pix[row+x]
+			if d < 0 {
+				d = -d
+			}
+			sum += float64(d)
+			count++
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return float32(sum / float64(count))
+}
+
+// Changed consumes the next frame and reports whether it differs
+// enough from the comparison image to be worth classifying. The first
+// frame of a previous-frame detector is always reported changed.
+func (f *FrameDiff) Changed(frame *vision.Image) bool {
+	score := f.Score(frame)
+	first := !f.AgainstReference && f.prev == nil
+	if !f.AgainstReference {
+		f.prev = frame
+	}
+	return first || score >= f.Threshold
+}
+
+// Reset clears the previous-frame state.
+func (f *FrameDiff) Reset() { f.prev = nil }

@@ -1,0 +1,364 @@
+package filter
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mobilenet"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/vision"
+)
+
+// Classification is one per-frame classifier output.
+type Classification struct {
+	// Frame is the stream index the probability applies to.
+	Frame int
+	// Prob is the probability that the frame is relevant.
+	Prob float32
+}
+
+// MC is a deployed microclassifier: a lightweight binary classifier
+// over base-DNN feature maps (§3.2–3.3). Construct with NewMC, train
+// its Net with internal/train, then stream feature maps through Push.
+type MC struct {
+	spec    Spec
+	frameW  int
+	frameH  int
+	fmShape []int       // [1,h,w,c] of the tapped stage (uncropped)
+	cropFM  vision.Rect // crop in feature-map coordinates
+
+	net    *nn.Network
+	reduce *nn.Conv2D // windowed only: shared 1×1 reduction
+	head   []nn.Layer // windowed only: layers after WindowReduce
+
+	// Optional per-channel input normalization (see SetNormalization).
+	normMean, normInvStd []float32
+
+	// Streaming state (windowed): buffered reduced maps.
+	buf      []*tensor.Tensor
+	bufStart int
+	pushed   int
+	decided  int
+}
+
+// NewMC constructs a microclassifier for the given spec against a base
+// DNN and working frame size. The MC's network input is the (cropped)
+// feature map of spec.Stage; for the windowed architecture it is the
+// depthwise concatenation of Window cropped maps.
+func NewMC(spec Spec, base *mobilenet.Model, frameW, frameH int) (*MC, error) {
+	if err := spec.fillDefaults(); err != nil {
+		return nil, err
+	}
+	fmShape, err := base.OutShapeAt(spec.Stage, []int{1, frameH, frameW, 3})
+	if err != nil {
+		return nil, fmt.Errorf("filter: %s: %w", spec.Name, err)
+	}
+	m := &MC{spec: spec, frameW: frameW, frameH: frameH, fmShape: fmShape}
+	m.cropFM = vision.Rect{X0: 0, Y0: 0, X1: fmShape[2], Y1: fmShape[1]}
+	if spec.Crop != nil {
+		m.cropFM = spec.Crop.Scale(frameW, frameH, fmShape[2], fmShape[1])
+	}
+	if err := m.build(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// build assembles the Figure 2 network for the spec.
+func (m *MC) build() error {
+	rng := tensor.NewRNG(m.spec.Seed)
+	h := m.cropFM.Y1 - m.cropFM.Y0
+	w := m.cropFM.X1 - m.cropFM.X0
+	c := m.fmShape[3]
+	name := m.spec.Name
+	net := nn.NewNetwork(name)
+
+	switch m.spec.Arch {
+	case FullFrameObjectDetector:
+		// Fig. 2a: three 1×1 convolutions then max over the grid of
+		// logits (≥1 object anywhere fires the frame). The final conv
+		// output is used as the logit directly (no ReLU before the
+		// max) so the classifier trains with full-range logits.
+		net.Add(nn.NewConv2D(name+"/conv1", c, 32, 1, 1, nn.Same, rng)).
+			Add(nn.NewReLU(name + "/relu1")).
+			Add(nn.NewConv2D(name+"/conv2", 32, 32, 1, 1, nn.Same, rng)).
+			Add(nn.NewReLU(name + "/relu2")).
+			Add(nn.NewConv2D(name+"/conv3", 32, 1, 1, 1, nn.Same, rng)).
+			Add(nn.NewGlobalMax(name + "/max"))
+
+	case LocalizedBinary:
+		// Fig. 2b: sepconv(16, s1) → sepconv(32, s2) → FC 200 → FC 1.
+		dw1, pw1 := nn.SeparableConv2D(name+"/sep1", c, 16, 3, 1, nn.Same, rng)
+		dw2, pw2 := nn.SeparableConv2D(name+"/sep2", 16, 32, 3, 2, nn.Same, rng)
+		net.Add(dw1).Add(pw1).Add(nn.NewReLU(name + "/relu1")).
+			Add(dw2).Add(pw2).Add(nn.NewReLU(name + "/relu2")).
+			Add(nn.NewFlatten(name + "/flatten"))
+		flat := net.OutShape([]int{1, h, w, c})[1]
+		net.Add(nn.NewDense(name+"/fc1", flat, m.spec.Hidden, rng)).
+			Add(nn.NewReLU6(name + "/relu6")).
+			Add(nn.NewDense(name+"/fc2", m.spec.Hidden, 1, rng))
+
+	case WindowedLocalizedBinary:
+		// Fig. 2c: shared per-frame 1×1 conv (32 filters) → concat →
+		// conv3×3(32, s1) → conv3×3(32, s2) → FC 200 → FC 1.
+		m.reduce = nn.NewConv2D(name+"/reduce", c, 32, 1, 1, nn.Same, rng)
+		net.Add(NewWindowReduce(name+"/window", m.reduce, m.spec.Window, c)).
+			Add(nn.NewConv2D(name+"/conv1", 32*m.spec.Window, 32, 3, 1, nn.Same, rng)).
+			Add(nn.NewReLU(name + "/relu1")).
+			Add(nn.NewConv2D(name+"/conv2", 32, 32, 3, 2, nn.Same, rng)).
+			Add(nn.NewReLU(name + "/relu2")).
+			Add(nn.NewFlatten(name + "/flatten"))
+		flat := net.OutShape([]int{1, h, w, c * m.spec.Window})[1]
+		net.Add(nn.NewDense(name+"/fc1", flat, m.spec.Hidden, rng)).
+			Add(nn.NewReLU(name + "/relu3")).
+			Add(nn.NewDense(name+"/fc2", m.spec.Hidden, 1, rng))
+		m.head = net.Layers()[1:]
+
+	case PoolingClassifier:
+		// Wang et al. 2018-style baseline: pooled activations into a
+		// linear classifier.
+		net.Add(nn.NewGlobalAvgPool(name + "/pool")).
+			Add(nn.NewDense(name+"/fc", c, 1, rng))
+
+	default:
+		return fmt.Errorf("filter: unknown architecture %v", m.spec.Arch)
+	}
+	m.net = net
+	return nil
+}
+
+// Spec returns the MC's specification (with defaults filled).
+func (m *MC) Spec() Spec { return m.spec }
+
+// Net returns the trainable network. Its input is InputShape().
+func (m *MC) Net() *nn.Network { return m.net }
+
+// Stage returns the base-DNN stage this MC taps.
+func (m *MC) Stage() string { return m.spec.Stage }
+
+// CropFM returns the crop rectangle in feature-map coordinates.
+func (m *MC) CropFM() vision.Rect { return m.cropFM }
+
+// FeatureMapShape returns the uncropped stage activation shape.
+func (m *MC) FeatureMapShape() []int { return append([]int(nil), m.fmShape...) }
+
+// InputShape returns the network input shape (cropped; concatenated
+// across the window for the windowed architecture).
+func (m *MC) InputShape() []int {
+	h := m.cropFM.Y1 - m.cropFM.Y0
+	w := m.cropFM.X1 - m.cropFM.X0
+	c := m.fmShape[3]
+	if m.spec.Arch == WindowedLocalizedBinary {
+		c *= m.spec.Window
+	}
+	return []int{1, h, w, c}
+}
+
+// SetNormalization installs per-channel input standardization:
+// every cropped feature map is mapped to (x-mean)/std channel-wise
+// before classification. The paper's base DNN is an ImageNet-trained
+// network with batch normalization, so its activations arrive
+// well-conditioned; this reproduction's base DNN is deterministic
+// random projections, and standardizing against training-set
+// statistics restores the conditioning the MC optimizer expects.
+// mean and std must have one entry per feature-map channel.
+func (m *MC) SetNormalization(mean, std []float32) error {
+	c := m.fmShape[3]
+	if len(mean) != c || len(std) != c {
+		return fmt.Errorf("filter: normalization needs %d channels, got %d/%d", c, len(mean), len(std))
+	}
+	m.normMean = append([]float32(nil), mean...)
+	m.normInvStd = make([]float32, c)
+	for i, s := range std {
+		if s < 1e-6 {
+			s = 1e-6
+		}
+		m.normInvStd[i] = 1 / s
+	}
+	return nil
+}
+
+// ChannelStats computes per-channel mean and standard deviation over a
+// set of rank-4 NHWC feature maps — the statistics SetNormalization
+// consumes, estimated on the training day.
+func ChannelStats(fms []*tensor.Tensor) (mean, std []float32) {
+	if len(fms) == 0 {
+		return nil, nil
+	}
+	c := fms[0].Shape[3]
+	sum := make([]float64, c)
+	sum2 := make([]float64, c)
+	var count float64
+	for _, fm := range fms {
+		for i, v := range fm.Data {
+			ci := i % c
+			sum[ci] += float64(v)
+			sum2[ci] += float64(v) * float64(v)
+		}
+		count += float64(fm.Len() / c)
+	}
+	mean = make([]float32, c)
+	std = make([]float32, c)
+	for i := 0; i < c; i++ {
+		mu := sum[i] / count
+		variance := sum2[i]/count - mu*mu
+		if variance < 0 {
+			variance = 0
+		}
+		mean[i] = float32(mu)
+		std[i] = float32(math.Sqrt(variance))
+	}
+	return mean, std
+}
+
+// CropMap applies the MC's crop and input normalization to a raw
+// stage feature map.
+func (m *MC) CropMap(fm *tensor.Tensor) *tensor.Tensor {
+	out := fm
+	if !(m.cropFM.X0 == 0 && m.cropFM.Y0 == 0 && m.cropFM.X1 == fm.Shape[2] && m.cropFM.Y1 == fm.Shape[1]) {
+		out = fm.CropHW(m.cropFM.Y0, m.cropFM.Y1, m.cropFM.X0, m.cropFM.X1)
+	}
+	if m.normMean != nil {
+		if out == fm {
+			out = fm.Clone()
+		}
+		c := len(m.normMean)
+		for i := range out.Data {
+			ci := i % c
+			out.Data[i] = (out.Data[i] - m.normMean[ci]) * m.normInvStd[ci]
+		}
+	}
+	return out
+}
+
+// BuildInput assembles the network input for the frame at index center
+// from a sequence of raw (uncropped) stage feature maps. For plain
+// architectures this is the cropped map of the frame itself; for the
+// windowed architecture it is the concatenation of the cropped maps
+// over the window, clamped at sequence edges. Used to build training
+// samples.
+func (m *MC) BuildInput(fms []*tensor.Tensor, center int) *tensor.Tensor {
+	if m.spec.Arch != WindowedLocalizedBinary {
+		return m.CropMap(fms[center])
+	}
+	half := m.spec.Window / 2
+	parts := make([]*tensor.Tensor, 0, m.spec.Window)
+	for off := -half; off <= half; off++ {
+		i := center + off
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(fms) {
+			i = len(fms) - 1
+		}
+		parts = append(parts, m.CropMap(fms[i]))
+	}
+	return tensor.ConcatChannels(parts...)
+}
+
+// Prob runs the network on a prepared input (see BuildInput) and
+// returns the sigmoid probability.
+func (m *MC) Prob(x *tensor.Tensor) float32 {
+	logit := m.net.Forward(x, false)
+	return sigmoid(logit.Data[0])
+}
+
+// Push streams the next frame's raw stage feature map through the MC
+// and returns any classifications that became final. Plain
+// architectures classify immediately; the windowed architecture lags
+// by Window/2 frames, reducing each frame once and buffering the
+// result (the paper's buffering optimization — the 1×1 convolutions
+// are "only computed once, and their outputs are buffered and reused
+// by subsequent windows").
+func (m *MC) Push(fm *tensor.Tensor) []Classification {
+	if m.spec.Arch != WindowedLocalizedBinary {
+		frame := m.pushed
+		m.pushed++
+		return []Classification{{Frame: frame, Prob: m.Prob(m.CropMap(fm))}}
+	}
+	reduced := m.reduce.Forward(m.CropMap(fm), false)
+	m.buf = append(m.buf, reduced)
+	m.pushed++
+	return m.drainWindows(false)
+}
+
+// Flush emits the pending tail classifications of a windowed MC (whose
+// windows are clamped at the stream end) and resets streaming state.
+func (m *MC) Flush() []Classification {
+	out := m.drainWindows(true)
+	m.Reset()
+	return out
+}
+
+// Reset clears streaming state.
+func (m *MC) Reset() {
+	m.buf = nil
+	m.bufStart = 0
+	m.pushed = 0
+	m.decided = 0
+}
+
+func (m *MC) drainWindows(flush bool) []Classification {
+	if m.spec.Arch != WindowedLocalizedBinary {
+		return nil
+	}
+	half := m.spec.Window / 2
+	var out []Classification
+	for m.decided < m.pushed {
+		frame := m.decided
+		if !flush && frame+half >= m.pushed {
+			break
+		}
+		parts := make([]*tensor.Tensor, 0, m.spec.Window)
+		for off := -half; off <= half; off++ {
+			i := frame + off
+			if i < m.bufStart {
+				i = m.bufStart
+			}
+			if i >= m.pushed {
+				i = m.pushed - 1
+			}
+			parts = append(parts, m.buf[i-m.bufStart])
+		}
+		x := tensor.ConcatChannels(parts...)
+		for _, l := range m.head {
+			x = l.Forward(x, false)
+		}
+		out = append(out, Classification{Frame: frame, Prob: sigmoid(x.Data[0])})
+		m.decided++
+		for m.bufStart < m.decided-half {
+			m.buf = m.buf[1:]
+			m.bufStart++
+		}
+	}
+	return out
+}
+
+// Lag returns how many frames of input the MC needs beyond a frame
+// before it can classify it (Window/2 for windowed, else 0).
+func (m *MC) Lag() int {
+	if m.spec.Arch == WindowedLocalizedBinary {
+		return m.spec.Window / 2
+	}
+	return 0
+}
+
+// MAddsPerFrame returns the MC's marginal multiply-adds per frame.
+// With buffered=true the windowed architecture pays its 1×1 reduction
+// once per frame plus the head; with buffered=false the reduction is
+// charged Window times (the cost the buffering optimization avoids).
+func (m *MC) MAddsPerFrame(buffered bool) int64 {
+	total := m.net.MAdds(m.InputShape())
+	if m.spec.Arch == WindowedLocalizedBinary && buffered {
+		h := m.cropFM.Y1 - m.cropFM.Y0
+		w := m.cropFM.X1 - m.cropFM.X0
+		perFrame := m.reduce.MAdds([]int{1, h, w, m.fmShape[3]})
+		total -= int64(m.spec.Window-1) * perFrame
+	}
+	return total
+}
+
+func sigmoid(z float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(z))))
+}

@@ -1,0 +1,187 @@
+// Package metrics implements the paper's accuracy measures (§4.2):
+// the range-based EventRecall of Lee et al. 2018 with existence and
+// overlap terms, standard frame-level precision, and their harmonic
+// mean, the event F1 score used throughout the evaluation.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dataset"
+)
+
+// Alpha and Beta are the paper's EventRecall weights: α=0.9 rewards
+// detecting at least one frame of each event, β=0.1 rewards covering
+// more of it.
+const (
+	Alpha = 0.9
+	Beta  = 0.1
+)
+
+// EventRecall computes the mean of α·Existence_i + β·Overlap_i over
+// ground-truth events. predicted[i] is the smoothed per-frame
+// prediction. Returns 0 when there are no events.
+func EventRecall(events []dataset.Range, predicted []bool, alpha, beta float64) float64 {
+	if len(events) == 0 {
+		return 0
+	}
+	var total float64
+	for _, e := range events {
+		detected := 0
+		for f := e.Start; f < e.End && f < len(predicted); f++ {
+			if predicted[f] {
+				detected++
+			}
+		}
+		existence := 0.0
+		if detected > 0 {
+			existence = 1.0
+		}
+		overlap := float64(detected) / float64(e.Len())
+		total += alpha*existence + beta*overlap
+	}
+	return total / float64(len(events))
+}
+
+// Precision is the standard frame-level precision: the fraction of
+// predicted-positive frames that are truly positive. For
+// FilterForward this is exactly the fraction of uplink bandwidth spent
+// on relevant frames (§4.2). Returns 0 when nothing was predicted.
+func Precision(truth, predicted []bool) float64 {
+	if len(truth) != len(predicted) {
+		panic(fmt.Sprintf("metrics: %d truth vs %d predicted frames", len(truth), len(predicted)))
+	}
+	tp, fp := 0, 0
+	for i, p := range predicted {
+		if !p {
+			continue
+		}
+		if truth[i] {
+			tp++
+		} else {
+			fp++
+		}
+	}
+	if tp+fp == 0 {
+		return 0
+	}
+	return float64(tp) / float64(tp+fp)
+}
+
+// Result bundles the paper's accuracy numbers for one evaluation run.
+type Result struct {
+	// Precision is frame-level precision.
+	Precision float64
+	// Recall is the range-based EventRecall.
+	Recall float64
+	// F1 is the harmonic mean of Precision and Recall — the paper's
+	// event F1 score.
+	F1 float64
+}
+
+// Evaluate computes precision, event recall, and event F1 for a
+// predicted label sequence against ground truth labels.
+func Evaluate(truth, predicted []bool) Result {
+	events := dataset.EventsFromLabels(truth)
+	p := Precision(truth, predicted)
+	r := EventRecall(events, predicted, Alpha, Beta)
+	return Result{Precision: p, Recall: r, F1: F1(p, r)}
+}
+
+// F1 returns the harmonic mean of precision and recall (0 when both
+// are 0).
+func F1(precision, recall float64) float64 {
+	if precision+recall == 0 {
+		return 0
+	}
+	return 2 * precision * recall / (precision + recall)
+}
+
+// FrameRecall is the standard frame-level recall, provided for
+// comparison with the paper's event-centric recall.
+func FrameRecall(truth, predicted []bool) float64 {
+	if len(truth) != len(predicted) {
+		panic(fmt.Sprintf("metrics: %d truth vs %d predicted frames", len(truth), len(predicted)))
+	}
+	tp, fn := 0, 0
+	for i, tr := range truth {
+		if !tr {
+			continue
+		}
+		if predicted[i] {
+			tp++
+		} else {
+			fn++
+		}
+	}
+	if tp+fn == 0 {
+		return 0
+	}
+	return float64(tp) / float64(tp+fn)
+}
+
+// ThresholdSweep evaluates predictions at multiple score thresholds
+// and returns the results, one per threshold. scores are per-frame
+// classifier probabilities; smoothing (if any) must already be
+// applied by the caller via smooth.
+func ThresholdSweep(truth []bool, scores []float32, thresholds []float32, smooth func([]bool) []bool) []Result {
+	out := make([]Result, len(thresholds))
+	for ti, th := range thresholds {
+		pred := make([]bool, len(scores))
+		for i, s := range scores {
+			pred[i] = s >= th
+		}
+		if smooth != nil {
+			pred = smooth(pred)
+		}
+		out[ti] = Evaluate(truth, pred)
+	}
+	return out
+}
+
+// BestF1 returns the Result with the highest F1 from a sweep, and its
+// threshold.
+func BestF1(truth []bool, scores []float32, thresholds []float32, smooth func([]bool) []bool) (Result, float32) {
+	results := ThresholdSweep(truth, scores, thresholds, smooth)
+	best, bestTh := Result{}, float32(0.5)
+	for i, r := range results {
+		if r.F1 > best.F1 {
+			best, bestTh = r, thresholds[i]
+		}
+	}
+	return best, bestTh
+}
+
+// AveragePrecision computes the area under the precision-recall curve
+// (frame-level, rank-based) for per-frame scores against boolean
+// ground truth — a threshold-free complement to the event F1 used in
+// the paper's figures.
+func AveragePrecision(truth []bool, scores []float32) float64 {
+	if len(truth) != len(scores) {
+		panic(fmt.Sprintf("metrics: %d truth vs %d scores", len(truth), len(scores)))
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	totalPos := 0
+	for _, v := range truth {
+		if v {
+			totalPos++
+		}
+	}
+	if totalPos == 0 {
+		return 0
+	}
+	tp := 0
+	var ap float64
+	for rank, i := range idx {
+		if truth[i] {
+			tp++
+			ap += float64(tp) / float64(rank+1)
+		}
+	}
+	return ap / float64(totalPos)
+}

@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestEventRecallExistenceDominates(t *testing.T) {
+	events := []dataset.Range{{Start: 0, End: 10}}
+	pred := make([]bool, 10)
+	pred[3] = true // one detected frame
+	got := EventRecall(events, pred, Alpha, Beta)
+	want := 0.9*1 + 0.1*0.1
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("recall = %v, want %v", got, want)
+	}
+}
+
+func TestEventRecallFullOverlap(t *testing.T) {
+	events := []dataset.Range{{Start: 2, End: 6}}
+	pred := []bool{false, false, true, true, true, true, false}
+	got := EventRecall(events, pred, Alpha, Beta)
+	if math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("recall = %v, want 1", got)
+	}
+}
+
+func TestEventRecallMissedEvent(t *testing.T) {
+	events := []dataset.Range{{Start: 0, End: 5}, {Start: 10, End: 15}}
+	pred := make([]bool, 15)
+	for f := 10; f < 15; f++ {
+		pred[f] = true
+	}
+	got := EventRecall(events, pred, Alpha, Beta)
+	if math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("recall = %v, want 0.5", got)
+	}
+}
+
+func TestEventRecallNoEvents(t *testing.T) {
+	if EventRecall(nil, []bool{true}, Alpha, Beta) != 0 {
+		t.Fatal("recall with no events should be 0")
+	}
+}
+
+func TestPrecision(t *testing.T) {
+	truth := []bool{true, true, false, false}
+	pred := []bool{true, false, true, false}
+	if got := Precision(truth, pred); got != 0.5 {
+		t.Fatalf("precision = %v, want 0.5", got)
+	}
+	if Precision(truth, []bool{false, false, false, false}) != 0 {
+		t.Fatal("empty prediction precision should be 0")
+	}
+}
+
+func TestPerfectPredictionsScoreOne(t *testing.T) {
+	truth := []bool{false, true, true, false, true}
+	r := Evaluate(truth, truth)
+	if r.Precision != 1 || math.Abs(r.Recall-1) > 1e-9 || math.Abs(r.F1-1) > 1e-9 {
+		t.Fatalf("perfect eval = %+v", r)
+	}
+}
+
+func TestF1HarmonicMean(t *testing.T) {
+	if F1(0, 0) != 0 {
+		t.Fatal("F1(0,0) != 0")
+	}
+	if got := F1(1, 0.5); math.Abs(got-2.0/3.0) > 1e-9 {
+		t.Fatalf("F1(1,0.5) = %v", got)
+	}
+}
+
+func TestFrameRecall(t *testing.T) {
+	truth := []bool{true, true, true, false}
+	pred := []bool{true, false, true, true}
+	if got := FrameRecall(truth, pred); math.Abs(got-2.0/3.0) > 1e-9 {
+		t.Fatalf("frame recall = %v", got)
+	}
+}
+
+func TestPrecisionIsBandwidthFraction(t *testing.T) {
+	// Precision 1.0 means all uploaded frames are relevant (§4.2): a
+	// prediction that uploads only true positives has precision 1 even
+	// if it misses frames.
+	truth := []bool{true, true, true, false, false}
+	pred := []bool{true, false, false, false, false}
+	if Precision(truth, pred) != 1 {
+		t.Fatal("subset of true positives should have precision 1")
+	}
+}
+
+func TestThresholdSweepMonotoneCoverage(t *testing.T) {
+	truth := []bool{false, true, true, false}
+	scores := []float32{0.1, 0.9, 0.6, 0.2}
+	rs := ThresholdSweep(truth, scores, []float32{0.5, 0.95}, nil)
+	if rs[0].Recall <= rs[1].Recall {
+		t.Fatalf("lower threshold should not reduce recall: %+v", rs)
+	}
+}
+
+func TestBestF1PicksMax(t *testing.T) {
+	truth := []bool{false, true, true, false}
+	scores := []float32{0.4, 0.9, 0.6, 0.45}
+	r, th := BestF1(truth, scores, []float32{0.3, 0.5, 0.7, 0.95}, nil)
+	if th != 0.5 {
+		t.Fatalf("best threshold = %v, want 0.5 (result %+v)", th, r)
+	}
+	if math.Abs(r.F1-1) > 1e-9 {
+		t.Fatalf("best F1 = %v, want 1", r.F1)
+	}
+}
+
+func TestEvaluateMismatchedLengthsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	Precision([]bool{true}, []bool{true, false})
+}
+
+func TestAveragePrecisionPerfectRanking(t *testing.T) {
+	truth := []bool{true, true, false, false}
+	scores := []float32{0.9, 0.8, 0.2, 0.1}
+	if got := AveragePrecision(truth, scores); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("AP = %v, want 1", got)
+	}
+}
+
+func TestAveragePrecisionWorstRanking(t *testing.T) {
+	truth := []bool{false, false, true}
+	scores := []float32{0.9, 0.8, 0.1}
+	// Single positive at rank 3: AP = 1/3.
+	if got := AveragePrecision(truth, scores); math.Abs(got-1.0/3.0) > 1e-9 {
+		t.Fatalf("AP = %v, want 1/3", got)
+	}
+}
+
+func TestAveragePrecisionNoPositives(t *testing.T) {
+	if AveragePrecision([]bool{false}, []float32{0.5}) != 0 {
+		t.Fatal("AP with no positives should be 0")
+	}
+}

@@ -1,0 +1,236 @@
+// Package mobilenet builds the paper's base DNN: MobileNet v1
+// (Howard et al. 2017) with the MobileNet-Caffe layer naming that the
+// paper's microclassifiers reference (conv1, conv2_1/dw, conv2_1/sep,
+// …, conv5_6/sep, conv6/sep).
+//
+// The paper uses the 32-bit ImageNet-trained network. ImageNet weights
+// are unavailable in this offline reproduction, so the network is
+// He-initialized from a fixed seed: a deterministic random-projection
+// feature extractor. Microclassifiers are trained on top of whatever
+// the base DNN emits, so the system-level properties under study
+// (computation sharing, layer-choice granularity trade-offs, marginal
+// cost) are preserved. See DESIGN.md §1.
+package mobilenet
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// block describes one depthwise-separable stage of MobileNet v1.
+type block struct {
+	name    string
+	stride  int
+	filters int // pointwise output channels at width multiplier 1.0
+}
+
+// v1Blocks is the canonical MobileNet v1 body after the initial conv.
+var v1Blocks = []block{
+	{"conv2_1", 1, 64},
+	{"conv2_2", 2, 128},
+	{"conv3_1", 1, 128},
+	{"conv3_2", 2, 256},
+	{"conv4_1", 1, 256},
+	{"conv4_2", 2, 512},
+	{"conv5_1", 1, 512},
+	{"conv5_2", 1, 512},
+	{"conv5_3", 1, 512},
+	{"conv5_4", 1, 512},
+	{"conv5_5", 1, 512},
+	{"conv5_6", 2, 1024},
+	{"conv6", 1, 1024},
+}
+
+// Config parameterizes the base DNN.
+type Config struct {
+	// WidthMult scales every channel count (the MobileNet "alpha").
+	// 1.0 reproduces the paper's network; smaller values give the
+	// proportionally cheaper networks used at working scale.
+	WidthMult float64
+	// InputChannels is the number of image channels (3 for RGB).
+	InputChannels int
+	// IncludeTop appends the classifier head (global average pool +
+	// fully-connected layer), used when running MobileNet as a
+	// standalone classifier (the "multiple MobileNets" baseline of
+	// §4.4). Feature extraction does not need it.
+	IncludeTop bool
+	// NumClasses sizes the classifier head (1000 in the paper).
+	NumClasses int
+	// BatchNorm inserts a BatchNorm after every convolution, matching
+	// the published architecture. Defaults to off: with deterministic
+	// He-initialized weights the activations are already well-scaled,
+	// and inference-mode BatchNorm with fresh statistics is an
+	// identity. (See DESIGN.md.)
+	BatchNorm bool
+	// Seed drives the deterministic weight initialization.
+	Seed int64
+}
+
+func (c *Config) fillDefaults() {
+	if c.WidthMult <= 0 {
+		c.WidthMult = 1.0
+	}
+	if c.InputChannels <= 0 {
+		c.InputChannels = 3
+	}
+	if c.NumClasses <= 0 {
+		c.NumClasses = 1000
+	}
+}
+
+// Model is a constructed base DNN.
+type Model struct {
+	// Net is the underlying network. Taps address its ReLU outputs.
+	Net *nn.Network
+	cfg Config
+	// channelsOf records the output channel count of each named
+	// convolution stage, e.g. "conv4_2/sep" -> 128 at WidthMult 0.25.
+	channelsOf map[string]int
+}
+
+// scaleChannels applies the width multiplier with a floor of 4.
+func scaleChannels(c int, mult float64) int {
+	s := int(math.Round(float64(c) * mult))
+	if s < 4 {
+		s = 4
+	}
+	return s
+}
+
+// New builds a MobileNet v1 with the given configuration.
+func New(cfg Config) *Model {
+	cfg.fillDefaults()
+	rng := tensor.NewRNG(cfg.Seed)
+	net := nn.NewNetwork(fmt.Sprintf("mobilenet-v1-%.2f", cfg.WidthMult))
+	channels := make(map[string]int)
+
+	add := func(conv nn.Layer, name string, outC int) {
+		net.Add(conv)
+		if cfg.BatchNorm {
+			net.Add(nn.NewBatchNorm(name+"/bn", outC))
+		}
+		net.Add(nn.NewReLU(name + "/relu"))
+		channels[name] = outC
+	}
+
+	c1 := scaleChannels(32, cfg.WidthMult)
+	add(nn.NewConv2D("conv1", cfg.InputChannels, c1, 3, 2, nn.Same, rng), "conv1", c1)
+
+	inC := c1
+	for _, b := range v1Blocks {
+		outC := scaleChannels(b.filters, cfg.WidthMult)
+		dw := nn.NewDepthwiseConv2D(b.name+"/dw", inC, 3, b.stride, nn.Same, rng)
+		add(dw, b.name+"/dw", inC)
+		pw := nn.NewConv2D(b.name+"/sep", inC, outC, 1, 1, nn.Same, rng)
+		add(pw, b.name+"/sep", outC)
+		inC = outC
+	}
+
+	if cfg.IncludeTop {
+		net.Add(nn.NewGlobalAvgPool("pool6"))
+		net.Add(nn.NewDense("fc7", inC, cfg.NumClasses, rng))
+	}
+	return &Model{Net: net, cfg: cfg, channelsOf: channels}
+}
+
+// Config returns the configuration the model was built with.
+func (m *Model) Config() Config { return m.cfg }
+
+// TapFor maps a convolution stage name (e.g. "conv4_2/sep") to the
+// network layer whose output is that stage's activation (its ReLU).
+// It returns an error for unknown stages.
+func (m *Model) TapFor(stage string) (string, error) {
+	if _, ok := m.channelsOf[stage]; !ok {
+		return "", fmt.Errorf("mobilenet: no stage %q", stage)
+	}
+	return stage + "/relu", nil
+}
+
+// Stages returns the tappable stage names in execution order.
+func (m *Model) Stages() []string {
+	out := []string{"conv1"}
+	for _, b := range v1Blocks {
+		out = append(out, b.name+"/dw", b.name+"/sep")
+	}
+	return out
+}
+
+// Channels returns the output channel count of a stage.
+func (m *Model) Channels(stage string) (int, error) {
+	c, ok := m.channelsOf[stage]
+	if !ok {
+		return 0, fmt.Errorf("mobilenet: no stage %q", stage)
+	}
+	return c, nil
+}
+
+// OutShapeAt returns the activation shape of the given stage for an
+// input of shape [n,h,w,c].
+func (m *Model) OutShapeAt(stage string, in []int) ([]int, error) {
+	tap, err := m.TapFor(stage)
+	if err != nil {
+		return nil, err
+	}
+	_, shape := m.Net.MAddsTo(tap, in)
+	return shape, nil
+}
+
+// MAddsTo returns the multiply-adds required to compute activations up
+// to and including the given stage.
+func (m *Model) MAddsTo(stage string, in []int) (int64, error) {
+	tap, err := m.TapFor(stage)
+	if err != nil {
+		return 0, err
+	}
+	madds, _ := m.Net.MAddsTo(tap, in)
+	return madds, nil
+}
+
+// Extract runs the network up to the given stage and returns its
+// activation. This is the feature-extractor fast path: execution stops
+// at the deepest tap a deployment needs.
+func (m *Model) Extract(x *tensor.Tensor, stage string) (*tensor.Tensor, error) {
+	tap, err := m.TapFor(stage)
+	if err != nil {
+		return nil, err
+	}
+	return m.Net.ForwardTo(x, false, tap), nil
+}
+
+// ExtractMulti runs the network once and returns the activations of
+// every requested stage, stopping at the deepest one. This is how the
+// feature extractor serves many microclassifiers that tap different
+// layers while paying for the base DNN only once (§3.1).
+func (m *Model) ExtractMulti(x *tensor.Tensor, stages []string) (map[string]*tensor.Tensor, error) {
+	if len(stages) == 0 {
+		return map[string]*tensor.Tensor{}, nil
+	}
+	want := make(map[string]string, len(stages)) // tap layer -> stage
+	deepest := -1
+	layers := m.Net.Layers()
+	index := make(map[string]int, len(layers))
+	for i, l := range layers {
+		index[l.Name()] = i
+	}
+	for _, st := range stages {
+		tap, err := m.TapFor(st)
+		if err != nil {
+			return nil, err
+		}
+		want[tap] = st
+		if idx := index[tap]; idx > deepest {
+			deepest = idx
+		}
+	}
+	out := make(map[string]*tensor.Tensor, len(stages))
+	for i := 0; i <= deepest; i++ {
+		x = layers[i].Forward(x, false)
+		if st, ok := want[layers[i].Name()]; ok {
+			out[st] = x
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,169 @@
+package mobilenet
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestPaperTapShapes(t *testing.T) {
+	// At full scale the paper's feature maps are 67x120x512 at
+	// conv4_2/sep and 33x60x1024 at conv5_6/sep for 1920x1080 input
+	// (HxWxC; the paper floors the spatial dims).
+	m := New(Config{WidthMult: 1.0, Seed: 1})
+	in := []int{1, 1080, 1920, 3}
+
+	s42, err := m.OutShapeAt("conv4_2/sep", in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same padding gives ceil division: 68x120. The paper quotes 67x120
+	// (floor); both correspond to a /16 downsample.
+	if s42[2] != 120 || s42[3] != 512 || s42[1] < 67 || s42[1] > 68 {
+		t.Fatalf("conv4_2/sep shape = %v, want ~[1 67 120 512]", s42)
+	}
+
+	s56, err := m.OutShapeAt("conv5_6/sep", in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s56[2] != 60 || s56[3] != 1024 || s56[1] < 33 || s56[1] > 34 {
+		t.Fatalf("conv5_6/sep shape = %v, want ~[1 33 60 1024]", s56)
+	}
+}
+
+func TestWidthMultiplierScalesChannels(t *testing.T) {
+	m := New(Config{WidthMult: 0.25, Seed: 1})
+	c, err := m.Channels("conv4_2/sep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 128 {
+		t.Fatalf("conv4_2/sep channels at 0.25 = %d, want 128", c)
+	}
+	c, _ = m.Channels("conv5_6/sep")
+	if c != 256 {
+		t.Fatalf("conv5_6/sep channels at 0.25 = %d, want 256", c)
+	}
+}
+
+func TestFullScaleMAddsNearPaper(t *testing.T) {
+	// MobileNet v1 at 224x224 is ~569M multiply-adds (Howard et al.).
+	// Our count (without the classifier head) should be within ~5%.
+	m := New(Config{WidthMult: 1.0, Seed: 1})
+	madds, err := m.MAddsTo("conv6/sep", []int{1, 224, 224, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := float64(madds)
+	if got < 500e6 || got > 620e6 {
+		t.Fatalf("MobileNet madds = %v, want ~569M", got)
+	}
+}
+
+func TestExtractMatchesForwardTo(t *testing.T) {
+	m := New(Config{WidthMult: 0.25, Seed: 2})
+	g := tensor.NewRNG(3)
+	x := tensor.New(1, 32, 32, 3)
+	g.FillNormal(x, 0, 1)
+	a, err := m.Extract(x.Clone(), "conv3_2/sep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := m.ExtractMulti(x.Clone(), []string{"conv2_2/sep", "conv3_2/sep"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := multi["conv3_2/sep"]
+	if !a.SameShape(b) {
+		t.Fatalf("shapes differ: %v vs %v", a.Shape, b.Shape)
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("Extract and ExtractMulti disagree")
+		}
+	}
+	if multi["conv2_2/sep"].Shape[3] != 32 {
+		t.Fatalf("conv2_2/sep channels = %d, want 32", multi["conv2_2/sep"].Shape[3])
+	}
+}
+
+func TestExtractionIsDeterministic(t *testing.T) {
+	x := tensor.New(1, 16, 16, 3)
+	tensor.NewRNG(4).FillNormal(x, 0, 1)
+	a, _ := New(Config{WidthMult: 0.25, Seed: 7}).Extract(x.Clone(), "conv2_1/sep")
+	b, _ := New(Config{WidthMult: 0.25, Seed: 7}).Extract(x.Clone(), "conv2_1/sep")
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("same seed produced different models")
+		}
+	}
+}
+
+func TestActivationsStayScaled(t *testing.T) {
+	// He init should keep deep activations in a sane numeric range (no
+	// blow-up or vanishing) so microclassifiers have signal to learn
+	// from.
+	m := New(Config{WidthMult: 0.25, Seed: 5})
+	x := tensor.New(1, 64, 64, 3)
+	tensor.NewRNG(6).FillNormal(x, 0, 1)
+	deep, err := m.Extract(x, "conv5_6/sep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rms float64
+	for _, v := range deep.Data {
+		rms += float64(v) * float64(v)
+	}
+	rms = math.Sqrt(rms / float64(deep.Len()))
+	if rms < 1e-3 || rms > 1e3 {
+		t.Fatalf("deep activation RMS = %v, numerically degenerate", rms)
+	}
+}
+
+func TestIncludeTopShape(t *testing.T) {
+	m := New(Config{WidthMult: 0.25, NumClasses: 10, IncludeTop: true, Seed: 1})
+	x := tensor.New(1, 32, 32, 3)
+	out := m.Net.Forward(x, false)
+	if !reflect.DeepEqual(out.Shape, []int{1, 10}) {
+		t.Fatalf("classifier output shape %v, want [1 10]", out.Shape)
+	}
+}
+
+func TestTapForUnknownStage(t *testing.T) {
+	m := New(Config{Seed: 1})
+	if _, err := m.TapFor("conv9_9/sep"); err == nil {
+		t.Fatal("unknown stage accepted")
+	}
+	if _, err := m.Extract(tensor.New(1, 8, 8, 3), "nope"); err == nil {
+		t.Fatal("Extract with unknown stage accepted")
+	}
+}
+
+func TestStagesOrdered(t *testing.T) {
+	m := New(Config{Seed: 1})
+	stages := m.Stages()
+	if stages[0] != "conv1" || stages[len(stages)-1] != "conv6/sep" {
+		t.Fatalf("stage order wrong: %v", stages)
+	}
+	// Every stage must resolve to a tap.
+	for _, s := range stages {
+		if _, err := m.TapFor(s); err != nil {
+			t.Fatalf("stage %s has no tap: %v", s, err)
+		}
+	}
+}
+
+func TestBatchNormVariantBuilds(t *testing.T) {
+	m := New(Config{WidthMult: 0.25, BatchNorm: true, Seed: 1})
+	x := tensor.New(1, 16, 16, 3)
+	out, err := m.Extract(x, "conv2_2/sep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Shape[3] != 32 {
+		t.Fatalf("bn variant channels %d", out.Shape[3])
+	}
+}

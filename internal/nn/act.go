@@ -1,0 +1,125 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// ReLU is max(0, x). With Cap > 0 it becomes a capped ReLU (ReLU6 when
+// Cap = 6, which the paper's localized binary classifier uses before
+// its fully-connected layer).
+type ReLU struct {
+	LayerName string
+	Cap       float32 // 0 means uncapped
+
+	lastOutMask []uint8 // 1 where the unit was in the linear region
+}
+
+// NewReLU constructs an uncapped ReLU.
+func NewReLU(name string) *ReLU { return &ReLU{LayerName: name} }
+
+// NewReLU6 constructs a ReLU capped at 6.
+func NewReLU6(name string) *ReLU { return &ReLU{LayerName: name, Cap: 6} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return r.LayerName }
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (r *ReLU) OutShape(in []int) []int { return append([]int(nil), in...) }
+
+// MAdds implements Layer (activations are counted as free, matching
+// the paper's multiply-add proxy).
+func (r *ReLU) MAdds(in []int) int64 { return 0 }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
+	out := tensor.New(x.Shape...)
+	var mask []uint8
+	if training {
+		mask = make([]uint8, len(x.Data))
+	}
+	for i, v := range x.Data {
+		switch {
+		case v <= 0:
+			// out stays 0, mask stays 0
+		case r.Cap > 0 && v >= r.Cap:
+			out.Data[i] = r.Cap
+		default:
+			out.Data[i] = v
+			if training {
+				mask[i] = 1
+			}
+		}
+	}
+	if training {
+		r.lastOutMask = mask
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if r.lastOutMask == nil {
+		panic(fmt.Sprintf("nn: %s Backward without training Forward", r.LayerName))
+	}
+	out := tensor.New(grad.Shape...)
+	for i, m := range r.lastOutMask {
+		if m == 1 {
+			out.Data[i] = grad.Data[i]
+		}
+	}
+	r.lastOutMask = nil
+	return out
+}
+
+// Sigmoid is the logistic activation 1/(1+e^-x), used as the output of
+// every binary classifier in the paper.
+type Sigmoid struct {
+	LayerName string
+	lastOut   *tensor.Tensor
+}
+
+// NewSigmoid constructs a sigmoid layer.
+func NewSigmoid(name string) *Sigmoid { return &Sigmoid{LayerName: name} }
+
+// Name implements Layer.
+func (s *Sigmoid) Name() string { return s.LayerName }
+
+// Params implements Layer.
+func (s *Sigmoid) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (s *Sigmoid) OutShape(in []int) []int { return append([]int(nil), in...) }
+
+// MAdds implements Layer.
+func (s *Sigmoid) MAdds(in []int) int64 { return 0 }
+
+// Forward implements Layer.
+func (s *Sigmoid) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
+	out := tensor.New(x.Shape...)
+	for i, v := range x.Data {
+		out.Data[i] = float32(1 / (1 + math.Exp(-float64(v))))
+	}
+	if training {
+		s.lastOut = out
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (s *Sigmoid) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if s.lastOut == nil {
+		panic(fmt.Sprintf("nn: %s Backward without training Forward", s.LayerName))
+	}
+	out := tensor.New(grad.Shape...)
+	for i, y := range s.lastOut.Data {
+		out.Data[i] = grad.Data[i] * y * (1 - y)
+	}
+	s.lastOut = nil
+	return out
+}

@@ -1,0 +1,73 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Dropout randomly zeroes a fraction of activations during training
+// (inverted dropout: survivors are scaled by 1/(1-rate) so inference
+// is an identity). Microclassifier training sets can be small — a few
+// hundred positive frames — so a dropout stage before the
+// fully-connected head is a useful regularizer.
+type Dropout struct {
+	LayerName string
+	// Rate is the drop probability in [0,1).
+	Rate float32
+
+	rng      *tensor.RNG
+	lastMask []float32
+}
+
+// NewDropout constructs a dropout layer with its own deterministic
+// mask stream.
+func NewDropout(name string, rate float32, seed int64) *Dropout {
+	if rate < 0 || rate >= 1 {
+		panic(fmt.Sprintf("nn: dropout rate %v out of [0,1)", rate))
+	}
+	return &Dropout{LayerName: name, Rate: rate, rng: tensor.NewRNG(seed)}
+}
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return d.LayerName }
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (d *Dropout) OutShape(in []int) []int { return append([]int(nil), in...) }
+
+// MAdds implements Layer.
+func (d *Dropout) MAdds(in []int) int64 { return 0 }
+
+// Forward implements Layer. Inference mode is the identity.
+func (d *Dropout) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
+	if !training || d.Rate == 0 {
+		return x
+	}
+	out := tensor.New(x.Shape...)
+	mask := make([]float32, x.Len())
+	scale := 1 / (1 - d.Rate)
+	for i, v := range x.Data {
+		if d.rng.Float32() >= d.Rate {
+			mask[i] = scale
+			out.Data[i] = v * scale
+		}
+	}
+	d.lastMask = mask
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.lastMask == nil {
+		panic(fmt.Sprintf("nn: %s Backward without training Forward", d.LayerName))
+	}
+	out := tensor.New(grad.Shape...)
+	for i, m := range d.lastMask {
+		out.Data[i] = grad.Data[i] * m
+	}
+	d.lastMask = nil
+	return out
+}

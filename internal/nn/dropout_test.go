@@ -1,0 +1,66 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestDropoutInferenceIdentity(t *testing.T) {
+	d := NewDropout("dr", 0.5, 1)
+	x := randInput(2, 10)
+	out := d.Forward(x, false)
+	for i := range x.Data {
+		if out.Data[i] != x.Data[i] {
+			t.Fatal("inference dropout not identity")
+		}
+	}
+}
+
+func TestDropoutTrainingStats(t *testing.T) {
+	d := NewDropout("dr", 0.3, 2)
+	x := tensor.New(1, 20000)
+	x.Fill(1)
+	out := d.Forward(x, true)
+	zeros := 0
+	var sum float64
+	for _, v := range out.Data {
+		if v == 0 {
+			zeros++
+		}
+		sum += float64(v)
+	}
+	frac := float64(zeros) / float64(out.Len())
+	if math.Abs(frac-0.3) > 0.02 {
+		t.Fatalf("dropped fraction %v, want ~0.3", frac)
+	}
+	// Inverted dropout keeps the expectation.
+	mean := sum / float64(out.Len())
+	if math.Abs(mean-1) > 0.03 {
+		t.Fatalf("dropout mean %v, want ~1", mean)
+	}
+}
+
+func TestDropoutBackwardMatchesMask(t *testing.T) {
+	d := NewDropout("dr", 0.5, 3)
+	x := randInput(1, 50)
+	out := d.Forward(x.Clone(), true)
+	grad := tensor.New(out.Shape...)
+	grad.Fill(1)
+	gin := d.Backward(grad)
+	for i := range out.Data {
+		if (out.Data[i] == 0) != (gin.Data[i] == 0) {
+			t.Fatal("gradient mask does not match forward mask")
+		}
+	}
+}
+
+func TestDropoutBadRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rate 1.0 accepted")
+		}
+	}()
+	NewDropout("dr", 1.0, 1)
+}

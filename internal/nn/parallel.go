@@ -1,0 +1,49 @@
+package nn
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers controls the maximum goroutine fan-out used inside
+// convolution loops. It defaults to GOMAXPROCS. Set it to 1 for fully
+// deterministic single-threaded timing (the performance experiments in
+// internal/experiments do this so that throughput trends reflect
+// algorithmic cost, not scheduler noise).
+var Workers = runtime.GOMAXPROCS(0)
+
+// parallelThreshold is the minimum number of loop iterations before
+// parFor bothers spawning goroutines.
+const parallelThreshold = 8
+
+// parFor runs fn(i) for i in [0,n), splitting the range across
+// Workers goroutines when n is large enough. Iterations must be
+// independent.
+func parFor(n int, fn func(i int)) {
+	w := Workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 || n < parallelThreshold {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + w - 1) / w
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(start, end)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,384 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// MaxPool2D takes the spatial maximum over K×K windows.
+type MaxPool2D struct {
+	LayerName string
+	Kernel    int
+	Stride    int
+	Pad       Padding
+
+	lastArg   []int32 // flat input offset of each output's max
+	lastShape []int
+}
+
+// NewMaxPool2D constructs a max-pooling layer.
+func NewMaxPool2D(name string, kernel, stride int, pad Padding) *MaxPool2D {
+	if kernel <= 0 || stride <= 0 {
+		panic(fmt.Sprintf("nn: bad MaxPool2D params kernel=%d stride=%d", kernel, stride))
+	}
+	return &MaxPool2D{LayerName: name, Kernel: kernel, Stride: stride, Pad: pad}
+}
+
+// Name implements Layer.
+func (m *MaxPool2D) Name() string { return m.LayerName }
+
+// Params implements Layer.
+func (m *MaxPool2D) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (m *MaxPool2D) OutShape(in []int) []int {
+	n, h, w, c := checkRank4(m.LayerName, in)
+	oh, _ := outDim(h, m.Kernel, m.Stride, m.Pad)
+	ow, _ := outDim(w, m.Kernel, m.Stride, m.Pad)
+	return []int{n, oh, ow, c}
+}
+
+// MAdds implements Layer (pooling contributes no multiply-adds).
+func (m *MaxPool2D) MAdds(in []int) int64 { return 0 }
+
+// Forward implements Layer.
+func (m *MaxPool2D) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
+	n, h, w, c := checkRank4(m.LayerName, x.Shape)
+	oh, padY := outDim(h, m.Kernel, m.Stride, m.Pad)
+	ow, padX := outDim(w, m.Kernel, m.Stride, m.Pad)
+	out := tensor.New(n, oh, ow, c)
+	var arg []int32
+	if training {
+		arg = make([]int32, out.Len())
+	}
+	k, s := m.Kernel, m.Stride
+	for b := 0; b < n; b++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				dst := ((b*oh+oy)*ow + ox) * c
+				for ci := 0; ci < c; ci++ {
+					first := true
+					var best float32
+					var bestOff int32
+					for ky := 0; ky < k; ky++ {
+						iy := oy*s - padY + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < k; kx++ {
+							ix := ox*s - padX + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							off := ((b*h+iy)*w+ix)*c + ci
+							v := x.Data[off]
+							if first || v > best {
+								best, bestOff, first = v, int32(off), false
+							}
+						}
+					}
+					out.Data[dst+ci] = best
+					if training {
+						arg[dst+ci] = bestOff
+					}
+				}
+			}
+		}
+	}
+	if training {
+		m.lastArg = arg
+		m.lastShape = append([]int(nil), x.Shape...)
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (m *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if m.lastArg == nil {
+		panic(fmt.Sprintf("nn: %s Backward without training Forward", m.LayerName))
+	}
+	gin := tensor.New(m.lastShape...)
+	for i, off := range m.lastArg {
+		gin.Data[off] += grad.Data[i]
+	}
+	m.lastArg, m.lastShape = nil, nil
+	return gin
+}
+
+// AvgPool2D averages over K×K windows (counting only in-bounds taps).
+type AvgPool2D struct {
+	LayerName string
+	Kernel    int
+	Stride    int
+	Pad       Padding
+
+	lastShape []int
+}
+
+// NewAvgPool2D constructs an average-pooling layer.
+func NewAvgPool2D(name string, kernel, stride int, pad Padding) *AvgPool2D {
+	if kernel <= 0 || stride <= 0 {
+		panic(fmt.Sprintf("nn: bad AvgPool2D params kernel=%d stride=%d", kernel, stride))
+	}
+	return &AvgPool2D{LayerName: name, Kernel: kernel, Stride: stride, Pad: pad}
+}
+
+// Name implements Layer.
+func (a *AvgPool2D) Name() string { return a.LayerName }
+
+// Params implements Layer.
+func (a *AvgPool2D) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (a *AvgPool2D) OutShape(in []int) []int {
+	n, h, w, c := checkRank4(a.LayerName, in)
+	oh, _ := outDim(h, a.Kernel, a.Stride, a.Pad)
+	ow, _ := outDim(w, a.Kernel, a.Stride, a.Pad)
+	return []int{n, oh, ow, c}
+}
+
+// MAdds implements Layer.
+func (a *AvgPool2D) MAdds(in []int) int64 { return 0 }
+
+func (a *AvgPool2D) windows(x []int) (n, h, w, c, oh, ow, padY, padX int) {
+	n, h, w, c = checkRank4(a.LayerName, x)
+	oh, padY = outDim(h, a.Kernel, a.Stride, a.Pad)
+	ow, padX = outDim(w, a.Kernel, a.Stride, a.Pad)
+	return
+}
+
+// Forward implements Layer.
+func (a *AvgPool2D) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
+	n, h, w, c, oh, ow, padY, padX := a.windows(x.Shape)
+	out := tensor.New(n, oh, ow, c)
+	k, s := a.Kernel, a.Stride
+	for b := 0; b < n; b++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				dst := ((b*oh+oy)*ow + ox) * c
+				count := 0
+				for ky := 0; ky < k; ky++ {
+					iy := oy*s - padY + ky
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for kx := 0; kx < k; kx++ {
+						ix := ox*s - padX + kx
+						if ix < 0 || ix >= w {
+							continue
+						}
+						count++
+						src := ((b*h+iy)*w + ix) * c
+						for ci := 0; ci < c; ci++ {
+							out.Data[dst+ci] += x.Data[src+ci]
+						}
+					}
+				}
+				if count > 0 {
+					inv := 1 / float32(count)
+					for ci := 0; ci < c; ci++ {
+						out.Data[dst+ci] *= inv
+					}
+				}
+			}
+		}
+	}
+	if training {
+		a.lastShape = append([]int(nil), x.Shape...)
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (a *AvgPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if a.lastShape == nil {
+		panic(fmt.Sprintf("nn: %s Backward without training Forward", a.LayerName))
+	}
+	n, h, w, c, oh, ow, padY, padX := a.windows(a.lastShape)
+	gin := tensor.New(a.lastShape...)
+	k, s := a.Kernel, a.Stride
+	for b := 0; b < n; b++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				gsrc := ((b*oh+oy)*ow + ox) * c
+				count := 0
+				for ky := 0; ky < k; ky++ {
+					iy := oy*s - padY + ky
+					if iy >= 0 && iy < h {
+						for kx := 0; kx < k; kx++ {
+							ix := ox*s - padX + kx
+							if ix >= 0 && ix < w {
+								count++
+							}
+						}
+					}
+				}
+				if count == 0 {
+					continue
+				}
+				inv := 1 / float32(count)
+				for ky := 0; ky < k; ky++ {
+					iy := oy*s - padY + ky
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for kx := 0; kx < k; kx++ {
+						ix := ox*s - padX + kx
+						if ix < 0 || ix >= w {
+							continue
+						}
+						dst := ((b*h+iy)*w + ix) * c
+						for ci := 0; ci < c; ci++ {
+							gin.Data[dst+ci] += grad.Data[gsrc+ci] * inv
+						}
+					}
+				}
+			}
+		}
+	}
+	a.lastShape = nil
+	return gin
+}
+
+// GlobalAvgPool reduces [N,H,W,C] to [N,C] by spatial averaging —
+// MobileNet's final pooling stage, and the tap the drone-SVM baseline
+// (Wang et al. 2018) reads.
+type GlobalAvgPool struct {
+	LayerName string
+	lastShape []int
+}
+
+// NewGlobalAvgPool constructs a global average pool.
+func NewGlobalAvgPool(name string) *GlobalAvgPool { return &GlobalAvgPool{LayerName: name} }
+
+// Name implements Layer.
+func (g *GlobalAvgPool) Name() string { return g.LayerName }
+
+// Params implements Layer.
+func (g *GlobalAvgPool) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (g *GlobalAvgPool) OutShape(in []int) []int {
+	n, _, _, c := checkRank4(g.LayerName, in)
+	return []int{n, c}
+}
+
+// MAdds implements Layer.
+func (g *GlobalAvgPool) MAdds(in []int) int64 { return 0 }
+
+// Forward implements Layer.
+func (g *GlobalAvgPool) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
+	n, h, w, c := checkRank4(g.LayerName, x.Shape)
+	out := tensor.New(n, c)
+	inv := 1 / float32(h*w)
+	for b := 0; b < n; b++ {
+		acc := out.Data[b*c : (b+1)*c]
+		for p := 0; p < h*w; p++ {
+			src := (b*h*w + p) * c
+			for ci := 0; ci < c; ci++ {
+				acc[ci] += x.Data[src+ci]
+			}
+		}
+		for ci := range acc {
+			acc[ci] *= inv
+		}
+	}
+	if training {
+		g.lastShape = append([]int(nil), x.Shape...)
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (g *GlobalAvgPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if g.lastShape == nil {
+		panic(fmt.Sprintf("nn: %s Backward without training Forward", g.LayerName))
+	}
+	n, h, w, c := g.lastShape[0], g.lastShape[1], g.lastShape[2], g.lastShape[3]
+	gin := tensor.New(g.lastShape...)
+	inv := 1 / float32(h*w)
+	for b := 0; b < n; b++ {
+		gr := grad.Data[b*c : (b+1)*c]
+		for p := 0; p < h*w; p++ {
+			dst := (b*h*w + p) * c
+			for ci := 0; ci < c; ci++ {
+				gin.Data[dst+ci] = gr[ci] * inv
+			}
+		}
+	}
+	g.lastShape = nil
+	return gin
+}
+
+// GlobalMax reduces [N,H,W,C] to [N,C] by taking the maximum over the
+// spatial grid. With C=1 this is the "max over the grid of logits"
+// aggregation of the full-frame object detector microclassifier
+// (§3.3.1): the frame is positive if any location fires.
+type GlobalMax struct {
+	LayerName string
+	lastArg   []int32
+	lastShape []int
+}
+
+// NewGlobalMax constructs a global spatial max layer.
+func NewGlobalMax(name string) *GlobalMax { return &GlobalMax{LayerName: name} }
+
+// Name implements Layer.
+func (g *GlobalMax) Name() string { return g.LayerName }
+
+// Params implements Layer.
+func (g *GlobalMax) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (g *GlobalMax) OutShape(in []int) []int {
+	n, _, _, c := checkRank4(g.LayerName, in)
+	return []int{n, c}
+}
+
+// MAdds implements Layer.
+func (g *GlobalMax) MAdds(in []int) int64 { return 0 }
+
+// Forward implements Layer.
+func (g *GlobalMax) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
+	n, h, w, c := checkRank4(g.LayerName, x.Shape)
+	out := tensor.New(n, c)
+	var arg []int32
+	if training {
+		arg = make([]int32, n*c)
+	}
+	for b := 0; b < n; b++ {
+		for ci := 0; ci < c; ci++ {
+			best := x.Data[(b*h*w)*c+ci]
+			bestOff := int32((b*h*w)*c + ci)
+			for p := 1; p < h*w; p++ {
+				off := (b*h*w+p)*c + ci
+				if x.Data[off] > best {
+					best, bestOff = x.Data[off], int32(off)
+				}
+			}
+			out.Data[b*c+ci] = best
+			if training {
+				arg[b*c+ci] = bestOff
+			}
+		}
+	}
+	if training {
+		g.lastArg = arg
+		g.lastShape = append([]int(nil), x.Shape...)
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (g *GlobalMax) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if g.lastArg == nil {
+		panic(fmt.Sprintf("nn: %s Backward without training Forward", g.LayerName))
+	}
+	gin := tensor.New(g.lastShape...)
+	for i, off := range g.lastArg {
+		gin.Data[off] += grad.Data[i]
+	}
+	g.lastArg, g.lastShape = nil, nil
+	return gin
+}

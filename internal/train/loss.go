@@ -1,0 +1,60 @@
+// Package train provides the offline training substrate the paper's
+// application developers use to fit microclassifiers and discrete
+// classifiers: binary cross-entropy losses, first-order optimizers, and
+// a mini-batch trainer with class balancing.
+package train
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// BCEWithLogits computes mean binary cross-entropy between logits and
+// {0,1} labels, returning the loss and dLoss/dLogits. Working in logit
+// space keeps the gradient numerically stable (sigmoid(z)-y) and avoids
+// saturating the final sigmoid during training.
+func BCEWithLogits(logits *tensor.Tensor, labels []float32) (float64, *tensor.Tensor) {
+	if logits.Len() != len(labels) {
+		panic(fmt.Sprintf("train: %d logits vs %d labels", logits.Len(), len(labels)))
+	}
+	n := float64(len(labels))
+	grad := tensor.New(logits.Shape...)
+	var loss float64
+	for i, z := range logits.Data {
+		y := float64(labels[i])
+		zf := float64(z)
+		// log(1+e^z) computed stably.
+		var softplus float64
+		if zf > 0 {
+			softplus = zf + math.Log1p(math.Exp(-zf))
+		} else {
+			softplus = math.Log1p(math.Exp(zf))
+		}
+		loss += softplus - y*zf
+		p := 1 / (1 + math.Exp(-zf))
+		grad.Data[i] = float32((p - y) / n)
+	}
+	return loss / n, grad
+}
+
+// BCE computes mean binary cross-entropy between probabilities (the
+// output of a sigmoid layer) and {0,1} labels, returning the loss and
+// dLoss/dProbs. Probabilities are clamped away from 0 and 1.
+func BCE(probs *tensor.Tensor, labels []float32) (float64, *tensor.Tensor) {
+	if probs.Len() != len(labels) {
+		panic(fmt.Sprintf("train: %d probs vs %d labels", probs.Len(), len(labels)))
+	}
+	const eps = 1e-7
+	n := float64(len(labels))
+	grad := tensor.New(probs.Shape...)
+	var loss float64
+	for i, pv := range probs.Data {
+		p := math.Min(math.Max(float64(pv), eps), 1-eps)
+		y := float64(labels[i])
+		loss += -(y*math.Log(p) + (1-y)*math.Log(1-p))
+		grad.Data[i] = float32((p - y) / (p * (1 - p)) / n)
+	}
+	return loss / n, grad
+}

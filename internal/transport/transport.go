@@ -1,0 +1,272 @@
+// Package transport carries FilterForward uploads from an edge node to
+// a datacenter over a real network connection. The paper's evaluation
+// models the uplink as a bandwidth constraint (internal/core's token
+// bucket); this package provides the wire layer a deployment needs:
+// length-prefixed gob frames over any net.Conn, a server that feeds a
+// core.Datacenter, and a client the edge loop hands its uploads to.
+//
+// The protocol is deliberately simple and version-tagged:
+//
+//	uint32 magic | uint16 version | stream of records
+//	record: uint8 kind | uint32 length | gob payload
+//
+// Reconstructed frames are not shipped (the receiver decodes uploads
+// from the coded bits in a real deployment); metadata, ranges, event
+// IDs, and coded sizes are.
+package transport
+
+import (
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/core"
+)
+
+const (
+	magic   = 0xFF00FF04
+	version = 1
+
+	kindUpload = 1
+	kindBye    = 2
+)
+
+// maxRecordBytes bounds a single record to keep a misbehaving peer
+// from forcing unbounded allocation.
+const maxRecordBytes = 16 << 20
+
+// UploadRecord is the wire form of core.Upload (without pixel data).
+type UploadRecord struct {
+	MCName  string
+	EventID uint64
+	Start   int
+	End     int
+	Bits    int64
+	Final   bool
+}
+
+// toRecord strips the non-wire fields from an upload.
+func toRecord(u core.Upload) UploadRecord {
+	return UploadRecord{MCName: u.MCName, EventID: u.EventID, Start: u.Start, End: u.End, Bits: u.Bits, Final: u.Final}
+}
+
+// ToUpload converts a received record back to a core.Upload.
+func (r UploadRecord) ToUpload() core.Upload {
+	return core.Upload{MCName: r.MCName, EventID: r.EventID, Start: r.Start, End: r.End, Bits: r.Bits, Final: r.Final}
+}
+
+// Client streams uploads to a datacenter endpoint. It is safe for a
+// single goroutine (the edge pipeline loop).
+type Client struct {
+	conn net.Conn
+	w    io.Writer
+}
+
+// Dial connects to a datacenter listener.
+func Dial(network, addr string) (*Client, error) {
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	c, err := NewClient(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewClient wraps an established connection, writing the handshake.
+func NewClient(conn net.Conn) (*Client, error) {
+	c := &Client{conn: conn, w: conn}
+	var hdr [6]byte
+	binary.BigEndian.PutUint32(hdr[0:4], magic)
+	binary.BigEndian.PutUint16(hdr[4:6], version)
+	if _, err := c.w.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("transport: handshake: %w", err)
+	}
+	return c, nil
+}
+
+// Send transmits one upload.
+func (c *Client) Send(u core.Upload) error {
+	return writeRecord(c.w, kindUpload, toRecord(u))
+}
+
+// SendAll transmits a batch of uploads.
+func (c *Client) SendAll(us []core.Upload) error {
+	for _, u := range us {
+		if err := c.Send(u); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close sends the goodbye record and closes the connection.
+func (c *Client) Close() error {
+	err := writeRecord(c.w, kindBye, struct{}{})
+	cerr := c.conn.Close()
+	if err != nil {
+		return err
+	}
+	return cerr
+}
+
+// writeRecord frames and writes one gob payload.
+func writeRecord(w io.Writer, kind uint8, payload any) error {
+	var bufWriter countingBuffer
+	if err := gob.NewEncoder(&bufWriter).Encode(payload); err != nil {
+		return fmt.Errorf("transport: encode: %w", err)
+	}
+	var hdr [5]byte
+	hdr[0] = kind
+	binary.BigEndian.PutUint32(hdr[1:5], uint32(len(bufWriter.data)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(bufWriter.data)
+	return err
+}
+
+// countingBuffer is a minimal growable write buffer.
+type countingBuffer struct{ data []byte }
+
+func (b *countingBuffer) Write(p []byte) (int, error) {
+	b.data = append(b.data, p...)
+	return len(p), nil
+}
+
+// Server accepts edge connections and forwards their uploads into a
+// core.Datacenter.
+type Server struct {
+	dc *core.Datacenter
+
+	mu       sync.Mutex
+	listener net.Listener
+	received int
+	wg       sync.WaitGroup
+}
+
+// NewServer wraps a datacenter.
+func NewServer(dc *core.Datacenter) *Server {
+	return &Server{dc: dc}
+}
+
+// Listen starts accepting on the given address and returns the bound
+// address (useful with ":0").
+func (s *Server) Listen(network, addr string) (net.Addr, error) {
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.listener = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				defer conn.Close()
+				_ = s.ServeConn(conn)
+			}()
+		}
+	}()
+	return ln.Addr(), nil
+}
+
+// Close stops the listener and waits for in-flight connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	ln := s.listener
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Received returns the number of uploads accepted so far.
+func (s *Server) Received() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.received
+}
+
+// ServeConn processes one edge connection until goodbye or error. It
+// is exported so tests (and in-process deployments) can drive it over
+// net.Pipe.
+func (s *Server) ServeConn(conn io.Reader) error {
+	var hdr [6]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return fmt.Errorf("transport: read handshake: %w", err)
+	}
+	if binary.BigEndian.Uint32(hdr[0:4]) != magic {
+		return errors.New("transport: bad magic")
+	}
+	if v := binary.BigEndian.Uint16(hdr[4:6]); v != version {
+		return fmt.Errorf("transport: unsupported version %d", v)
+	}
+	for {
+		var rhdr [5]byte
+		if _, err := io.ReadFull(conn, rhdr[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		size := binary.BigEndian.Uint32(rhdr[1:5])
+		if size > maxRecordBytes {
+			return fmt.Errorf("transport: record of %d bytes exceeds limit", size)
+		}
+		body := make([]byte, size)
+		if _, err := io.ReadFull(conn, body); err != nil {
+			return err
+		}
+		switch rhdr[0] {
+		case kindUpload:
+			var rec UploadRecord
+			if err := gob.NewDecoder(bytesReader(body)).Decode(&rec); err != nil {
+				return fmt.Errorf("transport: decode upload: %w", err)
+			}
+			s.mu.Lock()
+			s.dc.Receive(rec.ToUpload())
+			s.received++
+			s.mu.Unlock()
+		case kindBye:
+			return nil
+		default:
+			return fmt.Errorf("transport: unknown record kind %d", rhdr[0])
+		}
+	}
+}
+
+// bytesReader avoids importing bytes for one call site.
+type sliceReader struct {
+	data []byte
+	off  int
+}
+
+func bytesReader(b []byte) *sliceReader { return &sliceReader{data: b} }
+
+func (r *sliceReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}

@@ -1,0 +1,123 @@
+package transport
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func sampleUploads() []core.Upload {
+	return []core.Upload{
+		{MCName: "mc-a", EventID: 1, Start: 10, End: 20, Bits: 4096, Final: false},
+		{MCName: "mc-a", EventID: 1, Start: 20, End: 25, Bits: 2048, Final: true},
+		{MCName: "mc-b", EventID: 1, Start: 12, End: 18, Bits: 999, Final: true},
+	}
+}
+
+func TestRoundTripOverTCP(t *testing.T) {
+	dc := core.NewDatacenter()
+	srv := NewServer(dc)
+	addr, err := srv.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client, err := Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.SendAll(sampleUploads()); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Received() < 3 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if srv.Received() != 3 {
+		t.Fatalf("received %d uploads, want 3", srv.Received())
+	}
+
+	got := dc.Uploads("mc-a")
+	if len(got) != 2 || got[0].Start != 10 || got[1].End != 25 || !got[1].Final {
+		t.Fatalf("mc-a uploads wrong: %+v", got)
+	}
+	labels := dc.PredictedLabels("mc-b", 30)
+	for i := 12; i < 18; i++ {
+		if !labels[i] {
+			t.Fatalf("mc-b frame %d missing", i)
+		}
+	}
+}
+
+func TestRoundTripOverPipe(t *testing.T) {
+	cConn, sConn := net.Pipe()
+	dc := core.NewDatacenter()
+	srv := NewServer(dc)
+
+	done := make(chan error, 1)
+	go func() { done <- srv.ServeConn(sConn) }()
+
+	client, err := NewClient(cConn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Send(sampleUploads()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	if len(dc.Uploads("mc-a")) != 1 {
+		t.Fatal("upload not delivered")
+	}
+}
+
+func TestServerRejectsBadMagic(t *testing.T) {
+	cConn, sConn := net.Pipe()
+	srv := NewServer(core.NewDatacenter())
+	done := make(chan error, 1)
+	go func() { done <- srv.ServeConn(sConn) }()
+	go func() {
+		cConn.Write([]byte{0, 1, 2, 3, 4, 5})
+		cConn.Close()
+	}()
+	if err := <-done; err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestServerRejectsOversizedRecord(t *testing.T) {
+	cConn, sConn := net.Pipe()
+	srv := NewServer(core.NewDatacenter())
+	done := make(chan error, 1)
+	go func() { done <- srv.ServeConn(sConn) }()
+	go func() {
+		// Valid handshake, then a record claiming 1 GB.
+		hdr := []byte{0xFF, 0x00, 0xFF, 0x04, 0x00, 0x01}
+		cConn.Write(hdr)
+		cConn.Write([]byte{kindUpload, 0x40, 0x00, 0x00, 0x00})
+		cConn.Close()
+	}()
+	if err := <-done; err == nil {
+		t.Fatal("oversized record accepted")
+	}
+}
+
+func TestUploadRecordConversion(t *testing.T) {
+	u := core.Upload{MCName: "x", EventID: 7, Start: 1, End: 9, Bits: 55, Final: true}
+	back := toRecord(u).ToUpload()
+	if back.MCName != u.MCName || back.EventID != u.EventID || back.Start != u.Start ||
+		back.End != u.End || back.Bits != u.Bits || back.Final != u.Final {
+		t.Fatalf("round trip changed upload: %+v vs %+v", back, u)
+	}
+}

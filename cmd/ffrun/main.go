@@ -1,22 +1,25 @@
 // Command ffrun runs the FilterForward edge pipeline end to end on a
-// synthetic camera stream: it deploys a microclassifier (either one
-// trained by fftrain or a freshly trained quick one), processes the
-// test day, and reports uploads, bandwidth, and event F1 against
-// ground truth.
+// synthetic camera stream: it deploys a microclassifier (trained by
+// fftrain), processes the test day, and reports uploads, bandwidth,
+// and event F1 against ground truth. With -connect it runs as a fleet
+// agent: uploads stream to an ffserve controller, which can also
+// deploy additional MCs to the node and demand-fetch archived context
+// (the dataset doubles as the node's local archive).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/filter"
+	"repro/internal/fleet"
 	"repro/internal/metrics"
 	"repro/internal/mobilenet"
 	"repro/internal/pretrain"
-	"repro/internal/transport"
 )
 
 func main() {
@@ -25,15 +28,17 @@ func main() {
 		width     = flag.Int("width", 96, "working-scale frame width")
 		frames    = flag.Int("frames", 1200, "stream length")
 		seed      = flag.Int64("seed", 2, "stream seed (2 = the test day)")
-		weights   = flag.String("weights", "", "MC weights from fftrain (required)")
+		weights   = flag.String("weights", "", "MC weights from fftrain (required unless the controller deploys one)")
 		threshold = flag.Float64("threshold", 0.5, "decision threshold from fftrain")
 		bitrate   = flag.Float64("bitrate", 60_000, "upload re-encode bitrate (b/s)")
 		uplink    = flag.Float64("uplink", 0, "uplink capacity in b/s (0 = unmodelled)")
-		connect   = flag.String("connect", "", "optional ffserve address to stream uploads to")
+		connect   = flag.String("connect", "", "optional ffserve address to join as a fleet agent")
+		nodeName  = flag.String("node", "edge", "node name announced to the controller")
+		stream    = flag.String("stream", "cam0", "stream name announced to the controller")
 	)
 	flag.Parse()
-	if *weights == "" {
-		fmt.Fprintln(os.Stderr, "ffrun: -weights is required (train one with fftrain)")
+	if *weights == "" && *connect == "" {
+		fmt.Fprintln(os.Stderr, "ffrun: -weights is required (train one with fftrain), unless -connect lets the controller deploy one")
 		os.Exit(1)
 	}
 
@@ -55,48 +60,69 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ffrun:", err)
 		os.Exit(1)
 	}
-	mc, err := filter.LoadMCFile(*weights, base, cfg.Width, cfg.Height)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ffrun:", err)
-		os.Exit(1)
-	}
 
-	edge, err := core.NewEdgeNode(core.Config{
-		FrameWidth: cfg.Width, FrameHeight: cfg.Height, FPS: cfg.FPS,
-		Base: base, UploadBitrate: *bitrate, UplinkBandwidth: *uplink,
+	// The edge pipeline runs inside a fleet agent; without -connect it
+	// stays offline and behaves exactly like the local pipeline.
+	agent, err := fleet.NewAgent(fleet.AgentConfig{
+		Node: *nodeName,
+		Edge: core.Config{
+			FrameWidth: cfg.Width, FrameHeight: cfg.Height, FPS: cfg.FPS,
+			Base: base, UploadBitrate: *bitrate, UplinkBandwidth: *uplink,
+		},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ffrun:", err)
 		os.Exit(1)
 	}
-	if err := edge.Deploy(mc, float32(*threshold)); err != nil {
+	// The dataset is also the node's local archive for demand-fetch.
+	edge, err := agent.AddStream(*stream, cfg.Width, cfg.Height, d)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ffrun:", err)
 		os.Exit(1)
 	}
 
-	var remote *transport.Client
-	if *connect != "" {
-		var err error
-		remote, err = transport.Dial("tcp", *connect)
+	var mcName string
+	if *weights != "" {
+		mc, err := filter.LoadMCFile(*weights, base, cfg.Width, cfg.Height)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ffrun:", err)
 			os.Exit(1)
 		}
-		defer remote.Close()
+		if err := edge.Deploy(mc, float32(*threshold)); err != nil {
+			fmt.Fprintln(os.Stderr, "ffrun:", err)
+			os.Exit(1)
+		}
+		mcName = mc.Spec().Name
+	}
+
+	if *connect != "" {
+		if err := agent.Connect("tcp", *connect); err != nil {
+			fmt.Fprintln(os.Stderr, "ffrun:", err)
+			os.Exit(1)
+		}
+		defer agent.Close()
+		fmt.Printf("connected to %s as node %q (session %d)\n", *connect, *nodeName, agent.SessionID())
+	}
+
+	// With no local weights, the controller must deploy an MC (ffserve
+	// -deploy) before the stream can start.
+	if mcName == "" {
+		fmt.Println("waiting for the controller to deploy a microclassifier ...")
+		for len(agent.DeployedMCs(*stream)) == 0 {
+			select {
+			case <-agent.Done():
+				fmt.Fprintln(os.Stderr, "ffrun: controller disconnected before deploying")
+				os.Exit(1)
+			case <-time.After(100 * time.Millisecond):
+			}
+		}
+		mcName = agent.DeployedMCs(*stream)[0]
+		fmt.Printf("controller deployed %q\n", mcName)
 	}
 
 	dc := core.NewDatacenter()
-	send := func(ups []core.Upload) {
-		dc.ReceiveAll(ups)
-		if remote != nil {
-			if err := remote.SendAll(ups); err != nil {
-				fmt.Fprintln(os.Stderr, "ffrun: remote:", err)
-				os.Exit(1)
-			}
-		}
-	}
 	for i := 0; i < cfg.Frames; i++ {
-		ups, err := edge.ProcessFrame(d.Frame(i))
+		ups, err := agent.ProcessFrame(*stream, d.Frame(i))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ffrun:", err)
 			os.Exit(1)
@@ -105,22 +131,24 @@ func main() {
 			fmt.Printf("upload: mc=%s event=%d frames=[%d,%d) bits=%d final=%v\n",
 				u.MCName, u.EventID, u.Start, u.End, u.Bits, u.Final)
 		}
-		send(ups)
+		dc.ReceiveAll(ups)
 	}
-	ups, err := edge.Flush()
+	ups, err := agent.Flush()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ffrun:", err)
 		os.Exit(1)
 	}
-	send(ups)
+	dc.ReceiveAll(ups)
 
-	st := edge.Stats()
-	pred := dc.PredictedLabels(mc.Spec().Name, cfg.Frames)
-	r := metrics.Evaluate(d.Labels, pred)
+	st := agent.Stats()
 	fmt.Printf("\nframes processed   %d\n", st.Frames)
 	fmt.Printf("uploads            %d (%d frames, %d bits)\n", st.Uploads, st.UploadedFrames, st.UploadedBits)
 	fmt.Printf("average uplink     %.1f kb/s\n", st.AverageUploadBitrate(cfg.FPS)/1000)
-	fmt.Printf("event precision    %.3f\n", r.Precision)
-	fmt.Printf("event recall       %.3f\n", r.Recall)
-	fmt.Printf("event F1           %.3f\n", r.F1)
+	if mcName != "" {
+		pred := dc.PredictedLabels(*stream+"/"+mcName, cfg.Frames)
+		r := metrics.Evaluate(d.Labels, pred)
+		fmt.Printf("event precision    %.3f\n", r.Precision)
+		fmt.Printf("event recall       %.3f\n", r.Recall)
+		fmt.Printf("event F1           %.3f\n", r.F1)
+	}
 }

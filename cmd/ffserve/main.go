@@ -1,6 +1,9 @@
 // Command ffserve runs the datacenter side of FilterForward as a
-// network service: it listens for edge connections (see ffrun
-// -connect) and periodically prints per-application upload summaries.
+// network service: the fleet controller accepts edge sessions (see
+// ffrun -connect; legacy v1 upload pipes still work), optionally
+// deploys a microclassifier to every node that connects, demand-
+// fetches event context from edge archives, and periodically prints
+// the fleet registry and per-application upload summaries.
 package main
 
 import (
@@ -11,7 +14,8 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/transport"
+	"repro/internal/fleet"
+	"repro/internal/metrics"
 )
 
 func main() {
@@ -19,53 +23,156 @@ func main() {
 		addr     = flag.String("listen", "127.0.0.1:7004", "listen address")
 		interval = flag.Duration("interval", 5*time.Second, "summary interval")
 		frames   = flag.Int("frames", 2000, "stream length assumed when printing coverage")
+
+		deploy    = flag.String("deploy", "", "MC weights file (from fftrain) to deploy to every connecting node")
+		deployTo  = flag.String("deploy-stream", "", "stream to deploy onto (default: each node's first advertised stream)")
+		threshold = flag.Float64("threshold", 0.5, "decision threshold for -deploy")
+
+		fetchCtx     = flag.Int("fetch-context", 0, "frames of archived context to demand-fetch before each completed event (0 disables)")
+		fetchBitrate = flag.Float64("fetch-bitrate", 30_000, "demand-fetch re-encode bitrate (b/s)")
 	)
 	flag.Parse()
 
-	dc := core.NewDatacenter()
-	srv := transport.NewServer(dc)
-	bound, err := srv.Listen("tcp", *addr)
+	var mcBytes []byte
+	if *deploy != "" {
+		var err error
+		mcBytes, err = os.ReadFile(*deploy)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ffserve:", err)
+			os.Exit(1)
+		}
+	}
+
+	var ctrl *fleet.Controller
+	cfg := fleet.ControllerConfig{
+		OnSession: func(s *fleet.Session) {
+			streams := s.Streams()
+			fmt.Printf("ffserve: session %d: node %q connected with %d stream(s)\n", s.ID(), s.Node(), len(streams))
+			if mcBytes == nil || len(streams) == 0 {
+				return
+			}
+			target := *deployTo
+			if target == "" {
+				target = streams[0].Name
+			}
+			if err := s.Deploy(target, mcBytes, float32(*threshold)); err != nil {
+				fmt.Fprintf(os.Stderr, "ffserve: deploy to %s/%s: %v\n", s.Node(), target, err)
+				return
+			}
+			fmt.Printf("ffserve: deployed %s to %s/%s (threshold %.2f)\n", *deploy, s.Node(), target, *threshold)
+		},
+		OnUpload: func(s *fleet.Session, up core.Upload) {
+			if *fetchCtx <= 0 || !up.Final {
+				return
+			}
+			stream, _ := splitStream(up.MCName)
+			lo := up.Start - *fetchCtx
+			if lo < 0 {
+				lo = 0
+			}
+			if lo >= up.Start || stream == "" {
+				return
+			}
+			// Round trips must not run on the session's reader
+			// goroutine.
+			go func() {
+				resp, err := s.Fetch(stream, lo, up.Start, *fetchBitrate)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "ffserve: fetch context %s [%d,%d): %v\n", up.MCName, lo, up.Start, err)
+					return
+				}
+				fmt.Printf("ffserve: fetched context for %s event %d: frames [%d,%d), %d bits\n",
+					up.MCName, up.EventID, resp.Start, resp.End, resp.Bits)
+			}()
+		},
+	}
+	ctrl = fleet.NewController(cfg)
+	bound, err := ctrl.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ffserve:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("ffserve: listening on %s\n", bound)
+	fmt.Printf("ffserve: listening on %s (protocol v2 + legacy v1)\n", bound)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt)
 	tick := time.NewTicker(*interval)
 	defer tick.Stop()
-	seen := 0
 	for {
 		select {
 		case <-tick.C:
-			if srv.Received() == seen {
-				continue
-			}
-			seen = srv.Received()
-			fmt.Printf("-- %d uploads received --\n", seen)
-			names := collectNames(dc, *frames)
-			for _, name := range names {
-				labels := dc.PredictedLabels(name, *frames)
-				covered := 0
-				for _, l := range labels {
-					if l {
-						covered++
-					}
-				}
-				fmt.Printf("  %-32s %6d frames, %8d bits, %d events\n",
-					name, covered, dc.TotalBits(name), len(dc.Events(name)))
-			}
+			printSummary(ctrl, *frames)
 		case <-stop:
 			fmt.Println("ffserve: shutting down")
-			srv.Close()
+			ctrl.Close()
 			return
 		}
 	}
 }
 
-// collectNames lists application names that have uploads, sorted.
-func collectNames(dc *core.Datacenter, frames int) []string {
-	_ = frames
-	return dc.KnownApplications()
+// printSummary prints the fleet registry, the uplink rollup, and the
+// per-application upload summaries, all deterministically sorted.
+func printSummary(ctrl *fleet.Controller, frames int) {
+	nodes := ctrl.ListNodes()
+	// Application summaries are read under the controller's lock so
+	// they are consistent against concurrent session uploads.
+	type appLine struct {
+		name    string
+		covered int
+		bits    int64
+		events  int
+	}
+	var apps []appLine
+	ctrl.WithDatacenter(func(dc *core.Datacenter) {
+		for _, name := range dc.KnownApplications() { // sorted
+			covered := 0
+			for _, l := range dc.PredictedLabels(name, frames) {
+				if l {
+					covered++
+				}
+			}
+			apps = append(apps, appLine{name, covered, dc.TotalBits(name), len(dc.Events(name))})
+		}
+	})
+	if len(nodes) == 0 && len(apps) == 0 && ctrl.LegacyReceived() == 0 {
+		return
+	}
+
+	fmt.Printf("-- %d node(s) connected --\n", len(nodes))
+	var loads []metrics.NodeLoad
+	for _, n := range nodes {
+		fmt.Printf("  session %-3d %-16s %d stream(s), %d uploads\n", n.ID, n.Node, len(n.Streams), n.Uploads)
+		for _, si := range n.Streams {
+			st := n.Heartbeat.Streams[si.Name]
+			fmt.Printf("    %-20s %dx%d@%d  %6d frames, %8d bits uplinked\n",
+				si.Name, si.Width, si.Height, si.FPS, st.Frames, st.UploadedBits)
+			loads = append(loads, metrics.NodeLoad{
+				Node: n.Node + "/" + si.Name, Frames: st.Frames, FPS: si.FPS,
+				Uploads: st.Uploads, UploadedBits: st.UploadedBits,
+			})
+		}
+	}
+	if sum := metrics.SummarizeFleet(loads); sum.Frames > 0 {
+		fmt.Printf("  fleet: %d uploads, %d bits, avg %.1f kb/s, hottest %s at %.1f kb/s\n",
+			sum.Uploads, sum.UploadedBits, sum.AverageBitrate/1000, sum.MaxNode, sum.MaxNodeBitrate/1000)
+	}
+	if legacy := ctrl.LegacyReceived(); legacy > 0 {
+		fmt.Printf("  legacy v1: %d uploads\n", legacy)
+	}
+
+	for _, a := range apps {
+		fmt.Printf("  %-32s %6d frames, %8d bits, %d events\n",
+			a.name, a.covered, a.bits, a.events)
+	}
+}
+
+// splitStream splits a "stream/mc" upload name into its parts; the
+// stream is empty when the name carries no prefix.
+func splitStream(mcName string) (stream, mc string) {
+	for i := 0; i < len(mcName); i++ {
+		if mcName[i] == '/' {
+			return mcName[:i], mcName[i+1:]
+		}
+	}
+	return "", mcName
 }

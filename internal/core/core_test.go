@@ -270,6 +270,176 @@ func TestDeployValidation(t *testing.T) {
 	}
 }
 
+func TestDeployLiveMidStream(t *testing.T) {
+	base := testBase()
+	cfg := Config{FrameWidth: 48, FrameHeight: 27, FPS: 15, Base: base, UploadBitrate: 50_000}
+	e := newNode(t, cfg, map[filter.Arch]float32{filter.LocalizedBinary: -1})
+	frames := testFrames(16)
+	for _, f := range frames[:6] {
+		if _, err := e.ProcessFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A second always-positive MC joins live at frame 6: its event
+	// ranges must be reported in stream coordinates, starting no
+	// earlier than its deployment frame.
+	late, err := filter.NewMC(filter.Spec{Name: "late", Arch: filter.PoolingClassifier, Seed: 9}, base, 48, 27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.DeployLive(late, -1); err != nil {
+		t.Fatal(err)
+	}
+	var ups []Upload
+	for _, f := range frames[6:] {
+		u, err := e.ProcessFrame(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ups = append(ups, u...)
+	}
+	tail, err := e.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ups = append(ups, tail...)
+
+	dc := NewDatacenter()
+	dc.ReceiveAll(ups)
+	lateUps := dc.Uploads("late")
+	if len(lateUps) == 0 {
+		t.Fatal("live-deployed MC produced no uploads")
+	}
+	if lateUps[0].Start < 6 {
+		t.Fatalf("live MC upload starts at %d, before its deployment frame 6", lateUps[0].Start)
+	}
+	if lateUps[len(lateUps)-1].End != 16 {
+		t.Fatalf("live MC uploads end at %d, want 16", lateUps[len(lateUps)-1].End)
+	}
+	// The original MC covers the full stream.
+	labels := dc.PredictedLabels(e.MCNames()[0], 16)
+	for i, l := range labels {
+		if !l {
+			t.Fatalf("original MC missing frame %d", i)
+		}
+	}
+}
+
+func TestUndeployDrainsOpenEvent(t *testing.T) {
+	base := testBase()
+	cfg := Config{FrameWidth: 48, FrameHeight: 27, FPS: 15, Base: base, UploadBitrate: 50_000}
+	e := newNode(t, cfg, map[filter.Arch]float32{filter.LocalizedBinary: -1})
+	for _, f := range testFrames(9) {
+		if _, err := e.ProcessFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	name := e.MCNames()[0]
+	ups, err := e.Undeploy(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ups) == 0 || !ups[len(ups)-1].Final {
+		t.Fatalf("undeploy did not close the open event: %+v", ups)
+	}
+	dc := NewDatacenter()
+	dc.ReceiveAll(ups)
+	labels := dc.PredictedLabels(name, 9)
+	for i, l := range labels {
+		if !l {
+			t.Fatalf("undeploy dropped frame %d", i)
+		}
+	}
+	if len(e.MCNames()) != 0 {
+		t.Fatalf("MC still deployed: %v", e.MCNames())
+	}
+	if _, err := e.Undeploy(name); err == nil {
+		t.Fatal("undeploying a missing MC accepted")
+	}
+}
+
+func TestFetchArchiveMatchesDemandFetch(t *testing.T) {
+	base := testBase()
+	cfg := Config{FrameWidth: 48, FrameHeight: 27, FPS: 15, Base: base, UploadBitrate: 50_000}
+	frames := testFrames(10)
+	src := frameSlice(frames)
+
+	run := func() int64 {
+		e := newNode(t, cfg, map[filter.Arch]float32{filter.LocalizedBinary: 2})
+		for _, f := range frames {
+			if _, err := e.ProcessFrame(f); err != nil {
+				t.Fatal(err)
+			}
+		}
+		recons, bits, err := e.FetchArchive(src, 2, 6, 30_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recons) != 4 || bits <= 0 {
+			t.Fatalf("fetch archive: %d frames, %d bits", len(recons), bits)
+		}
+		if e.Stats().UploadedBits != bits {
+			t.Fatalf("fetch bits not accounted: stats %d, fetch %d", e.Stats().UploadedBits, bits)
+		}
+		return bits
+	}
+	direct := run()
+
+	// Datacenter.DemandFetch delegates to the same path.
+	e := newNode(t, cfg, map[filter.Arch]float32{filter.LocalizedBinary: 2})
+	for _, f := range frames {
+		if _, err := e.ProcessFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, bits, err := NewDatacenter().DemandFetch(e, src, 2, 6, 30_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bits != direct {
+		t.Fatalf("DemandFetch %d bits, FetchArchive %d bits", bits, direct)
+	}
+	if _, _, err := e.FetchArchive(nil, 2, 6, 30_000); err == nil {
+		t.Fatal("nil archive source accepted")
+	}
+}
+
+func TestMultiStreamDeployUndeploy(t *testing.T) {
+	base := testBase()
+	m, err := NewMultiStreamNode(Config{FrameWidth: 48, FrameHeight: 27, FPS: 15, Base: base, UploadBitrate: 50_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddStream("cam0", 48, 27); err != nil {
+		t.Fatal(err)
+	}
+	mc, err := filter.NewMC(filter.Spec{Name: "m", Arch: filter.PoolingClassifier, Seed: 4}, base, 48, 27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Deploy("cam0", mc, -1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Deploy("nope", mc, -1); err == nil {
+		t.Fatal("deploy to unknown stream accepted")
+	}
+	for _, f := range testFrames(7) {
+		if _, err := m.ProcessFrame("cam0", f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ups, err := m.Undeploy("cam0", "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ups) == 0 || ups[0].MCName != "cam0/m" {
+		t.Fatalf("undeploy uploads not stream-prefixed: %+v", ups)
+	}
+	if _, err := m.Undeploy("nope", "m"); err == nil {
+		t.Fatal("undeploy on unknown stream accepted")
+	}
+}
+
 func TestNoMCsIsAnError(t *testing.T) {
 	base := testBase()
 	e, err := NewEdgeNode(Config{FrameWidth: 48, FrameHeight: 27, Base: base, UploadBitrate: 1000})

@@ -1,10 +1,8 @@
 package core
 
 import (
-	"fmt"
 	"sort"
 
-	"repro/internal/codec"
 	"repro/internal/vision"
 )
 
@@ -91,20 +89,5 @@ func (d *Datacenter) Events(mcName string) map[uint64][]Upload {
 // accounts the transfer against the uplink. This is the §3.2
 // demand-fetch path for context around matched segments.
 func (d *Datacenter) DemandFetch(edge *EdgeNode, src FrameSource, start, end int, bitrate float64) ([]*vision.Image, int64, error) {
-	if start < 0 || end <= start {
-		return nil, 0, fmt.Errorf("core: bad demand-fetch range [%d,%d)", start, end)
-	}
-	frames := make([]*vision.Image, 0, end-start)
-	for f := start; f < end; f++ {
-		frames = append(frames, src.Frame(f))
-	}
-	bits, recons := codec.EncodeSegment(codec.Config{
-		Width: edge.cfg.FrameWidth, Height: edge.cfg.FrameHeight, FPS: edge.cfg.FPS,
-		TargetBitrate: bitrate,
-	}, frames)
-	if edge.uplink != nil {
-		edge.uplink.Send(bits)
-	}
-	edge.stats.UploadedBits += bits
-	return recons, bits, nil
+	return edge.FetchArchive(src, start, end, bitrate)
 }

@@ -158,6 +158,10 @@ type deployedMC struct {
 	smoother  *event.Smoother
 	detector  *event.Detector
 
+	// offset maps the MC's local frame counter (0 at deploy time) to
+	// stream frame indices; non-zero for live mid-stream deployments.
+	offset int
+
 	// open event segment assembly.
 	openID    uint64
 	segStart  int
@@ -205,11 +209,25 @@ func NewEdgeNode(cfg Config) (*EdgeNode, error) {
 }
 
 // Deploy installs a microclassifier with a decision threshold. All MCs
-// must be deployed before the first frame is processed.
+// must be deployed before the first frame is processed; use DeployLive
+// for mid-stream deployment (the fleet control plane's path).
 func (e *EdgeNode) Deploy(mc *filter.MC, threshold float32) error {
 	if e.nextFrame != 0 {
-		return fmt.Errorf("core: deploy after stream start")
+		return fmt.Errorf("core: deploy after stream start (use DeployLive)")
 	}
+	return e.deploy(mc, threshold)
+}
+
+// DeployLive installs a microclassifier while the stream is running:
+// the MC starts classifying at the next frame, and its event frame
+// ranges are reported in stream coordinates. The MC must be fresh (its
+// streaming state is reset on deployment). This is the §3.2 remote
+// deployment hook the fleet agent uses.
+func (e *EdgeNode) DeployLive(mc *filter.MC, threshold float32) error {
+	return e.deploy(mc, threshold)
+}
+
+func (e *EdgeNode) deploy(mc *filter.MC, threshold float32) error {
 	for _, d := range e.mcs {
 		if d.mc.Spec().Name == mc.Spec().Name {
 			return fmt.Errorf("core: duplicate MC name %q", mc.Spec().Name)
@@ -219,13 +237,33 @@ func (e *EdgeNode) Deploy(mc *filter.MC, threshold float32) error {
 	if shape[1] <= 0 || shape[2] <= 0 {
 		return fmt.Errorf("core: MC %q has empty feature map", mc.Spec().Name)
 	}
+	mc.Reset()
 	e.mcs = append(e.mcs, &deployedMC{
 		mc:        mc,
 		threshold: threshold,
 		smoother:  event.NewSmoother(e.cfg.SmoothN, e.cfg.SmoothK),
 		detector:  event.NewDetector(),
+		offset:    e.nextFrame,
 	})
 	return nil
+}
+
+// Undeploy removes a deployed microclassifier by name, draining its
+// classifier and smoother tails and closing any open event. The final
+// uploads (if any) are returned so they still reach the datacenter.
+func (e *EdgeNode) Undeploy(name string) ([]Upload, error) {
+	for i, d := range e.mcs {
+		if d.mc.Spec().Name != name {
+			continue
+		}
+		ups, err := e.flushMC(d)
+		if err != nil {
+			return nil, err
+		}
+		e.mcs = append(e.mcs[:i], e.mcs[i+1:]...)
+		return ups, nil
+	}
+	return nil, fmt.Errorf("core: no deployed MC named %q", name)
 }
 
 // MCNames returns deployed MC names in deployment order.
@@ -239,6 +277,38 @@ func (e *EdgeNode) MCNames() []string {
 
 // Stats returns a copy of the node's counters.
 func (e *EdgeNode) Stats() Stats { return e.stats }
+
+// Config returns a copy of the node's configuration (defaults filled).
+func (e *EdgeNode) Config() Config { return e.cfg }
+
+// FetchArchive reads frames [start, end) from the node's local archive
+// (src; §3.2: "edge nodes record the original video stream to disk"),
+// re-encodes them at the given bitrate, and accounts the transfer
+// against the uplink. It returns the decoder-side reconstructions and
+// the coded size. Both the in-process Datacenter.DemandFetch and the
+// fleet agent's wire-level demand-fetch go through this path, so their
+// bit accounting is identical by construction.
+func (e *EdgeNode) FetchArchive(src FrameSource, start, end int, bitrate float64) ([]*vision.Image, int64, error) {
+	if start < 0 || end <= start {
+		return nil, 0, fmt.Errorf("core: bad demand-fetch range [%d,%d)", start, end)
+	}
+	if src == nil {
+		return nil, 0, fmt.Errorf("core: no archive source")
+	}
+	frames := make([]*vision.Image, 0, end-start)
+	for f := start; f < end; f++ {
+		frames = append(frames, src.Frame(f))
+	}
+	bits, recons := codec.EncodeSegment(codec.Config{
+		Width: e.cfg.FrameWidth, Height: e.cfg.FrameHeight, FPS: e.cfg.FPS,
+		TargetBitrate: bitrate,
+	}, frames)
+	if e.uplink != nil {
+		e.uplink.Send(bits)
+	}
+	e.stats.UploadedBits += bits
+	return recons, bits, nil
+}
 
 // Meta returns the event-ID metadata recorded for a frame (nil when
 // the frame matched no MC).
@@ -301,27 +371,39 @@ func (e *EdgeNode) ProcessFrame(img *vision.Image) ([]Upload, error) {
 func (e *EdgeNode) Flush() ([]Upload, error) {
 	var uploads []Upload
 	for _, d := range e.mcs {
-		for _, c := range d.mc.Flush() {
-			ups, err := e.observe(d, c)
-			if err != nil {
-				return nil, err
-			}
-			uploads = append(uploads, ups...)
+		ups, err := e.flushMC(d)
+		if err != nil {
+			return nil, err
 		}
-		for _, dec := range d.smoother.Flush() {
-			ups, err := e.decide(d, dec)
-			if err != nil {
-				return nil, err
-			}
-			uploads = append(uploads, ups...)
+		uploads = append(uploads, ups...)
+	}
+	return uploads, nil
+}
+
+// flushMC drains one deployed MC's classifier and smoother tails and
+// closes its open event, if any.
+func (e *EdgeNode) flushMC(d *deployedMC) ([]Upload, error) {
+	var uploads []Upload
+	for _, c := range d.mc.Flush() {
+		ups, err := e.observe(d, c)
+		if err != nil {
+			return nil, err
 		}
-		if d.openID != 0 {
-			up, err := e.closeSegment(d, e.nextFrame, true)
-			if err != nil {
-				return nil, err
-			}
-			uploads = append(uploads, up)
+		uploads = append(uploads, ups...)
+	}
+	for _, dec := range d.smoother.Flush() {
+		ups, err := e.decide(d, dec)
+		if err != nil {
+			return nil, err
 		}
+		uploads = append(uploads, ups...)
+	}
+	if d.openID != 0 {
+		up, err := e.closeSegment(d, e.nextFrame, true)
+		if err != nil {
+			return nil, err
+		}
+		uploads = append(uploads, up)
 	}
 	return uploads, nil
 }
@@ -341,13 +423,15 @@ func (e *EdgeNode) observe(d *deployedMC, c filter.Classification) ([]Upload, er
 }
 
 // decide handles one smoothed frame decision: transition detection,
-// metadata, segment assembly, and chunked upload.
+// metadata, segment assembly, and chunked upload. Decision frames are
+// in the MC's local counting; d.offset maps them to stream indices.
 func (e *EdgeNode) decide(d *deployedMC, dec event.Decision) ([]Upload, error) {
+	frame := d.offset + dec.Frame
 	id, started := d.detector.Observe(dec.Positive)
 	var uploads []Upload
 	if !dec.Positive {
 		if d.openID != 0 {
-			up, err := e.closeSegment(d, dec.Frame, true)
+			up, err := e.closeSegment(d, frame, true)
 			if err != nil {
 				return nil, err
 			}
@@ -357,25 +441,25 @@ func (e *EdgeNode) decide(d *deployedMC, dec event.Decision) ([]Upload, error) {
 	}
 	if started {
 		d.openID = id
-		d.segStart = dec.Frame
+		d.segStart = frame
 		d.segFrames = 0
 	}
-	m := e.meta[dec.Frame]
+	m := e.meta[frame]
 	if m == nil {
 		m = make(FrameMeta)
-		e.meta[dec.Frame] = m
+		e.meta[frame] = m
 	}
 	m[d.mc.Spec().Name] = id
 	d.segFrames++
 	if d.segFrames >= e.cfg.MaxChunkFrames {
-		up, err := e.closeSegment(d, dec.Frame+1, false)
+		up, err := e.closeSegment(d, frame+1, false)
 		if err != nil {
 			return nil, err
 		}
 		uploads = append(uploads, up)
 		// Continue the same event in a fresh chunk.
 		d.openID = id
-		d.segStart = dec.Frame + 1
+		d.segStart = frame + 1
 		d.segFrames = 0
 	}
 	return uploads, nil

@@ -111,6 +111,35 @@ func (m *MultiStreamNode) Stats() Stats {
 	return total
 }
 
+// Deploy installs a microclassifier on the named stream. Unlike
+// EdgeNode.Deploy this is live: it works mid-stream (the fleet agent's
+// remote-deployment path).
+func (m *MultiStreamNode) Deploy(stream string, mc *filter.MC, threshold float32) error {
+	e, ok := m.streams[stream]
+	if !ok {
+		return fmt.Errorf("core: unknown stream %q", stream)
+	}
+	return e.DeployLive(mc, threshold)
+}
+
+// Undeploy removes a microclassifier from the named stream, returning
+// its final uploads with the stream-prefixed MC names the node's
+// ProcessFrame emits.
+func (m *MultiStreamNode) Undeploy(stream, mcName string) ([]Upload, error) {
+	e, ok := m.streams[stream]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown stream %q", stream)
+	}
+	ups, err := e.Undeploy(mcName)
+	if err != nil {
+		return nil, err
+	}
+	for i := range ups {
+		ups[i].MCName = stream + "/" + ups[i].MCName
+	}
+	return ups, nil
+}
+
 // DeployBalanced spreads k identical microclassifier specs across the
 // registered streams round-robin, a convenience for symmetric
 // deployments.

@@ -1,0 +1,452 @@
+package fleet
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/filter"
+	"repro/internal/transport"
+	"repro/internal/vision"
+)
+
+// DefaultHeartbeat is the agent's stats-reporting interval.
+const DefaultHeartbeat = 2 * time.Second
+
+// AgentConfig parameterizes an edge agent.
+type AgentConfig struct {
+	// Node is the edge node's name, announced in the session hello.
+	Node string
+	// Edge supplies the shared pipeline defaults (base DNN, bitrates,
+	// smoothing) for every stream, as core.MultiStreamNode does.
+	Edge core.Config
+	// Heartbeat is the stats-reporting interval (DefaultHeartbeat
+	// when zero; negative disables heartbeats).
+	Heartbeat time.Duration
+}
+
+// Agent is the edge side of the fleet control plane. It wraps a
+// core.MultiStreamNode, connects to a controller, and serves the
+// datacenter's deploy/undeploy/demand-fetch requests while the local
+// pipeline loop feeds frames through ProcessFrame. Pipeline state is
+// guarded by a mutex, so control requests interleave safely between
+// frames.
+type Agent struct {
+	cfg  AgentConfig
+	node *core.MultiStreamNode
+
+	// mu guards the pipeline (node, archives) against concurrent
+	// access from the local frame loop and the remote control loop.
+	mu       sync.Mutex
+	archives map[string]core.FrameSource
+	streams  []StreamInfo
+
+	// wmu serializes record writes to the connection.
+	wmu  sync.Mutex
+	conn net.Conn
+
+	sessMu    sync.Mutex
+	sessionID uint64
+	runErr    error
+	connected bool
+	done      chan struct{}
+	hbStop    chan struct{}
+	wg        sync.WaitGroup
+}
+
+// NewAgent constructs an agent. The pipeline starts empty; add camera
+// streams with AddStream, then Connect to a controller.
+func NewAgent(cfg AgentConfig) (*Agent, error) {
+	if cfg.Node == "" {
+		return nil, errors.New("fleet: agent needs a node name")
+	}
+	if cfg.Heartbeat == 0 {
+		cfg.Heartbeat = DefaultHeartbeat
+	}
+	n, err := core.NewMultiStreamNode(cfg.Edge)
+	if err != nil {
+		return nil, err
+	}
+	return &Agent{
+		cfg:      cfg,
+		node:     n,
+		archives: make(map[string]core.FrameSource),
+		done:     make(chan struct{}),
+		hbStop:   make(chan struct{}),
+	}, nil
+}
+
+// Node returns the wrapped multi-stream pipeline for local deployment
+// and inspection.
+func (a *Agent) Node() *core.MultiStreamNode { return a.node }
+
+// AddStream registers a camera stream with its local archive (the
+// FrameSource demand-fetch reads; nil disables fetch for the stream)
+// and returns the stream's pipeline so the caller can deploy local
+// MCs. Streams must be added before Connect so the hello inventory is
+// complete.
+func (a *Agent) AddStream(name string, frameW, frameH int, archive core.FrameSource) (*core.EdgeNode, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	e, err := a.node.AddStream(name, frameW, frameH)
+	if err != nil {
+		return nil, err
+	}
+	a.archives[name] = archive
+	cfg := e.Config()
+	a.streams = append(a.streams, StreamInfo{Name: name, Width: frameW, Height: frameH, FPS: cfg.FPS})
+	return e, nil
+}
+
+// Connect dials a controller, performs the v2 handshake, and starts
+// the control and heartbeat loops.
+func (a *Agent) Connect(network, addr string) error {
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return err
+	}
+	if err := a.Handshake(conn); err != nil {
+		conn.Close()
+		return err
+	}
+	return nil
+}
+
+// Handshake runs the v2 session handshake over an established
+// connection and starts the control and heartbeat loops. Exported so
+// tests can drive an agent over net.Pipe.
+func (a *Agent) Handshake(conn net.Conn) error {
+	if err := transport.WriteHeader(conn, transport.Version2); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	hello := Hello{Node: a.cfg.Node, Streams: append([]StreamInfo(nil), a.streams...)}
+	a.mu.Unlock()
+	if err := transport.WriteRecord(conn, transport.KindHello, hello); err != nil {
+		return err
+	}
+	v, err := transport.ReadHeader(conn)
+	if err != nil {
+		return err
+	}
+	if v != transport.Version2 {
+		return fmt.Errorf("fleet: controller answered %w %d", transport.ErrVersion, v)
+	}
+	kind, body, err := transport.ReadRecord(conn)
+	if err != nil {
+		return err
+	}
+	if kind != transport.KindWelcome {
+		return fmt.Errorf("fleet: controller answered record kind %d, want welcome", kind)
+	}
+	var w Welcome
+	if err := transport.DecodeRecord(body, &w); err != nil {
+		return err
+	}
+
+	a.sessMu.Lock()
+	if a.connected {
+		a.sessMu.Unlock()
+		return errors.New("fleet: agent already connected")
+	}
+	a.conn = conn
+	a.sessionID = w.SessionID
+	a.connected = true
+	a.runErr = nil
+	// Per-connection channels, so a reconnect after Close never
+	// double-closes the previous session's.
+	done := make(chan struct{})
+	hbStop := make(chan struct{})
+	a.done = done
+	a.hbStop = hbStop
+	a.sessMu.Unlock()
+
+	a.wg.Add(1)
+	go func() {
+		defer a.wg.Done()
+		err := a.controlLoop(conn)
+		a.sessMu.Lock()
+		a.runErr = err
+		a.sessMu.Unlock()
+		close(done)
+	}()
+	if a.cfg.Heartbeat > 0 {
+		a.wg.Add(1)
+		go a.heartbeatLoop(hbStop, done)
+	}
+	return nil
+}
+
+// SessionID returns the controller-assigned session ID (0 before
+// Connect).
+func (a *Agent) SessionID() uint64 {
+	a.sessMu.Lock()
+	defer a.sessMu.Unlock()
+	return a.sessionID
+}
+
+// Err returns the error that ended the control loop, nil while it is
+// live or after a clean goodbye.
+func (a *Agent) Err() error {
+	a.sessMu.Lock()
+	defer a.sessMu.Unlock()
+	return a.runErr
+}
+
+// Done is closed when the current connection's control loop ends
+// (controller goodbye, connection loss, or Close).
+func (a *Agent) Done() <-chan struct{} {
+	a.sessMu.Lock()
+	defer a.sessMu.Unlock()
+	return a.done
+}
+
+// DeployedMCs returns the named stream's deployed MC names (locked
+// against the control loop, which may be deploying concurrently).
+func (a *Agent) DeployedMCs(stream string) []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	e := a.node.Stream(stream)
+	if e == nil {
+		return nil
+	}
+	return e.MCNames()
+}
+
+// Stats returns the node's aggregate pipeline counters (locked
+// against the control loop).
+func (a *Agent) Stats() core.Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.node.Stats()
+}
+
+// ProcessFrame pushes one frame of the named stream through the
+// pipeline and ships any resulting uploads to the controller. The
+// uploads are also returned for local accounting.
+func (a *Agent) ProcessFrame(stream string, img *vision.Image) ([]core.Upload, error) {
+	a.mu.Lock()
+	ups, err := a.node.ProcessFrame(stream, img)
+	a.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if err := a.sendUploads(ups); err != nil {
+		return ups, err
+	}
+	return ups, nil
+}
+
+// Flush drains every stream's pipeline tail and ships the final
+// uploads.
+func (a *Agent) Flush() ([]core.Upload, error) {
+	a.mu.Lock()
+	ups, err := a.node.FlushAll()
+	a.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if err := a.sendUploads(ups); err != nil {
+		return ups, err
+	}
+	return ups, nil
+}
+
+// Close says goodbye, closes the connection, and waits for the loops
+// to drain. Safe to call when never connected.
+func (a *Agent) Close() error {
+	a.sessMu.Lock()
+	conn := a.conn
+	connected := a.connected
+	hbStop := a.hbStop
+	a.conn = nil
+	a.connected = false
+	a.sessMu.Unlock()
+	if !connected {
+		return nil
+	}
+	close(hbStop)
+	a.wmu.Lock()
+	err := transport.WriteRecord(conn, transport.KindBye, struct{}{})
+	a.wmu.Unlock()
+	cerr := conn.Close()
+	a.wg.Wait()
+	if err != nil {
+		return err
+	}
+	return cerr
+}
+
+// sendUploads ships a batch of uploads when connected; a nil
+// connection (offline mode) drops nothing locally.
+func (a *Agent) sendUploads(ups []core.Upload) error {
+	if len(ups) == 0 {
+		return nil
+	}
+	a.sessMu.Lock()
+	conn := a.conn
+	a.sessMu.Unlock()
+	if conn == nil {
+		return nil
+	}
+	a.wmu.Lock()
+	defer a.wmu.Unlock()
+	for _, u := range ups {
+		if err := transport.WriteRecord(conn, transport.KindUpload, transport.ToRecord(u)); err != nil {
+			return fmt.Errorf("fleet: send upload: %w", err)
+		}
+	}
+	return nil
+}
+
+func (a *Agent) writeRecord(kind uint8, payload any) error {
+	a.sessMu.Lock()
+	conn := a.conn
+	a.sessMu.Unlock()
+	if conn == nil {
+		return ErrSessionClosed
+	}
+	a.wmu.Lock()
+	defer a.wmu.Unlock()
+	return transport.WriteRecord(conn, kind, payload)
+}
+
+// controlLoop serves the controller's requests on its connection
+// until goodbye or error.
+func (a *Agent) controlLoop(conn net.Conn) error {
+	for {
+		kind, body, err := transport.ReadRecord(conn)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		switch kind {
+		case transport.KindDeploy:
+			var req DeployRequest
+			if err := transport.DecodeRecord(body, &req); err != nil {
+				return err
+			}
+			a.handleDeploy(req)
+		case transport.KindUndeploy:
+			var req UndeployRequest
+			if err := transport.DecodeRecord(body, &req); err != nil {
+				return err
+			}
+			a.handleUndeploy(req)
+		case transport.KindFetchRequest:
+			var req FetchRequest
+			if err := transport.DecodeRecord(body, &req); err != nil {
+				return err
+			}
+			a.handleFetch(req)
+		case transport.KindBye:
+			return nil
+		default:
+			return fmt.Errorf("fleet: controller sent unknown record kind %d", kind)
+		}
+	}
+}
+
+// handleDeploy reconstructs the shipped microclassifier against the
+// local base DNN and installs it live on the target stream.
+func (a *Agent) handleDeploy(req DeployRequest) {
+	err := func() error {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		e := a.node.Stream(req.Stream)
+		if e == nil {
+			return fmt.Errorf("unknown stream %q", req.Stream)
+		}
+		cfg := e.Config()
+		mc, err := filter.LoadMC(bytes.NewReader(req.MC), cfg.Base, cfg.FrameWidth, cfg.FrameHeight)
+		if err != nil {
+			return err
+		}
+		return e.DeployLive(mc, req.Threshold)
+	}()
+	a.ack(req.Seq, err)
+}
+
+// handleUndeploy removes an MC, shipping its final uploads before the
+// ack so the controller sees a complete event record.
+func (a *Agent) handleUndeploy(req UndeployRequest) {
+	a.mu.Lock()
+	ups, err := a.node.Undeploy(req.Stream, req.MCName)
+	a.mu.Unlock()
+	if err == nil {
+		err = a.sendUploads(ups)
+	}
+	a.ack(req.Seq, err)
+}
+
+// handleFetch serves a demand-fetch from the stream's local archive.
+func (a *Agent) handleFetch(req FetchRequest) {
+	resp := FetchResponse{Seq: req.Seq, Stream: req.Stream, Start: req.Start, End: req.End}
+	a.mu.Lock()
+	e := a.node.Stream(req.Stream)
+	src := a.archives[req.Stream]
+	var err error
+	if e == nil {
+		err = fmt.Errorf("unknown stream %q", req.Stream)
+	} else {
+		_, resp.Bits, err = e.FetchArchive(src, req.Start, req.End, req.Bitrate)
+	}
+	a.mu.Unlock()
+	if err != nil {
+		resp.Err = err.Error()
+	}
+	_ = a.writeRecord(transport.KindFetchResponse, resp)
+}
+
+func (a *Agent) ack(seq uint64, err error) {
+	ack := Ack{Seq: seq}
+	if err != nil {
+		ack.Err = err.Error()
+	}
+	_ = a.writeRecord(transport.KindAck, ack)
+}
+
+// heartbeatLoop periodically reports per-stream pipeline stats until
+// its connection's stop or done channel closes.
+func (a *Agent) heartbeatLoop(hbStop, done <-chan struct{}) {
+	defer a.wg.Done()
+	tick := time.NewTicker(a.cfg.Heartbeat)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			_ = a.writeRecord(transport.KindHeartbeat, a.snapshot())
+		case <-hbStop:
+			return
+		case <-done:
+			return
+		}
+	}
+}
+
+// snapshot collects the heartbeat payload from the pipeline.
+func (a *Agent) snapshot() Heartbeat {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	hb := Heartbeat{Streams: make(map[string]StreamStats, len(a.streams))}
+	for _, si := range a.streams {
+		e := a.node.Stream(si.Name)
+		if e == nil {
+			continue
+		}
+		st := e.Stats()
+		hb.Streams[si.Name] = StreamStats{
+			Frames: st.Frames, Uploads: st.Uploads,
+			UploadedFrames: st.UploadedFrames, UploadedBits: st.UploadedBits,
+			MaxUplinkDelay: st.MaxUplinkDelay,
+		}
+	}
+	return hb
+}

@@ -1,0 +1,339 @@
+package fleet
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/filter"
+	"repro/internal/transport"
+)
+
+// DefaultTimeout bounds how long controller round trips (deploy,
+// undeploy, fetch) wait for an edge response.
+const DefaultTimeout = 30 * time.Second
+
+// ControllerConfig parameterizes a Controller.
+type ControllerConfig struct {
+	// Timeout bounds request/response round trips (DefaultTimeout
+	// when zero).
+	Timeout time.Duration
+	// OnSession, when non-nil, runs in its own goroutine for every
+	// edge session that completes its handshake — the hook ffserve
+	// uses for deploy-on-connect.
+	OnSession func(*Session)
+	// OnUpload, when non-nil, is called from the session's reader
+	// goroutine for every upload received. It must not block on a
+	// round trip to the same session (spawn a goroutine for that).
+	OnUpload func(*Session, core.Upload)
+}
+
+// Controller is the datacenter side of the fleet control plane: it
+// accepts edge sessions (protocol v2, plus legacy v1 upload pipes for
+// backward compatibility), tracks them in a registry, and exposes the
+// datacenter API — ListNodes, Deploy, Fetch — that cmd/ffserve serves.
+type Controller struct {
+	cfg ControllerConfig
+	dc  *core.Datacenter // aggregate across all sessions + legacy conns
+
+	mu       sync.Mutex
+	ln       net.Listener
+	nextID   uint64
+	sessions map[uint64]*Session
+	conns    map[net.Conn]struct{} // every open conn, incl. pre-hello and legacy
+	legacy   int                   // uploads received over v1 connections
+	wg       sync.WaitGroup
+}
+
+// NewController constructs a controller.
+func NewController(cfg ControllerConfig) *Controller {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = DefaultTimeout
+	}
+	return &Controller{
+		cfg:      cfg,
+		dc:       core.NewDatacenter(),
+		sessions: make(map[uint64]*Session),
+		conns:    make(map[net.Conn]struct{}),
+	}
+}
+
+// Datacenter returns the aggregate receiver: every upload from every
+// session (and legacy v1 connection) lands here, in addition to the
+// per-session datacenters. Session uploads are keyed
+// "node/stream/mc"; legacy v1 uploads keep their own naming. The
+// returned receiver is only safe to query directly once the
+// controller is closed; use WithDatacenter while sessions are live.
+func (c *Controller) Datacenter() *core.Datacenter { return c.dc }
+
+// WithDatacenter runs f with the aggregate receiver under the
+// controller's lock, so queries are safe against concurrent session
+// uploads. f must not call back into the controller.
+func (c *Controller) WithDatacenter(f func(*core.Datacenter)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f(c.dc)
+}
+
+// Listen starts accepting on the given address and returns the bound
+// address (useful with ":0").
+func (c *Controller) Listen(network, addr string) (net.Addr, error) {
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.ln = ln
+	c.mu.Unlock()
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			c.mu.Lock()
+			c.conns[conn] = struct{}{}
+			c.mu.Unlock()
+			c.wg.Add(1)
+			go func() {
+				defer c.wg.Done()
+				defer func() {
+					conn.Close()
+					c.mu.Lock()
+					delete(c.conns, conn)
+					c.mu.Unlock()
+				}()
+				_ = c.handleConn(conn)
+			}()
+		}
+	}()
+	return ln.Addr(), nil
+}
+
+// Close stops the listener, tears down every open connection (live
+// sessions, legacy pipes, and half-finished handshakes alike), and
+// waits for their goroutines to drain.
+func (c *Controller) Close() error {
+	c.mu.Lock()
+	ln := c.ln
+	conns := make([]net.Conn, 0, len(c.conns))
+	for conn := range c.conns {
+		conns = append(conns, conn)
+	}
+	c.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, conn := range conns {
+		conn.Close()
+	}
+	c.wg.Wait()
+	return err
+}
+
+// handleConn negotiates the protocol version and serves one
+// connection to completion.
+func (c *Controller) handleConn(conn net.Conn) error {
+	v, err := transport.ReadHeader(conn)
+	if err != nil {
+		return err
+	}
+	switch v {
+	case transport.Version1:
+		return c.serveLegacy(conn)
+	case transport.Version2:
+		return c.serveSession(conn)
+	default:
+		return fmt.Errorf("fleet: %w %d", transport.ErrVersion, v)
+	}
+}
+
+// serveLegacy drains a v1 one-way upload pipe into the aggregate
+// datacenter — backward compatibility with pre-fleet edges.
+func (c *Controller) serveLegacy(conn net.Conn) error {
+	for {
+		kind, body, err := transport.ReadRecord(conn)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		switch kind {
+		case transport.KindUpload:
+			var rec transport.UploadRecord
+			if err := transport.DecodeRecord(body, &rec); err != nil {
+				return err
+			}
+			c.mu.Lock()
+			c.dc.Receive(rec.ToUpload())
+			c.legacy++
+			c.mu.Unlock()
+		case transport.KindBye:
+			return nil
+		default:
+			return fmt.Errorf("fleet: v1 peer sent record kind %d", kind)
+		}
+	}
+}
+
+// serveSession completes the v2 handshake and runs the session until
+// it ends, deregistering it afterwards (graceful drain: in-flight
+// round trips fail with ErrSessionClosed).
+func (c *Controller) serveSession(conn net.Conn) error {
+	kind, body, err := transport.ReadRecord(conn)
+	if err != nil {
+		return err
+	}
+	if kind != transport.KindHello {
+		return fmt.Errorf("fleet: session opened with record kind %d, want hello", kind)
+	}
+	var hello Hello
+	if err := transport.DecodeRecord(body, &hello); err != nil {
+		return err
+	}
+	if hello.Node == "" {
+		return errors.New("fleet: hello without a node name")
+	}
+
+	c.mu.Lock()
+	c.nextID++
+	s := newSession(c.nextID, hello, conn, c.cfg.Timeout)
+	c.sessions[s.id] = s
+	c.mu.Unlock()
+	defer func() {
+		// If the handshake failed before s.run could report, wake any
+		// caller that already found the session in the registry.
+		s.markDone(errors.New("fleet: session handshake failed"))
+		c.mu.Lock()
+		delete(c.sessions, s.id)
+		c.mu.Unlock()
+	}()
+
+	if err := transport.WriteHeader(conn, transport.Version2); err != nil {
+		return err
+	}
+	if err := s.write(transport.KindWelcome, Welcome{SessionID: s.id}); err != nil {
+		return err
+	}
+	if hook := c.cfg.OnSession; hook != nil {
+		go hook(s)
+	}
+	return s.run(func(s *Session, up core.Upload) {
+		// The aggregate view prefixes the node name so two nodes
+		// running the same application don't collide; the
+		// per-session datacenter keeps the edge's own naming.
+		tagged := up
+		tagged.MCName = s.node + "/" + up.MCName
+		c.mu.Lock()
+		c.dc.Receive(tagged)
+		c.mu.Unlock()
+		if hook := c.cfg.OnUpload; hook != nil {
+			hook(s, up)
+		}
+	})
+}
+
+// NodeInfo is one connected edge's registry entry.
+type NodeInfo struct {
+	ID        uint64
+	Node      string
+	Streams   []StreamInfo
+	Uploads   int
+	Heartbeat Heartbeat
+	// HeartbeatAge is the time since the last heartbeat (negative if
+	// none arrived yet).
+	HeartbeatAge time.Duration
+}
+
+// ListNodes returns the connected edge sessions, sorted by node name
+// then session ID.
+func (c *Controller) ListNodes() []NodeInfo {
+	c.mu.Lock()
+	sessions := make([]*Session, 0, len(c.sessions))
+	for _, s := range c.sessions {
+		sessions = append(sessions, s)
+	}
+	c.mu.Unlock()
+	infos := make([]NodeInfo, 0, len(sessions))
+	for _, s := range sessions {
+		hb, at := s.LastHeartbeat()
+		age := time.Duration(-1)
+		if !at.IsZero() {
+			age = time.Since(at)
+		}
+		infos = append(infos, NodeInfo{
+			ID: s.ID(), Node: s.Node(), Streams: s.Streams(),
+			Uploads: s.Received(), Heartbeat: hb, HeartbeatAge: age,
+		})
+	}
+	sort.Slice(infos, func(i, j int) bool {
+		if infos[i].Node != infos[j].Node {
+			return infos[i].Node < infos[j].Node
+		}
+		return infos[i].ID < infos[j].ID
+	})
+	return infos
+}
+
+// Session finds a live session by node name. When several sessions
+// share a name the most recent wins.
+func (c *Controller) Session(node string) (*Session, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var best *Session
+	for _, s := range c.sessions {
+		if s.Node() == node && (best == nil || s.ID() > best.ID()) {
+			best = s
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("fleet: no connected node %q", node)
+	}
+	return best, nil
+}
+
+// LegacyReceived returns the uploads accepted over v1 connections.
+func (c *Controller) LegacyReceived() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.legacy
+}
+
+// Deploy ships serialized microclassifier bytes (a filter.(*MC).Save
+// stream, e.g. an fftrain weights file) to a stream of the named node.
+func (c *Controller) Deploy(node, stream string, mc []byte, threshold float32) error {
+	s, err := c.Session(node)
+	if err != nil {
+		return err
+	}
+	return s.Deploy(stream, mc, threshold)
+}
+
+// DeployMC serializes a constructed microclassifier and ships it.
+func (c *Controller) DeployMC(node, stream string, mc *filter.MC, threshold float32) error {
+	var buf bytes.Buffer
+	if err := mc.Save(&buf); err != nil {
+		return err
+	}
+	return c.Deploy(node, stream, buf.Bytes(), threshold)
+}
+
+// Fetch demand-fetches archived frames [start, end) of a stream on
+// the named node, re-encoded at bitrate.
+func (c *Controller) Fetch(node, stream string, start, end int, bitrate float64) (FetchResponse, error) {
+	s, err := c.Session(node)
+	if err != nil {
+		return FetchResponse{}, err
+	}
+	return s.Fetch(stream, start, end, bitrate)
+}

@@ -1,0 +1,386 @@
+package fleet
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/filter"
+	"repro/internal/mobilenet"
+	"repro/internal/tensor"
+	"repro/internal/train"
+	"repro/internal/transport"
+	"repro/internal/vision"
+)
+
+func testBase() *mobilenet.Model {
+	return mobilenet.New(mobilenet.Config{WidthMult: 0.25, Seed: 1})
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// trainTestMC trains a small localized MC on the training day and
+// returns its serialized form plus a deployment threshold guaranteed
+// to produce events on the test day.
+func trainTestMC(t *testing.T, base *mobilenet.Model, trainDay, testDay *dataset.Dataset) ([]byte, float32) {
+	t.Helper()
+	cfg := trainDay.Cfg
+	crop := cfg.Region()
+	spec := filter.Spec{Name: "fleet-mc", Arch: filter.LocalizedBinary, Crop: &crop, Hidden: 16, Seed: 7}
+	mc, err := filter.NewMC(spec, base, cfg.Width, cfg.Height)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fms := make([]*tensor.Tensor, cfg.Frames)
+	for i := range fms {
+		fm, err := base.Extract(trainDay.FrameTensor(i), mc.Stage())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fms[i] = fm
+	}
+	mean, std := filter.ChannelStats(fms)
+	if err := mc.SetNormalization(mean, std); err != nil {
+		t.Fatal(err)
+	}
+	var samples []train.Sample
+	for i := range fms {
+		y := float32(0)
+		if trainDay.Labels[i] {
+			y = 1
+		}
+		samples = append(samples, train.Sample{X: mc.BuildInput(fms, i), Y: y})
+	}
+	if _, err := train.Fit(mc.Net(), samples, train.Config{
+		Epochs: 2, BatchSize: 8, Seed: 7, BalanceClasses: true,
+		Optimizer: train.NewAdam(0.003),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pick a deployment threshold from the test-day score
+	// distribution so the stream is guaranteed to contain events:
+	// below the upper tercile, about two thirds of frames classify
+	// positive.
+	scores := make([]float32, testDay.Cfg.Frames)
+	mc.Reset()
+	record := func(cs []filter.Classification) {
+		for _, c := range cs {
+			scores[c.Frame] = c.Prob
+		}
+	}
+	for i := 0; i < testDay.Cfg.Frames; i++ {
+		fm, err := base.Extract(testDay.FrameTensor(i), mc.Stage())
+		if err != nil {
+			t.Fatal(err)
+		}
+		record(mc.Push(fm))
+	}
+	record(mc.Flush())
+	sorted := append([]float32(nil), scores...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	th := sorted[len(sorted)/3]
+
+	var buf bytes.Buffer
+	if err := mc.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), th
+}
+
+// TestEndToEndOverTCP is the acceptance test for the fleet control
+// plane: a controller on loopback accepts an edge session, deploys a
+// trained microclassifier over the wire, receives the edge's event
+// uploads attributed to that session, and demand-fetches context
+// frames for a matched event — with frame ranges and bit counts equal
+// to the in-process baseline.
+func TestEndToEndOverTCP(t *testing.T) {
+	base := testBase()
+	trainDay := dataset.Generate(dataset.Jackson(48, 50, 1))
+	testDay := dataset.Generate(dataset.Jackson(48, 80, 2))
+	cfg := testDay.Cfg
+	mcBytes, th := trainTestMC(t, base, trainDay, testDay)
+
+	edgeCfg := core.Config{
+		FrameWidth: cfg.Width, FrameHeight: cfg.Height, FPS: cfg.FPS,
+		Base: base, UploadBitrate: 40_000, MaxChunkFrames: 16,
+	}
+
+	// In-process baseline: same serialized MC, same frames, local
+	// pipeline and local demand-fetch.
+	baseMC, err := filter.LoadMC(bytes.NewReader(mcBytes), base, cfg.Width, cfg.Height)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge, err := core.NewEdgeNode(edgeCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := edge.Deploy(baseMC, th); err != nil {
+		t.Fatal(err)
+	}
+	var want []core.Upload
+	for i := 0; i < cfg.Frames; i++ {
+		ups, err := edge.ProcessFrame(testDay.Frame(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, ups...)
+	}
+	tail, err := edge.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = append(want, tail...)
+	if len(want) == 0 {
+		t.Fatal("baseline produced no uploads; threshold selection broken")
+	}
+	// Context range for the first matched event.
+	lo := want[0].Start - 6
+	if lo < 0 {
+		lo = 0
+	}
+	hi := want[0].Start + 2
+	if hi > cfg.Frames {
+		hi = cfg.Frames
+	}
+	dcBase := core.NewDatacenter()
+	dcBase.ReceiveAll(want)
+	_, wantBits, err := dcBase.DemandFetch(edge, testDay, lo, hi, 30_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wire run: controller + agent over real TCP on loopback.
+	ctrl := NewController(ControllerConfig{Timeout: 15 * time.Second})
+	addr, err := ctrl.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+
+	agent, err := NewAgent(AgentConfig{Node: "edge-1", Edge: edgeCfg, Heartbeat: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agent.AddStream("cam0", cfg.Width, cfg.Height, testDay); err != nil {
+		t.Fatal(err)
+	}
+	if err := agent.Connect("tcp", addr.String()); err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+
+	nodes := ctrl.ListNodes()
+	if len(nodes) != 1 || nodes[0].Node != "edge-1" {
+		t.Fatalf("registry wrong: %+v", nodes)
+	}
+	if len(nodes[0].Streams) != 1 || nodes[0].Streams[0].Name != "cam0" ||
+		nodes[0].Streams[0].Width != cfg.Width || nodes[0].Streams[0].FPS != cfg.FPS {
+		t.Fatalf("stream inventory wrong: %+v", nodes[0].Streams)
+	}
+	if agent.SessionID() != nodes[0].ID {
+		t.Fatalf("session ID mismatch: agent %d, registry %d", agent.SessionID(), nodes[0].ID)
+	}
+
+	// Remote MC deployment: weights cross the wire and are
+	// reconstructed against the edge's base DNN.
+	if err := ctrl.Deploy("edge-1", "cam0", mcBytes, th); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cfg.Frames; i++ {
+		if _, err := agent.ProcessFrame("cam0", testDay.Frame(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := agent.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	sess, err := ctrl.Session("edge-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "uploads", func() bool { return sess.Received() >= len(want) })
+	if sess.Received() != len(want) {
+		t.Fatalf("session received %d uploads, want %d", sess.Received(), len(want))
+	}
+
+	// Uploads are attributed to the session and match the baseline
+	// exactly: same event IDs, frame ranges, and coded bit counts.
+	name := "cam0/fleet-mc"
+	got := sess.Datacenter().Uploads(name)
+	wantSorted := dcBase.Uploads("fleet-mc")
+	if len(got) != len(wantSorted) {
+		t.Fatalf("got %d uploads, want %d", len(got), len(wantSorted))
+	}
+	for i, g := range got {
+		w := wantSorted[i]
+		if g.Start != w.Start || g.End != w.End || g.Bits != w.Bits ||
+			g.EventID != w.EventID || g.Final != w.Final {
+			t.Fatalf("upload %d differs from baseline:\n got %+v\nwant %+v", i, g, w)
+		}
+	}
+	// The aggregate datacenter saw them too, keyed by node so a
+	// second node running the same application cannot collide. (The
+	// aggregate write trails the per-session received count, so poll
+	// under the controller's lock.)
+	aggBits := func() int64 {
+		var bits int64
+		ctrl.WithDatacenter(func(dc *core.Datacenter) { bits = dc.TotalBits("edge-1/" + name) })
+		return bits
+	}
+	waitFor(t, "aggregate bits", func() bool { return aggBits() == dcBase.TotalBits("fleet-mc") })
+
+	// Wire-level demand-fetch of event context matches the
+	// in-process baseline bit count.
+	resp, err := ctrl.Fetch("edge-1", "cam0", lo, hi, 30_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Start != lo || resp.End != hi || resp.Bits != wantBits {
+		t.Fatalf("fetch [%d,%d) %d bits, want [%d,%d) %d bits",
+			resp.Start, resp.End, resp.Bits, lo, hi, wantBits)
+	}
+
+	// Heartbeats carried the pipeline stats to the registry.
+	waitFor(t, "heartbeat", func() bool {
+		hb, at := sess.LastHeartbeat()
+		return !at.IsZero() && hb.Streams["cam0"].Frames == cfg.Frames
+	})
+	hb, _ := sess.LastHeartbeat()
+	if hb.Streams["cam0"].UploadedBits < dcBase.TotalBits("fleet-mc") {
+		t.Fatalf("heartbeat bits %d below upload total %d", hb.Streams["cam0"].UploadedBits, dcBase.TotalBits("fleet-mc"))
+	}
+}
+
+// TestLiveDeployUndeployAndErrors exercises mid-stream deployment,
+// undeploy draining, and the error acks of the control loop.
+func TestLiveDeployUndeployAndErrors(t *testing.T) {
+	base := testBase()
+	edgeCfg := core.Config{FrameWidth: 48, FrameHeight: 27, FPS: 15, Base: base, UploadBitrate: 30_000}
+
+	ctrl := NewController(ControllerConfig{Timeout: 10 * time.Second})
+	addr, err := ctrl.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+
+	agent, err := NewAgent(AgentConfig{Node: "edge-2", Edge: edgeCfg, Heartbeat: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agent.AddStream("cam0", 48, 27, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := agent.Connect("tcp", addr.String()); err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+
+	// An always-positive MC (threshold below any sigmoid output).
+	mc, err := filter.NewMC(filter.Spec{Name: "live", Arch: filter.PoolingClassifier, Seed: 3}, base, 48, 27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := mc.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	bg := vision.Background(48, 27, nil, 2)
+	scene := &vision.Scene{Background: bg, NoiseStd: 0.01}
+	frame := func(i int) *vision.Image { return scene.Render(nil, 1, tensor.NewRNG(int64(i))) }
+
+	// Stream starts before any MC exists: frames cannot be processed
+	// yet (core requires at least one deployed MC), so deployment
+	// happens live against an already-announced stream.
+	if err := ctrl.Deploy("edge-2", "cam0", buf.Bytes(), -1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := agent.ProcessFrame("cam0", frame(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Error acks: unknown stream, bad MC bytes, duplicate deploy.
+	if err := ctrl.Deploy("edge-2", "nope", buf.Bytes(), 0); err == nil {
+		t.Fatal("deploy to unknown stream accepted")
+	}
+	if err := ctrl.Deploy("edge-2", "cam0", []byte("garbage"), 0); err == nil {
+		t.Fatal("garbage MC bytes accepted")
+	}
+	if err := ctrl.Deploy("edge-2", "cam0", buf.Bytes(), -1); err == nil {
+		t.Fatal("duplicate deploy accepted")
+	}
+
+	// Fetch against a stream with no archive errors cleanly.
+	if _, err := ctrl.Fetch("edge-2", "cam0", 0, 3, 10_000); err == nil {
+		t.Fatal("fetch without archive accepted")
+	}
+
+	// Undeploy drains the open event: its final uploads arrive before
+	// the ack.
+	sess, err := ctrl.Session("edge-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Undeploy("cam0", "live"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "drained uploads", func() bool { return sess.Received() > 0 })
+	ups := sess.Datacenter().Uploads("cam0/live")
+	if len(ups) == 0 || !ups[len(ups)-1].Final {
+		t.Fatalf("undeploy did not drain a final upload: %+v", ups)
+	}
+	if err := sess.Undeploy("cam0", "live"); err == nil {
+		t.Fatal("undeploying a missing MC accepted")
+	}
+}
+
+// TestLegacyV1Compatibility checks the controller still serves
+// pre-fleet v1 upload pipes.
+func TestLegacyV1Compatibility(t *testing.T) {
+	ctrl := NewController(ControllerConfig{})
+	addr, err := ctrl.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+
+	client, err := transport.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ups := []core.Upload{
+		{MCName: "old-mc", EventID: 1, Start: 3, End: 9, Bits: 512, Final: true},
+		{MCName: "old-mc", EventID: 2, Start: 20, End: 24, Bits: 256, Final: true},
+	}
+	if err := client.SendAll(ups); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "legacy uploads", func() bool { return ctrl.LegacyReceived() == 2 })
+	if got := ctrl.Datacenter().Uploads("old-mc"); len(got) != 2 || got[0].Start != 3 {
+		t.Fatalf("legacy uploads wrong: %+v", got)
+	}
+	if len(ctrl.ListNodes()) != 0 {
+		t.Fatal("legacy connection created a session")
+	}
+}

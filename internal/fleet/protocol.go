@@ -1,0 +1,105 @@
+// Package fleet is FilterForward's control plane: a datacenter-side
+// controller and an edge-side agent speaking the bidirectional v2
+// protocol layered on internal/transport's framing. It turns the §3.2
+// deployment story into a client/server system — datacenter
+// applications deploy microclassifiers to connected edge nodes over
+// the wire, receive their event uploads attributed per session, and
+// demand-fetch archived context video from the edge's local store.
+//
+// A v2 session begins with the transport header (magic + Version2)
+// from the edge, followed by a Hello record naming the node and its
+// stream inventory. The controller answers with its own header and a
+// Welcome record carrying the session ID. From then on both sides
+// stream records: the edge sends uploads, heartbeats, acks, and fetch
+// responses; the controller sends deploy/undeploy and fetch requests.
+// Request/response pairing uses per-session sequence numbers.
+package fleet
+
+// StreamInfo describes one camera stream an edge node hosts,
+// advertised in the session hello.
+type StreamInfo struct {
+	// Name identifies the stream on the node (unique per node).
+	Name string
+	// Width, Height are the working-scale frame dimensions.
+	Width, Height int
+	// FPS is the stream frame rate.
+	FPS int
+}
+
+// Hello is the first record of a v2 session (edge → datacenter).
+type Hello struct {
+	// Node is the edge node's name (unique per fleet deployment).
+	Node string
+	// Streams is the node's stream inventory.
+	Streams []StreamInfo
+}
+
+// Welcome acknowledges a hello (datacenter → edge).
+type Welcome struct {
+	// SessionID is the controller-assigned session identifier.
+	SessionID uint64
+}
+
+// DeployRequest ships a microclassifier to an edge stream
+// (datacenter → edge). MC is the filter.(*MC).Save stream — the
+// architecture spec, the nn serializer's weight records, and the
+// input-normalization statistics — exactly what the paper's
+// application developer supplies (§3.2).
+type DeployRequest struct {
+	Seq       uint64
+	Stream    string
+	MC        []byte
+	Threshold float32
+}
+
+// UndeployRequest removes a deployed microclassifier
+// (datacenter → edge). The edge drains the MC's pipeline tail first,
+// so its final uploads still arrive before the ack.
+type UndeployRequest struct {
+	Seq    uint64
+	Stream string
+	MCName string
+}
+
+// Ack answers a deploy or undeploy request (edge → datacenter).
+// Err is empty on success.
+type Ack struct {
+	Seq uint64
+	Err string
+}
+
+// FetchRequest asks the edge to re-encode frames [Start, End) of a
+// stream's local archive at Bitrate and account the transfer against
+// its uplink (datacenter → edge) — the §3.2 demand-fetch path.
+type FetchRequest struct {
+	Seq        uint64
+	Stream     string
+	Start, End int
+	Bitrate    float64
+}
+
+// FetchResponse answers a fetch request with the coded-segment
+// accounting (edge → datacenter). As with uploads, pixel data is not
+// shipped; in a real deployment the datacenter decodes the coded bits.
+type FetchResponse struct {
+	Seq        uint64
+	Stream     string
+	Start, End int
+	Bits       int64
+	Err        string
+}
+
+// StreamStats is one stream's pipeline counters as carried in a
+// heartbeat, a wire-stable subset of core.Stats.
+type StreamStats struct {
+	Frames         int
+	Uploads        int
+	UploadedFrames int
+	UploadedBits   int64
+	MaxUplinkDelay float64
+}
+
+// Heartbeat carries periodic per-stream stats (edge → datacenter).
+type Heartbeat struct {
+	Streams map[string]StreamStats
+}

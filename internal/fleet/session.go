@@ -1,0 +1,287 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+// ErrSessionClosed is returned by session operations after the edge
+// disconnected.
+var ErrSessionClosed = errors.New("fleet: session closed")
+
+// Session is the controller's view of one connected edge node. Its
+// uploads land in a per-session core.Datacenter, attributing every
+// received segment to the node that sent it. All methods are safe for
+// concurrent use.
+type Session struct {
+	id      uint64
+	node    string
+	streams []StreamInfo
+	conn    net.Conn
+	timeout time.Duration
+
+	// wmu serializes record writes to the connection.
+	wmu sync.Mutex
+
+	mu          sync.Mutex
+	nextSeq     uint64
+	pending     map[uint64]chan any
+	received    int
+	heartbeat   Heartbeat
+	heartbeatAt time.Time
+	runErr      error
+
+	dc        *core.Datacenter
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+func newSession(id uint64, hello Hello, conn net.Conn, timeout time.Duration) *Session {
+	return &Session{
+		id:      id,
+		node:    hello.Node,
+		streams: append([]StreamInfo(nil), hello.Streams...),
+		conn:    conn,
+		timeout: timeout,
+		pending: make(map[uint64]chan any),
+		dc:      core.NewDatacenter(),
+		done:    make(chan struct{}),
+	}
+}
+
+// ID returns the controller-assigned session identifier.
+func (s *Session) ID() uint64 { return s.id }
+
+// Node returns the edge node's self-reported name.
+func (s *Session) Node() string { return s.node }
+
+// Streams returns the stream inventory announced in the hello.
+func (s *Session) Streams() []StreamInfo {
+	return append([]StreamInfo(nil), s.streams...)
+}
+
+// Datacenter returns the per-session receiver holding every upload
+// this edge sent. Upload MC names use the node's "stream/mc" prefix
+// convention.
+func (s *Session) Datacenter() *core.Datacenter { return s.dc }
+
+// Received returns the number of uploads accepted from this edge.
+func (s *Session) Received() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.received
+}
+
+// LastHeartbeat returns the most recent heartbeat and its arrival
+// time (zero time if none arrived yet).
+func (s *Session) LastHeartbeat() (Heartbeat, time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.heartbeat, s.heartbeatAt
+}
+
+// Err returns the error that ended the session, nil while it is live
+// or after a clean goodbye.
+func (s *Session) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.runErr
+}
+
+// Done is closed when the session ends.
+func (s *Session) Done() <-chan struct{} { return s.done }
+
+// Deploy ships a serialized microclassifier (a filter.(*MC).Save
+// stream) to the named stream and waits for the edge's ack.
+func (s *Session) Deploy(stream string, mc []byte, threshold float32) error {
+	resp, err := s.roundTrip(transport.KindDeploy, func(seq uint64) any {
+		return DeployRequest{Seq: seq, Stream: stream, MC: mc, Threshold: threshold}
+	})
+	if err != nil {
+		return err
+	}
+	return ackErr(resp)
+}
+
+// Undeploy removes a microclassifier from the named stream and waits
+// for the edge's ack. The MC's final uploads arrive through the normal
+// upload path before the ack.
+func (s *Session) Undeploy(stream, mcName string) error {
+	resp, err := s.roundTrip(transport.KindUndeploy, func(seq uint64) any {
+		return UndeployRequest{Seq: seq, Stream: stream, MCName: mcName}
+	})
+	if err != nil {
+		return err
+	}
+	return ackErr(resp)
+}
+
+// Fetch demand-fetches frames [start, end) of a stream's archive,
+// re-encoded at bitrate, and returns the edge's accounting.
+func (s *Session) Fetch(stream string, start, end int, bitrate float64) (FetchResponse, error) {
+	resp, err := s.roundTrip(transport.KindFetchRequest, func(seq uint64) any {
+		return FetchRequest{Seq: seq, Stream: stream, Start: start, End: end, Bitrate: bitrate}
+	})
+	if err != nil {
+		return FetchResponse{}, err
+	}
+	fr, ok := resp.(FetchResponse)
+	if !ok {
+		return FetchResponse{}, fmt.Errorf("fleet: unexpected response %T to fetch", resp)
+	}
+	if fr.Err != "" {
+		return fr, fmt.Errorf("fleet: edge %q fetch: %s", s.node, fr.Err)
+	}
+	return fr, nil
+}
+
+func ackErr(resp any) error {
+	ack, ok := resp.(Ack)
+	if !ok {
+		return fmt.Errorf("fleet: unexpected response %T to request", resp)
+	}
+	if ack.Err != "" {
+		return fmt.Errorf("fleet: edge rejected request: %s", ack.Err)
+	}
+	return nil
+}
+
+// roundTrip sends one request and waits for its paired response,
+// matched by sequence number.
+func (s *Session) roundTrip(kind uint8, build func(seq uint64) any) (any, error) {
+	s.mu.Lock()
+	select {
+	case <-s.done:
+		s.mu.Unlock()
+		return nil, ErrSessionClosed
+	default:
+	}
+	s.nextSeq++
+	seq := s.nextSeq
+	ch := make(chan any, 1)
+	s.pending[seq] = ch
+	s.mu.Unlock()
+
+	if err := s.write(kind, build(seq)); err != nil {
+		s.dropPending(seq)
+		return nil, err
+	}
+	timer := time.NewTimer(s.timeout)
+	defer timer.Stop()
+	select {
+	case resp := <-ch:
+		return resp, nil
+	case <-s.done:
+		s.dropPending(seq)
+		return nil, ErrSessionClosed
+	case <-timer.C:
+		s.dropPending(seq)
+		return nil, fmt.Errorf("fleet: edge %q: no response within %v", s.node, s.timeout)
+	}
+}
+
+func (s *Session) dropPending(seq uint64) {
+	s.mu.Lock()
+	delete(s.pending, seq)
+	s.mu.Unlock()
+}
+
+func (s *Session) write(kind uint8, payload any) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	return transport.WriteRecord(s.conn, kind, payload)
+}
+
+// run is the session's reader loop; the controller drives it in the
+// connection's goroutine. It returns after a clean goodbye, a read
+// error, or the connection closing.
+func (s *Session) run(onUpload func(*Session, core.Upload)) error {
+	err := s.readLoop(onUpload)
+	s.markDone(err)
+	return err
+}
+
+// markDone records the session's terminal error and wakes every
+// in-flight round trip (graceful drain). Safe to call more than once;
+// the first call wins.
+func (s *Session) markDone(err error) {
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		s.runErr = err
+		s.mu.Unlock()
+		close(s.done)
+	})
+}
+
+func (s *Session) readLoop(onUpload func(*Session, core.Upload)) error {
+	for {
+		kind, body, err := transport.ReadRecord(s.conn)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		switch kind {
+		case transport.KindUpload:
+			var rec transport.UploadRecord
+			if err := transport.DecodeRecord(body, &rec); err != nil {
+				return err
+			}
+			up := rec.ToUpload()
+			s.mu.Lock()
+			s.dc.Receive(up)
+			s.received++
+			s.mu.Unlock()
+			if onUpload != nil {
+				onUpload(s, up)
+			}
+		case transport.KindAck:
+			var ack Ack
+			if err := transport.DecodeRecord(body, &ack); err != nil {
+				return err
+			}
+			s.deliver(ack.Seq, ack)
+		case transport.KindFetchResponse:
+			var fr FetchResponse
+			if err := transport.DecodeRecord(body, &fr); err != nil {
+				return err
+			}
+			s.deliver(fr.Seq, fr)
+		case transport.KindHeartbeat:
+			var hb Heartbeat
+			if err := transport.DecodeRecord(body, &hb); err != nil {
+				return err
+			}
+			s.mu.Lock()
+			s.heartbeat = hb
+			s.heartbeatAt = time.Now()
+			s.mu.Unlock()
+		case transport.KindBye:
+			return nil
+		default:
+			return fmt.Errorf("fleet: edge %q sent unknown record kind %d", s.node, kind)
+		}
+	}
+}
+
+// deliver hands a response to the waiter registered for seq; late or
+// unknown responses are dropped.
+func (s *Session) deliver(seq uint64, resp any) {
+	s.mu.Lock()
+	ch, ok := s.pending[seq]
+	if ok {
+		delete(s.pending, seq)
+	}
+	s.mu.Unlock()
+	if ok {
+		ch <- resp
+	}
+}

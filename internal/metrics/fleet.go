@@ -1,0 +1,73 @@
+package metrics
+
+// NodeLoad summarizes one fleet stream's uplink counters as reported
+// in the control plane's heartbeat records (internal/fleet). The
+// datacenter controller converts heartbeats into NodeLoads and rolls
+// them up with SummarizeFleet for its periodic status output.
+type NodeLoad struct {
+	// Node names the load source, conventionally "node/stream".
+	Node string
+	// Frames is the number of frames the pipeline processed.
+	Frames int
+	// FPS is the stream frame rate (used to convert counters into
+	// rates; a non-positive FPS excludes the node from rate terms).
+	FPS int
+	// Uploads is the number of coded segments sent.
+	Uploads int
+	// UploadedBits is the total coded size sent, including
+	// demand-fetch traffic.
+	UploadedBits int64
+}
+
+// Bitrate returns the node's realized average uplink usage in bits/s,
+// 0 when frames or FPS are unknown.
+func (n NodeLoad) Bitrate() float64 {
+	if n.Frames <= 0 || n.FPS <= 0 {
+		return 0
+	}
+	return float64(n.UploadedBits) / (float64(n.Frames) / float64(n.FPS))
+}
+
+// FleetSummary aggregates per-node loads into fleet-wide totals.
+type FleetSummary struct {
+	// Nodes is the number of loads aggregated.
+	Nodes int
+	// Frames, Uploads, and UploadedBits are fleet totals.
+	Frames       int
+	Uploads      int
+	UploadedBits int64
+	// AverageBitrate is total uploaded bits over total stream time
+	// across nodes with a known rate, in bits/s.
+	AverageBitrate float64
+	// MaxNodeBitrate is the highest single-node average bitrate —
+	// the hot spot a capacity planner watches.
+	MaxNodeBitrate float64
+	// MaxNode names the node behind MaxNodeBitrate.
+	MaxNode string
+}
+
+// SummarizeFleet rolls up per-node heartbeat loads into a fleet
+// summary.
+func SummarizeFleet(nodes []NodeLoad) FleetSummary {
+	var s FleetSummary
+	var seconds float64
+	var ratedBits int64
+	for _, n := range nodes {
+		s.Nodes++
+		s.Frames += n.Frames
+		s.Uploads += n.Uploads
+		s.UploadedBits += n.UploadedBits
+		if n.Frames > 0 && n.FPS > 0 {
+			seconds += float64(n.Frames) / float64(n.FPS)
+			ratedBits += n.UploadedBits
+		}
+		if br := n.Bitrate(); br > s.MaxNodeBitrate {
+			s.MaxNodeBitrate = br
+			s.MaxNode = n.Node
+		}
+	}
+	if seconds > 0 {
+		s.AverageBitrate = float64(ratedBits) / seconds
+	}
+	return s
+}

@@ -1,0 +1,45 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNodeLoadBitrate(t *testing.T) {
+	n := NodeLoad{Frames: 150, FPS: 15, UploadedBits: 1_000_000}
+	if got := n.Bitrate(); math.Abs(got-100_000) > 1e-6 {
+		t.Fatalf("bitrate = %v, want 100000", got)
+	}
+	if got := (NodeLoad{Frames: 0, FPS: 15}).Bitrate(); got != 0 {
+		t.Fatalf("zero-frame bitrate = %v", got)
+	}
+	if got := (NodeLoad{Frames: 10, FPS: 0, UploadedBits: 99}).Bitrate(); got != 0 {
+		t.Fatalf("unknown-FPS bitrate = %v", got)
+	}
+}
+
+func TestSummarizeFleet(t *testing.T) {
+	s := SummarizeFleet([]NodeLoad{
+		{Node: "a/cam0", Frames: 150, FPS: 15, Uploads: 3, UploadedBits: 1_000_000},
+		{Node: "b/cam0", Frames: 300, FPS: 15, Uploads: 5, UploadedBits: 4_000_000},
+		{Node: "c/cam0", Frames: 0, FPS: 15, Uploads: 0, UploadedBits: 0},
+	})
+	if s.Nodes != 3 || s.Frames != 450 || s.Uploads != 8 || s.UploadedBits != 5_000_000 {
+		t.Fatalf("totals wrong: %+v", s)
+	}
+	// 450 frames at 15 fps = 30 s of stream time; 5 Mb over 30 s.
+	if math.Abs(s.AverageBitrate-5_000_000.0/30) > 1e-6 {
+		t.Fatalf("average bitrate = %v", s.AverageBitrate)
+	}
+	// b: 4 Mb over 20 s = 200 kb/s is the hot spot.
+	if s.MaxNode != "b/cam0" || math.Abs(s.MaxNodeBitrate-200_000) > 1e-6 {
+		t.Fatalf("hot spot wrong: %q %v", s.MaxNode, s.MaxNodeBitrate)
+	}
+}
+
+func TestSummarizeFleetEmpty(t *testing.T) {
+	s := SummarizeFleet(nil)
+	if s.Nodes != 0 || s.AverageBitrate != 0 || s.MaxNode != "" {
+		t.Fatalf("empty summary wrong: %+v", s)
+	}
+}

@@ -1,14 +1,24 @@
-// Package transport carries FilterForward uploads from an edge node to
-// a datacenter over a real network connection. The paper's evaluation
-// models the uplink as a bandwidth constraint (internal/core's token
-// bucket); this package provides the wire layer a deployment needs:
-// length-prefixed gob frames over any net.Conn, a server that feeds a
-// core.Datacenter, and a client the edge loop hands its uploads to.
+// Package transport carries FilterForward traffic between an edge node
+// and a datacenter over a real network connection. The paper's
+// evaluation models the uplink as a bandwidth constraint
+// (internal/core's token bucket); this package provides the wire layer
+// a deployment needs: length-prefixed gob frames over any net.Conn, a
+// legacy one-way server that feeds a core.Datacenter, and the framing
+// primitives internal/fleet layers its bidirectional control plane on.
 //
 // The protocol is deliberately simple and version-tagged:
 //
 //	uint32 magic | uint16 version | stream of records
 //	record: uint8 kind | uint32 length | gob payload
+//
+// Version 1 is the original one-way upload pipe: the edge writes the
+// header and streams KindUpload records until KindBye. Version 2 keeps
+// the identical framing but makes the connection bidirectional: after
+// the client header the server answers with its own header, and both
+// sides exchange the fleet record kinds (session hello, microclassifier
+// deploy/undeploy, demand-fetch request/response, heartbeats). Payload
+// schemas for the v2 kinds live in internal/fleet; this package only
+// fixes the kind numbers and the framing.
 //
 // Reconstructed frames are not shipped (the receiver decodes uploads
 // from the coded bits in a real deployment); metadata, ranges, event
@@ -27,17 +37,142 @@ import (
 	"repro/internal/core"
 )
 
-const (
-	magic   = 0xFF00FF04
-	version = 1
+const magic = 0xFF00FF04
 
-	kindUpload = 1
-	kindBye    = 2
+// Protocol versions. A client announces the highest version it speaks
+// in its header; a v2 server echoes the version it accepts back.
+const (
+	// Version1 is the legacy one-way upload protocol.
+	Version1 = 1
+	// Version2 adds the bidirectional fleet control plane.
+	Version2 = 2
+	// MaxVersion is the newest version this build speaks.
+	MaxVersion = Version2
 )
 
-// maxRecordBytes bounds a single record to keep a misbehaving peer
-// from forcing unbounded allocation.
-const maxRecordBytes = 16 << 20
+// Record kinds. Kinds 1–2 exist since version 1; the rest require
+// version 2.
+const (
+	// KindUpload carries one UploadRecord (edge → datacenter).
+	KindUpload uint8 = 1
+	// KindBye closes the session cleanly (either direction).
+	KindBye uint8 = 2
+	// KindHello announces an edge node and its stream inventory
+	// (edge → datacenter, first record of a v2 session).
+	KindHello uint8 = 3
+	// KindWelcome acknowledges a hello with a session ID
+	// (datacenter → edge, first record after the server header).
+	KindWelcome uint8 = 4
+	// KindDeploy ships a serialized microclassifier to a stream
+	// (datacenter → edge).
+	KindDeploy uint8 = 5
+	// KindUndeploy removes a deployed microclassifier
+	// (datacenter → edge).
+	KindUndeploy uint8 = 6
+	// KindFetchRequest asks the edge archive for context video
+	// (datacenter → edge).
+	KindFetchRequest uint8 = 7
+	// KindFetchResponse answers a fetch request with coded-segment
+	// accounting (edge → datacenter).
+	KindFetchResponse uint8 = 8
+	// KindHeartbeat carries periodic per-stream pipeline stats
+	// (edge → datacenter).
+	KindHeartbeat uint8 = 9
+	// KindAck acknowledges a deploy/undeploy request, carrying an
+	// error string on failure (edge → datacenter).
+	KindAck uint8 = 10
+)
+
+// MaxRecordBytes bounds a single record payload, keeping a
+// misbehaving peer from forcing unbounded allocation.
+const MaxRecordBytes = 16 << 20
+
+// ErrVersion is wrapped by handshake errors caused by a version this
+// build does not speak.
+var ErrVersion = errors.New("unsupported version")
+
+// WriteHeader writes the protocol header (magic + version) to w.
+func WriteHeader(w io.Writer, version uint16) error {
+	var hdr [6]byte
+	binary.BigEndian.PutUint32(hdr[0:4], magic)
+	binary.BigEndian.PutUint16(hdr[4:6], version)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("transport: handshake: %w", err)
+	}
+	return nil
+}
+
+// ReadHeader reads and validates a protocol header, returning the
+// peer's announced version. Versions above MaxVersion (or zero) fail
+// with an error wrapping ErrVersion; the caller decides which of the
+// valid versions it serves.
+func ReadHeader(r io.Reader) (uint16, error) {
+	var hdr [6]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, fmt.Errorf("transport: read handshake: %w", err)
+	}
+	if binary.BigEndian.Uint32(hdr[0:4]) != magic {
+		return 0, errors.New("transport: bad magic")
+	}
+	v := binary.BigEndian.Uint16(hdr[4:6])
+	if v == 0 || v > MaxVersion {
+		return 0, fmt.Errorf("transport: %w %d", ErrVersion, v)
+	}
+	return v, nil
+}
+
+// WriteRecord gob-encodes payload and writes one framed record to w.
+// The caller is responsible for serializing concurrent writers.
+func WriteRecord(w io.Writer, kind uint8, payload any) error {
+	var bufWriter countingBuffer
+	if err := gob.NewEncoder(&bufWriter).Encode(payload); err != nil {
+		return fmt.Errorf("transport: encode: %w", err)
+	}
+	if len(bufWriter.data) > MaxRecordBytes {
+		return fmt.Errorf("transport: record of %d bytes exceeds limit", len(bufWriter.data))
+	}
+	var hdr [5]byte
+	hdr[0] = kind
+	binary.BigEndian.PutUint32(hdr[1:5], uint32(len(bufWriter.data)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(bufWriter.data)
+	return err
+}
+
+// ReadRecord reads one framed record, returning its kind and raw
+// payload bytes. A clean end of stream at a record boundary returns
+// io.EOF; truncation mid-record returns io.ErrUnexpectedEOF.
+func ReadRecord(r io.Reader) (uint8, []byte, error) {
+	var rhdr [5]byte
+	if _, err := io.ReadFull(r, rhdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, err
+	}
+	size := binary.BigEndian.Uint32(rhdr[1:5])
+	if size > MaxRecordBytes {
+		return 0, nil, fmt.Errorf("transport: record of %d bytes exceeds limit", size)
+	}
+	body := make([]byte, size)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	return rhdr[0], body, nil
+}
+
+// DecodeRecord gob-decodes a record payload read by ReadRecord.
+func DecodeRecord(body []byte, into any) error {
+	if err := gob.NewDecoder(bytesReader(body)).Decode(into); err != nil {
+		return fmt.Errorf("transport: decode: %w", err)
+	}
+	return nil
+}
 
 // UploadRecord is the wire form of core.Upload (without pixel data).
 type UploadRecord struct {
@@ -49,8 +184,8 @@ type UploadRecord struct {
 	Final   bool
 }
 
-// toRecord strips the non-wire fields from an upload.
-func toRecord(u core.Upload) UploadRecord {
+// ToRecord strips the non-wire fields from an upload.
+func ToRecord(u core.Upload) UploadRecord {
 	return UploadRecord{MCName: u.MCName, EventID: u.EventID, Start: u.Start, End: u.End, Bits: u.Bits, Final: u.Final}
 }
 
@@ -59,8 +194,9 @@ func (r UploadRecord) ToUpload() core.Upload {
 	return core.Upload{MCName: r.MCName, EventID: r.EventID, Start: r.Start, End: r.End, Bits: r.Bits, Final: r.Final}
 }
 
-// Client streams uploads to a datacenter endpoint. It is safe for a
-// single goroutine (the edge pipeline loop).
+// Client streams uploads to a datacenter endpoint over protocol v1. It
+// is safe for a single goroutine (the edge pipeline loop). The fleet
+// agent (internal/fleet) supersedes it for bidirectional sessions.
 type Client struct {
 	conn net.Conn
 	w    io.Writer
@@ -83,18 +219,15 @@ func Dial(network, addr string) (*Client, error) {
 // NewClient wraps an established connection, writing the handshake.
 func NewClient(conn net.Conn) (*Client, error) {
 	c := &Client{conn: conn, w: conn}
-	var hdr [6]byte
-	binary.BigEndian.PutUint32(hdr[0:4], magic)
-	binary.BigEndian.PutUint16(hdr[4:6], version)
-	if _, err := c.w.Write(hdr[:]); err != nil {
-		return nil, fmt.Errorf("transport: handshake: %w", err)
+	if err := WriteHeader(c.w, Version1); err != nil {
+		return nil, err
 	}
 	return c, nil
 }
 
 // Send transmits one upload.
 func (c *Client) Send(u core.Upload) error {
-	return writeRecord(c.w, kindUpload, toRecord(u))
+	return WriteRecord(c.w, KindUpload, ToRecord(u))
 }
 
 // SendAll transmits a batch of uploads.
@@ -109,7 +242,7 @@ func (c *Client) SendAll(us []core.Upload) error {
 
 // Close sends the goodbye record and closes the connection.
 func (c *Client) Close() error {
-	err := writeRecord(c.w, kindBye, struct{}{})
+	err := WriteRecord(c.w, KindBye, struct{}{})
 	cerr := c.conn.Close()
 	if err != nil {
 		return err
@@ -117,32 +250,9 @@ func (c *Client) Close() error {
 	return cerr
 }
 
-// writeRecord frames and writes one gob payload.
-func writeRecord(w io.Writer, kind uint8, payload any) error {
-	var bufWriter countingBuffer
-	if err := gob.NewEncoder(&bufWriter).Encode(payload); err != nil {
-		return fmt.Errorf("transport: encode: %w", err)
-	}
-	var hdr [5]byte
-	hdr[0] = kind
-	binary.BigEndian.PutUint32(hdr[1:5], uint32(len(bufWriter.data)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(bufWriter.data)
-	return err
-}
-
-// countingBuffer is a minimal growable write buffer.
-type countingBuffer struct{ data []byte }
-
-func (b *countingBuffer) Write(p []byte) (int, error) {
-	b.data = append(b.data, p...)
-	return len(p), nil
-}
-
-// Server accepts edge connections and forwards their uploads into a
-// core.Datacenter.
+// Server accepts legacy v1 edge connections and forwards their uploads
+// into a core.Datacenter. The fleet controller (internal/fleet)
+// supersedes it for v2 sessions and serves v1 peers for compatibility.
 type Server struct {
 	dc *core.Datacenter
 
@@ -208,50 +318,48 @@ func (s *Server) Received() int {
 
 // ServeConn processes one edge connection until goodbye or error. It
 // is exported so tests (and in-process deployments) can drive it over
-// net.Pipe.
+// net.Pipe. Only protocol v1 peers are served; v2 peers belong to the
+// fleet controller.
 func (s *Server) ServeConn(conn io.Reader) error {
-	var hdr [6]byte
-	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
-		return fmt.Errorf("transport: read handshake: %w", err)
+	v, err := ReadHeader(conn)
+	if err != nil {
+		return err
 	}
-	if binary.BigEndian.Uint32(hdr[0:4]) != magic {
-		return errors.New("transport: bad magic")
-	}
-	if v := binary.BigEndian.Uint16(hdr[4:6]); v != version {
-		return fmt.Errorf("transport: unsupported version %d", v)
+	if v != Version1 {
+		return fmt.Errorf("transport: %w %d (legacy server speaks v1 only)", ErrVersion, v)
 	}
 	for {
-		var rhdr [5]byte
-		if _, err := io.ReadFull(conn, rhdr[:]); err != nil {
+		kind, body, err := ReadRecord(conn)
+		if err != nil {
 			if errors.Is(err, io.EOF) {
 				return nil
 			}
 			return err
 		}
-		size := binary.BigEndian.Uint32(rhdr[1:5])
-		if size > maxRecordBytes {
-			return fmt.Errorf("transport: record of %d bytes exceeds limit", size)
-		}
-		body := make([]byte, size)
-		if _, err := io.ReadFull(conn, body); err != nil {
-			return err
-		}
-		switch rhdr[0] {
-		case kindUpload:
+		switch kind {
+		case KindUpload:
 			var rec UploadRecord
-			if err := gob.NewDecoder(bytesReader(body)).Decode(&rec); err != nil {
+			if err := DecodeRecord(body, &rec); err != nil {
 				return fmt.Errorf("transport: decode upload: %w", err)
 			}
 			s.mu.Lock()
 			s.dc.Receive(rec.ToUpload())
 			s.received++
 			s.mu.Unlock()
-		case kindBye:
+		case KindBye:
 			return nil
 		default:
-			return fmt.Errorf("transport: unknown record kind %d", rhdr[0])
+			return fmt.Errorf("transport: unknown record kind %d", kind)
 		}
 	}
+}
+
+// countingBuffer is a minimal growable write buffer.
+type countingBuffer struct{ data []byte }
+
+func (b *countingBuffer) Write(p []byte) (int, error) {
+	b.data = append(b.data, p...)
+	return len(p), nil
 }
 
 // bytesReader avoids importing bytes for one call site.

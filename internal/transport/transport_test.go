@@ -1,6 +1,9 @@
 package transport
 
 import (
+	"bytes"
+	"errors"
+	"io"
 	"net"
 	"testing"
 	"time"
@@ -105,7 +108,7 @@ func TestServerRejectsOversizedRecord(t *testing.T) {
 		// Valid handshake, then a record claiming 1 GB.
 		hdr := []byte{0xFF, 0x00, 0xFF, 0x04, 0x00, 0x01}
 		cConn.Write(hdr)
-		cConn.Write([]byte{kindUpload, 0x40, 0x00, 0x00, 0x00})
+		cConn.Write([]byte{KindUpload, 0x40, 0x00, 0x00, 0x00})
 		cConn.Close()
 	}()
 	if err := <-done; err == nil {
@@ -113,9 +116,135 @@ func TestServerRejectsOversizedRecord(t *testing.T) {
 	}
 }
 
+func TestServerRejectsUnsupportedVersion(t *testing.T) {
+	// Version above MaxVersion fails in ReadHeader.
+	cConn, sConn := net.Pipe()
+	srv := NewServer(core.NewDatacenter())
+	done := make(chan error, 1)
+	go func() { done <- srv.ServeConn(sConn) }()
+	go func() {
+		cConn.Write([]byte{0xFF, 0x00, 0xFF, 0x04, 0x00, 0x63}) // version 99
+		cConn.Close()
+	}()
+	if err := <-done; !errors.Is(err, ErrVersion) {
+		t.Fatalf("version 99 error = %v, want ErrVersion", err)
+	}
+
+	// Version 2 is valid on the wire but not served by the legacy
+	// server (the fleet controller owns v2 sessions).
+	cConn2, sConn2 := net.Pipe()
+	go func() { done <- srv.ServeConn(sConn2) }()
+	go func() {
+		WriteHeader(cConn2, Version2)
+		cConn2.Close()
+	}()
+	if err := <-done; !errors.Is(err, ErrVersion) {
+		t.Fatalf("v2 on legacy server error = %v, want ErrVersion", err)
+	}
+}
+
+func TestReadHeaderRejectsVersionZero(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHeader(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadHeader(&buf); !errors.Is(err, ErrVersion) {
+		t.Fatalf("version 0 error = %v, want ErrVersion", err)
+	}
+}
+
+func TestServerRejectsTruncatedStream(t *testing.T) {
+	cConn, sConn := net.Pipe()
+	srv := NewServer(core.NewDatacenter())
+	done := make(chan error, 1)
+	go func() { done <- srv.ServeConn(sConn) }()
+	go func() {
+		// Valid handshake, then a record whose 100-byte payload is
+		// cut off after 10 bytes.
+		WriteHeader(cConn, Version1)
+		cConn.Write([]byte{KindUpload, 0x00, 0x00, 0x00, 0x64})
+		cConn.Write(make([]byte, 10))
+		cConn.Close()
+	}()
+	if err := <-done; err == nil {
+		t.Fatal("truncated record accepted")
+	}
+}
+
+func TestServerRejectsTruncatedHandshake(t *testing.T) {
+	cConn, sConn := net.Pipe()
+	srv := NewServer(core.NewDatacenter())
+	done := make(chan error, 1)
+	go func() { done <- srv.ServeConn(sConn) }()
+	go func() {
+		cConn.Write([]byte{0xFF, 0x00})
+		cConn.Close()
+	}()
+	if err := <-done; err == nil {
+		t.Fatal("truncated handshake accepted")
+	}
+}
+
+func TestServerRejectsUnknownKind(t *testing.T) {
+	cConn, sConn := net.Pipe()
+	srv := NewServer(core.NewDatacenter())
+	done := make(chan error, 1)
+	go func() { done <- srv.ServeConn(sConn) }()
+	go func() {
+		WriteHeader(cConn, Version1)
+		WriteRecord(cConn, 0x7F, struct{}{})
+		cConn.Close()
+	}()
+	if err := <-done; err == nil {
+		t.Fatal("unknown record kind accepted")
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	want := UploadRecord{MCName: "rt", EventID: 9, Start: 4, End: 8, Bits: 321, Final: true}
+	if err := WriteRecord(&buf, KindUpload, want); err != nil {
+		t.Fatal(err)
+	}
+	kind, body, err := ReadRecord(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != KindUpload {
+		t.Fatalf("kind = %d, want %d", kind, KindUpload)
+	}
+	var got UploadRecord
+	if err := DecodeRecord(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("round trip changed record: %+v vs %+v", got, want)
+	}
+	// A clean end of stream at a record boundary is io.EOF.
+	if _, _, err := ReadRecord(&buf); !errors.Is(err, io.EOF) {
+		t.Fatalf("end of stream error = %v, want io.EOF", err)
+	}
+}
+
+func TestReadRecordTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRecord(&buf, KindUpload, UploadRecord{MCName: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	// Cut mid-payload: io.ErrUnexpectedEOF, not a clean EOF.
+	if _, _, err := ReadRecord(bytes.NewReader(whole[:len(whole)-2])); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("mid-payload truncation error = %v, want io.ErrUnexpectedEOF", err)
+	}
+	// Cut mid-header: also not a clean EOF.
+	if _, _, err := ReadRecord(bytes.NewReader(whole[:3])); errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatal("mid-header truncation reported a clean EOF")
+	}
+}
+
 func TestUploadRecordConversion(t *testing.T) {
 	u := core.Upload{MCName: "x", EventID: 7, Start: 1, End: 9, Bits: 55, Final: true}
-	back := toRecord(u).ToUpload()
+	back := ToRecord(u).ToUpload()
 	if back.MCName != u.MCName || back.EventID != u.EventID || back.Start != u.Start ||
 		back.End != u.End || back.Bits != u.Bits || back.Final != u.Final {
 		t.Fatalf("round trip changed upload: %+v vs %+v", back, u)

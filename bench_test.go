@@ -162,11 +162,25 @@ func BenchmarkCodecEncode(b *testing.B) {
 
 // BenchmarkAblationPhasedVsPipelined regenerates the §4.4 execution
 // schedule ablation (phased base-DNN/MC phases vs a two-stage
-// pipeline).
+// pipeline vs phase-2 MC fan-out).
 func BenchmarkAblationPhasedVsPipelined(b *testing.B) {
 	o := benchOptions()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.PhasedVsPipelined(io.Discard, o, 4, 6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMultiStreamScaling runs the concurrent edge runtime's
+// streams × workers sweep (sequential baseline vs scheduler) at
+// benchmark scale. On hosts with GOMAXPROCS >= workers the 4-stream
+// row shows the worker-pool speedup; on a single core it documents
+// the scheduler's overhead staying near zero.
+func BenchmarkMultiStreamScaling(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.MultiStreamScaling(io.Discard, o, []int{4}, nil, 6); err != nil {
 			b.Fatal(err)
 		}
 	}

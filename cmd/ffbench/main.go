@@ -9,11 +9,19 @@
 //	cost-accuracy Figure 7  (multiply-adds vs event F1, both datasets)
 //	crop          §3.2 crop ablation
 //	window-buffer §3.3.3 buffering ablation
+//	multistream   concurrent edge runtime: streams × workers sweep
 //	all           everything above
 //
 // Accuracy experiments train classifiers from scratch and take minutes
 // at the default scale; use -train-frames/-test-frames/-epochs to
 // trade fidelity for time.
+//
+// -parallel runs the throughput and breakdown measurements on the
+// concurrent edge runtime: phase 2 fans MCs across -workers
+// goroutines. Results are identical; timing changes. The multistream
+// experiment always sweeps sequential vs -workers, and
+// phased-pipelined always reports the fan-out schedule as one of its
+// three columns.
 package main
 
 import (
@@ -27,13 +35,17 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "datasets|bandwidth|throughput|breakdown|cost-accuracy|crop|window-buffer|pooling-baseline|phased-pipelined|all")
+		experiment = flag.String("experiment", "all", "datasets|bandwidth|throughput|breakdown|cost-accuracy|crop|window-buffer|pooling-baseline|phased-pipelined|multistream|all")
 		width      = flag.Int("width", 96, "working-scale frame width")
 		trainN     = flag.Int("train-frames", 1200, "training-day frames")
 		testN      = flag.Int("test-frames", 1200, "test-day frames")
 		epochs     = flag.Int("epochs", 8, "classifier training epochs")
 		stride     = flag.Int("sample-stride", 1, "training-frame subsampling stride")
 		seed       = flag.Int64("seed", 1, "master seed")
+		parallel   = flag.Bool("parallel", false, "run performance experiments on the concurrent edge runtime (MC fan-out)")
+		workers    = flag.Int("workers", 0, "worker-pool size for -parallel and the multistream sweep (0 = GOMAXPROCS)")
+		streams    = flag.Int("streams", 4, "stream count for the multistream sweep (swept as 1,2,...,streams)")
+		msFrames   = flag.Int("ms-frames", 30, "frames per stream in the multistream sweep")
 		quiet      = flag.Bool("quiet", false, "suppress progress logging")
 	)
 	flag.Parse()
@@ -43,6 +55,7 @@ func main() {
 		TrainFrames:  *trainN, TestFrames: *testN,
 		Epochs: *epochs, SampleStride: *stride,
 		Seed: *seed, Verbose: !*quiet,
+		Parallel: *parallel, Workers: *workers,
 	}
 	w := os.Stdout
 
@@ -119,6 +132,22 @@ func main() {
 	if want("window-buffer") {
 		run("window-buffer ablation (§3.3.3)", func() error {
 			_, err := experiments.WindowBufferAblation(w, o, 40)
+			return err
+		})
+	}
+	if want("multistream") {
+		run("multistream scheduler scaling (§3.2)", func() error {
+			if *streams < 1 {
+				return fmt.Errorf("-streams must be >= 1, got %d", *streams)
+			}
+			var sweep []int
+			for s := 1; s <= *streams; s *= 2 {
+				sweep = append(sweep, s)
+			}
+			if len(sweep) == 0 || sweep[len(sweep)-1] != *streams {
+				sweep = append(sweep, *streams)
+			}
+			_, err := experiments.MultiStreamScaling(w, o, sweep, nil, *msFrames)
 			return err
 		})
 	}

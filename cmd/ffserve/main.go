@@ -149,6 +149,7 @@ func printSummary(ctrl *fleet.Controller, frames int) {
 			loads = append(loads, metrics.NodeLoad{
 				Node: n.Node + "/" + si.Name, Frames: st.Frames, FPS: si.FPS,
 				Uploads: st.Uploads, UploadedBits: st.UploadedBits,
+				DemandFetchBits: st.DemandFetchBits,
 			})
 		}
 	}

@@ -180,6 +180,9 @@ func TestEdgeNodeMultiTenantSharedExtraction(t *testing.T) {
 	if st.BaseDNNTime <= 0 || st.MCTime <= 0 {
 		t.Fatal("timing stats not collected")
 	}
+	if st.DecodeTime <= 0 {
+		t.Fatal("DecodeTime not collected from the frame-ingest path")
+	}
 	if len(st.MCTimeBy) != 4 {
 		t.Fatalf("per-MC timing has %d entries", len(st.MCTimeBy))
 	}
@@ -378,8 +381,12 @@ func TestFetchArchiveMatchesDemandFetch(t *testing.T) {
 		if len(recons) != 4 || bits <= 0 {
 			t.Fatalf("fetch archive: %d frames, %d bits", len(recons), bits)
 		}
-		if e.Stats().UploadedBits != bits {
-			t.Fatalf("fetch bits not accounted: stats %d, fetch %d", e.Stats().UploadedBits, bits)
+		st := e.Stats()
+		if st.DemandFetchBits != bits || st.DemandFetches != 1 {
+			t.Fatalf("fetch not accounted: DemandFetchBits=%d DemandFetches=%d, fetch %d", st.DemandFetchBits, st.DemandFetches, bits)
+		}
+		if st.UploadedBits != 0 {
+			t.Fatalf("fetch bits folded into UploadedBits (%d); want a dedicated stat", st.UploadedBits)
 		}
 		return bits
 	}
@@ -401,6 +408,63 @@ func TestFetchArchiveMatchesDemandFetch(t *testing.T) {
 	}
 	if _, _, err := e.FetchArchive(nil, 2, 6, 30_000); err == nil {
 		t.Fatal("nil archive source accepted")
+	}
+}
+
+// Demand-fetch traffic shares the uplink with uploads, so its
+// queueing delay must surface in MaxUplinkDelay.
+func TestFetchArchiveRecordsUplinkDelay(t *testing.T) {
+	base := testBase()
+	cfg := Config{FrameWidth: 48, FrameHeight: 27, FPS: 15, Base: base,
+		UploadBitrate: 50_000, UplinkBandwidth: 1_000} // tiny link
+	e := newNode(t, cfg, map[filter.Arch]float32{filter.LocalizedBinary: 2})
+	frames := testFrames(10)
+	for _, f := range frames {
+		if _, err := e.ProcessFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two large fetches over a 1 kb/s link: the second must queue.
+	src := frameSlice(frames)
+	for i := 0; i < 2; i++ {
+		if _, _, err := e.FetchArchive(src, 0, 10, 30_000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.Stats()
+	if st.MaxUplinkDelay <= 0 {
+		t.Fatal("demand-fetch queueing delay not recorded in MaxUplinkDelay")
+	}
+	if st.DemandFetches != 2 || st.DemandFetchBits <= 0 {
+		t.Fatalf("fetch counters: DemandFetches=%d DemandFetchBits=%d", st.DemandFetches, st.DemandFetchBits)
+	}
+}
+
+// Regression: per-frame metadata must be evicted alongside retained
+// frames, or an always-matching stream grows e.meta without bound.
+func TestMetaEvictedWithFrames(t *testing.T) {
+	base := testBase()
+	cfg := Config{FrameWidth: 48, FrameHeight: 27, FPS: 15, Base: base,
+		UploadBitrate: 50_000, RetainFrames: 16, MaxChunkFrames: 4}
+	e := newNode(t, cfg, map[filter.Arch]float32{filter.PoolingClassifier: -1})
+	frames := testFrames(4)
+	for i := 0; i < 120; i++ {
+		if _, err := e.ProcessFrame(frames[i%len(frames)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(e.frames) > cfg.RetainFrames {
+		t.Fatalf("retained %d frames, window is %d", len(e.frames), cfg.RetainFrames)
+	}
+	if len(e.meta) > cfg.RetainFrames {
+		t.Fatalf("meta map holds %d entries after 120 frames, window is %d (leak)", len(e.meta), cfg.RetainFrames)
+	}
+	// Metadata within the window is still served.
+	if e.Meta(115) == nil {
+		t.Fatal("in-window metadata evicted")
+	}
+	if e.Meta(10) != nil {
+		t.Fatal("out-of-window metadata survived")
 	}
 }
 

@@ -8,12 +8,14 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/codec"
 	"repro/internal/event"
 	"repro/internal/filter"
 	"repro/internal/mobilenet"
+	"repro/internal/nn"
 	"repro/internal/vision"
 )
 
@@ -60,6 +62,13 @@ type Config struct {
 	// by default (costs an extra encode per frame).
 	ArchiveToDisk  bool
 	ArchiveBitrate float64
+	// MCWorkers bounds the goroutine fan-out across deployed MCs in
+	// phase 2 of ProcessFrame (0 or 1 runs them serially). Results are
+	// identical either way: classification is independent per-MC
+	// compute, and event assembly always runs serially in deployment
+	// order afterwards, so upload sequences, event IDs, and bit
+	// accounting do not depend on this setting.
+	MCWorkers int
 }
 
 func (c *Config) fillDefaults() error {
@@ -124,6 +133,8 @@ type Stats struct {
 	Frames int
 	// DecodeTime, BaseDNNTime and MCTime split the pipeline's
 	// per-frame execution (Figure 6 reports the latter two).
+	// DecodeTime covers frame ingest: converting incoming pixels to
+	// the base DNN's input tensor.
 	DecodeTime  time.Duration
 	BaseDNNTime time.Duration
 	MCTime      time.Duration
@@ -138,7 +149,14 @@ type Stats struct {
 	Uploads int
 	// ArchivedBits counts local-disk archive bits (if enabled).
 	ArchivedBits int64
-	// MaxUplinkDelay is the worst queueing delay seen.
+	// DemandFetchBits and DemandFetches count demand-fetched archive
+	// traffic separately from event-segment uploads: both share the
+	// uplink, but only UploadedBits reflects the filtering pipeline's
+	// own output.
+	DemandFetchBits int64
+	DemandFetches   int
+	// MaxUplinkDelay is the worst queueing delay seen on the uplink,
+	// across both segment uploads and demand fetches.
 	MaxUplinkDelay float64
 }
 
@@ -170,6 +188,13 @@ type deployedMC struct {
 
 // EdgeNode is a FilterForward edge instance bound to one camera
 // stream.
+//
+// Concurrency: an EdgeNode's pipeline (ProcessFrame, Flush, Deploy*,
+// Undeploy, FetchArchive) is single-owner — exactly one goroutine may
+// drive it at a time (the Scheduler serializes this per stream). The
+// observer methods Stats, Meta, and MCNames are safe to call from any
+// goroutine while the pipeline is running: mu guards the state they
+// read against the owner's writes.
 type EdgeNode struct {
 	cfg  Config
 	mcs  []*deployedMC
@@ -182,6 +207,12 @@ type EdgeNode struct {
 	oldestKept int
 	nextFrame  int
 
+	// mu guards externally observable state (stats, meta, mcs) between
+	// the pipeline owner and concurrent observers. All writes happen on
+	// the owner's goroutine; observers lock to read, and the owner
+	// locks only around writes (its own unlocked reads cannot race —
+	// nothing else writes).
+	mu    sync.Mutex
 	stats Stats
 }
 
@@ -238,13 +269,16 @@ func (e *EdgeNode) deploy(mc *filter.MC, threshold float32) error {
 		return fmt.Errorf("core: MC %q has empty feature map", mc.Spec().Name)
 	}
 	mc.Reset()
-	e.mcs = append(e.mcs, &deployedMC{
+	d := &deployedMC{
 		mc:        mc,
 		threshold: threshold,
 		smoother:  event.NewSmoother(e.cfg.SmoothN, e.cfg.SmoothK),
 		detector:  event.NewDetector(),
 		offset:    e.nextFrame,
-	})
+	}
+	e.mu.Lock()
+	e.mcs = append(e.mcs, d)
+	e.mu.Unlock()
 	return nil
 }
 
@@ -260,14 +294,19 @@ func (e *EdgeNode) Undeploy(name string) ([]Upload, error) {
 		if err != nil {
 			return nil, err
 		}
+		e.mu.Lock()
 		e.mcs = append(e.mcs[:i], e.mcs[i+1:]...)
+		e.mu.Unlock()
 		return ups, nil
 	}
 	return nil, fmt.Errorf("core: no deployed MC named %q", name)
 }
 
-// MCNames returns deployed MC names in deployment order.
+// MCNames returns deployed MC names in deployment order. Safe to call
+// while another goroutine owns the pipeline.
 func (e *EdgeNode) MCNames() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	names := make([]string, len(e.mcs))
 	for i, d := range e.mcs {
 		names[i] = d.mc.Spec().Name
@@ -275,8 +314,18 @@ func (e *EdgeNode) MCNames() []string {
 	return names
 }
 
-// Stats returns a copy of the node's counters.
-func (e *EdgeNode) Stats() Stats { return e.stats }
+// Stats returns a snapshot of the node's counters. Safe to call while
+// another goroutine owns the pipeline.
+func (e *EdgeNode) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := e.stats
+	s.MCTimeBy = make(map[string]time.Duration, len(e.stats.MCTimeBy))
+	for k, v := range e.stats.MCTimeBy {
+		s.MCTimeBy[k] = v
+	}
+	return s
+}
 
 // Config returns a copy of the node's configuration (defaults filled).
 func (e *EdgeNode) Config() Config { return e.cfg }
@@ -303,21 +352,45 @@ func (e *EdgeNode) FetchArchive(src FrameSource, start, end int, bitrate float64
 		Width: e.cfg.FrameWidth, Height: e.cfg.FrameHeight, FPS: e.cfg.FPS,
 		TargetBitrate: bitrate,
 	}, frames)
+	var delay float64
 	if e.uplink != nil {
-		e.uplink.Send(bits)
+		delay = e.uplink.Send(bits)
 	}
-	e.stats.UploadedBits += bits
+	e.mu.Lock()
+	e.stats.DemandFetchBits += bits
+	e.stats.DemandFetches++
+	if delay > e.stats.MaxUplinkDelay {
+		e.stats.MaxUplinkDelay = delay
+	}
+	e.mu.Unlock()
 	return recons, bits, nil
 }
 
 // Meta returns the event-ID metadata recorded for a frame (nil when
-// the frame matched no MC).
-func (e *EdgeNode) Meta(frame int) FrameMeta { return e.meta[frame] }
+// the frame matched no MC, or when the frame has aged out of the
+// retention window — metadata is evicted alongside retained frames).
+// Safe to call while another goroutine owns the pipeline.
+func (e *EdgeNode) Meta(frame int) FrameMeta {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	m := e.meta[frame]
+	if m == nil {
+		return nil
+	}
+	out := make(FrameMeta, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
 
 // ProcessFrame pushes the next frame of the stream through the
 // pipeline and returns any uploads that became ready. Execution is
 // phased, not pipelined: the base DNN runs to completion, then every
-// MC consumes the shared feature maps (§4.4).
+// MC consumes the shared feature maps (§4.4). With Config.MCWorkers
+// > 1 the MC classifications run concurrently across a goroutine
+// fan-out; event assembly still runs serially in deployment order, so
+// results are identical to the serial schedule.
 func (e *EdgeNode) ProcessFrame(img *vision.Image) ([]Upload, error) {
 	if len(e.mcs) == 0 {
 		return nil, fmt.Errorf("core: no microclassifiers deployed")
@@ -327,34 +400,68 @@ func (e *EdgeNode) ProcessFrame(img *vision.Image) ([]Upload, error) {
 	}
 	idx := e.nextFrame
 	e.nextFrame++
-	e.stats.Frames++
 	e.retain(idx, img)
 	if e.uplink != nil {
 		e.uplink.Advance(1 / float64(e.cfg.FPS))
 	}
+	var archivedBits int64
 	if e.archive != nil {
 		out := e.archive.Encode(img)
-		e.stats.ArchivedBits += out.Bits
+		archivedBits = out.Bits
 	}
+
+	// Frame ingest: decode the incoming pixels into the base DNN's
+	// input tensor. The frame counts as ingested from here on — even
+	// if a later phase errors, nextFrame/retention/uplink state has
+	// advanced, so Frames must agree.
+	td := time.Now()
+	x := img.ToTensor()
+	e.mu.Lock()
+	e.stats.Frames++
+	e.stats.ArchivedBits += archivedBits
+	e.stats.DecodeTime += time.Since(td)
+	e.mu.Unlock()
 
 	// Phase 1: the shared base DNN, run once for the union of stages.
 	stages := e.stageUnion()
 	t0 := time.Now()
-	maps, err := e.cfg.Base.ExtractMulti(img.ToTensor(), stages)
+	maps, err := e.cfg.Base.ExtractMulti(x, stages)
 	if err != nil {
 		return nil, err
 	}
-	e.stats.BaseDNNTime += time.Since(t0)
+	baseTime := time.Since(t0)
 
-	// Phase 2: every MC consumes the shared maps.
-	var uploads []Upload
-	for _, d := range e.mcs {
+	// Phase 2a: every MC consumes the shared maps. Each MC is pure
+	// independent compute here (its streaming state is touched only by
+	// its own Push), so the fan-out is deterministic; per-MC timing is
+	// written to a private slot and aggregated after the join.
+	type mcStep struct {
+		cls []filter.Classification
+		dt  time.Duration
+	}
+	steps := make([]mcStep, len(e.mcs))
+	nn.ForEach(len(e.mcs), e.cfg.MCWorkers, func(i int) {
+		d := e.mcs[i]
 		t1 := time.Now()
-		classifications := d.mc.Push(maps[d.mc.Stage()])
-		dt := time.Since(t1)
-		e.stats.MCTime += dt
-		e.stats.MCTimeBy[d.mc.Spec().Name] += dt
-		for _, c := range classifications {
+		cls := d.mc.Push(maps[d.mc.Stage()])
+		steps[i] = mcStep{cls: cls, dt: time.Since(t1)}
+	})
+
+	e.mu.Lock()
+	e.stats.BaseDNNTime += baseTime
+	for i, d := range e.mcs {
+		e.stats.MCTime += steps[i].dt
+		e.stats.MCTimeBy[d.mc.Spec().Name] += steps[i].dt
+	}
+	e.mu.Unlock()
+
+	// Phase 2b: smoothing, event assembly, and segment encoding run
+	// serially in deployment order — they share the uplink and the
+	// frame metadata, and their ordering defines event IDs and bit
+	// accounting.
+	var uploads []Upload
+	for i, d := range e.mcs {
+		for _, c := range steps[i].cls {
 			ups, err := e.observe(d, c)
 			if err != nil {
 				return nil, err
@@ -444,12 +551,14 @@ func (e *EdgeNode) decide(d *deployedMC, dec event.Decision) ([]Upload, error) {
 		d.segStart = frame
 		d.segFrames = 0
 	}
+	e.mu.Lock()
 	m := e.meta[frame]
 	if m == nil {
 		m = make(FrameMeta)
 		e.meta[frame] = m
 	}
 	m[d.mc.Spec().Name] = id
+	e.mu.Unlock()
 	d.segFrames++
 	if d.segFrames >= e.cfg.MaxChunkFrames {
 		up, err := e.closeSegment(d, frame+1, false)
@@ -487,7 +596,7 @@ func (e *EdgeNode) closeSegment(d *deployedMC, end int, final bool) (Upload, err
 		Width: e.cfg.FrameWidth, Height: e.cfg.FrameHeight, FPS: e.cfg.FPS,
 		TargetBitrate: e.cfg.UploadBitrate,
 	}, frames)
-	e.stats.EncodeTime += time.Since(t0)
+	encodeTime := time.Since(t0)
 
 	up := Upload{MCName: d.mc.Spec().Name, EventID: id, Start: start, End: end, Bits: bits, Final: final}
 	if e.cfg.KeepReconstructions {
@@ -495,13 +604,16 @@ func (e *EdgeNode) closeSegment(d *deployedMC, end int, final bool) (Upload, err
 	}
 	if e.uplink != nil {
 		up.Delay = e.uplink.Send(bits)
-		if up.Delay > e.stats.MaxUplinkDelay {
-			e.stats.MaxUplinkDelay = up.Delay
-		}
+	}
+	e.mu.Lock()
+	e.stats.EncodeTime += encodeTime
+	if up.Delay > e.stats.MaxUplinkDelay {
+		e.stats.MaxUplinkDelay = up.Delay
 	}
 	e.stats.UploadedBits += bits
 	e.stats.UploadedFrames += end - start
 	e.stats.Uploads++
+	e.mu.Unlock()
 	return up, nil
 }
 
@@ -525,10 +637,15 @@ func (e *EdgeNode) retain(idx int, img *vision.Image) {
 	e.frames[idx] = img
 }
 
-// evict drops frames that have fallen out of the retention window.
+// evict drops frames that have fallen out of the retention window,
+// along with their event-ID metadata — both maps are bounded by
+// RetainFrames, so arbitrarily long runs hold constant memory.
 func (e *EdgeNode) evict() {
+	e.mu.Lock()
 	for e.oldestKept < e.nextFrame-e.cfg.RetainFrames {
 		delete(e.frames, e.oldestKept)
+		delete(e.meta, e.oldestKept)
 		e.oldestKept++
 	}
+	e.mu.Unlock()
 }

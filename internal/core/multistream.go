@@ -63,10 +63,7 @@ func (m *MultiStreamNode) ProcessFrame(stream string, img *vision.Image) ([]Uplo
 		return nil, fmt.Errorf("core: unknown stream %q", stream)
 	}
 	ups, err := e.ProcessFrame(img)
-	for i := range ups {
-		ups[i].MCName = stream + "/" + ups[i].MCName
-	}
-	return ups, err
+	return prefixUploads(stream, ups), err
 }
 
 // FlushAll drains every stream.
@@ -77,10 +74,7 @@ func (m *MultiStreamNode) FlushAll() ([]Upload, error) {
 		if err != nil {
 			return nil, err
 		}
-		for i := range ups {
-			ups[i].MCName = name + "/" + ups[i].MCName
-		}
-		all = append(all, ups...)
+		all = append(all, prefixUploads(name, ups)...)
 	}
 	return all, nil
 }
@@ -101,6 +95,8 @@ func (m *MultiStreamNode) Stats() Stats {
 		total.UploadedFrames += s.UploadedFrames
 		total.Uploads += s.Uploads
 		total.ArchivedBits += s.ArchivedBits
+		total.DemandFetchBits += s.DemandFetchBits
+		total.DemandFetches += s.DemandFetches
 		if s.MaxUplinkDelay > total.MaxUplinkDelay {
 			total.MaxUplinkDelay = s.MaxUplinkDelay
 		}
@@ -134,15 +130,13 @@ func (m *MultiStreamNode) Undeploy(stream, mcName string) ([]Upload, error) {
 	if err != nil {
 		return nil, err
 	}
-	for i := range ups {
-		ups[i].MCName = stream + "/" + ups[i].MCName
-	}
-	return ups, nil
+	return prefixUploads(stream, ups), nil
 }
 
 // DeployBalanced spreads k identical microclassifier specs across the
 // registered streams round-robin, a convenience for symmetric
-// deployments.
+// deployments. Like Deploy it is live: it works mid-stream, each MC
+// starting at its stream's next frame.
 func (m *MultiStreamNode) DeployBalanced(specs []filter.Spec, threshold float32) error {
 	if len(m.order) == 0 {
 		return fmt.Errorf("core: no streams registered")
@@ -154,7 +148,7 @@ func (m *MultiStreamNode) DeployBalanced(specs []filter.Spec, threshold float32)
 		if err != nil {
 			return err
 		}
-		if err := e.Deploy(mc, threshold); err != nil {
+		if err := e.DeployLive(mc, threshold); err != nil {
 			return err
 		}
 	}

@@ -96,3 +96,69 @@ func TestMultiStreamDeployBalanced(t *testing.T) {
 		t.Fatalf("stream b has %d MCs, want 2", got)
 	}
 }
+
+// DeployBalanced is documented live: it must work after streams have
+// started flowing (it previously used EdgeNode.Deploy, which errors
+// mid-stream).
+func TestMultiStreamDeployBalancedMidStream(t *testing.T) {
+	base := testBase()
+	node, err := NewMultiStreamNode(Config{FrameWidth: 1, FrameHeight: 1, FPS: 15, Base: base, UploadBitrate: 30_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"a", "b"} {
+		if _, err := node.AddStream(name, 48, 27); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Each stream needs one pre-start MC so frames can flow.
+	if err := node.DeployBalanced([]filter.Spec{
+		{Name: "pre0", Arch: filter.PoolingClassifier, Seed: 1},
+		{Name: "pre1", Arch: filter.PoolingClassifier, Seed: 2},
+	}, -1); err != nil {
+		t.Fatal(err)
+	}
+	frames := testFrames(6)
+	for _, f := range frames[:3] {
+		for _, name := range []string{"a", "b"} {
+			if _, err := node.ProcessFrame(name, f); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// The balanced deploy joins mid-stream.
+	specs := []filter.Spec{
+		{Name: "late0", Arch: filter.PoolingClassifier, Seed: 3},
+		{Name: "late1", Arch: filter.PoolingClassifier, Seed: 4},
+		{Name: "late2", Arch: filter.PoolingClassifier, Seed: 5},
+	}
+	if err := node.DeployBalanced(specs, -1); err != nil {
+		t.Fatalf("mid-stream balanced deploy: %v", err)
+	}
+	if got := len(node.Stream("a").MCNames()); got != 3 {
+		t.Fatalf("stream a has %d MCs, want 3", got)
+	}
+	for _, f := range frames[3:] {
+		for _, name := range []string{"a", "b"} {
+			if _, err := node.ProcessFrame(name, f); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	ups, err := node.FlushAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lateUp bool
+	for _, u := range ups {
+		if u.MCName == "a/late0" || u.MCName == "b/late1" || u.MCName == "a/late2" {
+			lateUp = true
+			if u.Start < 3 {
+				t.Fatalf("late MC upload starts at %d, before its deployment frame 3", u.Start)
+			}
+		}
+	}
+	if !lateUp {
+		t.Fatal("mid-stream balanced MCs produced no uploads")
+	}
+}

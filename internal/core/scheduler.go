@@ -1,0 +1,359 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/filter"
+	"repro/internal/vision"
+)
+
+// Result is one processed frame's outcome, delivered to the
+// scheduler's OnResult callback: serially and in submission order for
+// any one stream, concurrently across streams.
+type Result struct {
+	// Stream names the source stream.
+	Stream string
+	// Frame is the stream-local frame index (0 for the stream's first
+	// submitted frame).
+	Frame int
+	// Uploads carries any segments that became ready, MC names
+	// prefixed "<stream>/" as MultiStreamNode.ProcessFrame emits them.
+	Uploads []Upload
+	// Err is the pipeline error, if any. The stream keeps accepting
+	// frames after an error; callers decide whether to stop.
+	Err error
+}
+
+// SchedulerConfig parameterizes a Scheduler.
+type SchedulerConfig struct {
+	// Workers is the worker-pool size (default GOMAXPROCS). Workers
+	// are shared across streams; one stream never occupies more than
+	// one worker at a time, so per-stream execution stays in order.
+	Workers int
+	// OnResult, when set, receives every processed frame's outcome.
+	// It is invoked from worker goroutines — do not call back into the
+	// scheduler from it (Submit is fine; the blocking ops Do, Deploy,
+	// Undeploy, Flush, Wait, and Close are not).
+	OnResult func(Result)
+}
+
+// schedItem is one unit of per-stream work: a frame, or a control op
+// (deploy, undeploy, flush, fetch) that must serialize with frames.
+type schedItem struct {
+	img   *vision.Image
+	frame int
+	op    func(e *EdgeNode)
+}
+
+// streamQueue is one stream's FIFO mailbox. Items run strictly in
+// submission order; `active` marks the queue as owned by a worker, so
+// at most one worker drives a stream at any moment.
+type streamQueue struct {
+	name      string
+	edge      *EdgeNode
+	items     []schedItem
+	submitted int // frames submitted so far: the next frame index
+	active    bool
+}
+
+// Scheduler drives a MultiStreamNode's streams concurrently on a
+// fixed worker pool — the paper's many-streams edge box (§3.2) run at
+// hardware speed. Every stream's pipeline executes on at most one
+// worker at a time and in submission order, so per-stream results
+// (upload sequences, event IDs, bit accounting) are identical to
+// running the node serially; only cross-stream interleaving differs.
+//
+// While a scheduler is running, drive its node only through the
+// scheduler: direct calls to MultiStreamNode.ProcessFrame, Deploy,
+// Undeploy, or FlushAll would race with the workers. Registering new
+// streams on the node requires a new scheduler. Observer methods
+// (MultiStreamNode.Stats, EdgeNode.Stats/Meta/MCNames) remain safe at
+// any time.
+type Scheduler struct {
+	node *MultiStreamNode
+	cfg  SchedulerConfig
+
+	mu      sync.Mutex
+	cond    *sync.Cond // signals work available or shutdown
+	idle    *sync.Cond // signals pending == 0
+	queues  map[string]*streamQueue
+	runq    []*streamQueue // streams with items, not currently owned
+	pending int            // submitted items not yet completed
+	closed  bool
+
+	wg sync.WaitGroup
+
+	errMu    sync.Mutex
+	firstErr error
+}
+
+// NewScheduler starts a worker pool over the node's current streams.
+// Close it to release the workers.
+func (m *MultiStreamNode) NewScheduler(cfg SchedulerConfig) *Scheduler {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	s := &Scheduler{node: m, cfg: cfg, queues: make(map[string]*streamQueue, len(m.order))}
+	s.cond = sync.NewCond(&s.mu)
+	s.idle = sync.NewCond(&s.mu)
+	for _, name := range m.order {
+		s.queues[name] = &streamQueue{name: name, edge: m.streams[name]}
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Workers returns the pool size.
+func (s *Scheduler) Workers() int { return s.cfg.Workers }
+
+// Submit enqueues one frame of the named stream and returns without
+// waiting for it to be processed. Frames of a stream are processed in
+// submission order; the outcome reaches OnResult.
+func (s *Scheduler) Submit(stream string, img *vision.Image) error {
+	q, err := s.queue(stream)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("core: scheduler closed")
+	}
+	s.push(q, schedItem{img: img, frame: q.submitted})
+	q.submitted++
+	s.mu.Unlock()
+	return nil
+}
+
+// Do runs fn on the named stream's pipeline, serialized with that
+// stream's in-flight frames (fn runs after everything submitted
+// before it, before anything submitted after). It blocks until fn
+// returns. This is the live-control path: deploys, undeploys, and
+// demand fetches interleave with a running stream race-free.
+func (s *Scheduler) Do(stream string, fn func(e *EdgeNode) error) error {
+	q, err := s.queue(stream)
+	if err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("core: scheduler closed")
+	}
+	s.push(q, schedItem{op: func(e *EdgeNode) { done <- fn(e) }})
+	s.mu.Unlock()
+	return <-done
+}
+
+// Deploy installs a microclassifier live on the named stream, after
+// the stream's in-flight frames.
+func (s *Scheduler) Deploy(stream string, mc *filter.MC, threshold float32) error {
+	return s.Do(stream, func(e *EdgeNode) error { return e.DeployLive(mc, threshold) })
+}
+
+// Undeploy removes a microclassifier from the named stream, returning
+// its final uploads with stream-prefixed MC names.
+func (s *Scheduler) Undeploy(stream, mcName string) ([]Upload, error) {
+	var ups []Upload
+	err := s.Do(stream, func(e *EdgeNode) error {
+		u, err := e.Undeploy(mcName)
+		ups = prefixUploads(stream, u)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ups, nil
+}
+
+// Flush drains the named stream's pipeline tail after its in-flight
+// frames, returning the final uploads with stream-prefixed MC names.
+func (s *Scheduler) Flush(stream string) ([]Upload, error) {
+	var ups []Upload
+	err := s.Do(stream, func(e *EdgeNode) error {
+		u, err := e.Flush()
+		ups = prefixUploads(stream, u)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ups, nil
+}
+
+// FlushAll drains every stream in registration order.
+func (s *Scheduler) FlushAll() ([]Upload, error) {
+	var all []Upload
+	for _, name := range s.node.StreamNames() {
+		ups, err := s.Flush(name)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, ups...)
+	}
+	return all, nil
+}
+
+// Wait blocks until every item submitted so far has been processed.
+func (s *Scheduler) Wait() {
+	s.mu.Lock()
+	for s.pending > 0 {
+		s.idle.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// Err returns the first pipeline error any stream hit, nil if none.
+func (s *Scheduler) Err() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.firstErr
+}
+
+// Close waits for in-flight work, stops the workers, and releases
+// them. The scheduler accepts no submissions afterwards; the node can
+// then be used directly again (or handed to a new scheduler).
+func (s *Scheduler) Close() {
+	s.Wait()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Scheduler) queue(stream string) (*streamQueue, error) {
+	q, ok := s.queues[stream] // read-only map after construction
+	if !ok {
+		return nil, fmt.Errorf("core: unknown stream %q", stream)
+	}
+	return q, nil
+}
+
+// push appends an item to q and makes q runnable if no worker owns
+// it. Callers hold s.mu.
+func (s *Scheduler) push(q *streamQueue, it schedItem) {
+	q.items = append(q.items, it)
+	s.pending++
+	if !q.active {
+		q.active = true
+		s.runq = append(s.runq, q)
+		s.cond.Signal()
+	}
+}
+
+// worker pops one runnable stream at a time, runs its oldest item,
+// and requeues the stream if more work arrived meanwhile — FIFO
+// across streams, so k busy streams share the pool fairly.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.runq) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.runq) == 0 && s.closed {
+			s.mu.Unlock()
+			return
+		}
+		q := s.runq[0]
+		s.runq = s.runq[1:]
+		it := q.items[0]
+		q.items = q.items[1:]
+		s.mu.Unlock()
+
+		// q is owned by this worker until it is returned below, so
+		// the stream's EdgeNode has a single goroutine driving it.
+		if it.op != nil {
+			it.op(q.edge)
+		} else {
+			ups, err := q.edge.ProcessFrame(it.img)
+			if err != nil {
+				s.recordErr(fmt.Errorf("core: stream %q frame %d: %w", q.name, it.frame, err))
+			}
+			if s.cfg.OnResult != nil {
+				s.cfg.OnResult(Result{Stream: q.name, Frame: it.frame, Uploads: prefixUploads(q.name, ups), Err: err})
+			}
+		}
+
+		s.mu.Lock()
+		if len(q.items) > 0 {
+			s.runq = append(s.runq, q)
+			s.cond.Signal()
+		} else {
+			q.active = false
+		}
+		s.pending--
+		if s.pending == 0 {
+			s.idle.Broadcast()
+		}
+		s.mu.Unlock()
+	}
+}
+
+func (s *Scheduler) recordErr(err error) {
+	s.errMu.Lock()
+	if s.firstErr == nil {
+		s.firstErr = err
+	}
+	s.errMu.Unlock()
+}
+
+// prefixUploads rewrites MC names to "<stream>/<mc>", the naming
+// MultiStreamNode.ProcessFrame emits.
+func prefixUploads(stream string, ups []Upload) []Upload {
+	for i := range ups {
+		ups[i].MCName = stream + "/" + ups[i].MCName
+	}
+	return ups
+}
+
+// UploadCollector is a ready-made OnResult sink that records each
+// stream's uploads in processing order — what a sequential loop over
+// MultiStreamNode.ProcessFrame would have accumulated per stream.
+type UploadCollector struct {
+	mu       sync.Mutex
+	byStream map[string][]Upload
+}
+
+// NewUploadCollector constructs an empty collector.
+func NewUploadCollector() *UploadCollector {
+	return &UploadCollector{byStream: make(map[string][]Upload)}
+}
+
+// OnResult implements the SchedulerConfig callback.
+func (c *UploadCollector) OnResult(r Result) {
+	if len(r.Uploads) == 0 {
+		return
+	}
+	c.mu.Lock()
+	c.byStream[r.Stream] = append(c.byStream[r.Stream], r.Uploads...)
+	c.mu.Unlock()
+}
+
+// Add appends uploads (e.g. a flush tail) under the stream's log.
+func (c *UploadCollector) Add(stream string, ups []Upload) {
+	if len(ups) == 0 {
+		return
+	}
+	c.mu.Lock()
+	c.byStream[stream] = append(c.byStream[stream], ups...)
+	c.mu.Unlock()
+}
+
+// Uploads returns the recorded uploads of one stream, in order.
+func (c *UploadCollector) Uploads(stream string) []Upload {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Upload(nil), c.byStream[stream]...)
+}

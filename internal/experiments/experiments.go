@@ -44,6 +44,14 @@ type Options struct {
 	// PretrainSamples and PretrainEpochs size the pretext task
 	// (defaults 512 / 8).
 	PretrainSamples, PretrainEpochs int
+	// Parallel runs the performance experiments on the concurrent edge
+	// runtime: phase 2 of the pipeline fans MCs across Workers
+	// goroutines. Results are identical to the serial schedule; only
+	// the timing changes.
+	Parallel bool
+	// Workers sizes the goroutine pool for Parallel runs and the
+	// multi-stream scheduler sweep (default GOMAXPROCS).
+	Workers int
 	// Verbose enables progress logging to the experiment writer.
 	Verbose bool
 }
@@ -73,6 +81,23 @@ func (o *Options) fillDefaults() {
 	if o.PretrainEpochs <= 0 {
 		o.PretrainEpochs = 8
 	}
+}
+
+// mcWorkers returns the phase-2 MC fan-out width performance
+// experiments pass to core.Config: serial unless Parallel.
+func (o Options) mcWorkers() int {
+	if !o.Parallel {
+		return 0
+	}
+	return o.poolWorkers()
+}
+
+// poolWorkers returns the configured worker-pool size.
+func (o Options) poolWorkers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // datasetPair generates the train (day 1) and test (day 2) splits.

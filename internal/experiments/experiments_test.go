@@ -190,10 +190,47 @@ func TestPhasedVsPipelinedSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.PhasedFPS <= 0 || res.PipelinedFPS <= 0 {
+	if res.PhasedFPS <= 0 || res.PipelinedFPS <= 0 || res.ParallelFPS <= 0 {
 		t.Fatalf("fps not measured: %+v", res)
 	}
 	if res.K != 3 {
 		t.Fatalf("k = %d", res.K)
+	}
+}
+
+func TestMultiStreamScalingSmoke(t *testing.T) {
+	res, err := MultiStreamScaling(io.Discard, tinyOptions(), []int{1, 2}, []int{1, 2}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("points = %d, want 4", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.FPS <= 0 {
+			t.Fatalf("fps not measured: %+v", p)
+		}
+		if p.Workers == 1 && p.Speedup != 1 {
+			t.Fatalf("baseline speedup = %v, want 1", p.Speedup)
+		}
+	}
+}
+
+// The parallel option changes only timing: throughput measured with
+// MC fan-out must report positive fps and identical structure.
+func TestThroughputParallelSmoke(t *testing.T) {
+	o := tinyOptions()
+	o.Parallel = true
+	o.Workers = 2
+	res, err := Throughput(io.Discard, o, []int{1, 2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Measured {
+		for sys, fps := range p.FPS {
+			if fps <= 0 {
+				t.Fatalf("k=%d %s fps = %v", p.K, sys, fps)
+			}
+		}
 	}
 }

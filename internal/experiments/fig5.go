@@ -112,7 +112,7 @@ func Throughput(w io.Writer, o Options, ks []int, frames int) (*ThroughputResult
 func measureFF(o Options, base *mobilenet.Model, d *dataset.Dataset, imgs []*vision.Image, arch filter.Arch, k int) (float64, error) {
 	edge, err := core.NewEdgeNode(core.Config{
 		FrameWidth: d.Cfg.Width, FrameHeight: d.Cfg.Height, FPS: d.Cfg.FPS,
-		Base: base, UploadBitrate: 100_000,
+		Base: base, UploadBitrate: 100_000, MCWorkers: o.mcWorkers(),
 	})
 	if err != nil {
 		return 0, err

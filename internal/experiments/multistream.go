@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/filter"
+	"repro/internal/mobilenet"
+	"repro/internal/nn"
+	"repro/internal/vision"
+)
+
+// MultiStreamPoint is one cell of the streams × workers sweep.
+type MultiStreamPoint struct {
+	Streams int
+	Workers int
+	FPS     float64 // aggregate frames/sec across all streams
+	// Speedup is FPS over the same stream count's 1-worker
+	// (sequential) baseline.
+	Speedup float64
+}
+
+// MultiStreamResult holds the sweep.
+type MultiStreamResult struct {
+	Points          []MultiStreamPoint
+	FramesPerStream int
+	MCsPerStream    int
+}
+
+// MultiStreamScaling measures the concurrent multi-stream edge
+// runtime: aggregate throughput of a many-streams node (§3.2's
+// "fewer MCs on several streams" deployment shape) as the scheduler's
+// worker pool grows. Workers=1 is the sequential baseline — one
+// goroutine driving every stream round-robin, exactly what the serial
+// MultiStreamNode loop did. Per-stream results are identical across
+// the sweep (the scheduler's determinism contract, enforced by a
+// per-run accounting cross-check here and byte-for-byte in the core
+// tests); only wall-clock changes.
+//
+// Intra-frame parallelism (nn.Workers) is pinned to 1 for the whole
+// sweep so the curve isolates stream-level scheduling: the baseline
+// is not allowed to quietly use the same cores inside convolutions.
+func MultiStreamScaling(w io.Writer, o Options, streams, workers []int, framesPerStream int) (*MultiStreamResult, error) {
+	o.fillDefaults()
+	if len(streams) == 0 {
+		streams = []int{1, 2, 4}
+	}
+	if len(workers) == 0 {
+		workers = []int{1}
+		// On a single-CPU host the pool column would duplicate the
+		// baseline and report measurement noise as "speedup".
+		if pw := o.poolWorkers(); pw > 1 {
+			workers = append(workers, pw)
+		}
+	}
+	if framesPerStream <= 0 {
+		framesPerStream = 30
+	}
+	const mcsPerStream = 2
+
+	d := dataset.Generate(dataset.Jackson(o.WorkingWidth, framesPerStream, o.Seed))
+	imgs := make([]*vision.Image, framesPerStream)
+	for i := range imgs {
+		imgs[i] = d.Frame(i)
+	}
+	base := newBase(o)
+
+	oldWorkers := nn.Workers
+	nn.Workers = 1
+	defer func() { nn.Workers = oldWorkers }()
+
+	res := &MultiStreamResult{FramesPerStream: framesPerStream, MCsPerStream: mcsPerStream}
+	for _, s := range streams {
+		var baselineFPS float64
+		var baselineBits int64
+		baselineUploads := -1
+		for _, wk := range workers {
+			fps, st, err := runMultiStream(o, base, d, imgs, s, wk, mcsPerStream)
+			if err != nil {
+				return nil, err
+			}
+			p := MultiStreamPoint{Streams: s, Workers: wk, FPS: fps}
+			if baselineUploads < 0 {
+				baselineFPS, baselineBits, baselineUploads = fps, st.UploadedBits, st.Uploads
+			} else if st.UploadedBits != baselineBits || st.Uploads != baselineUploads {
+				return nil, fmt.Errorf("experiments: multistream accounting diverged at s=%d w=%d: %d bits/%d uploads vs baseline %d/%d",
+					s, wk, st.UploadedBits, st.Uploads, baselineBits, baselineUploads)
+			}
+			if baselineFPS > 0 {
+				p.Speedup = fps / baselineFPS
+			}
+			res.Points = append(res.Points, p)
+			logf(w, o, "multistream s=%d w=%d: %.2f fps (%.2fx)", s, wk, fps, p.Speedup)
+		}
+	}
+	printMultiStream(w, res)
+	return res, nil
+}
+
+// runMultiStream times framesPerStream frames through s streams with
+// the given worker-pool size (1 = plain sequential loop, no
+// scheduler). One MC per stream runs at a live threshold so event
+// assembly and segment encoding are part of the measured work (and
+// the accounting cross-check bites); the rest sit above 1 and only
+// filter.
+func runMultiStream(o Options, base *mobilenet.Model, d *dataset.Dataset, imgs []*vision.Image, s, wk, mcsPerStream int) (float64, core.Stats, error) {
+	node, err := core.NewMultiStreamNode(core.Config{
+		FrameWidth: 1, FrameHeight: 1, FPS: d.Cfg.FPS,
+		Base: base, UploadBitrate: 100_000,
+	})
+	if err != nil {
+		return 0, core.Stats{}, err
+	}
+	names := make([]string, s)
+	for si := 0; si < s; si++ {
+		names[si] = fmt.Sprintf("cam%d", si)
+		e, err := node.AddStream(names[si], d.Cfg.Width, d.Cfg.Height)
+		if err != nil {
+			return 0, core.Stats{}, err
+		}
+		for mi := 0; mi < mcsPerStream; mi++ {
+			mc, err := filter.NewMC(filter.Spec{
+				Name: fmt.Sprintf("mc%d", mi), Arch: filter.LocalizedBinary, Hidden: 32,
+				Seed: o.Seed + int64(10*si+mi),
+			}, base, d.Cfg.Width, d.Cfg.Height)
+			if err != nil {
+				return 0, core.Stats{}, err
+			}
+			th := float32(2) // filter-only
+			if mi == 0 {
+				th = 0.5 // live: events, encoding, uplink accounting
+			}
+			if err := e.Deploy(mc, th); err != nil {
+				return 0, core.Stats{}, err
+			}
+		}
+	}
+	total := len(imgs) * s
+	if wk <= 1 {
+		start := time.Now()
+		for _, img := range imgs {
+			for _, name := range names {
+				if _, err := node.ProcessFrame(name, img); err != nil {
+					return 0, core.Stats{}, err
+				}
+			}
+		}
+		return float64(total) / time.Since(start).Seconds(), node.Stats(), nil
+	}
+	sched := node.NewScheduler(core.SchedulerConfig{Workers: wk})
+	start := time.Now()
+	for _, img := range imgs {
+		for _, name := range names {
+			if err := sched.Submit(name, img); err != nil {
+				return 0, core.Stats{}, err
+			}
+		}
+	}
+	sched.Wait()
+	elapsed := time.Since(start).Seconds()
+	sched.Close()
+	if err := sched.Err(); err != nil {
+		return 0, core.Stats{}, err
+	}
+	return float64(total) / elapsed, node.Stats(), nil
+}
+
+func printMultiStream(w io.Writer, res *MultiStreamResult) {
+	fmt.Fprintf(w, "Multi-stream scheduler scaling (%d frames/stream, %d MCs/stream, nn.Workers=1)\n",
+		res.FramesPerStream, res.MCsPerStream)
+	fmt.Fprintf(w, "%-8s %-8s %12s %10s\n", "streams", "workers", "fps", "speedup")
+	for _, p := range res.Points {
+		fmt.Fprintf(w, "%-8d %-8d %12.2f %9.2fx\n", p.Streams, p.Workers, p.FPS, p.Speedup)
+	}
+	fmt.Fprintln(w)
+}

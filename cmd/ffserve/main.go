@@ -11,12 +11,78 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"sync"
 	"time"
 
+	"repro/internal/archive"
 	"repro/internal/core"
 	"repro/internal/fleet"
 	"repro/internal/metrics"
+	"repro/internal/vision"
 )
+
+// contextArchiver persists demand-fetched context video into
+// datacenter-side archive stores, one per node/stream. Each fetch's
+// frames land contiguously and in frame order; concurrent fetches of
+// the same stream are serialized in completion order (the store
+// assigns its own append indices — the stream-range attribution for
+// each fetch is in ffserve's "fetched context" log lines). It gives
+// operators a reviewable on-disk record of every piece of context
+// the controller pulled, bounded by the same retention policy the
+// edges use.
+type contextArchiver struct {
+	dir    string
+	budget int64
+
+	mu     sync.Mutex // guards stores AND serializes Save's append loop
+	stores map[string]*archive.Store
+}
+
+func newContextArchiver(dir string, budget int64) *contextArchiver {
+	return &contextArchiver{dir: dir, budget: budget, stores: make(map[string]*archive.Store)}
+}
+
+// Save appends fetched frames under the node/stream's store, spreading
+// the fetch's coded-bit accounting evenly across them. Saves are
+// serialized so each fetch's frames stay contiguous on disk.
+func (c *contextArchiver) Save(node, stream string, frames []*vision.Image, bits int64) error {
+	if len(frames) == 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := node + "/" + stream
+	st, ok := c.stores[key]
+	if !ok {
+		var err error
+		st, err = archive.Open(archive.Config{
+			Dir:    filepath.Join(c.dir, node, stream),
+			Width:  frames[0].W,
+			Height: frames[0].H,
+			Budget: c.budget,
+		})
+		if err != nil {
+			return err
+		}
+		c.stores[key] = st
+	}
+	perFrame := bits / int64(len(frames))
+	for _, f := range frames {
+		if _, err := st.Append(f, perFrame); err != nil {
+			return err
+		}
+	}
+	return st.Sync()
+}
+
+func (c *contextArchiver) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, st := range c.stores {
+		st.Close()
+	}
+}
 
 func main() {
 	var (
@@ -30,8 +96,17 @@ func main() {
 
 		fetchCtx     = flag.Int("fetch-context", 0, "frames of archived context to demand-fetch before each completed event (0 disables)")
 		fetchBitrate = flag.Float64("fetch-bitrate", 30_000, "demand-fetch re-encode bitrate (b/s)")
+
+		archiveDir    = flag.String("archive-dir", "", "persist demand-fetched context frames into per-node/stream archive stores under this directory")
+		archiveBudget = flag.Int64("archive-budget", 0, "per-stream byte budget for -archive-dir stores (0 = unbounded; oldest segments evicted first)")
 	)
 	flag.Parse()
+
+	var ctxArchive *contextArchiver
+	if *archiveDir != "" {
+		ctxArchive = newContextArchiver(*archiveDir, *archiveBudget)
+		defer ctxArchive.Close()
+	}
 
 	var mcBytes []byte
 	if *deploy != "" {
@@ -76,10 +151,25 @@ func main() {
 			// Round trips must not run on the session's reader
 			// goroutine.
 			go func() {
-				resp, err := s.Fetch(stream, lo, up.Start, *fetchBitrate)
+				// With an archive dir the pixels come back over the
+				// wire and land in the datacenter-side context store;
+				// otherwise only the accounting crosses.
+				var resp fleet.FetchResponse
+				var frames []*vision.Image
+				var err error
+				if ctxArchive != nil {
+					frames, resp, err = s.FetchFrames(stream, lo, up.Start, *fetchBitrate)
+				} else {
+					resp, err = s.Fetch(stream, lo, up.Start, *fetchBitrate)
+				}
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "ffserve: fetch context %s [%d,%d): %v\n", up.MCName, lo, up.Start, err)
 					return
+				}
+				if ctxArchive != nil {
+					if err := ctxArchive.Save(s.Node(), stream, frames, resp.Bits); err != nil {
+						fmt.Fprintf(os.Stderr, "ffserve: archive context %s/%s: %v\n", s.Node(), stream, err)
+					}
 				}
 				fmt.Printf("ffserve: fetched context for %s event %d: frames [%d,%d), %d bits\n",
 					up.MCName, up.EventID, resp.Start, resp.End, resp.Bits)
@@ -150,12 +240,19 @@ func printSummary(ctrl *fleet.Controller, frames int) {
 				Node: n.Node + "/" + si.Name, Frames: st.Frames, FPS: si.FPS,
 				Uploads: st.Uploads, UploadedBits: st.UploadedBits,
 				DemandFetchBits: st.DemandFetchBits,
+				ArchivedBits:    st.ArchivedBits, ArchiveBytes: st.ArchiveBytes,
+				ArchiveEvictedSegments: st.ArchiveEvictedSegments,
+				ArchiveEvictedBytes:    st.ArchiveEvictedBytes,
 			})
 		}
 	}
 	if sum := metrics.SummarizeFleet(loads); sum.Frames > 0 {
 		fmt.Printf("  fleet: %d uploads, %d bits, avg %.1f kb/s, hottest %s at %.1f kb/s\n",
 			sum.Uploads, sum.UploadedBits, sum.AverageBitrate/1000, sum.MaxNode, sum.MaxNodeBitrate/1000)
+		if sum.ArchiveBytes > 0 || sum.ArchiveEvictedSegments > 0 {
+			fmt.Printf("  edge archives: %.1f MB on disk, %d segments evicted (%.1f MB reclaimed)\n",
+				float64(sum.ArchiveBytes)/1e6, sum.ArchiveEvictedSegments, float64(sum.ArchiveEvictedBytes)/1e6)
+		}
 	}
 	if legacy := ctrl.LegacyReceived(); legacy > 0 {
 		fmt.Printf("  legacy v1: %d uploads\n", legacy)

@@ -23,9 +23,26 @@ import (
 // implements it; it also models the edge node's local archive for
 // demand-fetch (§3.2: "edge nodes record the original video stream to
 // disk so that datacenter applications can demand-fetch additional
-// video").
+// video") when no persistent FrameArchive is attached.
 type FrameSource interface {
 	Frame(i int) *vision.Image
+}
+
+// FrameArchive is the persistent on-disk archive contract
+// (internal/archive.Store implements it): the ingest path appends
+// every original frame with its codec-model coded size, and
+// demand-fetch reads ranges back. Append is called from the pipeline
+// owner goroutine; ReadRange must be internally synchronized against
+// it.
+type FrameArchive interface {
+	// Append stores one full-fidelity frame and its codec-model coded
+	// size, returning the stream index it was assigned.
+	Append(img *vision.Image, codedBits int64) (int, error)
+	// ReadRange returns archived frames [start, end), failing for
+	// ranges evicted by retention or not yet archived.
+	ReadRange(start, end int) ([]*vision.Image, error)
+	// NextFrame is the next stream index Append will assign.
+	NextFrame() int
 }
 
 // Config parameterizes an edge node.
@@ -202,6 +219,7 @@ type EdgeNode struct {
 
 	uplink  *TokenBucket
 	archive *codec.Encoder
+	store   FrameArchive // persistent archive; nil = accounting-only
 
 	frames     map[int]*vision.Image // retained originals
 	oldestKept int
@@ -330,23 +348,58 @@ func (e *EdgeNode) Stats() Stats {
 // Config returns a copy of the node's configuration (defaults filled).
 func (e *EdgeNode) Config() Config { return e.cfg }
 
+// AttachArchive connects a persistent frame archive to the ingest
+// path: every processed frame is appended to it (alongside the
+// codec-model ArchivedBits accounting), and FetchArchive serves
+// demand-fetch ranges from it instead of the live source. The node
+// must be configured with ArchiveToDisk (the codec model supplies the
+// per-frame coded sizes), and the archive's next index must line up
+// with the stream position — attach before the first frame, or an
+// archive that already holds exactly this stream's prefix.
+func (e *EdgeNode) AttachArchive(store FrameArchive) error {
+	if store == nil {
+		return fmt.Errorf("core: nil archive")
+	}
+	if !e.cfg.ArchiveToDisk {
+		return fmt.Errorf("core: attach archive needs Config.ArchiveToDisk")
+	}
+	if got := store.NextFrame(); got != e.nextFrame {
+		return fmt.Errorf("core: archive resumes at frame %d, stream is at %d", got, e.nextFrame)
+	}
+	e.store = store
+	return nil
+}
+
 // FetchArchive reads frames [start, end) from the node's local archive
-// (src; §3.2: "edge nodes record the original video stream to disk"),
+// (§3.2: "edge nodes record the original video stream to disk"),
 // re-encodes them at the given bitrate, and accounts the transfer
 // against the uplink. It returns the decoder-side reconstructions and
-// the coded size. Both the in-process Datacenter.DemandFetch and the
-// fleet agent's wire-level demand-fetch go through this path, so their
-// bit accounting is identical by construction.
+// the coded size. With a persistent archive attached (AttachArchive)
+// the frames come off disk; un-archived configs fall back to the live
+// source src. The archive stores the full-fidelity originals, so both
+// paths re-encode identical input and produce byte-identical
+// reconstructions and bit counts. Both the in-process
+// Datacenter.DemandFetch and the fleet agent's wire-level demand-fetch
+// go through here, so their accounting is identical by construction.
 func (e *EdgeNode) FetchArchive(src FrameSource, start, end int, bitrate float64) ([]*vision.Image, int64, error) {
 	if start < 0 || end <= start {
 		return nil, 0, fmt.Errorf("core: bad demand-fetch range [%d,%d)", start, end)
 	}
-	if src == nil {
-		return nil, 0, fmt.Errorf("core: no archive source")
-	}
-	frames := make([]*vision.Image, 0, end-start)
-	for f := start; f < end; f++ {
-		frames = append(frames, src.Frame(f))
+	var frames []*vision.Image
+	if e.store != nil {
+		var err error
+		frames, err = e.store.ReadRange(start, end)
+		if err != nil {
+			return nil, 0, fmt.Errorf("core: demand-fetch: %w", err)
+		}
+	} else {
+		if src == nil {
+			return nil, 0, fmt.Errorf("core: no archive source")
+		}
+		frames = make([]*vision.Image, 0, end-start)
+		for f := start; f < end; f++ {
+			frames = append(frames, src.Frame(f))
+		}
 	}
 	bits, recons := codec.EncodeSegment(codec.Config{
 		Width: e.cfg.FrameWidth, Height: e.cfg.FrameHeight, FPS: e.cfg.FPS,
@@ -421,6 +474,14 @@ func (e *EdgeNode) ProcessFrame(img *vision.Image) ([]Upload, error) {
 	e.stats.ArchivedBits += archivedBits
 	e.stats.DecodeTime += time.Since(td)
 	e.mu.Unlock()
+
+	// Persist the original frame to the attached archive (the write
+	// lands asynchronously; demand-fetch reads barrier on the writer).
+	if e.store != nil {
+		if _, err := e.store.Append(img, archivedBits); err != nil {
+			return nil, fmt.Errorf("core: archive frame %d: %w", idx, err)
+		}
+	}
 
 	// Phase 1: the shared base DNN, run once for the union of stages.
 	stages := e.stageUnion()

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/dataset"
+)
+
+// ArchiveResult reports the persistent-archive benchmark: sustained
+// append throughput of the segmented store, retention behaviour under
+// a disk budget, crash-recovery (reopen) latency, and demand-fetch
+// read latency from disk.
+type ArchiveResult struct {
+	// Frames is how many frames were appended; SegmentFrames the
+	// segment length; Budget the configured byte budget.
+	Frames        int
+	SegmentFrames int
+	Budget        int64
+	// AppendSeconds covers appending every frame including the final
+	// writer barrier; AppendFPS is the derived throughput.
+	AppendSeconds float64
+	AppendFPS     float64
+	// WrittenMB is everything written; RetainedMB what the budget
+	// kept; EvictedSegments how many segments retention reclaimed.
+	WrittenMB       float64
+	RetainedMB      float64
+	EvictedSegments int
+	// ReopenSeconds is a full close + recovery-scan reopen.
+	ReopenSeconds float64
+	// FetchSeconds reads FetchFrames frames back off disk (the
+	// demand-fetch read path, without the re-encode).
+	FetchSeconds float64
+	FetchFrames  int
+}
+
+// Archive benchmarks the on-disk frame archive with a working-scale
+// stream: appends `frames` synthetic frames through the writer
+// goroutine under a budget sized to force eviction, then measures
+// recovery reopen and a demand-fetch read of the retained tail.
+func Archive(w io.Writer, o Options, frames int) (*ArchiveResult, error) {
+	o.fillDefaults()
+	if frames <= 0 {
+		frames = 300
+	}
+	cfg := dataset.Roadway(o.WorkingWidth, frames, o.Seed)
+	d := dataset.Generate(cfg)
+
+	dir, err := os.MkdirTemp("", "ffarchive")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	segFrames := cfg.FPS // 1 s segments: frequent rolls stress the fsync path
+	frameBytes := int64(cfg.Width*cfg.Height*3*4 + 24)
+	segBytes := int64(32) + int64(segFrames)*frameBytes
+	totalBytes := int64(frames) * frameBytes
+	budget := totalBytes / 2 // force eviction halfway through
+	if budget < 2*segBytes {
+		budget = 2 * segBytes
+	}
+	res := &ArchiveResult{Frames: frames, SegmentFrames: segFrames, Budget: budget}
+
+	st, err := archive.Open(archive.Config{
+		Dir: dir, Width: cfg.Width, Height: cfg.Height, FPS: cfg.FPS,
+		SegmentFrames: segFrames, Budget: budget,
+	})
+	if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	for i := 0; i < frames; i++ {
+		if _, err := st.Append(d.Frame(i), 1000); err != nil {
+			st.Close()
+			return nil, err
+		}
+	}
+	if err := st.Sync(); err != nil {
+		st.Close()
+		return nil, err
+	}
+	res.AppendSeconds = time.Since(t0).Seconds()
+	if res.AppendSeconds > 0 {
+		res.AppendFPS = float64(frames) / res.AppendSeconds
+	}
+	stats := st.Stats()
+	res.WrittenMB = float64(stats.Bytes+stats.EvictedBytes) / 1e6
+	res.RetainedMB = float64(stats.Bytes) / 1e6
+	res.EvictedSegments = stats.EvictedSegments
+	if err := st.Close(); err != nil {
+		return nil, err
+	}
+
+	t1 := time.Now()
+	st, err = archive.Open(archive.Config{
+		Dir: dir, Width: cfg.Width, Height: cfg.Height, FPS: cfg.FPS,
+		SegmentFrames: segFrames, Budget: budget,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.ReopenSeconds = time.Since(t1).Seconds()
+	defer st.Close()
+
+	lo := st.OldestFrame()
+	res.FetchFrames = frames - lo
+	t2 := time.Now()
+	if _, err := st.ReadRange(lo, frames); err != nil {
+		return nil, err
+	}
+	res.FetchSeconds = time.Since(t2).Seconds()
+
+	fmt.Fprintf(w, "archive: %d frames, %d-frame segments, budget %.1f MB\n",
+		res.Frames, res.SegmentFrames, float64(res.Budget)/1e6)
+	fmt.Fprintf(w, "  append   %8.1f frames/s (%.2f s for %.1f MB written)\n",
+		res.AppendFPS, res.AppendSeconds, res.WrittenMB)
+	fmt.Fprintf(w, "  retain   %8.1f MB on disk, %d segments evicted\n",
+		res.RetainedMB, res.EvictedSegments)
+	fmt.Fprintf(w, "  reopen   %8.2f ms (recovery scan)\n", res.ReopenSeconds*1000)
+	fmt.Fprintf(w, "  fetch    %8d frames in %.2f ms\n", res.FetchFrames, res.FetchSeconds*1000)
+	return res, nil
+}

@@ -6,9 +6,12 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
+	"repro/internal/archive"
 	"repro/internal/core"
 	"repro/internal/filter"
 	"repro/internal/transport"
@@ -28,6 +31,18 @@ type AgentConfig struct {
 	// Heartbeat is the stats-reporting interval (DefaultHeartbeat
 	// when zero; negative disables heartbeats).
 	Heartbeat time.Duration
+	// ArchiveDir, when set together with Edge.ArchiveToDisk, gives
+	// every stream a persistent on-disk archive under
+	// ArchiveDir/<stream>: ingest appends each original frame, and
+	// demand-fetch serves from disk instead of the stream's live
+	// FrameSource.
+	ArchiveDir string
+	// ArchiveBudget bounds each stream's archive in bytes (oldest
+	// segments evicted first; 0 = unbounded).
+	ArchiveBudget int64
+	// ArchiveSegmentFrames overrides the archive segment length
+	// (default 10 s of frames).
+	ArchiveSegmentFrames int
 }
 
 // Agent is the edge side of the fleet control plane. It wraps a
@@ -54,6 +69,7 @@ type Agent struct {
 	mu       sync.Mutex
 	sched    *core.Scheduler
 	archives map[string]core.FrameSource
+	stores   map[string]*archive.Store // per-stream persistent archives
 	streams  []StreamInfo
 
 	// sendErrMu guards the first upload-shipping error hit by the
@@ -92,6 +108,7 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 		cfg:      cfg,
 		node:     n,
 		archives: make(map[string]core.FrameSource),
+		stores:   make(map[string]*archive.Store),
 		done:     make(chan struct{}),
 		hbStop:   make(chan struct{}),
 	}, nil
@@ -101,12 +118,17 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 // and inspection.
 func (a *Agent) Node() *core.MultiStreamNode { return a.node }
 
-// AddStream registers a camera stream with its local archive (the
-// FrameSource demand-fetch reads; nil disables fetch for the stream)
-// and returns the stream's pipeline so the caller can deploy local
-// MCs. Streams must be added before Connect so the hello inventory is
-// complete, and before StartScheduler so the worker pool covers them.
-func (a *Agent) AddStream(name string, frameW, frameH int, archive core.FrameSource) (*core.EdgeNode, error) {
+// AddStream registers a camera stream with its local archive source
+// (the FrameSource demand-fetch falls back to when no persistent
+// archive is configured; nil disables the fallback) and returns the
+// stream's pipeline so the caller can deploy local MCs. When the
+// agent is configured with ArchiveDir and Edge.ArchiveToDisk, the
+// stream also gets a persistent on-disk archive at ArchiveDir/<name>
+// (recovered if it already exists): ingest appends every original
+// frame and demand-fetch serves from disk. Streams must be added
+// before Connect so the hello inventory is complete, and before
+// StartScheduler so the worker pool covers them.
+func (a *Agent) AddStream(name string, frameW, frameH int, src core.FrameSource) (*core.EdgeNode, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.sched != nil {
@@ -116,10 +138,58 @@ func (a *Agent) AddStream(name string, frameW, frameH int, archive core.FrameSou
 	if err != nil {
 		return nil, err
 	}
-	a.archives[name] = archive
+	if a.cfg.ArchiveDir != "" && e.Config().ArchiveToDisk {
+		cfg := e.Config()
+		acfg := archive.Config{
+			Dir:           filepath.Join(a.cfg.ArchiveDir, name),
+			Width:         frameW,
+			Height:        frameH,
+			FPS:           cfg.FPS,
+			SegmentFrames: a.cfg.ArchiveSegmentFrames,
+			Budget:        a.cfg.ArchiveBudget,
+		}
+		st, err := archive.Open(acfg)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: stream %q archive: %w", name, err)
+		}
+		if st.NextFrame() != 0 {
+			// A previous session's recording: its frame indices
+			// cannot line up with this fresh stream (which restarts
+			// at 0), so the recording session restarts too — the
+			// retention policy would reclaim the old segments anyway.
+			st.Close()
+			if err := os.RemoveAll(acfg.Dir); err != nil {
+				return nil, fmt.Errorf("fleet: stream %q archive restart: %w", name, err)
+			}
+			if st, err = archive.Open(acfg); err != nil {
+				return nil, fmt.Errorf("fleet: stream %q archive: %w", name, err)
+			}
+		}
+		if err := e.AttachArchive(st); err != nil {
+			st.Close()
+			return nil, fmt.Errorf("fleet: stream %q archive: %w", name, err)
+		}
+		a.stores[name] = st
+	}
+	a.archives[name] = src
 	cfg := e.Config()
 	a.streams = append(a.streams, StreamInfo{Name: name, Width: frameW, Height: frameH, FPS: cfg.FPS})
 	return e, nil
+}
+
+// ArchiveStats returns the named stream's persistent-archive counters
+// and whether the stream has an on-disk archive at all. It barriers on
+// the archive writer first, so the counters cover every frame already
+// appended by the pipeline.
+func (a *Agent) ArchiveStats(stream string) (archive.Stats, bool) {
+	a.mu.Lock()
+	st, ok := a.stores[stream]
+	a.mu.Unlock()
+	if !ok {
+		return archive.Stats{}, false
+	}
+	_ = st.Sync() // best-effort barrier; a writer error also shows up on the pipeline
+	return st.Stats(), true
 }
 
 // Connect dials a controller, performs the v2 handshake, and starts
@@ -395,10 +465,23 @@ func (a *Agent) Flush() ([]core.Upload, error) {
 }
 
 // Close stops a running scheduler (draining in-flight frames so
-// their uploads still ship), says goodbye, closes the connection, and
-// waits for the loops to drain. Safe to call when never connected.
+// their uploads still ship), flushes and closes the per-stream
+// archives, says goodbye, closes the connection, and waits for the
+// loops to drain. Safe to call when never connected.
 func (a *Agent) Close() error {
 	stopErr := a.StopScheduler()
+	a.mu.Lock()
+	stores := make([]*archive.Store, 0, len(a.stores))
+	for _, st := range a.stores {
+		stores = append(stores, st)
+	}
+	a.stores = make(map[string]*archive.Store)
+	a.mu.Unlock()
+	for _, st := range stores {
+		if err := st.Close(); err != nil && stopErr == nil {
+			stopErr = err
+		}
+	}
 	a.sessMu.Lock()
 	conn := a.conn
 	connected := a.connected
@@ -546,9 +629,12 @@ func (a *Agent) handleUndeploy(req UndeployRequest) {
 
 // handleFetch serves a demand-fetch from the stream's local archive,
 // serialized with the stream's frames so the shared uplink accounting
-// stays deterministic.
+// stays deterministic. When the request asks for data, the decoder-
+// side reconstructions stream back as chunked FetchData records ahead
+// of the response trailer.
 func (a *Agent) handleFetch(req FetchRequest) {
 	resp := FetchResponse{Seq: req.Seq, Stream: req.Stream, Start: req.Start, End: req.End}
+	var recons []*vision.Image
 	var err error
 	a.mu.Lock()
 	src := a.archives[req.Stream]
@@ -556,7 +642,7 @@ func (a *Agent) handleFetch(req FetchRequest) {
 		a.mu.Unlock()
 		err = s.Do(req.Stream, func(e *core.EdgeNode) error {
 			var ferr error
-			_, resp.Bits, ferr = e.FetchArchive(src, req.Start, req.End, req.Bitrate)
+			recons, resp.Bits, ferr = e.FetchArchive(src, req.Start, req.End, req.Bitrate)
 			return ferr
 		})
 	} else {
@@ -564,14 +650,44 @@ func (a *Agent) handleFetch(req FetchRequest) {
 		if e == nil {
 			err = fmt.Errorf("unknown stream %q", req.Stream)
 		} else {
-			_, resp.Bits, err = e.FetchArchive(src, req.Start, req.End, req.Bitrate)
+			recons, resp.Bits, err = e.FetchArchive(src, req.Start, req.End, req.Bitrate)
 		}
 		a.mu.Unlock()
 	}
 	if err != nil {
 		resp.Err = err.Error()
+	} else if req.IncludeData {
+		if err := a.sendFetchData(req, recons); err != nil {
+			resp.Err = err.Error()
+		}
 	}
 	_ = a.writeRecord(transport.KindFetchResponse, resp)
+}
+
+// sendFetchData streams reconstructions back in chunks sized to stay
+// well under the transport's record limit.
+func (a *Agent) sendFetchData(req FetchRequest, recons []*vision.Image) error {
+	perFrame := 1
+	if len(recons) > 0 {
+		frameBytes := len(recons[0].Pix)*4 + 64
+		if perFrame = (transport.MaxRecordBytes / 4) / frameBytes; perFrame < 1 {
+			perFrame = 1
+		}
+	}
+	for lo := 0; lo < len(recons); lo += perFrame {
+		hi := lo + perFrame
+		if hi > len(recons) {
+			hi = len(recons)
+		}
+		fd := FetchData{Seq: req.Seq, Stream: req.Stream, Frames: make([]FrameData, 0, hi-lo)}
+		for _, img := range recons[lo:hi] {
+			fd.Frames = append(fd.Frames, FrameData{W: img.W, H: img.H, Pix: img.Pix})
+		}
+		if err := a.writeRecord(transport.KindFetchData, fd); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (a *Agent) ack(seq uint64, err error) {
@@ -611,12 +727,21 @@ func (a *Agent) snapshot() Heartbeat {
 			continue
 		}
 		st := e.Stats()
-		hb.Streams[si.Name] = StreamStats{
+		ss := StreamStats{
 			Frames: st.Frames, Uploads: st.Uploads,
 			UploadedFrames: st.UploadedFrames, UploadedBits: st.UploadedBits,
 			DemandFetchBits: st.DemandFetchBits, DemandFetches: st.DemandFetches,
 			MaxUplinkDelay: st.MaxUplinkDelay,
+			ArchivedBits:   st.ArchivedBits,
 		}
+		if store, ok := a.stores[si.Name]; ok {
+			ast := store.Stats()
+			ss.ArchiveBytes = ast.Bytes
+			ss.ArchiveSegments = ast.Segments
+			ss.ArchiveEvictedSegments = ast.EvictedSegments
+			ss.ArchiveEvictedBytes = ast.EvictedBytes
+		}
+		hb.Streams[si.Name] = ss
 	}
 	return hb
 }

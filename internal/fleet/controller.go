@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/filter"
 	"repro/internal/transport"
+	"repro/internal/vision"
 )
 
 // DefaultTimeout bounds how long controller round trips (deploy,
@@ -329,11 +330,23 @@ func (c *Controller) DeployMC(node, stream string, mc *filter.MC, threshold floa
 }
 
 // Fetch demand-fetches archived frames [start, end) of a stream on
-// the named node, re-encoded at bitrate.
+// the named node, re-encoded at bitrate. Only the accounting crosses
+// the wire; use FetchFrames to stream the frames themselves.
 func (c *Controller) Fetch(node, stream string, start, end int, bitrate float64) (FetchResponse, error) {
 	s, err := c.Session(node)
 	if err != nil {
 		return FetchResponse{}, err
 	}
 	return s.Fetch(stream, start, end, bitrate)
+}
+
+// FetchFrames demand-fetches archived frames [start, end) of a stream
+// on the named node and streams the reconstructions back through the
+// v2 transport.
+func (c *Controller) FetchFrames(node, stream string, start, end int, bitrate float64) ([]*vision.Image, FetchResponse, error) {
+	s, err := c.Session(node)
+	if err != nil {
+		return nil, FetchResponse{}, err
+	}
+	return s.FetchFrames(stream, start, end, bitrate)
 }

@@ -70,17 +70,37 @@ type Ack struct {
 
 // FetchRequest asks the edge to re-encode frames [Start, End) of a
 // stream's local archive at Bitrate and account the transfer against
-// its uplink (datacenter → edge) — the §3.2 demand-fetch path.
+// its uplink (datacenter → edge) — the §3.2 demand-fetch path. With
+// IncludeData the edge also streams the decoder-side reconstructions
+// back as FetchData records ahead of the response trailer.
 type FetchRequest struct {
-	Seq        uint64
-	Stream     string
-	Start, End int
-	Bitrate    float64
+	Seq         uint64
+	Stream      string
+	Start, End  int
+	Bitrate     float64
+	IncludeData bool
+}
+
+// FrameData is one reconstructed frame on the wire.
+type FrameData struct {
+	W, H int
+	Pix  []float32
+}
+
+// FetchData carries a chunk of demand-fetched frames (edge →
+// datacenter). A fetch's data records arrive in frame order, all
+// before its FetchResponse trailer; chunking keeps each record under
+// the transport's record size limit.
+type FetchData struct {
+	Seq    uint64
+	Stream string
+	Frames []FrameData
 }
 
 // FetchResponse answers a fetch request with the coded-segment
-// accounting (edge → datacenter). As with uploads, pixel data is not
-// shipped; in a real deployment the datacenter decodes the coded bits.
+// accounting (edge → datacenter). Pixel data travels in the preceding
+// FetchData records when the request asked for it; accounting-only
+// fetches (IncludeData false) ship no pixels at all.
 type FetchResponse struct {
 	Seq        uint64
 	Stream     string
@@ -101,6 +121,14 @@ type StreamStats struct {
 	DemandFetchBits int64
 	DemandFetches   int
 	MaxUplinkDelay  float64
+	// ArchivedBits is the codec-model cost of the continuous local
+	// archive; the remaining Archive* fields describe the stream's
+	// persistent on-disk store (zero when archiving is disabled).
+	ArchivedBits           int64
+	ArchiveBytes           int64
+	ArchiveSegments        int
+	ArchiveEvictedSegments int
+	ArchiveEvictedBytes    int64
 }
 
 // Heartbeat carries periodic per-stream stats (edge → datacenter).

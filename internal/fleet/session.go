@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/transport"
+	"repro/internal/vision"
 )
 
 // ErrSessionClosed is returned by session operations after the edge
@@ -33,6 +34,7 @@ type Session struct {
 	mu          sync.Mutex
 	nextSeq     uint64
 	pending     map[uint64]chan any
+	fetchFrames map[uint64][]*vision.Image // data chunks awaiting their trailer
 	received    int
 	heartbeat   Heartbeat
 	heartbeatAt time.Time
@@ -45,14 +47,15 @@ type Session struct {
 
 func newSession(id uint64, hello Hello, conn net.Conn, timeout time.Duration) *Session {
 	return &Session{
-		id:      id,
-		node:    hello.Node,
-		streams: append([]StreamInfo(nil), hello.Streams...),
-		conn:    conn,
-		timeout: timeout,
-		pending: make(map[uint64]chan any),
-		dc:      core.NewDatacenter(),
-		done:    make(chan struct{}),
+		id:          id,
+		node:        hello.Node,
+		streams:     append([]StreamInfo(nil), hello.Streams...),
+		conn:        conn,
+		timeout:     timeout,
+		pending:     make(map[uint64]chan any),
+		fetchFrames: make(map[uint64][]*vision.Image),
+		dc:          core.NewDatacenter(),
+		done:        make(chan struct{}),
 	}
 }
 
@@ -124,22 +127,46 @@ func (s *Session) Undeploy(stream, mcName string) error {
 }
 
 // Fetch demand-fetches frames [start, end) of a stream's archive,
-// re-encoded at bitrate, and returns the edge's accounting.
+// re-encoded at bitrate, and returns the edge's accounting. No pixel
+// data crosses the wire; use FetchFrames for that.
 func (s *Session) Fetch(stream string, start, end int, bitrate float64) (FetchResponse, error) {
+	_, fr, err := s.fetch(stream, start, end, bitrate, false)
+	return fr, err
+}
+
+// FetchFrames demand-fetches frames [start, end) of a stream's
+// archive and streams the decoder-side reconstructions back through
+// the v2 transport (chunked FetchData records ahead of the response
+// trailer), returning the frames alongside the edge's accounting.
+func (s *Session) FetchFrames(stream string, start, end int, bitrate float64) ([]*vision.Image, FetchResponse, error) {
+	return s.fetch(stream, start, end, bitrate, true)
+}
+
+func (s *Session) fetch(stream string, start, end int, bitrate float64, includeData bool) ([]*vision.Image, FetchResponse, error) {
 	resp, err := s.roundTrip(transport.KindFetchRequest, func(seq uint64) any {
-		return FetchRequest{Seq: seq, Stream: stream, Start: start, End: end, Bitrate: bitrate}
+		return FetchRequest{Seq: seq, Stream: stream, Start: start, End: end, Bitrate: bitrate, IncludeData: includeData}
 	})
 	if err != nil {
-		return FetchResponse{}, err
+		return nil, FetchResponse{}, err
 	}
-	fr, ok := resp.(FetchResponse)
+	fr, ok := resp.(fetchReply)
 	if !ok {
-		return FetchResponse{}, fmt.Errorf("fleet: unexpected response %T to fetch", resp)
+		return nil, FetchResponse{}, fmt.Errorf("fleet: unexpected response %T to fetch", resp)
 	}
-	if fr.Err != "" {
-		return fr, fmt.Errorf("fleet: edge %q fetch: %s", s.node, fr.Err)
+	if fr.resp.Err != "" {
+		return nil, fr.resp, fmt.Errorf("fleet: edge %q fetch: %s", s.node, fr.resp.Err)
 	}
-	return fr, nil
+	if includeData && len(fr.frames) != end-start {
+		return fr.frames, fr.resp, fmt.Errorf("fleet: edge %q fetch returned %d frames, want %d", s.node, len(fr.frames), end-start)
+	}
+	return fr.frames, fr.resp, nil
+}
+
+// fetchReply pairs a fetch's response trailer with the frame data
+// records that preceded it (empty for accounting-only fetches).
+type fetchReply struct {
+	resp   FetchResponse
+	frames []*vision.Image
 }
 
 func ackErr(resp any) error {
@@ -190,6 +217,7 @@ func (s *Session) roundTrip(kind uint8, build func(seq uint64) any) (any, error)
 func (s *Session) dropPending(seq uint64) {
 	s.mu.Lock()
 	delete(s.pending, seq)
+	delete(s.fetchFrames, seq)
 	s.mu.Unlock()
 }
 
@@ -249,12 +277,37 @@ func (s *Session) readLoop(onUpload func(*Session, core.Upload)) error {
 				return err
 			}
 			s.deliver(ack.Seq, ack)
+		case transport.KindFetchData:
+			var fd FetchData
+			if err := transport.DecodeRecord(body, &fd); err != nil {
+				return err
+			}
+			for _, f := range fd.Frames {
+				// A malformed pixel payload is a protocol violation;
+				// letting it through would hand consumers an image
+				// whose Pix disagrees with its dimensions.
+				if f.W <= 0 || f.H <= 0 || len(f.Pix) != f.W*f.H*3 {
+					return fmt.Errorf("fleet: edge %q sent a %dx%d fetch frame with %d samples", s.node, f.W, f.H, len(f.Pix))
+				}
+			}
+			s.mu.Lock()
+			if _, waiting := s.pending[fd.Seq]; waiting {
+				for _, f := range fd.Frames {
+					img := &vision.Image{W: f.W, H: f.H, Pix: f.Pix}
+					s.fetchFrames[fd.Seq] = append(s.fetchFrames[fd.Seq], img)
+				}
+			}
+			s.mu.Unlock()
 		case transport.KindFetchResponse:
 			var fr FetchResponse
 			if err := transport.DecodeRecord(body, &fr); err != nil {
 				return err
 			}
-			s.deliver(fr.Seq, fr)
+			s.mu.Lock()
+			frames := s.fetchFrames[fr.Seq]
+			delete(s.fetchFrames, fr.Seq)
+			s.mu.Unlock()
+			s.deliver(fr.Seq, fetchReply{resp: fr, frames: frames})
 		case transport.KindHeartbeat:
 			var hb Heartbeat
 			if err := transport.DecodeRecord(body, &hb); err != nil {

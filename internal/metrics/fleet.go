@@ -19,6 +19,16 @@ type NodeLoad struct {
 	// DemandFetchBits is the demand-fetched archive traffic, reported
 	// separately from the filtering pipeline's own output.
 	DemandFetchBits int64
+	// ArchivedBits is the codec-model cost of the stream's continuous
+	// local archive. It is local-disk I/O, not uplink traffic, so it
+	// stays out of Bitrate.
+	ArchivedBits int64
+	// ArchiveBytes is the stream's current on-disk archive footprint;
+	// ArchiveEvictedSegments and ArchiveEvictedBytes count what its
+	// retention policy has reclaimed.
+	ArchiveBytes           int64
+	ArchiveEvictedSegments int
+	ArchiveEvictedBytes    int64
 }
 
 // Bitrate returns the node's realized average uplink usage in bits/s
@@ -41,6 +51,14 @@ type FleetSummary struct {
 	Uploads         int
 	UploadedBits    int64
 	DemandFetchBits int64
+	// ArchivedBits, ArchiveBytes, ArchiveEvictedSegments, and
+	// ArchiveEvictedBytes roll up the fleet's on-disk archives — the
+	// capacity-planning view of how much context video the edges hold
+	// and how hard retention is working.
+	ArchivedBits           int64
+	ArchiveBytes           int64
+	ArchiveEvictedSegments int
+	ArchiveEvictedBytes    int64
 	// AverageBitrate is total uploaded bits over total stream time
 	// across nodes with a known rate, in bits/s.
 	AverageBitrate float64
@@ -63,6 +81,10 @@ func SummarizeFleet(nodes []NodeLoad) FleetSummary {
 		s.Uploads += n.Uploads
 		s.UploadedBits += n.UploadedBits
 		s.DemandFetchBits += n.DemandFetchBits
+		s.ArchivedBits += n.ArchivedBits
+		s.ArchiveBytes += n.ArchiveBytes
+		s.ArchiveEvictedSegments += n.ArchiveEvictedSegments
+		s.ArchiveEvictedBytes += n.ArchiveEvictedBytes
 		if n.Frames > 0 && n.FPS > 0 {
 			seconds += float64(n.Frames) / float64(n.FPS)
 			ratedBits += n.UploadedBits + n.DemandFetchBits

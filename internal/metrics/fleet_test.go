@@ -16,16 +16,27 @@ func TestNodeLoadBitrate(t *testing.T) {
 	if got := (NodeLoad{Frames: 10, FPS: 0, UploadedBits: 99}).Bitrate(); got != 0 {
 		t.Fatalf("unknown-FPS bitrate = %v", got)
 	}
+	// Archive bits are local-disk I/O, not uplink traffic.
+	withArchive := NodeLoad{Frames: 150, FPS: 15, UploadedBits: 1_000_000, ArchivedBits: 77_000_000}
+	if got := withArchive.Bitrate(); math.Abs(got-100_000) > 1e-6 {
+		t.Fatalf("archive bits leaked into uplink bitrate: %v", got)
+	}
 }
 
 func TestSummarizeFleet(t *testing.T) {
 	s := SummarizeFleet([]NodeLoad{
-		{Node: "a/cam0", Frames: 150, FPS: 15, Uploads: 3, UploadedBits: 1_000_000},
-		{Node: "b/cam0", Frames: 300, FPS: 15, Uploads: 5, UploadedBits: 4_000_000},
+		{Node: "a/cam0", Frames: 150, FPS: 15, Uploads: 3, UploadedBits: 1_000_000,
+			ArchivedBits: 10_000, ArchiveBytes: 2_048, ArchiveEvictedSegments: 2, ArchiveEvictedBytes: 512},
+		{Node: "b/cam0", Frames: 300, FPS: 15, Uploads: 5, UploadedBits: 4_000_000,
+			ArchivedBits: 30_000, ArchiveBytes: 4_096, ArchiveEvictedSegments: 1, ArchiveEvictedBytes: 256},
 		{Node: "c/cam0", Frames: 0, FPS: 15, Uploads: 0, UploadedBits: 0},
 	})
 	if s.Nodes != 3 || s.Frames != 450 || s.Uploads != 8 || s.UploadedBits != 5_000_000 {
 		t.Fatalf("totals wrong: %+v", s)
+	}
+	if s.ArchivedBits != 40_000 || s.ArchiveBytes != 6_144 ||
+		s.ArchiveEvictedSegments != 3 || s.ArchiveEvictedBytes != 768 {
+		t.Fatalf("archive totals wrong: %+v", s)
 	}
 	// 450 frames at 15 fps = 30 s of stream time; 5 Mb over 30 s.
 	if math.Abs(s.AverageBitrate-5_000_000.0/30) > 1e-6 {

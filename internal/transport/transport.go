@@ -81,6 +81,12 @@ const (
 	// KindAck acknowledges a deploy/undeploy request, carrying an
 	// error string on failure (edge → datacenter).
 	KindAck uint8 = 10
+	// KindFetchData streams a chunk of demand-fetched frame pixels
+	// from the edge's on-disk archive (edge → datacenter). Zero or
+	// more data records precede the KindFetchResponse trailer of the
+	// same sequence number; they are only sent when the fetch request
+	// set IncludeData.
+	KindFetchData uint8 = 11
 )
 
 // MaxRecordBytes bounds a single record payload, keeping a

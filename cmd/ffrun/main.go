@@ -35,6 +35,7 @@ func main() {
 		connect   = flag.String("connect", "", "optional ffserve address to join as a fleet agent")
 		nodeName  = flag.String("node", "edge", "node name announced to the controller")
 		stream    = flag.String("stream", "cam0", "stream name announced to the controller")
+		reconnect = flag.Bool("reconnect", true, "auto-reconnect with backoff when the controller session dies; buffered uploads are retransmitted and deduplicated on resume")
 
 		archiveDir     = flag.String("archive-dir", "", "archive the full original stream to per-stream segment files under this directory; demand-fetch then serves from disk")
 		archiveBudget  = flag.Int64("archive-budget", 0, "archive byte budget (0 = unbounded; oldest segments evicted first)")
@@ -74,6 +75,7 @@ func main() {
 			Base: base, UploadBitrate: *bitrate, UplinkBandwidth: *uplink,
 			ArchiveToDisk: *archiveDir != "", ArchiveBitrate: *archiveBitrate,
 		},
+		Reconnect:     *reconnect,
 		ArchiveDir:    *archiveDir,
 		ArchiveBudget: *archiveBudget,
 	})
@@ -123,8 +125,14 @@ func main() {
 		for len(agent.DeployedMCs(*stream)) == 0 {
 			select {
 			case <-agent.Done():
-				fmt.Fprintln(os.Stderr, "ffrun: controller disconnected before deploying")
-				os.Exit(1)
+				// With -reconnect the agent redials and the controller
+				// re-deploys on resume; only a non-resilient agent
+				// gives up here.
+				if !*reconnect {
+					fmt.Fprintln(os.Stderr, "ffrun: controller disconnected before deploying")
+					os.Exit(1)
+				}
+				time.Sleep(100 * time.Millisecond)
 			case <-time.After(100 * time.Millisecond):
 			}
 		}
@@ -151,6 +159,19 @@ func main() {
 		os.Exit(1)
 	}
 	dc.ReceiveAll(ups)
+
+	// Give in-flight acks a moment to land so the resilience line
+	// reports steady state, not the race with the last upload.
+	for end := time.Now().Add(2 * time.Second); ; {
+		if p, _ := agent.PendingUploads(); p == 0 || time.Now().After(end) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if pending, dropped := agent.PendingUploads(); agent.Reconnects() > 0 || dropped > 0 || pending > 0 {
+		fmt.Printf("fleet resilience   %d reconnects, %d uploads awaiting ack, %d dropped by buffer cap\n",
+			agent.Reconnects(), pending, dropped)
+	}
 
 	st := agent.Stats()
 	fmt.Printf("\nframes processed   %d\n", st.Frames)

@@ -89,6 +89,7 @@ func main() {
 		addr     = flag.String("listen", "127.0.0.1:7004", "listen address")
 		interval = flag.Duration("interval", 5*time.Second, "summary interval")
 		frames   = flag.Int("frames", 2000, "stream length assumed when printing coverage")
+		hbMiss   = flag.Int("heartbeat-miss", 5, "evict a session after this many missed heartbeat intervals (0 disables liveness eviction)")
 
 		deploy    = flag.String("deploy", "", "MC weights file (from fftrain) to deploy to every connecting node")
 		deployTo  = flag.String("deploy-stream", "", "stream to deploy onto (default: each node's first advertised stream)")
@@ -120,17 +121,27 @@ func main() {
 
 	var ctrl *fleet.Controller
 	cfg := fleet.ControllerConfig{
+		HeartbeatMiss: *hbMiss,
 		OnSession: func(s *fleet.Session) {
 			streams := s.Streams()
-			fmt.Printf("ffserve: session %d: node %q connected with %d stream(s)\n", s.ID(), s.Node(), len(streams))
-			if mcBytes == nil || len(streams) == 0 {
+			verb := "connected"
+			if s.Resumed() {
+				verb = "reconnected"
+			}
+			fmt.Printf("ffserve: session %d: node %q %s with %d stream(s)\n", s.ID(), s.Node(), verb, len(streams))
+			if mcBytes == nil || len(streams) == 0 || s.Resumed() {
+				// Resumed sessions are reconciled against recorded
+				// intent; re-deploying here would only be rejected as
+				// a duplicate.
 				return
 			}
 			target := *deployTo
 			if target == "" {
 				target = streams[0].Name
 			}
-			if err := s.Deploy(target, mcBytes, float32(*threshold)); err != nil {
+			// Controller.Deploy records intent, so the node gets the
+			// MC re-pushed if it ever comes back without it.
+			if err := ctrl.Deploy(s.Node(), target, mcBytes, float32(*threshold)); err != nil {
 				fmt.Fprintf(os.Stderr, "ffserve: deploy to %s/%s: %v\n", s.Node(), target, err)
 				return
 			}
@@ -249,6 +260,13 @@ func printSummary(ctrl *fleet.Controller, frames int) {
 	if sum := metrics.SummarizeFleet(loads); sum.Frames > 0 {
 		fmt.Printf("  fleet: %d uploads, %d bits, avg %.1f kb/s, hottest %s at %.1f kb/s\n",
 			sum.Uploads, sum.UploadedBits, sum.AverageBitrate/1000, sum.MaxNode, sum.MaxNodeBitrate/1000)
+		// Lifecycle totals come from the controller's durable node
+		// records, not the live-session loads: an evicted node with no
+		// current session is exactly the one that must not vanish from
+		// this line.
+		if ev, rc := ctrl.Lifecycle(); ev > 0 || rc > 0 {
+			fmt.Printf("  fleet lifecycle: %d session(s) evicted, %d reconnect(s)\n", ev, rc)
+		}
 		if sum.ArchiveBytes > 0 || sum.ArchiveEvictedSegments > 0 {
 			fmt.Printf("  edge archives: %.1f MB on disk, %d segments evicted (%.1f MB reclaimed)\n",
 				float64(sum.ArchiveBytes)/1e6, sum.ArchiveEvictedSegments, float64(sum.ArchiveEvictedBytes)/1e6)

@@ -320,6 +320,21 @@ func (e *EdgeNode) Undeploy(name string) ([]Upload, error) {
 	return nil, fmt.Errorf("core: no deployed MC named %q", name)
 }
 
+// MC returns the deployed microclassifier with the given name, nil
+// when absent. The returned MC is live pipeline state: inspect it
+// only while the pipeline is quiescent (e.g. after a flush), never
+// concurrently with frame processing.
+func (e *EdgeNode) MC(name string) *filter.MC {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, d := range e.mcs {
+		if d.mc.Spec().Name == name {
+			return d.mc
+		}
+	}
+	return nil
+}
+
 // MCNames returns deployed MC names in deployment order. Safe to call
 // while another goroutine owns the pipeline.
 func (e *EdgeNode) MCNames() []string {

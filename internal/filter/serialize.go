@@ -54,6 +54,22 @@ func (m *MC) SaveFile(path string) error {
 	return f.Close()
 }
 
+// MCName reads just the microclassifier name from a Save stream,
+// without a base DNN to rebuild against — what the fleet controller
+// needs to key deployment intent by name before shipping the bytes.
+// Decoding into a spec-only view lets gob skip the weight payload
+// instead of materializing it.
+func MCName(r io.Reader) (string, error) {
+	var s struct{ Spec Spec }
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return "", fmt.Errorf("filter: decode MC: %w", err)
+	}
+	if s.Spec.Name == "" {
+		return "", fmt.Errorf("filter: saved MC has no name")
+	}
+	return s.Spec.Name, nil
+}
+
 // LoadMC reconstructs a microclassifier saved with Save against a base
 // DNN and frame geometry, restoring weights and normalization. The
 // base model and frame size must match the ones the MC was built for.

@@ -4,10 +4,13 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"math/rand"
 	"net"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
@@ -21,6 +24,16 @@ import (
 // DefaultHeartbeat is the agent's stats-reporting interval.
 const DefaultHeartbeat = 2 * time.Second
 
+// Reconnect-loop defaults: exponential backoff with jitter between
+// these bounds, and a per-record write deadline so a stalled uplink
+// surfaces as a dead connection instead of a hung pipeline.
+const (
+	DefaultReconnectMin = 50 * time.Millisecond
+	DefaultReconnectMax = 5 * time.Second
+	DefaultWriteTimeout = 10 * time.Second
+	DefaultMaxPending   = 4096
+)
+
 // AgentConfig parameterizes an edge agent.
 type AgentConfig struct {
 	// Node is the edge node's name, announced in the session hello.
@@ -31,6 +44,33 @@ type AgentConfig struct {
 	// Heartbeat is the stats-reporting interval (DefaultHeartbeat
 	// when zero; negative disables heartbeats).
 	Heartbeat time.Duration
+	// Reconnect enables the auto-reconnect loop: when an established
+	// session dies (connection loss, corruption, controller
+	// eviction), the agent redials with exponential backoff + jitter
+	// and resumes — re-announcing its deployed state and
+	// retransmitting unacked uploads. The pipeline keeps processing
+	// frames throughout; their uploads buffer until the session is
+	// back.
+	Reconnect bool
+	// ReconnectMin and ReconnectMax bound the backoff delay
+	// (DefaultReconnectMin/Max when zero).
+	ReconnectMin, ReconnectMax time.Duration
+	// ReconnectSeed seeds the backoff jitter, so tests replay
+	// deterministically.
+	ReconnectSeed int64
+	// WriteTimeout bounds each record write and the handshake round
+	// trip (DefaultWriteTimeout when zero; negative disables). A
+	// timed-out write marks the connection dead.
+	WriteTimeout time.Duration
+	// MaxPending caps the unacked-upload resend buffer
+	// (DefaultMaxPending when zero; negative unbounded). When a long
+	// outage overflows it, the oldest uploads are dropped and counted
+	// in DroppedUploads.
+	MaxPending int
+	// Dial overrides the dialer used by Connect and the reconnect
+	// loop (net.Dial when nil) — the hook internal/simnet tests plug
+	// a fault-injecting network into.
+	Dial func(network, addr string) (net.Conn, error)
 	// ArchiveDir, when set together with Edge.ArchiveToDisk, gives
 	// every stream a persistent on-disk archive under
 	// ArchiveDir/<stream>: ingest appends each original frame, and
@@ -58,6 +98,12 @@ type AgentConfig struct {
 // control requests serialize with each stream's in-flight frames
 // through the scheduler instead of the agent mutex. Per-stream
 // results are identical in both modes.
+//
+// With Reconnect enabled the agent survives session loss: uploads
+// carry sequence numbers and stay buffered until the controller acks
+// them, so after a reconnect (resume hello) the unacked tail is
+// retransmitted and the controller deduplicates — exactly-once upload
+// accounting across arbitrary disconnects.
 type Agent struct {
 	cfg  AgentConfig
 	node *core.MultiStreamNode
@@ -71,6 +117,12 @@ type Agent struct {
 	archives map[string]core.FrameSource
 	stores   map[string]*archive.Store // per-stream persistent archives
 	streams  []StreamInfo
+	// managed tracks remote-deployed MC names per stream — the
+	// deployment inventory announced in resume hellos, which
+	// reconciliation diffs against controller intent. Locally
+	// deployed MCs are deliberately absent: the controller must never
+	// undeploy what it didn't ship.
+	managed map[string]map[string]bool
 
 	// sendErrMu guards the first upload-shipping error hit by the
 	// scheduler's result callback (serial mode returns such errors
@@ -78,17 +130,37 @@ type Agent struct {
 	sendErrMu sync.Mutex
 	sendErr   error
 
+	// pmu guards the upload sequence counter and the unacked resend
+	// buffer. pending[:unsent] has been written to the current
+	// connection; everything is retransmitted from index 0 after a
+	// reconnect. Acks trim the front.
+	pmu       sync.Mutex
+	uploadSeq uint64
+	pending   []transport.UploadRecord
+	unsent    int
+	dropped   int
+
 	// wmu serializes record writes to the connection.
 	wmu  sync.Mutex
 	conn net.Conn
 
-	sessMu    sync.Mutex
-	sessionID uint64
-	runErr    error
-	connected bool
-	done      chan struct{}
-	hbStop    chan struct{}
-	wg        sync.WaitGroup
+	sessMu     sync.Mutex
+	sessionID  uint64
+	runErr     error
+	connected  bool
+	everOnline bool // a session existed at some point
+	closed     bool
+	lastGen    uint64
+	reconnects int
+	network    string
+	addr       string
+	done       chan struct{}
+	hbStop     chan struct{}
+
+	stopOnce      sync.Once
+	reconnectStop chan struct{}
+	monitorOn     bool
+	wg            sync.WaitGroup
 }
 
 // NewAgent constructs an agent. The pipeline starts empty; add camera
@@ -100,17 +172,44 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 	if cfg.Heartbeat == 0 {
 		cfg.Heartbeat = DefaultHeartbeat
 	}
+	if cfg.ReconnectMin <= 0 {
+		cfg.ReconnectMin = DefaultReconnectMin
+	}
+	if cfg.ReconnectMax <= 0 {
+		cfg.ReconnectMax = DefaultReconnectMax
+	}
+	if cfg.ReconnectMax < cfg.ReconnectMin {
+		cfg.ReconnectMax = cfg.ReconnectMin
+	}
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = DefaultWriteTimeout
+	}
+	if cfg.MaxPending == 0 {
+		cfg.MaxPending = DefaultMaxPending
+	}
+	if cfg.Dial == nil {
+		// A plain net.Dial to a blackholed host blocks for the OS
+		// connect timeout (minutes) and cannot be interrupted, wedging
+		// Close mid-outage; bound it like every other I/O step.
+		dialTimeout := cfg.WriteTimeout
+		if dialTimeout <= 0 {
+			dialTimeout = DefaultWriteTimeout
+		}
+		cfg.Dial = (&net.Dialer{Timeout: dialTimeout}).Dial
+	}
 	n, err := core.NewMultiStreamNode(cfg.Edge)
 	if err != nil {
 		return nil, err
 	}
 	return &Agent{
-		cfg:      cfg,
-		node:     n,
-		archives: make(map[string]core.FrameSource),
-		stores:   make(map[string]*archive.Store),
-		done:     make(chan struct{}),
-		hbStop:   make(chan struct{}),
+		cfg:           cfg,
+		node:          n,
+		archives:      make(map[string]core.FrameSource),
+		stores:        make(map[string]*archive.Store),
+		managed:       make(map[string]map[string]bool),
+		done:          make(chan struct{}),
+		hbStop:        make(chan struct{}),
+		reconnectStop: make(chan struct{}),
 	}, nil
 }
 
@@ -193,16 +292,32 @@ func (a *Agent) ArchiveStats(stream string) (archive.Stats, bool) {
 }
 
 // Connect dials a controller, performs the v2 handshake, and starts
-// the control and heartbeat loops.
+// the control and heartbeat loops. With AgentConfig.Reconnect it also
+// starts the reconnect monitor: if the session later dies, the agent
+// redials the same address with exponential backoff and resumes.
 func (a *Agent) Connect(network, addr string) error {
-	conn, err := net.Dial(network, addr)
+	conn, err := a.cfg.Dial(network, addr)
 	if err != nil {
 		return err
 	}
-	if err := a.Handshake(conn); err != nil {
+	if err := a.handshake(conn); err != nil {
 		conn.Close()
 		return err
 	}
+	a.sessMu.Lock()
+	a.network, a.addr = network, addr
+	startMonitor := a.cfg.Reconnect && !a.monitorOn
+	if startMonitor {
+		a.monitorOn = true
+	}
+	a.sessMu.Unlock()
+	if startMonitor {
+		a.wg.Add(1)
+		go a.monitor()
+	}
+	// A manual re-Connect after a lost session retransmits the unacked
+	// tail immediately (the handshake reset unsent).
+	_ = a.flushPending()
 	return nil
 }
 
@@ -210,11 +325,37 @@ func (a *Agent) Connect(network, addr string) error {
 // connection and starts the control and heartbeat loops. Exported so
 // tests can drive an agent over net.Pipe.
 func (a *Agent) Handshake(conn net.Conn) error {
+	return a.handshake(conn)
+}
+
+// handshake performs the hello/welcome exchange. Both directions are
+// bounded by the write timeout so a stalled or silent peer fails the
+// attempt instead of wedging the reconnect loop. Resume is a property
+// of the agent, not the caller: any incarnation that has held a
+// session before announces Resume, whether the monitor or a manual
+// Connect redials — the controller must keep its dedup high-water
+// mark and reconcile, not treat the node as a fresh process.
+func (a *Agent) handshake(conn net.Conn) error {
+	if t := a.cfg.WriteTimeout; t > 0 {
+		conn.SetDeadline(time.Now().Add(t))
+		defer conn.SetDeadline(time.Time{})
+	}
 	if err := transport.WriteHeader(conn, transport.Version2); err != nil {
 		return err
 	}
+	a.sessMu.Lock()
+	gen := a.lastGen
+	resume := a.everOnline
+	a.sessMu.Unlock()
 	a.mu.Lock()
-	hello := Hello{Node: a.cfg.Node, Streams: append([]StreamInfo(nil), a.streams...)}
+	hello := Hello{
+		Node:           a.cfg.Node,
+		Streams:        append([]StreamInfo(nil), a.streams...),
+		Resume:         resume,
+		DeployGen:      gen,
+		Deployed:       a.managedSnapshot(),
+		HeartbeatEvery: a.cfg.Heartbeat,
+	}
 	a.mu.Unlock()
 	if err := transport.WriteRecord(conn, transport.KindHello, hello); err != nil {
 		return err
@@ -239,28 +380,63 @@ func (a *Agent) Handshake(conn net.Conn) error {
 	}
 
 	a.sessMu.Lock()
+	if a.closed {
+		a.sessMu.Unlock()
+		return errors.New("fleet: agent closed")
+	}
 	if a.connected {
 		a.sessMu.Unlock()
 		return errors.New("fleet: agent already connected")
 	}
 	a.conn = conn
 	a.sessionID = w.SessionID
+	if w.DeployGen > a.lastGen {
+		a.lastGen = w.DeployGen
+	}
 	a.connected = true
+	a.everOnline = true
+	if resume {
+		a.reconnects++
+	}
 	a.runErr = nil
-	// Per-connection channels, so a reconnect after Close never
-	// double-closes the previous session's.
+	// Per-connection channels: each session's loops watch their own
+	// pair, so a later session never closes an earlier session's.
 	done := make(chan struct{})
 	hbStop := make(chan struct{})
 	a.done = done
 	a.hbStop = hbStop
+	// A new connection means everything unacked must be rewritten —
+	// whatever was in flight on the old one may be lost. The reset
+	// must be atomic with publishing the connection (pmu nests inside
+	// sessMu, never the reverse): were the conn visible first, a
+	// concurrent sendUploads could write a high-seq record ahead of
+	// the reset, advancing the controller's dedup high-water mark
+	// past the unacked tail and turning its retransmit into droppable
+	// "duplicates".
+	a.pmu.Lock()
+	a.unsent = 0
+	a.pmu.Unlock()
 	a.sessMu.Unlock()
 
 	a.wg.Add(1)
 	go func() {
 		defer a.wg.Done()
 		err := a.controlLoop(conn)
+		// Close before unpublishing: once a successor connection can
+		// exist (connected=false), writes to this one must fail — a
+		// straggling flushPending that could still write successfully
+		// would advance the resend cursor for uploads the successor
+		// never carried.
+		conn.Close()
 		a.sessMu.Lock()
 		a.runErr = err
+		if a.conn == conn {
+			// The session is gone; later writes queue instead of
+			// hitting a dead socket, and the reconnect monitor may
+			// publish a fresh connection.
+			a.conn = nil
+			a.connected = false
+		}
 		a.sessMu.Unlock()
 		close(done)
 	}()
@@ -269,6 +445,82 @@ func (a *Agent) Handshake(conn net.Conn) error {
 		go a.heartbeatLoop(hbStop, done)
 	}
 	return nil
+}
+
+// managedSnapshot copies the remote-managed MC inventory for a hello.
+// Callers hold a.mu.
+func (a *Agent) managedSnapshot() map[string][]string {
+	out := make(map[string][]string, len(a.managed))
+	for stream, mcs := range a.managed {
+		if len(mcs) == 0 {
+			continue
+		}
+		names := make([]string, 0, len(mcs))
+		for name := range mcs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		out[stream] = names
+	}
+	return out
+}
+
+// monitor is the reconnect loop: it waits for the live session to
+// end, then redials with exponential backoff + jitter and resumes,
+// retransmitting the unacked upload tail. It exits when the agent
+// closes.
+func (a *Agent) monitor() {
+	defer a.wg.Done()
+	seed := a.cfg.ReconnectSeed
+	if seed == 0 {
+		// Derive a per-agent seed so a fleet sharing a controller
+		// doesn't redial in lockstep after a datacenter restart —
+		// shared jitter is no jitter. Explicit seeds (tests) replay
+		// deterministically.
+		h := fnv.New64a()
+		h.Write([]byte(a.cfg.Node))
+		seed = int64(h.Sum64()) ^ time.Now().UnixNano()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for {
+		select {
+		case <-a.Done():
+		case <-a.reconnectStop:
+			return
+		}
+		backoff := a.cfg.ReconnectMin
+		for {
+			a.sessMu.Lock()
+			closed := a.closed
+			network, addr := a.network, a.addr
+			a.sessMu.Unlock()
+			if closed {
+				return
+			}
+			delay := backoff/2 + time.Duration(rng.Int63n(int64(backoff/2)+1))
+			timer := time.NewTimer(delay)
+			select {
+			case <-timer.C:
+			case <-a.reconnectStop:
+				timer.Stop()
+				return
+			}
+			conn, err := a.cfg.Dial(network, addr)
+			if err == nil {
+				if err = a.handshake(conn); err != nil {
+					conn.Close()
+				}
+			}
+			if err == nil {
+				_ = a.flushPending() // retransmit unacked; failures re-enter via Done
+				break
+			}
+			backoff *= 2
+			if backoff > a.cfg.ReconnectMax {
+				backoff = a.cfg.ReconnectMax
+			}
+		}
+	}
 }
 
 // SessionID returns the controller-assigned session ID (0 before
@@ -288,11 +540,36 @@ func (a *Agent) Err() error {
 }
 
 // Done is closed when the current connection's control loop ends
-// (controller goodbye, connection loss, or Close).
+// (controller goodbye, connection loss, or Close). With Reconnect
+// enabled a later session replaces the channel; poll Connected for
+// liveness.
 func (a *Agent) Done() <-chan struct{} {
 	a.sessMu.Lock()
 	defer a.sessMu.Unlock()
 	return a.done
+}
+
+// Connected reports whether a session is currently live.
+func (a *Agent) Connected() bool {
+	a.sessMu.Lock()
+	defer a.sessMu.Unlock()
+	return a.connected
+}
+
+// Reconnects returns how many times the agent has resumed a lost
+// session — via the reconnect monitor or a manual re-Connect.
+func (a *Agent) Reconnects() int {
+	a.sessMu.Lock()
+	defer a.sessMu.Unlock()
+	return a.reconnects
+}
+
+// PendingUploads returns the number of uploads buffered awaiting a
+// controller ack, and how many a buffer overflow has dropped.
+func (a *Agent) PendingUploads() (pending, dropped int) {
+	a.pmu.Lock()
+	defer a.pmu.Unlock()
+	return len(a.pending), a.dropped
 }
 
 // DeployedMCs returns the named stream's deployed MC names (locked
@@ -465,10 +742,17 @@ func (a *Agent) Flush() ([]core.Upload, error) {
 }
 
 // Close stops a running scheduler (draining in-flight frames so
-// their uploads still ship), flushes and closes the per-stream
-// archives, says goodbye, closes the connection, and waits for the
-// loops to drain. Safe to call when never connected.
+// their uploads still ship), stops the reconnect monitor, flushes and
+// closes the per-stream archives, ships what the wire will still
+// take, says goodbye, closes the connection, and waits for the loops
+// to drain. Safe to call when never connected.
 func (a *Agent) Close() error {
+	a.sessMu.Lock()
+	alreadyClosed := a.closed
+	a.closed = true
+	a.sessMu.Unlock()
+	a.stopOnce.Do(func() { close(a.reconnectStop) })
+
 	stopErr := a.StopScheduler()
 	a.mu.Lock()
 	stores := make([]*archive.Store, 0, len(a.stores))
@@ -482,6 +766,9 @@ func (a *Agent) Close() error {
 			stopErr = err
 		}
 	}
+	// Best effort: drain the unacked buffer into a live connection
+	// before the goodbye, so a clean shutdown loses nothing.
+	_ = a.flushPending()
 	a.sessMu.Lock()
 	conn := a.conn
 	connected := a.connected
@@ -489,12 +776,13 @@ func (a *Agent) Close() error {
 	a.conn = nil
 	a.connected = false
 	a.sessMu.Unlock()
-	if !connected {
+	if !connected || alreadyClosed {
+		a.wg.Wait()
 		return stopErr
 	}
 	close(hbStop)
 	a.wmu.Lock()
-	err := transport.WriteRecord(conn, transport.KindBye, struct{}{})
+	err := transport.WriteRecordDeadline(conn, transport.KindBye, struct{}{}, a.cfg.WriteTimeout)
 	a.wmu.Unlock()
 	cerr := conn.Close()
 	a.wg.Wait()
@@ -507,12 +795,53 @@ func (a *Agent) Close() error {
 	return cerr
 }
 
-// sendUploads ships a batch of uploads when connected; a nil
-// connection (offline mode) drops nothing locally.
+// sendUploads sequences a batch of uploads into the resend buffer and
+// pushes it toward the controller. Offline behavior depends on the
+// lifecycle mode: before any session exists the batch is dropped
+// (local-only operation, as ever); once a session has existed and
+// Reconnect is on, the batch buffers for retransmission and send
+// failures are not errors — the wire will catch up. Without
+// Reconnect, a write failure is surfaced, as there is no retry ahead.
 func (a *Agent) sendUploads(ups []core.Upload) error {
 	if len(ups) == 0 {
 		return nil
 	}
+	a.sessMu.Lock()
+	online := a.connected || (a.cfg.Reconnect && a.everOnline && !a.closed)
+	a.sessMu.Unlock()
+	if !online {
+		return nil
+	}
+	a.pmu.Lock()
+	for _, u := range ups {
+		a.uploadSeq++
+		rec := transport.ToRecord(u)
+		rec.Seq = a.uploadSeq
+		a.pending = append(a.pending, rec)
+	}
+	if max := a.cfg.MaxPending; max > 0 && len(a.pending) > max {
+		drop := len(a.pending) - max
+		a.pending = append([]transport.UploadRecord(nil), a.pending[drop:]...)
+		a.dropped += drop
+		if a.unsent -= drop; a.unsent < 0 {
+			a.unsent = 0
+		}
+	}
+	a.pmu.Unlock()
+	if err := a.flushPending(); err != nil {
+		if a.cfg.Reconnect {
+			return nil // buffered; the resume path retransmits
+		}
+		return err
+	}
+	return nil
+}
+
+// flushPending writes the unsent tail of the resend buffer to the
+// current connection. Records stay buffered until acked; a write
+// failure poisons the connection (closing it wakes the control loop
+// and, with Reconnect, the monitor).
+func (a *Agent) flushPending() error {
 	a.sessMu.Lock()
 	conn := a.conn
 	a.sessMu.Unlock()
@@ -521,14 +850,43 @@ func (a *Agent) sendUploads(ups []core.Upload) error {
 	}
 	a.wmu.Lock()
 	defer a.wmu.Unlock()
-	for _, u := range ups {
-		if err := transport.WriteRecord(conn, transport.KindUpload, transport.ToRecord(u)); err != nil {
+	for {
+		// Stop if the connection was superseded: the resend cursor now
+		// belongs to the successor session (which resets it and
+		// rewrites the tail itself). The dying conn is closed before
+		// being unpublished, so a write after this check cannot
+		// succeed and mis-advance the cursor.
+		a.sessMu.Lock()
+		current := a.conn
+		a.sessMu.Unlock()
+		if current != conn {
+			return nil
+		}
+		a.pmu.Lock()
+		if a.unsent >= len(a.pending) {
+			a.pmu.Unlock()
+			return nil
+		}
+		rec := a.pending[a.unsent]
+		a.pmu.Unlock()
+		if err := transport.WriteRecordDeadline(conn, transport.KindUpload, rec, a.cfg.WriteTimeout); err != nil {
+			conn.Close()
 			return fmt.Errorf("fleet: send upload: %w", err)
 		}
+		a.pmu.Lock()
+		// Advance past what we just wrote by sequence number — a
+		// concurrent ack may have trimmed the buffer under us.
+		for a.unsent < len(a.pending) && a.pending[a.unsent].Seq <= rec.Seq {
+			a.unsent++
+		}
+		a.pmu.Unlock()
 	}
-	return nil
 }
 
+// writeRecord sends one non-upload record on the live connection,
+// bounded by the write timeout. A write failure closes the
+// connection: the control loop exits and the reconnect monitor (when
+// enabled) takes over.
 func (a *Agent) writeRecord(kind uint8, payload any) error {
 	a.sessMu.Lock()
 	conn := a.conn
@@ -537,8 +895,12 @@ func (a *Agent) writeRecord(kind uint8, payload any) error {
 		return ErrSessionClosed
 	}
 	a.wmu.Lock()
-	defer a.wmu.Unlock()
-	return transport.WriteRecord(conn, kind, payload)
+	err := transport.WriteRecordDeadline(conn, kind, payload, a.cfg.WriteTimeout)
+	a.wmu.Unlock()
+	if err != nil {
+		conn.Close()
+	}
+	return err
 }
 
 // controlLoop serves the controller's requests on its connection
@@ -547,7 +909,7 @@ func (a *Agent) controlLoop(conn net.Conn) error {
 	for {
 		kind, body, err := transport.ReadRecord(conn)
 		if err != nil {
-			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) || errors.Is(err, io.ErrClosedPipe) {
 				return nil
 			}
 			return err
@@ -571,12 +933,54 @@ func (a *Agent) controlLoop(conn net.Conn) error {
 				return err
 			}
 			a.handleFetch(req)
+		case transport.KindUploadAck:
+			var ua UploadAck
+			if err := transport.DecodeRecord(body, &ua); err != nil {
+				return err
+			}
+			a.handleUploadAck(ua)
 		case transport.KindBye:
 			return nil
 		default:
 			return fmt.Errorf("fleet: controller sent unknown record kind %d", kind)
 		}
 	}
+}
+
+// handleUploadAck retires acked uploads from the resend buffer.
+func (a *Agent) handleUploadAck(ua UploadAck) {
+	a.pmu.Lock()
+	i := 0
+	for i < len(a.pending) && a.pending[i].Seq <= ua.Seq {
+		i++
+	}
+	if i > 0 {
+		// Re-slice rather than copy: acks arrive per upload, and an
+		// O(len) copy each would go quadratic while draining a big
+		// buffer after an outage. The backing array is released once
+		// the buffer empties.
+		a.pending = a.pending[i:]
+		if len(a.pending) == 0 {
+			a.pending = nil
+		}
+		if a.unsent -= i; a.unsent < 0 {
+			a.unsent = 0
+		}
+	}
+	a.pmu.Unlock()
+}
+
+// noteGen records the highest deploy generation applied, reported in
+// resume hellos.
+func (a *Agent) noteGen(gen uint64) {
+	if gen == 0 {
+		return
+	}
+	a.sessMu.Lock()
+	if gen > a.lastGen {
+		a.lastGen = gen
+	}
+	a.sessMu.Unlock()
 }
 
 // handleDeploy reconstructs the shipped microclassifier against the
@@ -597,15 +1001,50 @@ func (a *Agent) handleDeploy(req DeployRequest) {
 		// The mode check must be atomic with the serial-path mutation:
 		// holding a.mu while a.sched is nil excludes StartScheduler,
 		// so no worker can be touching the stream concurrently.
+		// Only intent-tracked deployments (gen > 0) join the managed
+		// inventory reported in resume hellos: a direct Session.Deploy
+		// bypasses intent by contract, and announcing it would invite
+		// reconciliation to undeploy it as an intent-less extra.
+		managed := req.Gen > 0
 		a.mu.Lock()
 		if s := a.sched; s != nil {
 			a.mu.Unlock()
-			return s.Deploy(req.Stream, mc, req.Threshold)
+			if err := s.Deploy(req.Stream, mc, req.Threshold); err != nil {
+				return err
+			}
+			if managed {
+				a.mu.Lock()
+				a.noteManaged(req.Stream, mc.Spec().Name, true)
+				a.mu.Unlock()
+			}
+			return nil
 		}
 		defer a.mu.Unlock()
-		return e.DeployLive(mc, req.Threshold)
+		if err := e.DeployLive(mc, req.Threshold); err != nil {
+			return err
+		}
+		if managed {
+			a.noteManaged(req.Stream, mc.Spec().Name, true)
+		}
+		return nil
 	}()
+	if err == nil {
+		a.noteGen(req.Gen)
+	}
 	a.ack(req.Seq, err)
+}
+
+// noteManaged updates the remote-managed MC inventory. Callers hold
+// a.mu.
+func (a *Agent) noteManaged(stream, name string, deployed bool) {
+	if deployed {
+		if a.managed[stream] == nil {
+			a.managed[stream] = make(map[string]bool)
+		}
+		a.managed[stream][name] = true
+		return
+	}
+	delete(a.managed[stream], name)
 }
 
 // handleUndeploy removes an MC, shipping its final uploads before the
@@ -617,11 +1056,20 @@ func (a *Agent) handleUndeploy(req UndeployRequest) {
 	if s := a.sched; s != nil {
 		a.mu.Unlock()
 		ups, err = s.Undeploy(req.Stream, req.MCName)
+		if err == nil {
+			a.mu.Lock()
+			a.noteManaged(req.Stream, req.MCName, false)
+			a.mu.Unlock()
+		}
 	} else {
 		ups, err = a.node.Undeploy(req.Stream, req.MCName)
+		if err == nil {
+			a.noteManaged(req.Stream, req.MCName, false)
+		}
 		a.mu.Unlock()
 	}
 	if err == nil {
+		a.noteGen(req.Gen)
 		err = a.sendUploads(ups)
 	}
 	a.ack(req.Seq, err)
@@ -699,7 +1147,9 @@ func (a *Agent) ack(seq uint64, err error) {
 }
 
 // heartbeatLoop periodically reports per-stream pipeline stats until
-// its connection's stop or done channel closes.
+// its connection's stop or done channel closes. A failed heartbeat
+// write closes the connection (via writeRecord), so a one-way stalled
+// uplink is detected on the edge side too.
 func (a *Agent) heartbeatLoop(hbStop, done <-chan struct{}) {
 	defer a.wg.Done()
 	tick := time.NewTicker(a.cfg.Heartbeat)

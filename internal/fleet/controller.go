@@ -20,24 +20,68 @@ import (
 // undeploy, fetch) wait for an edge response.
 const DefaultTimeout = 30 * time.Second
 
+// ErrDeferred is returned by intent-tracked operations (Deploy,
+// Undeploy) when the node has no live session: the intent is
+// recorded, and reconciliation applies it when the node reconnects.
+var ErrDeferred = errors.New("fleet: node offline, intent recorded for reconnect")
+
 // ControllerConfig parameterizes a Controller.
 type ControllerConfig struct {
 	// Timeout bounds request/response round trips (DefaultTimeout
 	// when zero).
 	Timeout time.Duration
+	// HeartbeatMiss is the liveness budget: a session whose edge has
+	// been silent for HeartbeatMiss consecutive heartbeat intervals
+	// (as announced in its hello) is evicted — the session closes,
+	// the eviction is counted, and the node is expected to reconnect.
+	// Zero disables liveness eviction; nodes with heartbeats disabled
+	// are never evicted.
+	HeartbeatMiss int
 	// OnSession, when non-nil, runs in its own goroutine for every
 	// edge session that completes its handshake — the hook ffserve
-	// uses for deploy-on-connect.
+	// uses for deploy-on-connect. Resumed sessions fire it too; check
+	// Session.Resumed to avoid re-deploying state reconciliation
+	// already restores.
 	OnSession func(*Session)
 	// OnUpload, when non-nil, is called from the session's reader
-	// goroutine for every upload received. It must not block on a
-	// round trip to the same session (spawn a goroutine for that).
+	// goroutine for every deduplicated upload received. It must not
+	// block on a round trip to the same session (spawn a goroutine
+	// for that).
 	OnUpload func(*Session, core.Upload)
+}
+
+// deployment is one intended microclassifier deployment.
+type deployment struct {
+	mc        []byte
+	threshold float32
+}
+
+// nodeState is the controller's durable record of one edge node,
+// keyed by node name. It survives sessions: when the node reconnects,
+// the controller reconciles the node's reported state against the
+// intent here, and upload accounting continues without duplication.
+type nodeState struct {
+	// intent is the intended deployment: stream -> MC name -> bytes.
+	intent map[string]map[string]deployment
+	// gen counts intent changes; deploy/undeploy requests carry it so
+	// the node can report how current it is in a resume hello.
+	gen uint64
+	// lastSeq is the highest upload sequence number accepted from the
+	// node; retransmissions at or below it are dropped.
+	lastSeq uint64
+	// dc accumulates the node's deduplicated uploads across sessions.
+	dc *core.Datacenter
+	// evicted counts sessions the controller force-closed (liveness
+	// timeouts and stale sessions replaced by a reconnect).
+	evicted int
+	// reconnects counts resume hellos accepted for the node.
+	reconnects int
 }
 
 // Controller is the datacenter side of the fleet control plane: it
 // accepts edge sessions (protocol v2, plus legacy v1 upload pipes for
-// backward compatibility), tracks them in a registry, and exposes the
+// backward compatibility), tracks them in a registry, reconciles
+// reconnecting nodes against deployment intent, and exposes the
 // datacenter API — ListNodes, Deploy, Fetch — that cmd/ffserve serves.
 type Controller struct {
 	cfg ControllerConfig
@@ -47,6 +91,7 @@ type Controller struct {
 	ln       net.Listener
 	nextID   uint64
 	sessions map[uint64]*Session
+	nodes    map[string]*nodeState
 	conns    map[net.Conn]struct{} // every open conn, incl. pre-hello and legacy
 	legacy   int                   // uploads received over v1 connections
 	wg       sync.WaitGroup
@@ -61,16 +106,18 @@ func NewController(cfg ControllerConfig) *Controller {
 		cfg:      cfg,
 		dc:       core.NewDatacenter(),
 		sessions: make(map[uint64]*Session),
+		nodes:    make(map[string]*nodeState),
 		conns:    make(map[net.Conn]struct{}),
 	}
 }
 
-// Datacenter returns the aggregate receiver: every upload from every
-// session (and legacy v1 connection) lands here, in addition to the
-// per-session datacenters. Session uploads are keyed
-// "node/stream/mc"; legacy v1 uploads keep their own naming. The
-// returned receiver is only safe to query directly once the
-// controller is closed; use WithDatacenter while sessions are live.
+// Datacenter returns the aggregate receiver: every deduplicated
+// upload from every session (and legacy v1 connection) lands here, in
+// addition to the per-session and per-node datacenters. Session
+// uploads are keyed "node/stream/mc"; legacy v1 uploads keep their
+// own naming. The returned receiver is only safe to query directly
+// once the controller is closed; use WithDatacenter while sessions
+// are live.
 func (c *Controller) Datacenter() *core.Datacenter { return c.dc }
 
 // WithDatacenter runs f with the aggregate receiver under the
@@ -82,6 +129,22 @@ func (c *Controller) WithDatacenter(f func(*core.Datacenter)) {
 	f(c.dc)
 }
 
+// WithNodeDatacenter runs f with the named node's cross-session
+// receiver under the controller's lock: every upload the node ever
+// delivered (deduplicated across reconnects), keyed with the edge's
+// own "stream/mc" naming. It returns an error for a node the
+// controller has never seen.
+func (c *Controller) WithNodeDatacenter(node string, f func(*core.Datacenter)) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.nodes[node]
+	if st == nil {
+		return fmt.Errorf("fleet: unknown node %q", node)
+	}
+	f(st.dc)
+	return nil
+}
+
 // Listen starts accepting on the given address and returns the bound
 // address (useful with ":0").
 func (c *Controller) Listen(network, addr string) (net.Addr, error) {
@@ -89,6 +152,14 @@ func (c *Controller) Listen(network, addr string) (net.Addr, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.Serve(ln)
+	return ln.Addr(), nil
+}
+
+// Serve starts accepting sessions from an established listener — any
+// net.Listener, including internal/simnet's fault-injecting one. It
+// returns immediately; Close stops the listener and drains.
+func (c *Controller) Serve(ln net.Listener) {
 	c.mu.Lock()
 	c.ln = ln
 	c.mu.Unlock()
@@ -116,7 +187,6 @@ func (c *Controller) Listen(network, addr string) (net.Addr, error) {
 			}()
 		}
 	}()
-	return ln.Addr(), nil
 }
 
 // Close stops the listener, tears down every open connection (live
@@ -142,10 +212,18 @@ func (c *Controller) Close() error {
 }
 
 // handleConn negotiates the protocol version and serves one
-// connection to completion.
+// connection to completion. The pre-hello reads are bounded by the
+// controller timeout: a peer that dials and stalls must not pin a
+// goroutine and connection until controller shutdown.
 func (c *Controller) handleConn(conn net.Conn) error {
+	if err := conn.SetReadDeadline(time.Now().Add(c.cfg.Timeout)); err != nil {
+		return err
+	}
 	v, err := transport.ReadHeader(conn)
 	if err != nil {
+		return err
+	}
+	if err := conn.SetReadDeadline(time.Time{}); err != nil {
 		return err
 	}
 	switch v {
@@ -189,9 +267,13 @@ func (c *Controller) serveLegacy(conn net.Conn) error {
 
 // serveSession completes the v2 handshake and runs the session until
 // it ends, deregistering it afterwards (graceful drain: in-flight
-// round trips fail with ErrSessionClosed).
+// round trips fail with ErrSessionClosed). A hello that names an
+// already-connected node evicts the stale session first; a resume
+// hello additionally triggers deployment reconciliation.
 func (c *Controller) serveSession(conn net.Conn) error {
-	kind, body, err := transport.ReadRecord(conn)
+	// The hello must arrive within the controller timeout; after it,
+	// liveness (when enabled) takes over the read bounds.
+	kind, body, err := transport.ReadRecordDeadline(conn, c.cfg.Timeout)
 	if err != nil {
 		return err
 	}
@@ -206,9 +288,41 @@ func (c *Controller) serveSession(conn net.Conn) error {
 		return errors.New("fleet: hello without a node name")
 	}
 
+	liveness := time.Duration(0)
+	if c.cfg.HeartbeatMiss > 0 && hello.HeartbeatEvery > 0 {
+		liveness = time.Duration(c.cfg.HeartbeatMiss) * hello.HeartbeatEvery
+	}
+
 	c.mu.Lock()
+	// A node has at most one live session: a returning node (crashed,
+	// partitioned, or NATed onto a new connection) replaces its stale
+	// session, which the registry would otherwise serve round trips to.
+	st := c.node(hello.Node)
+	for id, old := range c.sessions {
+		if old.Node() == hello.Node {
+			old.evict()
+			delete(c.sessions, id)
+			st.evicted++
+		}
+	}
+	if hello.Resume {
+		st.reconnects++
+	} else {
+		// A fresh (non-resume) hello is a new edge incarnation whose
+		// upload sequence space restarts at 1; keeping the previous
+		// incarnation's high-water mark would silently drop every
+		// upload the new process sends as a "duplicate".
+		st.lastSeq = 0
+	}
+	gen := st.gen
+	// Snapshot the reconciliation work in the same critical section
+	// that registers the session: intent recorded by a concurrent
+	// Deploy (e.g. an OnSession hook) after this point has its own
+	// pusher, and double-pushing would end in a duplicate rejection
+	// that rolls back valid intent.
+	work := reconcileWorkLocked(st, hello)
 	c.nextID++
-	s := newSession(c.nextID, hello, conn, c.cfg.Timeout)
+	s := newSession(c.nextID, hello, conn, c.cfg.Timeout, liveness)
 	c.sessions[s.id] = s
 	c.mu.Unlock()
 	defer func() {
@@ -223,25 +337,150 @@ func (c *Controller) serveSession(conn net.Conn) error {
 	if err := transport.WriteHeader(conn, transport.Version2); err != nil {
 		return err
 	}
-	if err := s.write(transport.KindWelcome, Welcome{SessionID: s.id}); err != nil {
+	if err := s.write(transport.KindWelcome, Welcome{SessionID: s.id, DeployGen: gen}); err != nil {
 		return err
+	}
+	// Reconcile every session against intent, not just resumes:
+	// intent recorded while the node was offline (ErrDeferred) must
+	// also reach a node that restarted and reconnects with a fresh
+	// hello. For a node with no intent history this is a no-op.
+	if hello.DeployGen != gen || len(work) > 0 {
+		go runReconcile(s, gen, work)
 	}
 	if hook := c.cfg.OnSession; hook != nil {
 		go hook(s)
 	}
-	return s.run(func(s *Session, up core.Upload) {
-		// The aggregate view prefixes the node name so two nodes
-		// running the same application don't collide; the
-		// per-session datacenter keeps the edge's own naming.
-		tagged := up
-		tagged.MCName = s.node + "/" + up.MCName
-		c.mu.Lock()
-		c.dc.Receive(tagged)
-		c.mu.Unlock()
-		if hook := c.cfg.OnUpload; hook != nil {
-			hook(s, up)
-		}
+	err = s.run(func(s *Session, rec transport.UploadRecord) bool {
+		return c.acceptUpload(s, rec)
 	})
+	// Liveness evictions end the session from inside its reader; count
+	// them against the node. (Stale-session evictions are counted at
+	// the point of replacement, where the terminal error is ErrEvicted
+	// and run's own return is just the closed connection.)
+	if terminal := s.Err(); errors.Is(terminal, ErrLiveness) {
+		c.mu.Lock()
+		c.node(s.node).evicted++
+		c.mu.Unlock()
+	}
+	return err
+}
+
+// node returns the durable state for a node name. Callers hold c.mu.
+func (c *Controller) node(name string) *nodeState {
+	st := c.nodes[name]
+	if st == nil {
+		st = &nodeState{
+			intent: make(map[string]map[string]deployment),
+			dc:     core.NewDatacenter(),
+		}
+		c.nodes[name] = st
+	}
+	return st
+}
+
+// acceptUpload is the node-level dedup gate: a sequenced upload at or
+// below the node's high-water mark is a retransmission of something
+// already accounted and is dropped (though still acked by the
+// session, so the edge retires it). Fresh uploads land in the node
+// and aggregate datacenters.
+func (c *Controller) acceptUpload(s *Session, rec transport.UploadRecord) bool {
+	up := rec.ToUpload()
+	c.mu.Lock()
+	// An evicted session must not touch the node ledger: its
+	// replacement may already have reset the dedup high-water mark,
+	// and a stale delivery would re-poison it. Eviction (markDone)
+	// happens under c.mu, so checking here — after acquiring it —
+	// leaves no window for a stale reader to slip past.
+	select {
+	case <-s.done:
+		c.mu.Unlock()
+		return false
+	default:
+	}
+	st := c.node(s.node)
+	if rec.Seq != 0 {
+		if rec.Seq <= st.lastSeq {
+			c.mu.Unlock()
+			return false
+		}
+		st.lastSeq = rec.Seq
+	}
+	st.dc.Receive(up)
+	// The aggregate view prefixes the node name so two nodes running
+	// the same application don't collide; the per-node and per-session
+	// datacenters keep the edge's own naming.
+	tagged := up
+	tagged.MCName = s.node + "/" + up.MCName
+	c.dc.Receive(tagged)
+	c.mu.Unlock()
+	if hook := c.cfg.OnUpload; hook != nil {
+		hook(s, up)
+	}
+	return true
+}
+
+// reconcileItem is one reconciliation push: a re-deploy of missing
+// intent, or (dep nil) a withdrawal of a managed MC whose intent was
+// removed while the node was away.
+type reconcileItem struct {
+	stream, name string
+	dep          *deployment
+}
+
+// reconcileWorkLocked diffs the node's reported deployment against
+// the controller's intent: intended MCs missing from the report are
+// re-pushed, and managed MCs absent from intent are withdrawn.
+// Locally deployed MCs (never shipped through intent tracking) are
+// invisible here — the node only reports intent-managed names — so
+// reconciliation never touches them. Callers hold c.mu.
+func reconcileWorkLocked(st *nodeState, hello Hello) []reconcileItem {
+	var work []reconcileItem
+	for stream, mcs := range st.intent {
+		reported := hello.Deployed[stream]
+		has := make(map[string]bool, len(reported))
+		for _, name := range reported {
+			has[name] = true
+		}
+		for name, dep := range mcs {
+			if !has[name] {
+				d := dep
+				work = append(work, reconcileItem{stream: stream, name: name, dep: &d})
+			}
+		}
+	}
+	// Withdrawals only apply when this controller actually has intent
+	// history for the node (gen > 0). A fresh controller (restarted
+	// process) seeing an unknown returning node must adopt it as-is,
+	// not strip MCs a predecessor shipped.
+	if st.gen > 0 {
+		for stream, reported := range hello.Deployed {
+			for _, name := range reported {
+				if _, intended := st.intent[stream][name]; !intended {
+					work = append(work, reconcileItem{stream: stream, name: name})
+				}
+			}
+		}
+	}
+	return work
+}
+
+// runReconcile drives the snapshotted work against the session. Push
+// errors are left for the next resume: the session may well be dying
+// again already.
+func runReconcile(s *Session, gen uint64, work []reconcileItem) {
+	sort.Slice(work, func(i, j int) bool {
+		if work[i].stream != work[j].stream {
+			return work[i].stream < work[j].stream
+		}
+		return work[i].name < work[j].name
+	})
+	for _, w := range work {
+		if w.dep != nil {
+			_ = s.deploy(w.stream, w.dep.mc, w.dep.threshold, gen)
+		} else {
+			_ = s.undeploy(w.stream, w.name, gen)
+		}
+	}
 }
 
 // NodeInfo is one connected edge's registry entry.
@@ -254,6 +493,13 @@ type NodeInfo struct {
 	// HeartbeatAge is the time since the last heartbeat (negative if
 	// none arrived yet).
 	HeartbeatAge time.Duration
+	// Resumed reports whether the session is a reconnect.
+	Resumed bool
+	// Evicted and Reconnects are the node's lifetime lifecycle
+	// counters (sessions force-closed by the controller; resume
+	// hellos accepted) — they survive the sessions they describe.
+	Evicted    int
+	Reconnects int
 }
 
 // ListNodes returns the connected edge sessions, sorted by node name
@@ -264,6 +510,10 @@ func (c *Controller) ListNodes() []NodeInfo {
 	for _, s := range c.sessions {
 		sessions = append(sessions, s)
 	}
+	counters := make(map[string][2]int, len(c.nodes))
+	for name, st := range c.nodes {
+		counters[name] = [2]int{st.evicted, st.reconnects}
+	}
 	c.mu.Unlock()
 	infos := make([]NodeInfo, 0, len(sessions))
 	for _, s := range sessions {
@@ -272,9 +522,11 @@ func (c *Controller) ListNodes() []NodeInfo {
 		if !at.IsZero() {
 			age = time.Since(at)
 		}
+		lc := counters[s.Node()]
 		infos = append(infos, NodeInfo{
 			ID: s.ID(), Node: s.Node(), Streams: s.Streams(),
 			Uploads: s.Received(), Heartbeat: hb, HeartbeatAge: age,
+			Resumed: s.Resumed(), Evicted: lc[0], Reconnects: lc[1],
 		})
 	}
 	sort.Slice(infos, func(i, j int) bool {
@@ -286,21 +538,42 @@ func (c *Controller) ListNodes() []NodeInfo {
 	return infos
 }
 
+// Lifecycle returns the fleet-wide lifecycle totals: sessions the
+// controller evicted (liveness timeouts + stale sessions replaced on
+// resume) and resume hellos accepted. Both survive the sessions they
+// count.
+func (c *Controller) Lifecycle() (evicted, reconnects int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, st := range c.nodes {
+		evicted += st.evicted
+		reconnects += st.reconnects
+	}
+	return evicted, reconnects
+}
+
 // Session finds a live session by node name. When several sessions
 // share a name the most recent wins.
 func (c *Controller) Session(node string) (*Session, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	s := c.liveSession(node)
+	if s == nil {
+		return nil, fmt.Errorf("fleet: no connected node %q", node)
+	}
+	return s, nil
+}
+
+// liveSession returns the newest session for a node, nil when
+// offline. Callers hold c.mu.
+func (c *Controller) liveSession(node string) *Session {
 	var best *Session
 	for _, s := range c.sessions {
 		if s.Node() == node && (best == nil || s.ID() > best.ID()) {
 			best = s
 		}
 	}
-	if best == nil {
-		return nil, fmt.Errorf("fleet: no connected node %q", node)
-	}
-	return best, nil
+	return best
 }
 
 // LegacyReceived returns the uploads accepted over v1 connections.
@@ -311,13 +584,73 @@ func (c *Controller) LegacyReceived() int {
 }
 
 // Deploy ships serialized microclassifier bytes (a filter.(*MC).Save
-// stream, e.g. an fftrain weights file) to a stream of the named node.
+// stream, e.g. an fftrain weights file) to a stream of the named
+// node, recording the deployment as intent so a node that loses it
+// (crash, partition) gets it re-pushed on reconnect. With the node
+// offline, the intent is still recorded and ErrDeferred returned. A
+// deployment the edge itself rejects (ErrRejected) is rolled back out
+// of the intent; a transport failure keeps it, because the node's
+// state is unknown and reconciliation will settle it.
 func (c *Controller) Deploy(node, stream string, mc []byte, threshold float32) error {
-	s, err := c.Session(node)
-	if err != nil {
-		return err
+	name, nameErr := filter.MCName(bytes.NewReader(mc))
+
+	c.mu.Lock()
+	st := c.node(node)
+	var prev deployment
+	var had bool
+	var gen uint64
+	if nameErr == nil {
+		if st.intent[stream] == nil {
+			st.intent[stream] = make(map[string]deployment)
+		}
+		prev, had = st.intent[stream][name]
+		st.intent[stream][name] = deployment{mc: mc, threshold: threshold}
+		st.gen++
+		gen = st.gen
 	}
-	return s.Deploy(stream, mc, threshold)
+	sess := c.liveSession(node)
+	c.mu.Unlock()
+
+	if sess == nil {
+		if nameErr != nil {
+			return fmt.Errorf("fleet: no connected node %q and undecodable MC bytes: %w", node, nameErr)
+		}
+		return fmt.Errorf("fleet: deploy %s/%s %q: %w", node, stream, name, ErrDeferred)
+	}
+	err := sess.deploy(stream, mc, threshold, gen)
+	if err != nil && nameErr == nil && errors.Is(err, ErrRejected) {
+		// The node answered and refused: this intent can never apply.
+		c.mu.Lock()
+		if had {
+			st.intent[stream][name] = prev
+		} else {
+			delete(st.intent[stream], name)
+		}
+		st.gen++
+		c.mu.Unlock()
+	}
+	return err
+}
+
+// Undeploy removes a microclassifier from a stream of the named node
+// and withdraws it from the deployment intent, so reconciliation
+// stops restoring it. With the node offline the withdrawal is
+// recorded and ErrDeferred returned; the node's copy is removed when
+// it reconnects.
+func (c *Controller) Undeploy(node, stream, mcName string) error {
+	c.mu.Lock()
+	st := c.node(node)
+	if _, had := st.intent[stream][mcName]; had {
+		delete(st.intent[stream], mcName)
+		st.gen++
+	}
+	gen := st.gen
+	sess := c.liveSession(node)
+	c.mu.Unlock()
+	if sess == nil {
+		return fmt.Errorf("fleet: undeploy %s/%s %q: %w", node, stream, mcName, ErrDeferred)
+	}
+	return sess.undeploy(stream, mcName, gen)
 }
 
 // DeployMC serializes a constructed microclassifier and ships it.
@@ -327,6 +660,44 @@ func (c *Controller) DeployMC(node, stream string, mc *filter.MC, threshold floa
 		return err
 	}
 	return c.Deploy(node, stream, buf.Bytes(), threshold)
+}
+
+// Intent returns the controller's intended MC deployment for a node
+// as stream -> sorted MC names, with the current generation.
+func (c *Controller) Intent(node string) (map[string][]string, uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.nodes[node]
+	if st == nil {
+		return nil, 0
+	}
+	out := make(map[string][]string, len(st.intent))
+	for stream, mcs := range st.intent {
+		names := make([]string, 0, len(mcs))
+		for name := range mcs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		out[stream] = names
+	}
+	return out, st.gen
+}
+
+// IntentMCBytes returns the serialized bytes the controller intends
+// for one node/stream/MC, for byte-level verification of converged
+// deployments.
+func (c *Controller) IntentMCBytes(node, stream, mcName string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.nodes[node]
+	if st == nil {
+		return nil, false
+	}
+	dep, ok := st.intent[stream][mcName]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), dep.mc...), true
 }
 
 // Fetch demand-fetches archived frames [start, end) of a stream on

@@ -255,15 +255,16 @@ func TestEndToEndOverTCP(t *testing.T) {
 			resp.Start, resp.End, resp.Bits, lo, hi, wantBits)
 	}
 
-	// Heartbeats carried the pipeline stats to the registry.
+	// Heartbeats carried the pipeline stats to the registry. A
+	// heartbeat can be snapshotted between the last frame and the
+	// flush (full frame count, tail bits not yet drained), so wait
+	// for one carrying both totals rather than latching the first
+	// full-frame-count beat.
 	waitFor(t, "heartbeat", func() bool {
 		hb, at := sess.LastHeartbeat()
-		return !at.IsZero() && hb.Streams["cam0"].Frames == cfg.Frames
+		return !at.IsZero() && hb.Streams["cam0"].Frames == cfg.Frames &&
+			hb.Streams["cam0"].UploadedBits >= dcBase.TotalBits("fleet-mc")
 	})
-	hb, _ := sess.LastHeartbeat()
-	if hb.Streams["cam0"].UploadedBits < dcBase.TotalBits("fleet-mc") {
-		t.Fatalf("heartbeat bits %d below upload total %d", hb.Streams["cam0"].UploadedBits, dcBase.TotalBits("fleet-mc"))
-	}
 }
 
 // TestLiveDeployUndeployAndErrors exercises mid-stream deployment,

@@ -15,6 +15,8 @@
 // Request/response pairing uses per-session sequence numbers.
 package fleet
 
+import "time"
+
 // StreamInfo describes one camera stream an edge node hosts,
 // advertised in the session hello.
 type StreamInfo struct {
@@ -32,12 +34,33 @@ type Hello struct {
 	Node string
 	// Streams is the node's stream inventory.
 	Streams []StreamInfo
+	// Resume marks a reconnect after a lost session. The controller
+	// evicts any stale session still registered for the node and
+	// reconciles deployed-MC state against its intent.
+	Resume bool
+	// DeployGen is the highest deploy generation the node has applied
+	// (zero for a fresh node). A resume whose generation trails the
+	// controller's intent triggers reconciliation.
+	DeployGen uint64
+	// Deployed is the node's per-stream deployed MC inventory, the
+	// ground truth reconciliation diffs against intent (a node that
+	// restarted reports empty sets even if its generation looks
+	// current).
+	Deployed map[string][]string
+	// HeartbeatEvery is the node's heartbeat interval (non-positive:
+	// heartbeats disabled). The controller derives its liveness window
+	// from it: HeartbeatMiss consecutive silent intervals evict the
+	// session.
+	HeartbeatEvery time.Duration
 }
 
 // Welcome acknowledges a hello (datacenter → edge).
 type Welcome struct {
 	// SessionID is the controller-assigned session identifier.
 	SessionID uint64
+	// DeployGen is the controller's current deploy generation for the
+	// node, so a fresh edge starts in sync.
+	DeployGen uint64
 }
 
 // DeployRequest ships a microclassifier to an edge stream
@@ -50,6 +73,11 @@ type DeployRequest struct {
 	Stream    string
 	MC        []byte
 	Threshold float32
+	// Gen is the controller's deploy generation after this request
+	// (zero for requests outside intent tracking, e.g. direct session
+	// deploys). The edge remembers the highest generation applied and
+	// reports it in resume hellos.
+	Gen uint64
 }
 
 // UndeployRequest removes a deployed microclassifier
@@ -59,6 +87,9 @@ type UndeployRequest struct {
 	Seq    uint64
 	Stream string
 	MCName string
+	// Gen is the controller's deploy generation after this request
+	// (see DeployRequest.Gen).
+	Gen uint64
 }
 
 // Ack answers a deploy or undeploy request (edge → datacenter).
@@ -134,4 +165,13 @@ type StreamStats struct {
 // Heartbeat carries periodic per-stream stats (edge → datacenter).
 type Heartbeat struct {
 	Streams map[string]StreamStats
+}
+
+// UploadAck acknowledges one received upload by its edge-assigned
+// sequence number (datacenter → edge). The edge retires every
+// buffered upload with Seq at or below it; unacked uploads are
+// retransmitted after a reconnect and deduplicated by the receiver,
+// giving exactly-once upload accounting over an at-least-once wire.
+type UploadAck struct {
+	Seq uint64
 }

@@ -1,0 +1,411 @@
+package fleet
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/filter"
+	"repro/internal/simnet"
+	"repro/internal/tensor"
+	"repro/internal/transport"
+	"repro/internal/vision"
+)
+
+// TestSessionDeregisteredOnExit is the session-leak regression: a
+// session that ends — cleanly, by error, or by a half-finished
+// handshake — must leave the controller's registry, not sit in the
+// session map forever.
+func TestSessionDeregisteredOnExit(t *testing.T) {
+	base := testBase()
+	edgeCfg := core.Config{FrameWidth: 48, FrameHeight: 27, FPS: 15, Base: base, UploadBitrate: 30_000}
+	ctrl := NewController(ControllerConfig{Timeout: 5 * time.Second})
+	addr, err := ctrl.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+
+	// Clean goodbye.
+	agent, err := NewAgent(AgentConfig{Node: "leak-1", Edge: edgeCfg, Heartbeat: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agent.AddStream("cam0", 48, 27, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := agent.Connect("tcp", addr.String()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "session registered", func() bool { return len(ctrl.ListNodes()) == 1 })
+	if err := agent.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "clean session deregistered", func() bool { return len(ctrl.ListNodes()) == 0 })
+
+	// Abrupt connection loss (no goodbye).
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent2, err := NewAgent(AgentConfig{Node: "leak-2", Edge: edgeCfg, Heartbeat: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agent2.Handshake(conn); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "session registered", func() bool { return len(ctrl.ListNodes()) == 1 })
+	conn.Close() // simulate a crash: no bye record
+	waitFor(t, "errored session deregistered", func() bool { return len(ctrl.ListNodes()) == 0 })
+
+	// A protocol violation mid-session.
+	conn3, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn3.Close()
+	if err := transport.WriteHeader(conn3, transport.Version2); err != nil {
+		t.Fatal(err)
+	}
+	if err := transport.WriteRecord(conn3, transport.KindHello, Hello{Node: "leak-3"}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "session registered", func() bool { return len(ctrl.ListNodes()) == 1 })
+	if err := transport.WriteRecord(conn3, 0x7F, struct{}{}); err != nil { // unknown kind
+		t.Fatal(err)
+	}
+	waitFor(t, "violating session deregistered", func() bool { return len(ctrl.ListNodes()) == 0 })
+}
+
+// TestControllerRestartAdoptsNode covers the restarted-datacenter
+// path: a fresh controller (empty intent) that receives a resume
+// hello from a node carrying controller-shipped MCs must adopt the
+// node as-is — never undeploy state a predecessor controller shipped
+// — and keep accepting its uploads.
+func TestControllerRestartAdoptsNode(t *testing.T) {
+	base := testBase()
+	edgeCfg := core.Config{FrameWidth: 48, FrameHeight: 27, FPS: 15, Base: base, UploadBitrate: 30_000, MaxChunkFrames: 4}
+	n := simnet.New(3)
+
+	ln1, err := n.Listen("dc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl1 := NewController(ControllerConfig{Timeout: 5 * time.Second})
+	ctrl1.Serve(ln1)
+
+	agent, err := NewAgent(AgentConfig{
+		Node: "edge-r", Edge: edgeCfg, Heartbeat: 30 * time.Millisecond,
+		Reconnect: true, ReconnectMin: 20 * time.Millisecond, ReconnectMax: 200 * time.Millisecond,
+		WriteTimeout: time.Second,
+		Dial:         func(network, addr string) (net.Conn, error) { return n.Dial("edge-r", addr) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agent.AddStream("cam0", 48, 27, nil); err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	if err := agent.Connect("sim", "dc"); err != nil {
+		t.Fatal(err)
+	}
+	mc := saveMC(t, "survivor", 5)
+	if err := ctrl1.Deploy("edge-r", "cam0", mc, -1); err != nil {
+		t.Fatal(err)
+	}
+
+	// The first controller dies with all its in-memory intent.
+	if err := ctrl1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ln2, err := n.Listen("dc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl2 := NewController(ControllerConfig{Timeout: 5 * time.Second})
+	ctrl2.Serve(ln2)
+	defer ctrl2.Close()
+
+	waitFor(t, "resume against restarted controller", func() bool {
+		_, rc := ctrl2.Lifecycle()
+		return rc == 1 && agent.Connected()
+	})
+	// Give reconciliation a beat, then check the MC survived adoption.
+	time.Sleep(100 * time.Millisecond)
+	if mcs := agent.DeployedMCs("cam0"); len(mcs) != 1 || mcs[0] != "survivor" {
+		t.Fatalf("restarted controller stripped the node: deployed = %v", mcs)
+	}
+	// Uploads flow into the new controller's ledger (flush drains the
+	// smoothing tail so at least one chunk definitely ships).
+	bg := vision.Background(48, 27, nil, 2)
+	scene := &vision.Scene{Background: bg, NoiseStd: 0.01}
+	for i := 0; i < 8; i++ {
+		if _, err := agent.ProcessFrame("cam0", scene.Render(nil, 1, tensor.NewRNG(int64(i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := agent.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "uploads on new controller", func() bool {
+		got := 0
+		if err := ctrl2.WithNodeDatacenter("edge-r", func(dc *core.Datacenter) {
+			got = len(dc.Uploads("cam0/survivor"))
+		}); err != nil {
+			return false
+		}
+		return got >= 1
+	})
+}
+
+// TestManualReconnectRetransmits covers the non-monitor resume path:
+// an agent without auto-reconnect that loses a session with unacked
+// uploads must retransmit them when the caller manually Connects
+// again — the handshake, not the monitor, owns the resend reset.
+func TestManualReconnectRetransmits(t *testing.T) {
+	base := testBase()
+	edgeCfg := core.Config{FrameWidth: 48, FrameHeight: 27, FPS: 15, Base: base, UploadBitrate: 30_000, MaxChunkFrames: 4}
+	n := simnet.New(9)
+	ln, err := n.Listen("dc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generous timeout: the stalled ack write must not hit its
+	// deadline (ending the session early) before the script severs
+	// the link itself.
+	ctrl := NewController(ControllerConfig{Timeout: 5 * time.Second})
+	ctrl.Serve(ln)
+	defer ctrl.Close()
+
+	agent, err := NewAgent(AgentConfig{
+		Node: "edge-m", Edge: edgeCfg, Heartbeat: 30 * time.Millisecond,
+		WriteTimeout: time.Second, // Reconnect deliberately off
+		Dial:         func(network, addr string) (net.Conn, error) { return n.Dial("edge-m", addr) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := agent.AddStream("cam0", 48, 27, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	mc, err := filter.NewMC(filter.Spec{Name: "m", Arch: filter.PoolingClassifier, Seed: 2}, base, 48, 27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Deploy(mc, -1); err != nil {
+		t.Fatal(err)
+	}
+	if err := agent.Connect("sim", "dc"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Starve the ack path, produce uploads, then sever: they are
+	// received but unacked, so they stay pending.
+	n.SetStall("dc", "edge-m", true)
+	bg := vision.Background(48, 27, nil, 2)
+	scene := &vision.Scene{Background: bg, NoiseStd: 0.01}
+	var gt []core.Upload
+	for i := 0; i < 8; i++ {
+		ups, err := agent.ProcessFrame("cam0", scene.Render(nil, 1, tensor.NewRNG(int64(i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gt = append(gt, ups...)
+	}
+	if len(gt) == 0 {
+		t.Fatal("no uploads produced (vacuous)")
+	}
+	waitFor(t, "uploads received pre-sever", func() bool {
+		got := 0
+		ctrl.WithNodeDatacenter("edge-m", func(dc *core.Datacenter) { got = len(dc.Uploads("cam0/m")) })
+		return got == len(gt)
+	})
+	if p, _ := agent.PendingUploads(); p == 0 {
+		t.Fatal("uploads acked through a stalled ack path")
+	}
+	n.Partition("edge-m", "dc")
+	waitFor(t, "session severed", func() bool { return !agent.Connected() })
+	n.SetStall("dc", "edge-m", false)
+	n.Heal("edge-m", "dc")
+
+	// Manual re-Connect: the unacked tail must be rewritten and acked,
+	// and dedup must keep the ledger exact.
+	if err := agent.Connect("sim", "dc"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "retransmitted tail acked", func() bool {
+		p, _ := agent.PendingUploads()
+		return p == 0
+	})
+	got := 0
+	ctrl.WithNodeDatacenter("edge-m", func(dc *core.Datacenter) { got = len(dc.Uploads("cam0/m")) })
+	if got != len(gt) {
+		t.Fatalf("ledger after manual reconnect: %d uploads, want %d", got, len(gt))
+	}
+}
+
+// fakeEdge is a hand-driven v2 edge for exercising the session's
+// request paths without an Agent's machinery.
+type fakeEdge struct {
+	t    *testing.T
+	conn net.Conn
+}
+
+func dialFakeEdge(t *testing.T, n *simnet.Network, node string) *fakeEdge {
+	t.Helper()
+	conn, err := n.Dial(node, "dc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := transport.WriteHeader(conn, transport.Version2); err != nil {
+		t.Fatal(err)
+	}
+	if err := transport.WriteRecord(conn, transport.KindHello, Hello{Node: node}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := transport.ReadHeader(conn); err != nil {
+		t.Fatal(err)
+	}
+	kind, _, err := transport.ReadRecord(conn)
+	if err != nil || kind != transport.KindWelcome {
+		t.Fatalf("welcome: kind %d, err %v", kind, err)
+	}
+	return &fakeEdge{t: t, conn: conn}
+}
+
+// readDeploy returns the next deploy request's sequence number.
+func (f *fakeEdge) readDeploy() uint64 {
+	f.t.Helper()
+	kind, body, err := transport.ReadRecord(f.conn)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	if kind != transport.KindDeploy {
+		f.t.Fatalf("read kind %d, want deploy", kind)
+	}
+	var req DeployRequest
+	if err := transport.DecodeRecord(body, &req); err != nil {
+		f.t.Fatal(err)
+	}
+	return req.Seq
+}
+
+func (f *fakeEdge) writeAck(seq uint64, errStr string) {
+	f.t.Helper()
+	if err := transport.WriteRecord(f.conn, transport.KindAck, Ack{Seq: seq, Err: errStr}); err != nil {
+		f.t.Fatal(err)
+	}
+}
+
+// TestSessionRequestTimeouts covers the round-trip timer branches:
+// responses landing after the timeout, sessions closing mid-request,
+// and the session surviving both.
+func TestSessionRequestTimeouts(t *testing.T) {
+	cases := []struct {
+		name string
+		// drive runs the edge side of the scenario after the deploy
+		// request is in flight. deployDone closes when the
+		// controller-side Deploy call has returned.
+		drive   func(t *testing.T, f *fakeEdge, seq uint64, deployDone <-chan struct{})
+		wantErr func(error) bool
+		errDesc string
+		// after, when true, proves the session is still usable by
+		// running one more round trip that the edge answers promptly.
+		after bool
+	}{
+		{
+			name: "response after timeout is dropped",
+			drive: func(t *testing.T, f *fakeEdge, seq uint64, deployDone <-chan struct{}) {
+				<-deployDone // let the round trip time out first
+				f.writeAck(seq, "")
+			},
+			wantErr: func(err error) bool {
+				return err != nil && !errors.Is(err, ErrSessionClosed) && !errors.Is(err, ErrRejected)
+			},
+			errDesc: "timeout",
+			after:   true,
+		},
+		{
+			name: "edge closes during pending request",
+			drive: func(t *testing.T, f *fakeEdge, seq uint64, deployDone <-chan struct{}) {
+				f.conn.Close()
+			},
+			wantErr: func(err error) bool { return errors.Is(err, ErrSessionClosed) },
+			errDesc: "ErrSessionClosed",
+		},
+		{
+			name: "stray ack for an unknown sequence",
+			drive: func(t *testing.T, f *fakeEdge, seq uint64, deployDone <-chan struct{}) {
+				f.writeAck(seq+1000, "") // never requested
+				f.writeAck(seq, "")      // then the real answer
+			},
+			wantErr: func(err error) bool { return err == nil },
+			errDesc: "success",
+			after:   true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			n := simnet.New(1)
+			ln, err := n.Listen("dc")
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctrl := NewController(ControllerConfig{Timeout: 150 * time.Millisecond})
+			ctrl.Serve(ln)
+			defer ctrl.Close()
+
+			f := dialFakeEdge(t, n, "edge-t")
+			defer f.conn.Close()
+			sess, err := ctrl.Session("edge-t")
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			deployDone := make(chan struct{})
+			errCh := make(chan error, 1)
+			go func() {
+				errCh <- sess.Deploy("cam0", []byte("mc"), 0)
+				close(deployDone)
+			}()
+			seq := f.readDeploy()
+			go tc.drive(t, f, seq, deployDone)
+			select {
+			case err := <-errCh:
+				if !tc.wantErr(err) {
+					t.Fatalf("Deploy error = %v, want %s", err, tc.errDesc)
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatal("Deploy never returned")
+			}
+
+			if tc.after {
+				// The session survived: a fresh round trip completes,
+				// and the stale/late ack above was not delivered to it.
+				errCh2 := make(chan error, 1)
+				go func() { errCh2 <- sess.Deploy("cam0", []byte("mc"), 0) }()
+				seq2 := f.readDeploy()
+				f.writeAck(seq2, "nope")
+				select {
+				case err := <-errCh2:
+					if !errors.Is(err, ErrRejected) {
+						t.Fatalf("follow-up Deploy error = %v, want ErrRejected", err)
+					}
+				case <-time.After(10 * time.Second):
+					t.Fatal("follow-up Deploy never returned")
+				}
+				select {
+				case <-sess.Done():
+					t.Fatalf("session died during scenario: %v", sess.Err())
+				default:
+				}
+			}
+		})
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
 	"time"
 
@@ -17,6 +18,16 @@ import (
 // disconnected.
 var ErrSessionClosed = errors.New("fleet: session closed")
 
+// ErrLiveness terminates a session whose edge went silent for the
+// liveness window (HeartbeatMiss consecutive heartbeat intervals) —
+// the controller's eviction of a node that stalled or vanished
+// without closing its connection.
+var ErrLiveness = errors.New("fleet: heartbeat liveness timeout")
+
+// ErrEvicted terminates a session the controller force-closed because
+// the node reconnected: the resumed session replaces the stale one.
+var ErrEvicted = errors.New("fleet: session replaced by reconnect")
+
 // Session is the controller's view of one connected edge node. Its
 // uploads land in a per-session core.Datacenter, attributing every
 // received segment to the node that sent it. All methods are safe for
@@ -27,6 +38,11 @@ type Session struct {
 	streams []StreamInfo
 	conn    net.Conn
 	timeout time.Duration
+	// liveness is the read deadline per record (0 disables): the
+	// heartbeat interval announced in the hello times the controller's
+	// HeartbeatMiss budget.
+	liveness time.Duration
+	resumed  bool
 
 	// wmu serializes record writes to the connection.
 	wmu sync.Mutex
@@ -45,13 +61,15 @@ type Session struct {
 	closeOnce sync.Once
 }
 
-func newSession(id uint64, hello Hello, conn net.Conn, timeout time.Duration) *Session {
+func newSession(id uint64, hello Hello, conn net.Conn, timeout, liveness time.Duration) *Session {
 	return &Session{
 		id:          id,
 		node:        hello.Node,
 		streams:     append([]StreamInfo(nil), hello.Streams...),
 		conn:        conn,
 		timeout:     timeout,
+		liveness:    liveness,
+		resumed:     hello.Resume,
 		pending:     make(map[uint64]chan any),
 		fetchFrames: make(map[uint64][]*vision.Image),
 		dc:          core.NewDatacenter(),
@@ -65,14 +83,20 @@ func (s *Session) ID() uint64 { return s.id }
 // Node returns the edge node's self-reported name.
 func (s *Session) Node() string { return s.node }
 
+// Resumed reports whether this session is a reconnect of a previously
+// connected node (the hello carried Resume).
+func (s *Session) Resumed() bool { return s.resumed }
+
 // Streams returns the stream inventory announced in the hello.
 func (s *Session) Streams() []StreamInfo {
 	return append([]StreamInfo(nil), s.streams...)
 }
 
 // Datacenter returns the per-session receiver holding every upload
-// this edge sent. Upload MC names use the node's "stream/mc" prefix
-// convention.
+// this edge sent during this session (deduplicated: retransmissions
+// of uploads another session already accepted are dropped). Upload MC
+// names use the node's "stream/mc" prefix convention. For accounting
+// that survives reconnects, use Controller.WithNodeDatacenter.
 func (s *Session) Datacenter() *core.Datacenter { return s.dc }
 
 // Received returns the number of uploads accepted from this edge.
@@ -102,10 +126,16 @@ func (s *Session) Err() error {
 func (s *Session) Done() <-chan struct{} { return s.done }
 
 // Deploy ships a serialized microclassifier (a filter.(*MC).Save
-// stream) to the named stream and waits for the edge's ack.
+// stream) to the named stream and waits for the edge's ack. Direct
+// session deploys bypass the controller's intent tracking — prefer
+// Controller.Deploy for deployments that should survive reconnects.
 func (s *Session) Deploy(stream string, mc []byte, threshold float32) error {
+	return s.deploy(stream, mc, threshold, 0)
+}
+
+func (s *Session) deploy(stream string, mc []byte, threshold float32, gen uint64) error {
 	resp, err := s.roundTrip(transport.KindDeploy, func(seq uint64) any {
-		return DeployRequest{Seq: seq, Stream: stream, MC: mc, Threshold: threshold}
+		return DeployRequest{Seq: seq, Stream: stream, MC: mc, Threshold: threshold, Gen: gen}
 	})
 	if err != nil {
 		return err
@@ -117,8 +147,12 @@ func (s *Session) Deploy(stream string, mc []byte, threshold float32) error {
 // for the edge's ack. The MC's final uploads arrive through the normal
 // upload path before the ack.
 func (s *Session) Undeploy(stream, mcName string) error {
+	return s.undeploy(stream, mcName, 0)
+}
+
+func (s *Session) undeploy(stream, mcName string, gen uint64) error {
 	resp, err := s.roundTrip(transport.KindUndeploy, func(seq uint64) any {
-		return UndeployRequest{Seq: seq, Stream: stream, MCName: mcName}
+		return UndeployRequest{Seq: seq, Stream: stream, MCName: mcName, Gen: gen}
 	})
 	if err != nil {
 		return err
@@ -154,7 +188,7 @@ func (s *Session) fetch(stream string, start, end int, bitrate float64, includeD
 		return nil, FetchResponse{}, fmt.Errorf("fleet: unexpected response %T to fetch", resp)
 	}
 	if fr.resp.Err != "" {
-		return nil, fr.resp, fmt.Errorf("fleet: edge %q fetch: %s", s.node, fr.resp.Err)
+		return nil, fr.resp, fmt.Errorf("fleet: edge %q fetch: %w: %s", s.node, ErrRejected, fr.resp.Err)
 	}
 	if includeData && len(fr.frames) != end-start {
 		return fr.frames, fr.resp, fmt.Errorf("fleet: edge %q fetch returned %d frames, want %d", s.node, len(fr.frames), end-start)
@@ -169,13 +203,20 @@ type fetchReply struct {
 	frames []*vision.Image
 }
 
+// ErrRejected is wrapped by request errors where the edge itself
+// refused the request (unknown stream, bad MC bytes, duplicate
+// deploy). The request reached the node and was answered — as opposed
+// to transport failures, where the node's state is unknown and the
+// controller keeps its intent for reconciliation.
+var ErrRejected = errors.New("fleet: edge rejected request")
+
 func ackErr(resp any) error {
 	ack, ok := resp.(Ack)
 	if !ok {
 		return fmt.Errorf("fleet: unexpected response %T to request", resp)
 	}
 	if ack.Err != "" {
-		return fmt.Errorf("fleet: edge rejected request: %s", ack.Err)
+		return fmt.Errorf("%w: %s", ErrRejected, ack.Err)
 	}
 	return nil
 }
@@ -221,16 +262,21 @@ func (s *Session) dropPending(seq uint64) {
 	s.mu.Unlock()
 }
 
+// write sends one record, bounded by the session timeout so a stalled
+// edge cannot hang the controller's writers.
 func (s *Session) write(kind uint8, payload any) error {
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
-	return transport.WriteRecord(s.conn, kind, payload)
+	return transport.WriteRecordDeadline(s.conn, kind, payload, s.timeout)
 }
 
 // run is the session's reader loop; the controller drives it in the
 // connection's goroutine. It returns after a clean goodbye, a read
-// error, or the connection closing.
-func (s *Session) run(onUpload func(*Session, core.Upload)) error {
+// error, a liveness eviction, or the connection closing. onUpload
+// decides whether an upload is fresh (the controller's node-level
+// dedup) — accepted uploads land in the session datacenter and are
+// acked by sequence number either way, so the edge stops resending.
+func (s *Session) run(onUpload func(*Session, transport.UploadRecord) bool) error {
 	err := s.readLoop(onUpload)
 	s.markDone(err)
 	return err
@@ -248,12 +294,28 @@ func (s *Session) markDone(err error) {
 	})
 }
 
-func (s *Session) readLoop(onUpload func(*Session, core.Upload)) error {
+// evict force-closes the session (stale-session replacement on
+// resume). Closing the connection unblocks the reader loop, whose
+// exit deregisters the session.
+func (s *Session) evict() {
+	s.markDone(ErrEvicted)
+	s.conn.Close()
+}
+
+func (s *Session) readLoop(onUpload func(*Session, transport.UploadRecord) bool) error {
+	// Acks are best-effort: they only trim the edge's resend buffer
+	// (dedup makes retransmissions harmless), so a failed ack write —
+	// typical when an edge says goodbye and closes while its final
+	// uploads are still buffered here — must not abort the drain.
+	ackBroken := false
 	for {
-		kind, body, err := transport.ReadRecord(s.conn)
+		kind, body, err := transport.ReadRecordDeadline(s.conn, s.liveness)
 		if err != nil {
 			if errors.Is(err, io.EOF) {
 				return nil
+			}
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				return fmt.Errorf("fleet: edge %q silent for %v: %w", s.node, s.liveness, ErrLiveness)
 			}
 			return err
 		}
@@ -263,13 +325,24 @@ func (s *Session) readLoop(onUpload func(*Session, core.Upload)) error {
 			if err := transport.DecodeRecord(body, &rec); err != nil {
 				return err
 			}
-			up := rec.ToUpload()
-			s.mu.Lock()
-			s.dc.Receive(up)
-			s.received++
-			s.mu.Unlock()
-			if onUpload != nil {
-				onUpload(s, up)
+			if onUpload == nil || onUpload(s, rec) {
+				s.mu.Lock()
+				s.dc.Receive(rec.ToUpload())
+				s.received++
+				s.mu.Unlock()
+			}
+			if rec.Seq != 0 && !ackBroken {
+				if err := s.write(transport.KindUploadAck, UploadAck{Seq: rec.Seq}); err != nil {
+					// A write timeout means the live peer's downlink is
+					// stalled: end the session so the edge reconnects
+					// and ack flow resumes (retransmits dedup cleanly).
+					// Any other failure is the peer-already-gone
+					// goodbye drain — keep reading, stop acking.
+					if errors.Is(err, os.ErrDeadlineExceeded) {
+						return fmt.Errorf("fleet: ack upload %d: %w", rec.Seq, err)
+					}
+					ackBroken = true
+				}
 			}
 		case transport.KindAck:
 			var ack Ack

@@ -29,6 +29,15 @@ type NodeLoad struct {
 	ArchiveBytes           int64
 	ArchiveEvictedSegments int
 	ArchiveEvictedBytes    int64
+	// Evicted counts sessions the controller force-closed for this
+	// node (heartbeat-liveness timeouts and stale sessions replaced
+	// by a reconnect); Reconnects counts resume hellos accepted. Both
+	// survive the sessions they describe — the fleet's
+	// churn-vs-stability signal. They are node-level counters: when a
+	// node contributes one NodeLoad per stream, set them on a single
+	// load so SummarizeFleet does not double-count.
+	Evicted    int
+	Reconnects int
 }
 
 // Bitrate returns the node's realized average uplink usage in bits/s
@@ -59,6 +68,14 @@ type FleetSummary struct {
 	ArchiveBytes           int64
 	ArchiveEvictedSegments int
 	ArchiveEvictedBytes    int64
+	// Evicted and Reconnects total the fleet's session-lifecycle
+	// churn: sessions the controller force-closed and resume hellos
+	// it accepted. A healthy fleet on a flaky backhaul shows
+	// Reconnects ≈ Evicted + connection-loss count and steady upload
+	// totals; Reconnects of zero alongside evictions means nodes are
+	// dying, not recovering.
+	Evicted    int
+	Reconnects int
 	// AverageBitrate is total uploaded bits over total stream time
 	// across nodes with a known rate, in bits/s.
 	AverageBitrate float64
@@ -85,6 +102,8 @@ func SummarizeFleet(nodes []NodeLoad) FleetSummary {
 		s.ArchiveBytes += n.ArchiveBytes
 		s.ArchiveEvictedSegments += n.ArchiveEvictedSegments
 		s.ArchiveEvictedBytes += n.ArchiveEvictedBytes
+		s.Evicted += n.Evicted
+		s.Reconnects += n.Reconnects
 		if n.Frames > 0 && n.FPS > 0 {
 			seconds += float64(n.Frames) / float64(n.FPS)
 			ratedBits += n.UploadedBits + n.DemandFetchBits

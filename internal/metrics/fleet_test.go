@@ -48,6 +48,19 @@ func TestSummarizeFleet(t *testing.T) {
 	}
 }
 
+func TestSummarizeFleetLifecycle(t *testing.T) {
+	// Lifecycle counters are node-level: a multi-stream node carries
+	// them on one load, and the summary totals across nodes.
+	s := SummarizeFleet([]NodeLoad{
+		{Node: "a/cam0", Frames: 150, FPS: 15, Evicted: 1, Reconnects: 2},
+		{Node: "a/cam1", Frames: 150, FPS: 15}, // same node, counters on cam0 only
+		{Node: "b/cam0", Frames: 150, FPS: 15, Reconnects: 1},
+	})
+	if s.Evicted != 1 || s.Reconnects != 3 {
+		t.Fatalf("lifecycle totals wrong: evicted %d, reconnects %d", s.Evicted, s.Reconnects)
+	}
+}
+
 func TestSummarizeFleetEmpty(t *testing.T) {
 	s := SummarizeFleet(nil)
 	if s.Nodes != 0 || s.AverageBitrate != 0 || s.MaxNode != "" {

@@ -1,0 +1,597 @@
+// Package simnet is an in-memory network with scriptable, deterministic
+// faults — the repo's harness for testing the fleet control plane
+// against the link conditions the paper's deployment story implies
+// (cellular/wifi backhaul that drops, stalls, corrupts, and
+// partitions). Every failure mode becomes a unit test instead of a
+// flake: connections are plain net.Conn/net.Listener values, faults are
+// injected per direction by address, and all randomness (which bit a
+// corruption flips) flows from one seed, so a scripted scenario
+// replays byte-identically.
+//
+// A Network is a namespace of named endpoints. Servers Listen on a
+// name; clients Dial from their own name to a listener's name. Each
+// established connection is a pair of directional pipes; faults are
+// addressed by (from, to) direction:
+//
+//	n := simnet.New(42)
+//	ln, _ := n.Listen("dc")
+//	conn, _ := n.Dial("edge-1", "dc")
+//	n.SetStall("edge-1", "dc", true)     // one-way stall: writes block
+//	n.Partition("edge-1", "dc")          // both directions sever, dials refused
+//	n.Heal("edge-1", "dc")               // dials work again (severed conns stay dead)
+//	n.CorruptNext("edge-1", "dc", 12)    // flip one bit 12 bytes ahead in the stream
+//	n.DropNext("edge-1", "dc", 9, 4)     // drop 4 bytes starting 9 bytes ahead
+//	n.SetLatency("edge-1", "dc", 5*time.Millisecond)
+//	n.SetBandwidth("edge-1", "dc", 1<<20) // bytes/s pacing
+//
+// Conns support read/write deadlines (errors satisfy
+// errors.Is(err, os.ErrDeadlineExceeded)), so transport-level liveness
+// timeouts are testable without real sockets.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrSevered is returned by reads and writes on a partitioned
+// connection — the simnet analogue of a reset TCP connection.
+var ErrSevered = errors.New("simnet: connection severed by partition")
+
+// ErrRefused is returned by Dial when the target is not listening or
+// the address pair is partitioned.
+var ErrRefused = errors.New("simnet: connection refused")
+
+// Addr is a simnet endpoint address.
+type Addr struct{ Name string }
+
+// Network implements net.Addr.
+func (a Addr) Network() string { return "sim" }
+
+// String implements net.Addr.
+func (a Addr) String() string { return a.Name }
+
+// shape is the steady-state link model for one direction.
+type shape struct {
+	latency time.Duration
+	bps     float64 // bytes/s; 0 = unlimited
+	stalled bool
+}
+
+// Network is an in-memory network namespace. All methods are safe for
+// concurrent use.
+type Network struct {
+	seed int64
+
+	mu        sync.Mutex
+	listeners map[string]*Listener
+	pipes     map[string][]*pipe // direction key -> live pipes
+	cut       map[string]bool    // partitioned address pairs
+	defaults  map[string]shape   // direction key -> shape for future conns
+}
+
+// New constructs a network whose injected randomness (corruption bit
+// choice) derives deterministically from seed.
+func New(seed int64) *Network {
+	return &Network{
+		seed:      seed,
+		listeners: make(map[string]*Listener),
+		pipes:     make(map[string][]*pipe),
+		cut:       make(map[string]bool),
+		defaults:  make(map[string]shape),
+	}
+}
+
+func dirKey(from, to string) string { return from + "\x00" + to }
+
+// pairKey is direction-agnostic, for partitions.
+func pairKey(a, b string) string {
+	if a > b {
+		a, b = b, a
+	}
+	return a + "\x00" + b
+}
+
+// rngFor derives a direction's deterministic RNG.
+func (n *Network) rngFor(from, to string) *rand.Rand {
+	h := fnv.New64a()
+	h.Write([]byte(dirKey(from, to)))
+	return rand.New(rand.NewSource(n.seed ^ int64(h.Sum64())))
+}
+
+// Listen binds a listener to the given endpoint name.
+func (n *Network) Listen(addr string) (*Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, busy := n.listeners[addr]; busy {
+		return nil, fmt.Errorf("simnet: address %q already in use", addr)
+	}
+	l := &Listener{net: n, addr: addr, backlog: make(chan net.Conn, 64), closed: make(chan struct{})}
+	n.listeners[addr] = l
+	return l, nil
+}
+
+// Dial connects the named client endpoint to a listener. The returned
+// conn's LocalAddr is from; the accepted conn's LocalAddr is to.
+func (n *Network) Dial(from, to string) (net.Conn, error) {
+	n.mu.Lock()
+	if n.cut[pairKey(from, to)] {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("simnet: dial %s->%s: %w (partitioned)", from, to, ErrRefused)
+	}
+	l := n.listeners[to]
+	if l == nil {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("simnet: dial %s->%s: %w", from, to, ErrRefused)
+	}
+	c2s := newPipe(from, to, n.rngFor(from, to), n.defaults[dirKey(from, to)])
+	s2c := newPipe(to, from, n.rngFor(to, from), n.defaults[dirKey(to, from)])
+	n.pipes[dirKey(from, to)] = append(n.pipes[dirKey(from, to)], c2s)
+	n.pipes[dirKey(to, from)] = append(n.pipes[dirKey(to, from)], s2c)
+	client := &Conn{local: Addr{from}, remote: Addr{to}, rd: s2c, wr: c2s}
+	server := &Conn{local: Addr{to}, remote: Addr{from}, rd: c2s, wr: s2c}
+	n.mu.Unlock()
+
+	select {
+	case l.backlog <- server:
+		return client, nil
+	case <-l.closed:
+		return nil, fmt.Errorf("simnet: dial %s->%s: %w", from, to, ErrRefused)
+	}
+}
+
+// live returns the open pipes for one direction. Callers hold n.mu.
+func (n *Network) live(from, to string) []*pipe {
+	var out []*pipe
+	for _, p := range n.pipes[dirKey(from, to)] {
+		if !p.dead() {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// SetLatency sets the one-way delivery delay for the direction,
+// applied to existing and future connections.
+func (n *Network) SetLatency(from, to string, d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	sh := n.defaults[dirKey(from, to)]
+	sh.latency = d
+	n.defaults[dirKey(from, to)] = sh
+	for _, p := range n.live(from, to) {
+		p.setShape(func(s *shape) { s.latency = d })
+	}
+}
+
+// SetBandwidth caps the direction's throughput in bytes/s (0 removes
+// the cap), applied to existing and future connections.
+func (n *Network) SetBandwidth(from, to string, bps float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	sh := n.defaults[dirKey(from, to)]
+	sh.bps = bps
+	n.defaults[dirKey(from, to)] = sh
+	for _, p := range n.live(from, to) {
+		p.setShape(func(s *shape) { s.bps = bps })
+	}
+}
+
+// SetStall stalls (or releases) the direction: while stalled, writes
+// block — a one-way dead link whose reverse path still flows. Applies
+// to existing and future connections.
+func (n *Network) SetStall(from, to string, stalled bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	sh := n.defaults[dirKey(from, to)]
+	sh.stalled = stalled
+	n.defaults[dirKey(from, to)] = sh
+	for _, p := range n.live(from, to) {
+		p.setShape(func(s *shape) { s.stalled = stalled })
+	}
+}
+
+// CorruptNext flips one bit of the byte `skip` bytes ahead of the
+// direction's current stream position (skip 0 corrupts the next byte
+// written). Which bit flips is drawn from the network's seeded RNG, so
+// the damage is deterministic. Returns an error when no live
+// connection matches the direction.
+func (n *Network) CorruptNext(from, to string, skip int) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	live := n.live(from, to)
+	if len(live) == 0 {
+		return fmt.Errorf("simnet: corrupt %s->%s: no live connection", from, to)
+	}
+	for _, p := range live {
+		p.corruptAhead(skip)
+	}
+	return nil
+}
+
+// DropNext drops k bytes starting `skip` bytes ahead of the
+// direction's current stream position — a deterministic mid-record
+// byte loss. Returns an error when no live connection matches.
+func (n *Network) DropNext(from, to string, skip, k int) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	live := n.live(from, to)
+	if len(live) == 0 {
+		return fmt.Errorf("simnet: drop %s->%s: no live connection", from, to)
+	}
+	for _, p := range live {
+		p.dropAhead(skip, k)
+	}
+	return nil
+}
+
+// Partition severs every live connection between a and b (reads and
+// writes on both ends fail with ErrSevered) and refuses new dials
+// between them until Heal.
+func (n *Network) Partition(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cut[pairKey(a, b)] = true
+	for _, p := range n.pipes[dirKey(a, b)] {
+		p.sever()
+	}
+	for _, p := range n.pipes[dirKey(b, a)] {
+		p.sever()
+	}
+}
+
+// Heal lifts a partition: new dials between a and b succeed again.
+// Connections severed while partitioned stay dead — like real TCP,
+// the endpoints must reconnect.
+func (n *Network) Heal(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.cut, pairKey(a, b))
+}
+
+// Listener accepts simnet connections for one endpoint name.
+type Listener struct {
+	net     *Network
+	addr    string
+	backlog chan net.Conn
+
+	once   sync.Once
+	closed chan struct{}
+}
+
+// Accept waits for the next inbound connection.
+func (l *Listener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	case <-l.closed:
+		return nil, net.ErrClosed
+	}
+}
+
+// Close stops the listener; blocked Accepts return net.ErrClosed.
+func (l *Listener) Close() error {
+	l.once.Do(func() {
+		close(l.closed)
+		l.net.mu.Lock()
+		if l.net.listeners[l.addr] == l {
+			delete(l.net.listeners, l.addr)
+		}
+		l.net.mu.Unlock()
+	})
+	return nil
+}
+
+// Addr returns the listener's simnet address.
+func (l *Listener) Addr() net.Addr { return Addr{l.addr} }
+
+// Conn is one endpoint of a simnet connection. It implements net.Conn,
+// including deadlines.
+type Conn struct {
+	local, remote Addr
+	rd, wr        *pipe // rd: peer->me, wr: me->peer
+
+	closeOnce sync.Once
+}
+
+// Read implements net.Conn.
+func (c *Conn) Read(b []byte) (int, error) { return c.rd.read(b) }
+
+// Write implements net.Conn.
+func (c *Conn) Write(b []byte) (int, error) { return c.wr.write(b) }
+
+// Close closes both directions: the peer drains buffered bytes then
+// sees io.EOF; this end's pending and future operations fail.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() {
+		c.wr.closeWrite()
+		c.rd.closeRead()
+	})
+	return nil
+}
+
+// LocalAddr implements net.Conn.
+func (c *Conn) LocalAddr() net.Addr { return c.local }
+
+// RemoteAddr implements net.Conn.
+func (c *Conn) RemoteAddr() net.Addr { return c.remote }
+
+// SetDeadline implements net.Conn.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.rd.setReadDeadline(t)
+	c.wr.setWriteDeadline(t)
+	return nil
+}
+
+// SetReadDeadline implements net.Conn.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.rd.setReadDeadline(t)
+	return nil
+}
+
+// SetWriteDeadline implements net.Conn.
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.wr.setWriteDeadline(t)
+	return nil
+}
+
+// dropSpan is a pending byte-loss fault: stream offsets [off, off+n).
+type dropSpan struct {
+	off int64
+	n   int64
+}
+
+// pipe is one direction of a connection: an unbounded elastic buffer
+// with fault hooks. Stream offsets (for corruption and drops) count
+// bytes as written, before drops are applied.
+type pipe struct {
+	from, to string
+	rng      *rand.Rand
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	buf     []byte
+	written int64 // pre-fault stream position
+	wclosed bool  // write end closed: reader drains then EOF
+	rclosed bool  // read end closed
+	severed bool
+	sh      shape
+
+	corruptAt []int64
+	drops     []dropSpan
+
+	rDeadline, wDeadline time.Time
+	rTimer, wTimer       *time.Timer
+}
+
+func newPipe(from, to string, rng *rand.Rand, sh shape) *pipe {
+	p := &pipe{from: from, to: to, rng: rng, sh: sh}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+func (p *pipe) dead() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.severed || p.wclosed || p.rclosed
+}
+
+func (p *pipe) setShape(f func(*shape)) {
+	p.mu.Lock()
+	f(&p.sh)
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+func (p *pipe) corruptAhead(skip int) {
+	p.mu.Lock()
+	p.corruptAt = append(p.corruptAt, p.written+int64(skip))
+	p.mu.Unlock()
+}
+
+func (p *pipe) dropAhead(skip, k int) {
+	p.mu.Lock()
+	p.drops = append(p.drops, dropSpan{off: p.written + int64(skip), n: int64(k)})
+	p.mu.Unlock()
+}
+
+func (p *pipe) sever() {
+	p.mu.Lock()
+	p.severed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+func (p *pipe) closeWrite() {
+	p.mu.Lock()
+	p.wclosed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+func (p *pipe) closeRead() {
+	p.mu.Lock()
+	p.rclosed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+func (p *pipe) setReadDeadline(t time.Time) {
+	p.mu.Lock()
+	p.rDeadline = t
+	if p.rTimer != nil {
+		p.rTimer.Stop()
+		p.rTimer = nil
+	}
+	if !t.IsZero() {
+		if d := time.Until(t); d > 0 {
+			p.rTimer = time.AfterFunc(d, p.cond.Broadcast)
+		}
+	}
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+func (p *pipe) setWriteDeadline(t time.Time) {
+	p.mu.Lock()
+	p.wDeadline = t
+	if p.wTimer != nil {
+		p.wTimer.Stop()
+		p.wTimer = nil
+	}
+	if !t.IsZero() {
+		if d := time.Until(t); d > 0 {
+			p.wTimer = time.AfterFunc(d, p.cond.Broadcast)
+		}
+	}
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+func expired(t time.Time) bool { return !t.IsZero() && !time.Now().Before(t) }
+
+// write applies pacing (latency + bandwidth), waits out stalls, then
+// delivers b through the fault transforms into the buffer. The
+// reported count is always len(b): from the sender's view the bytes
+// left the host — corruption and loss happen on the wire.
+func (p *pipe) write(b []byte) (int, error) {
+	p.mu.Lock()
+	sh := p.sh
+	deadline := p.wDeadline
+	p.mu.Unlock()
+
+	// Sender-side pacing. A write deadline bounds the pacing sleep too.
+	var pace time.Duration
+	pace = sh.latency
+	if sh.bps > 0 {
+		pace += time.Duration(float64(len(b)) / sh.bps * float64(time.Second))
+	}
+	if pace > 0 {
+		if !deadline.IsZero() {
+			if until := time.Until(deadline); until < pace {
+				if until > 0 {
+					time.Sleep(until)
+				}
+				return 0, os.ErrDeadlineExceeded
+			}
+		}
+		time.Sleep(pace)
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if p.severed {
+			return 0, ErrSevered
+		}
+		if p.wclosed || p.rclosed {
+			return 0, io.ErrClosedPipe
+		}
+		if !p.sh.stalled {
+			break
+		}
+		if expired(p.wDeadline) {
+			return 0, os.ErrDeadlineExceeded
+		}
+		p.cond.Wait()
+	}
+	data := append([]byte(nil), b...)
+	start := p.written
+	p.written += int64(len(data))
+	p.applyCorruption(start, data)
+	data = p.applyDrops(start, data)
+	p.buf = append(p.buf, data...)
+	p.cond.Broadcast()
+	return len(b), nil
+}
+
+// applyCorruption flips one seeded-random bit at every armed stream
+// offset covered by this write. Callers hold p.mu.
+func (p *pipe) applyCorruption(start int64, data []byte) {
+	if len(p.corruptAt) == 0 {
+		return
+	}
+	var left []int64
+	for _, off := range p.corruptAt {
+		if off >= start && off < start+int64(len(data)) {
+			data[off-start] ^= 1 << uint(p.rng.Intn(8))
+		} else if off >= start+int64(len(data)) {
+			left = append(left, off)
+		} // offsets already behind the stream are dropped
+	}
+	p.corruptAt = left
+}
+
+// applyDrops removes the byte spans armed for loss from this write.
+// Callers hold p.mu.
+func (p *pipe) applyDrops(start int64, data []byte) []byte {
+	if len(p.drops) == 0 {
+		return data
+	}
+	// Highest offsets first, so a cut never shifts the positions of
+	// spans still to apply (span offsets index the pre-drop stream).
+	sort.Slice(p.drops, func(i, j int) bool { return p.drops[i].off > p.drops[j].off })
+	var left []dropSpan
+	for _, d := range p.drops {
+		lo, hi := d.off, d.off+d.n
+		end := start + int64(len(data))
+		if hi <= start || lo >= end {
+			if lo >= end {
+				left = append(left, d)
+			}
+			continue
+		}
+		cutLo, cutHi := lo-start, hi-start
+		if cutLo < 0 {
+			cutLo = 0
+		}
+		if cutHi > int64(len(data)) {
+			// The span continues into future writes.
+			left = append(left, dropSpan{off: end, n: hi - end})
+			cutHi = int64(len(data))
+		}
+		data = append(data[:cutLo], data[cutHi:]...)
+		// Later spans' offsets are stream positions, which do not
+		// shift: they index the pre-drop stream.
+	}
+	p.drops = left
+	return data
+}
+
+func (p *pipe) read(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if p.severed {
+			return 0, ErrSevered
+		}
+		if p.rclosed {
+			return 0, io.ErrClosedPipe
+		}
+		if len(p.buf) > 0 {
+			break
+		}
+		if p.wclosed {
+			return 0, io.EOF
+		}
+		if expired(p.rDeadline) {
+			return 0, os.ErrDeadlineExceeded
+		}
+		p.cond.Wait()
+	}
+	n := copy(b, p.buf)
+	p.buf = p.buf[n:]
+	if len(p.buf) == 0 {
+		p.buf = nil
+	}
+	return n, nil
+}

@@ -1,0 +1,384 @@
+package simnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+var testListeners = struct {
+	sync.Mutex
+	m map[*Network]map[string]*Listener
+}{m: make(map[*Network]map[string]*Listener)}
+
+// accept1 dials from client to server and returns both ends, creating
+// (and caching) the server's listener on first use.
+func accept1(t *testing.T, n *Network, client, server string) (net.Conn, net.Conn) {
+	t.Helper()
+	testListeners.Lock()
+	byAddr := testListeners.m[n]
+	if byAddr == nil {
+		byAddr = make(map[string]*Listener)
+		testListeners.m[n] = byAddr
+	}
+	ln := byAddr[server]
+	if ln == nil {
+		var err error
+		ln, err = n.Listen(server)
+		if err != nil {
+			testListeners.Unlock()
+			t.Fatal(err)
+		}
+		byAddr[server] = ln
+		t.Cleanup(func() {
+			ln.Close()
+			testListeners.Lock()
+			delete(byAddr, server)
+			testListeners.Unlock()
+		})
+	}
+	testListeners.Unlock()
+	type acc struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan acc, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- acc{c, err}
+	}()
+	cc, err := n.Dial(client, server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := <-ch
+	if a.err != nil {
+		t.Fatal(a.err)
+	}
+	return cc, a.c
+}
+
+func TestConnBasics(t *testing.T) {
+	n := New(1)
+	cc, sc := accept1(t, n, "edge", "dc")
+	if cc.LocalAddr().String() != "edge" || cc.RemoteAddr().String() != "dc" {
+		t.Fatalf("client addrs wrong: %v -> %v", cc.LocalAddr(), cc.RemoteAddr())
+	}
+	if sc.LocalAddr().String() != "dc" || sc.RemoteAddr().String() != "edge" {
+		t.Fatalf("server addrs wrong: %v -> %v", sc.LocalAddr(), sc.RemoteAddr())
+	}
+
+	msg := []byte("hello fleet")
+	if _, err := cc.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(sc, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q, want %q", got, msg)
+	}
+
+	// Reverse direction works too.
+	if _, err := sc.Write([]byte("ack")); err != nil {
+		t.Fatal(err)
+	}
+	got = make([]byte, 3)
+	if _, err := io.ReadFull(cc, got); err != nil {
+		t.Fatal(err)
+	}
+
+	// Close drains then EOFs the peer; local ops fail.
+	cc.Write([]byte("bye"))
+	cc.Close()
+	got = make([]byte, 3)
+	if _, err := io.ReadFull(sc, got); err != nil || string(got) != "bye" {
+		t.Fatalf("drain after close: %q, %v", got, err)
+	}
+	if _, err := sc.Read(make([]byte, 1)); err != io.EOF {
+		t.Fatalf("peer read after close = %v, want io.EOF", err)
+	}
+	if _, err := cc.Write([]byte("x")); err == nil {
+		t.Fatal("write after close succeeded")
+	}
+	if _, err := sc.Write([]byte("x")); err == nil {
+		t.Fatal("write to closed peer succeeded")
+	}
+}
+
+func TestDialErrors(t *testing.T) {
+	n := New(1)
+	if _, err := n.Dial("edge", "nobody"); !errors.Is(err, ErrRefused) {
+		t.Fatalf("dial to missing listener = %v, want ErrRefused", err)
+	}
+	ln, err := n.Listen("dc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Listen("dc"); err == nil {
+		t.Fatal("double listen accepted")
+	}
+	ln.Close()
+	if _, err := n.Dial("edge", "dc"); !errors.Is(err, ErrRefused) {
+		t.Fatalf("dial to closed listener = %v, want ErrRefused", err)
+	}
+}
+
+func TestReadDeadline(t *testing.T) {
+	n := New(1)
+	cc, _ := accept1(t, n, "edge", "dc")
+	cc.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	start := time.Now()
+	_, err := cc.Read(make([]byte, 1))
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("read past deadline = %v, want os.ErrDeadlineExceeded", err)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("deadline fired way too early")
+	}
+	// Clearing the deadline makes reads block again (and data arrives).
+	cc.SetReadDeadline(time.Time{})
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		n2, _ := cc.(*Conn), 0
+		_ = n2
+	}()
+}
+
+func TestStallAndWriteDeadline(t *testing.T) {
+	n := New(1)
+	cc, sc := accept1(t, n, "edge", "dc")
+	n.SetStall("edge", "dc", true)
+
+	// A stalled write with a deadline times out.
+	cc.SetWriteDeadline(time.Now().Add(30 * time.Millisecond))
+	if _, err := cc.Write([]byte("blocked")); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("stalled write = %v, want os.ErrDeadlineExceeded", err)
+	}
+	// Nothing leaked through while stalled, and the timed-out write
+	// was not delivered.
+	sc.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
+	if _, err := sc.Read(make([]byte, 8)); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("read during stall = %v, want deadline", err)
+	}
+	sc.SetReadDeadline(time.Time{})
+
+	// The reverse direction still flows: a one-way stall.
+	if _, err := sc.Write([]byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4)
+	if _, err := io.ReadFull(cc, got); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unstalling releases a blocked writer.
+	cc.SetWriteDeadline(time.Time{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := cc.Write([]byte("go"))
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	n.SetStall("edge", "dc", false)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(sc, got[:2]); err != nil || string(got[:2]) != "go" {
+		t.Fatalf("post-stall delivery: %q, %v", got[:2], err)
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	n := New(1)
+	cc, sc := accept1(t, n, "edge", "dc")
+	n.Partition("edge", "dc")
+
+	if _, err := cc.Write([]byte("x")); !errors.Is(err, ErrSevered) {
+		t.Fatalf("write on severed conn = %v, want ErrSevered", err)
+	}
+	if _, err := sc.Read(make([]byte, 1)); !errors.Is(err, ErrSevered) {
+		t.Fatalf("read on severed conn = %v, want ErrSevered", err)
+	}
+	if _, err := n.Dial("edge", "dc"); !errors.Is(err, ErrRefused) {
+		t.Fatalf("dial while partitioned = %v, want ErrRefused", err)
+	}
+	// Other endpoints are unaffected.
+	oc, os2 := accept1(t, n, "edge-2", "dc")
+	if _, err := oc.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	b := make([]byte, 2)
+	if _, err := io.ReadFull(os2, b); err != nil {
+		t.Fatal(err)
+	}
+
+	n.Heal("edge", "dc")
+	// The severed conn stays dead; a fresh dial works.
+	if _, err := cc.Write([]byte("x")); !errors.Is(err, ErrSevered) {
+		t.Fatal("severed conn came back to life")
+	}
+	nc, ns := accept1(t, n, "edge", "dc2")
+	_ = ns
+	_ = nc
+	c2, err := n.Dial("edge", "dc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.Close()
+}
+
+// TestPartitionUnblocksWaiters checks a partition wakes readers and
+// writers already blocked on the link.
+func TestPartitionUnblocksWaiters(t *testing.T) {
+	n := New(1)
+	cc, sc := accept1(t, n, "edge", "dc")
+	n.SetStall("edge", "dc", true)
+	werr := make(chan error, 1)
+	rerr := make(chan error, 1)
+	go func() {
+		_, err := cc.Write([]byte("stuck"))
+		werr <- err
+	}()
+	go func() {
+		_, err := sc.Read(make([]byte, 1))
+		rerr <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	n.Partition("edge", "dc")
+	if err := <-werr; !errors.Is(err, ErrSevered) {
+		t.Fatalf("blocked write = %v, want ErrSevered", err)
+	}
+	if err := <-rerr; !errors.Is(err, ErrSevered) {
+		t.Fatalf("blocked read = %v, want ErrSevered", err)
+	}
+}
+
+func TestCorruptNextDeterministic(t *testing.T) {
+	payload := []byte("0123456789abcdef0123456789abcdef")
+	run := func(seed int64) []byte {
+		n := New(seed)
+		cc, sc := accept1(t, n, "edge", "dc")
+		if err := n.CorruptNext("edge", "dc", 12); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cc.Write(payload); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, len(payload))
+		if _, err := io.ReadFull(sc, got); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	a := run(42)
+	b := run(42)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed produced different corruption:\n%x\n%x", a, b)
+	}
+	if bytes.Equal(a, payload) {
+		t.Fatal("corruption did not change the payload")
+	}
+	for i := range a {
+		if a[i] != payload[i] && i != 12 {
+			t.Fatalf("corruption hit offset %d, want 12", i)
+		}
+	}
+	if a[12] == payload[12] {
+		t.Fatal("offset 12 unchanged")
+	}
+	// Arming a fault on a dead direction reports it.
+	n := New(1)
+	if err := n.CorruptNext("edge", "dc", 0); err == nil {
+		t.Fatal("corrupt with no live connection accepted")
+	}
+}
+
+func TestCorruptOffsetSpansWrites(t *testing.T) {
+	// The armed offset is a stream position: it lands in a later write
+	// when the next write is shorter.
+	n := New(7)
+	cc, sc := accept1(t, n, "edge", "dc")
+	if err := n.CorruptNext("edge", "dc", 10); err != nil {
+		t.Fatal(err)
+	}
+	cc.Write([]byte("01234567")) // 8 bytes: untouched
+	cc.Write([]byte("89abcdef")) // stream offset 10 = index 2 here
+	got := make([]byte, 16)
+	if _, err := io.ReadFull(sc, got); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("0123456789abcdef")
+	for i := range got {
+		if got[i] != want[i] && i != 10 {
+			t.Fatalf("corruption hit offset %d, want 10", i)
+		}
+	}
+	if got[10] == want[10] {
+		t.Fatal("offset 10 unchanged")
+	}
+}
+
+func TestDropNext(t *testing.T) {
+	n := New(1)
+	cc, sc := accept1(t, n, "edge", "dc")
+	if err := n.DropNext("edge", "dc", 4, 3); err != nil {
+		t.Fatal(err)
+	}
+	cc.Write([]byte("0123456789"))
+	cc.Write([]byte("tail"))
+	got := make([]byte, 11)
+	if _, err := io.ReadFull(sc, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "0123789tail" {
+		t.Fatalf("got %q, want %q", got, "0123789tail")
+	}
+}
+
+func TestDropSpanAcrossWrites(t *testing.T) {
+	n := New(1)
+	cc, sc := accept1(t, n, "edge", "dc")
+	// Drop [4, 12): the last 4 bytes of the first write and the first
+	// 4 of the second.
+	if err := n.DropNext("edge", "dc", 4, 8); err != nil {
+		t.Fatal(err)
+	}
+	cc.Write([]byte("01234567"))
+	cc.Write([]byte("89abcdef"))
+	got := make([]byte, 8)
+	if _, err := io.ReadFull(sc, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "0123cdef" {
+		t.Fatalf("got %q, want %q", got, "0123cdef")
+	}
+}
+
+func TestLatencyAndBandwidthPaceWrites(t *testing.T) {
+	n := New(1)
+	n.SetLatency("edge", "dc", 20*time.Millisecond)
+	n.SetBandwidth("edge", "dc", 100_000) // 100 kB/s -> 10ms per 1000 bytes
+	cc, sc := accept1(t, n, "edge", "dc")
+	start := time.Now()
+	if _, err := cc.Write(make([]byte, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(sc, make([]byte, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 25*time.Millisecond {
+		t.Fatalf("paced delivery took %v, want >= 30ms-ish", el)
+	}
+	// A write deadline shorter than the pacing fails with a timeout.
+	cc.SetWriteDeadline(time.Now().Add(5 * time.Millisecond))
+	if _, err := cc.Write(make([]byte, 1000)); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("paced write past deadline = %v, want os.ErrDeadlineExceeded", err)
+	}
+}

@@ -9,7 +9,14 @@
 // The protocol is deliberately simple and version-tagged:
 //
 //	uint32 magic | uint16 version | stream of records
-//	record: uint8 kind | uint32 length | gob payload
+//	record: uint8 kind | uint32 length | uint32 crc32(payload) | gob payload
+//
+// The per-record CRC turns wire damage (bit flips, mid-record byte
+// loss) into a typed ErrCorrupt at the reader instead of a gob decode
+// error — or worse, a silent desync that hangs the session. Readers
+// never trust the length prefix for allocation: payloads are read in
+// bounded chunks, so a hostile or damaged header cannot force a large
+// up-front allocation.
 //
 // Version 1 is the original one-way upload pipe: the edge writes the
 // header and streams KindUpload records until KindBye. Version 2 keeps
@@ -30,14 +37,21 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 )
 
-const magic = 0xFF00FF04
+// magic identifies the wire format, including the record framing
+// revision. It was bumped (…04 → …05) when records gained the CRC
+// field: a pre-CRC build pairs with a CRC build only up to the
+// handshake, where the stale magic is rejected cleanly — without the
+// bump the handshake would succeed and every record would desync.
+const magic = 0xFF00FF05
 
 // Protocol versions. A client announces the highest version it speaks
 // in its header; a v2 server echoes the version it accepts back.
@@ -87,15 +101,35 @@ const (
 	// same sequence number; they are only sent when the fetch request
 	// set IncludeData.
 	KindFetchData uint8 = 11
+	// KindUploadAck acknowledges receipt of an upload by its
+	// edge-assigned sequence number (datacenter → edge). The edge
+	// retires the upload from its resend buffer; unacked uploads are
+	// retransmitted after a reconnect, and the receiver deduplicates
+	// by sequence number — together, exactly-once upload accounting.
+	KindUploadAck uint8 = 12
 )
 
 // MaxRecordBytes bounds a single record payload, keeping a
 // misbehaving peer from forcing unbounded allocation.
 const MaxRecordBytes = 16 << 20
 
+// readChunk bounds how much ReadRecord allocates ahead of the bytes
+// actually arriving, so a length prefix claiming MaxRecordBytes on a
+// truncated stream costs one chunk, not 16 MB.
+const readChunk = 64 << 10
+
+// recHeaderLen is the record frame header: kind + length + crc32.
+const recHeaderLen = 9
+
 // ErrVersion is wrapped by handshake errors caused by a version this
 // build does not speak.
 var ErrVersion = errors.New("unsupported version")
+
+// ErrCorrupt is wrapped by record-read errors caused by wire damage —
+// a length prefix beyond the record limit or a payload failing its
+// CRC. Sessions treat it as a broken connection and reconnect rather
+// than trying to resync the stream.
+var ErrCorrupt = errors.New("corrupt record")
 
 // WriteHeader writes the protocol header (magic + version) to w.
 func WriteHeader(w io.Writer, version uint16) error {
@@ -137,9 +171,10 @@ func WriteRecord(w io.Writer, kind uint8, payload any) error {
 	if len(bufWriter.data) > MaxRecordBytes {
 		return fmt.Errorf("transport: record of %d bytes exceeds limit", len(bufWriter.data))
 	}
-	var hdr [5]byte
+	var hdr [recHeaderLen]byte
 	hdr[0] = kind
 	binary.BigEndian.PutUint32(hdr[1:5], uint32(len(bufWriter.data)))
+	binary.BigEndian.PutUint32(hdr[5:9], crc32.ChecksumIEEE(bufWriter.data))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -147,11 +182,27 @@ func WriteRecord(w io.Writer, kind uint8, payload any) error {
 	return err
 }
 
+// WriteRecordDeadline is WriteRecord with the write bounded by a
+// deadline, so a stalled peer cannot hang the writer forever. A
+// non-positive timeout writes without a deadline.
+func WriteRecordDeadline(conn net.Conn, kind uint8, payload any, timeout time.Duration) error {
+	if timeout > 0 {
+		if err := conn.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
+			return err
+		}
+		defer conn.SetWriteDeadline(time.Time{})
+	}
+	return WriteRecord(conn, kind, payload)
+}
+
 // ReadRecord reads one framed record, returning its kind and raw
 // payload bytes. A clean end of stream at a record boundary returns
-// io.EOF; truncation mid-record returns io.ErrUnexpectedEOF.
+// io.EOF; truncation mid-record returns io.ErrUnexpectedEOF; a length
+// prefix beyond the limit or a payload failing its CRC returns an
+// error wrapping ErrCorrupt. The payload buffer grows in bounded
+// chunks as bytes arrive, never from the length prefix alone.
 func ReadRecord(r io.Reader) (uint8, []byte, error) {
-	var rhdr [5]byte
+	var rhdr [recHeaderLen]byte
 	if _, err := io.ReadFull(r, rhdr[:]); err != nil {
 		if errors.Is(err, io.EOF) {
 			return 0, nil, io.EOF
@@ -159,18 +210,66 @@ func ReadRecord(r io.Reader) (uint8, []byte, error) {
 		return 0, nil, err
 	}
 	size := binary.BigEndian.Uint32(rhdr[1:5])
+	sum := binary.BigEndian.Uint32(rhdr[5:9])
 	if size > MaxRecordBytes {
-		return 0, nil, fmt.Errorf("transport: record of %d bytes exceeds limit", size)
+		return 0, nil, fmt.Errorf("transport: %w: length prefix claims %d bytes (limit %d)", ErrCorrupt, size, MaxRecordBytes)
 	}
-	body := make([]byte, size)
-	if _, err := io.ReadFull(r, body); err != nil {
-		if errors.Is(err, io.EOF) {
-			err = io.ErrUnexpectedEOF
+	cap0 := int(size)
+	if cap0 > readChunk {
+		cap0 = readChunk
+	}
+	body := make([]byte, 0, cap0)
+	for len(body) < int(size) {
+		n := int(size) - len(body)
+		if n > readChunk {
+			n = readChunk
 		}
-		return 0, nil, err
+		off := len(body)
+		body = append(body, zeroChunk[:n]...)
+		if _, err := io.ReadFull(r, body[off:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				err = io.ErrUnexpectedEOF
+			}
+			return 0, nil, err
+		}
+	}
+	if crc32.ChecksumIEEE(body) != sum {
+		return 0, nil, fmt.Errorf("transport: %w: payload checksum mismatch (kind %d, %d bytes)", ErrCorrupt, rhdr[0], size)
 	}
 	return rhdr[0], body, nil
 }
+
+// ReadRecordDeadline is ReadRecord with every read bounded by a
+// silence deadline — the heartbeat-liveness primitive: a peer that
+// goes quiet for the window surfaces as os.ErrDeadlineExceeded
+// instead of a hang. The deadline re-arms on every read, so it
+// bounds the gap between arrivals, not total record transfer time: a
+// large record trickling over a slow link stays alive as long as
+// bytes keep flowing. A non-positive timeout reads without one.
+func ReadRecordDeadline(conn net.Conn, timeout time.Duration) (uint8, []byte, error) {
+	if timeout <= 0 {
+		return ReadRecord(conn)
+	}
+	defer conn.SetReadDeadline(time.Time{})
+	return ReadRecord(progressReader{conn: conn, timeout: timeout})
+}
+
+// progressReader re-arms the connection's read deadline before each
+// read, turning an absolute deadline into a max-silence window.
+type progressReader struct {
+	conn    net.Conn
+	timeout time.Duration
+}
+
+func (r progressReader) Read(p []byte) (int, error) {
+	if err := r.conn.SetReadDeadline(time.Now().Add(r.timeout)); err != nil {
+		return 0, err
+	}
+	return r.conn.Read(p)
+}
+
+// zeroChunk is the shared zero source ReadRecord grows buffers from.
+var zeroChunk [readChunk]byte
 
 // DecodeRecord gob-decodes a record payload read by ReadRecord.
 func DecodeRecord(body []byte, into any) error {
@@ -188,6 +287,12 @@ type UploadRecord struct {
 	End     int
 	Bits    int64
 	Final   bool
+	// Seq is the sender-assigned upload sequence number, strictly
+	// increasing per edge node across reconnects. Receivers
+	// deduplicate retransmissions by it and acknowledge it with
+	// KindUploadAck; zero means unsequenced (legacy v1 senders), which
+	// is never deduplicated or acked.
+	Seq uint64
 }
 
 // ToRecord strips the non-wire fields from an upload.

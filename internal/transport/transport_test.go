@@ -5,6 +5,7 @@ import (
 	"errors"
 	"io"
 	"net"
+	"os"
 	"testing"
 	"time"
 
@@ -106,7 +107,7 @@ func TestServerRejectsOversizedRecord(t *testing.T) {
 	go func() { done <- srv.ServeConn(sConn) }()
 	go func() {
 		// Valid handshake, then a record claiming 1 GB.
-		hdr := []byte{0xFF, 0x00, 0xFF, 0x04, 0x00, 0x01}
+		hdr := []byte{0xFF, 0x00, 0xFF, 0x05, 0x00, 0x01}
 		cConn.Write(hdr)
 		cConn.Write([]byte{KindUpload, 0x40, 0x00, 0x00, 0x00})
 		cConn.Close()
@@ -123,7 +124,7 @@ func TestServerRejectsUnsupportedVersion(t *testing.T) {
 	done := make(chan error, 1)
 	go func() { done <- srv.ServeConn(sConn) }()
 	go func() {
-		cConn.Write([]byte{0xFF, 0x00, 0xFF, 0x04, 0x00, 0x63}) // version 99
+		cConn.Write([]byte{0xFF, 0x00, 0xFF, 0x05, 0x00, 0x63}) // version 99
 		cConn.Close()
 	}()
 	if err := <-done; !errors.Is(err, ErrVersion) {
@@ -239,6 +240,47 @@ func TestReadRecordTruncation(t *testing.T) {
 	// Cut mid-header: also not a clean EOF.
 	if _, _, err := ReadRecord(bytes.NewReader(whole[:3])); errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
 		t.Fatal("mid-header truncation reported a clean EOF")
+	}
+}
+
+// TestReadRecordDeadlineProgress pins the liveness semantics: the
+// timeout bounds silence between arrivals, not total record transfer
+// time. A record trickling in slowly must survive as long as each gap
+// stays under the window; a silent peer must still time out.
+func TestReadRecordDeadlineProgress(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRecord(&buf, KindUpload, UploadRecord{MCName: "slow", Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+
+	cConn, sConn := net.Pipe()
+	defer cConn.Close()
+	go func() {
+		// Trickle the record in 4 parts with 30ms gaps: total transfer
+		// ~90ms, well past the 60ms silence window below.
+		step := len(whole)/4 + 1
+		for lo := 0; lo < len(whole); lo += step {
+			hi := lo + step
+			if hi > len(whole) {
+				hi = len(whole)
+			}
+			cConn.Write(whole[lo:hi])
+			time.Sleep(30 * time.Millisecond)
+		}
+	}()
+	kind, body, err := ReadRecordDeadline(sConn, 60*time.Millisecond)
+	if err != nil {
+		t.Fatalf("trickled record timed out despite steady progress: %v", err)
+	}
+	var rec UploadRecord
+	if kind != KindUpload || DecodeRecord(body, &rec) != nil || rec.MCName != "slow" {
+		t.Fatalf("trickled record mangled: kind %d, rec %+v", kind, rec)
+	}
+
+	// Silence still times out.
+	if _, _, err := ReadRecordDeadline(sConn, 50*time.Millisecond); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("silent peer error = %v, want os.ErrDeadlineExceeded", err)
 	}
 }
 

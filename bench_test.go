@@ -14,6 +14,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/filter"
 	"repro/internal/mobilenet"
+	"repro/internal/nn"
 	"repro/internal/tensor"
 )
 
@@ -99,15 +100,46 @@ func BenchmarkAblationWindowBuffer(b *testing.B) {
 }
 
 // BenchmarkBaseDNNExtraction measures the shared feature extractor's
-// per-frame cost — the upfront overhead every MC amortizes.
+// per-frame cost — the upfront overhead every MC amortizes. It runs
+// the steady-state edge path (a per-stream Extractor over the frozen,
+// fused program), which must stay allocation-free.
 func BenchmarkBaseDNNExtraction(b *testing.B) {
 	base := mobilenet.New(mobilenet.Config{WidthMult: 0.25, Seed: 1})
+	ext := base.NewExtractor()
+	x := tensor.New(1, 54, 96, 3)
+	tensor.NewRNG(2).FillNormal(x, 0, 1)
+	if _, err := ext.Extract(x, "conv5_6/sep"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ext.Extract(x, "conv5_6/sep"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBaseDNNExtractionReference measures the same extraction on
+// the retained naive reference kernels — the before/after yardstick
+// for the fast path.
+func BenchmarkBaseDNNExtractionReference(b *testing.B) {
+	base := mobilenet.New(mobilenet.Config{WidthMult: 0.25, Seed: 1})
+	tap, err := base.TapFor("conv5_6/sep")
+	if err != nil {
+		b.Fatal(err)
+	}
+	layers := base.Net.Layers()
 	x := tensor.New(1, 54, 96, 3)
 	tensor.NewRNG(2).FillNormal(x, 0, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := base.Extract(x, "conv5_6/sep"); err != nil {
-			b.Fatal(err)
+		cur := x
+		for _, l := range layers {
+			cur = nn.ReferenceForward(l, cur)
+			if l.Name() == tap {
+				break
+			}
 		}
 	}
 }
@@ -122,6 +154,8 @@ func BenchmarkMCMarginal(b *testing.B) {
 	}
 	fm := tensor.New(mc.FeatureMapShape()...)
 	tensor.NewRNG(3).FillNormal(fm, 0, 1)
+	mc.Push(fm) // warm the arena
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		mc.Push(fm)

@@ -10,7 +10,13 @@
 //	crop          §3.2 crop ablation
 //	window-buffer §3.3.3 buffering ablation
 //	multistream   concurrent edge runtime: streams × workers sweep
+//	kernels       inference fast-path microbenchmark (ns/frame,
+//	              allocs/frame, speedup vs reference kernels)
 //	all           everything above
+//
+// -cpuprofile/-memprofile write pprof profiles of the run, which is
+// how kernel-level regressions in the extraction fast path are
+// localized (see README "Performance").
 //
 // Accuracy experiments train classifiers from scratch and take minutes
 // at the default scale; use -train-frames/-test-frames/-epochs to
@@ -29,6 +35,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/experiments"
@@ -37,7 +45,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "datasets|bandwidth|throughput|breakdown|cost-accuracy|crop|window-buffer|pooling-baseline|phased-pipelined|multistream|archive|all")
+		experiment = flag.String("experiment", "all", "datasets|bandwidth|throughput|breakdown|cost-accuracy|crop|window-buffer|pooling-baseline|phased-pipelined|multistream|archive|kernels|all")
 		width      = flag.Int("width", 96, "working-scale frame width")
 		trainN     = flag.Int("train-frames", 1200, "training-day frames")
 		testN      = flag.Int("test-frames", 1200, "test-day frames")
@@ -49,10 +57,47 @@ func main() {
 		streams    = flag.Int("streams", 4, "stream count for the multistream sweep (swept as 1,2,...,streams)")
 		msFrames   = flag.Int("ms-frames", 30, "frames per stream in the multistream sweep")
 		archFrames = flag.Int("archive-frames", 300, "frames appended in the archive benchmark")
+		kernFrames = flag.Int("kernel-frames", 200, "frames timed per path in the kernels benchmark")
 		jsonPath   = flag.String("json", "", "write machine-readable results (per-experiment data + wall times) to this path")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile at exit to this path")
 		quiet      = flag.Bool("quiet", false, "suppress progress logging")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ffbench: cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "ffbench: cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		// This defer runs before the cpuprofile defers (LIFO), so it
+		// must flush the CPU profile itself before any error exit.
+		defer func() {
+			exit := func(err error) {
+				fmt.Fprintln(os.Stderr, "ffbench: memprofile:", err)
+				pprof.StopCPUProfile()
+				os.Exit(1)
+			}
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				exit(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				exit(err)
+			}
+		}()
+	}
 
 	o := experiments.Options{
 		WorkingWidth: *width,
@@ -82,6 +127,7 @@ func main() {
 		t0 := time.Now()
 		if err := fn(); err != nil {
 			fmt.Fprintf(os.Stderr, "ffbench: %s: %v\n", name, err)
+			pprof.StopCPUProfile() // flush a partial profile before exiting
 			os.Exit(1)
 		}
 		report.WallSeconds[name] = time.Since(t0).Seconds()
@@ -202,6 +248,16 @@ func main() {
 				return err
 			}
 			record("multistream", res)
+			return nil
+		})
+	}
+	if want("kernels") {
+		run("kernels (inference fast path)", func() error {
+			res, err := experiments.Kernels(w, o, *kernFrames)
+			if err != nil {
+				return err
+			}
+			record("kernels", res)
 			return nil
 		})
 	}

@@ -217,6 +217,17 @@ type EdgeNode struct {
 	mcs  []*deployedMC
 	meta map[int]FrameMeta
 
+	// ext is this node's private handle onto the shared base DNN's
+	// frozen inference fast path: a per-stream workspace arena keeps
+	// steady-state extraction allocation-free, while the Model itself
+	// (weights, compiled programs) stays shared across all streams.
+	// Owned by the pipeline goroutine.
+	ext *mobilenet.Extractor
+	// stages caches the distinct tapped stages of the deployed MCs,
+	// rebuilt on deploy/undeploy so ProcessFrame does not recompute the
+	// union per frame. Owned by the pipeline goroutine.
+	stages []string
+
 	uplink  *TokenBucket
 	archive *codec.Encoder
 	store   FrameArchive // persistent archive; nil = accounting-only
@@ -243,6 +254,7 @@ func NewEdgeNode(cfg Config) (*EdgeNode, error) {
 		cfg:    cfg,
 		frames: make(map[int]*vision.Image),
 		meta:   make(map[int]FrameMeta),
+		ext:    cfg.Base.NewExtractor(),
 	}
 	e.stats.MCTimeBy = make(map[string]time.Duration)
 	if cfg.UplinkBandwidth > 0 {
@@ -297,6 +309,7 @@ func (e *EdgeNode) deploy(mc *filter.MC, threshold float32) error {
 	e.mu.Lock()
 	e.mcs = append(e.mcs, d)
 	e.mu.Unlock()
+	e.stages = e.stageUnion()
 	return nil
 }
 
@@ -315,6 +328,7 @@ func (e *EdgeNode) Undeploy(name string) ([]Upload, error) {
 		e.mu.Lock()
 		e.mcs = append(e.mcs[:i], e.mcs[i+1:]...)
 		e.mu.Unlock()
+		e.stages = e.stageUnion()
 		return ups, nil
 	}
 	return nil, fmt.Errorf("core: no deployed MC named %q", name)
@@ -498,10 +512,12 @@ func (e *EdgeNode) ProcessFrame(img *vision.Image) ([]Upload, error) {
 		}
 	}
 
-	// Phase 1: the shared base DNN, run once for the union of stages.
-	stages := e.stageUnion()
+	// Phase 1: the shared base DNN, run once for the union of stages on
+	// this node's frozen fast path. The returned map and tensors are
+	// the extractor's arena, reused next frame — phase 2 consumes them
+	// within this frame (windowed MCs copy what they buffer).
 	t0 := time.Now()
-	maps, err := e.cfg.Base.ExtractMulti(x, stages)
+	maps, err := e.ext.ExtractMulti(x, e.stages)
 	if err != nil {
 		return nil, err
 	}

@@ -65,6 +65,13 @@ type streamQueue struct {
 // (upload sequences, event IDs, bit accounting) are identical to
 // running the node serially; only cross-stream interleaving differs.
 //
+// Single-owner execution is also what makes the inference fast path's
+// workspace arenas sound: each EdgeNode owns a mobilenet.Extractor
+// (and each deployed MC its own program workspace), reused frame to
+// frame without allocation, and the scheduler's per-stream hand-off
+// (its mutex) provides the happens-before edge when a stream migrates
+// between workers.
+//
 // While a scheduler is running, drive its node only through the
 // scheduler: direct calls to MultiStreamNode.ProcessFrame, Deploy,
 // Undeploy, or FlushAll would race with the workers. Registering new

@@ -234,3 +234,30 @@ func TestThroughputParallelSmoke(t *testing.T) {
 		}
 	}
 }
+
+// TestKernelsExperiment smoke-runs the inference fast-path
+// microbenchmark and checks its invariants: zero steady-state
+// allocations and outputs for both measured paths.
+func TestKernelsExperiment(t *testing.T) {
+	res, err := Kernels(io.Discard, Options{WorkingWidth: 64, Seed: 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Paths) != 2 {
+		t.Fatalf("kernel paths = %d, want 2", len(res.Paths))
+	}
+	for _, p := range res.Paths {
+		if p.NsPerFrame <= 0 || p.MAddsPerFrame <= 0 {
+			t.Fatalf("%s: degenerate measurement %+v", p.Name, p)
+		}
+		if p.AllocsPerFrame != 0 {
+			t.Fatalf("%s: steady state allocates %v per frame, want 0", p.Name, p.AllocsPerFrame)
+		}
+	}
+	// The speedup must have been measured (reference path timed); its
+	// magnitude is asserted only at benchmark scale — a 3-frame unit
+	// test sample is too noisy to gate on.
+	if res.Paths[0].Speedup <= 0 {
+		t.Fatalf("reference speedup not measured: %+v", res.Paths[0])
+	}
+}

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/filter"
+	"repro/internal/mobilenet"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// KernelPath is one measured inference path in the kernel benchmark.
+type KernelPath struct {
+	// Name identifies the path ("base-dnn-extract", "mc-push", ...).
+	Name string `json:"name"`
+	// Stage is the base-DNN stage involved (extraction target or MC
+	// tap).
+	Stage string `json:"stage"`
+	// NsPerFrame is the steady-state wall time per frame on the frozen
+	// fast path.
+	NsPerFrame float64 `json:"ns_per_frame"`
+	// AllocsPerFrame is the steady-state heap allocations per frame
+	// (the workspace arena pins this at 0).
+	AllocsPerFrame float64 `json:"allocs_per_frame"`
+	// ReferenceNsPerFrame is the same computation on the retained
+	// naive reference kernels (0 when no reference path exists).
+	ReferenceNsPerFrame float64 `json:"reference_ns_per_frame,omitempty"`
+	// Speedup is ReferenceNsPerFrame / NsPerFrame (0 when no
+	// reference).
+	Speedup float64 `json:"speedup,omitempty"`
+	// MAddsPerFrame is the exact multiply-add count of the path.
+	MAddsPerFrame int64 `json:"madds_per_frame"`
+	// GMAddsPerSec is the realized arithmetic throughput.
+	GMAddsPerSec float64 `json:"gmadds_per_sec"`
+}
+
+// KernelsResult is the structured output of the kernel benchmark.
+type KernelsResult struct {
+	FrameWidth  int          `json:"frame_width"`
+	FrameHeight int          `json:"frame_height"`
+	WidthMult   float64      `json:"width_mult"`
+	Frames      int          `json:"frames"`
+	Paths       []KernelPath `json:"paths"`
+}
+
+// Kernels measures the inference fast path's per-frame cost — the
+// quantity every Figure 5/6 throughput number is built from — on the
+// frozen, fused, arena-backed execution path, alongside the retained
+// naive reference kernels. It records ns/frame and allocs/frame for
+// the base-DNN extraction and the per-MC marginal push, so BENCH_*.json
+// artifacts track the kernel-level perf trajectory across PRs.
+func Kernels(w io.Writer, o Options, frames int) (*KernelsResult, error) {
+	o.fillDefaults()
+	if frames <= 0 {
+		frames = 50
+	}
+	width := o.WorkingWidth
+	height := width * 9 / 16
+	base := mobilenet.New(mobilenet.Config{WidthMult: o.MCWidthMult, Seed: o.Seed})
+	x := tensor.New(1, height, width, 3)
+	tensor.NewRNG(o.Seed+1).FillNormal(x, 0, 1)
+
+	res := &KernelsResult{FrameWidth: width, FrameHeight: height, WidthMult: o.MCWidthMult, Frames: frames}
+
+	stage := "conv5_6/sep"
+	ext := base.NewExtractor()
+	if _, err := ext.Extract(x, stage); err != nil {
+		return nil, err
+	}
+	fastNs := timePerFrame(frames, func() {
+		if _, err := ext.Extract(x, stage); err != nil {
+			panic(err)
+		}
+	})
+	extAllocs := allocsPerFrame(10, func() {
+		if _, err := ext.Extract(x, stage); err != nil {
+			panic(err)
+		}
+	})
+	tap, err := base.TapFor(stage)
+	if err != nil {
+		return nil, err
+	}
+	refFrames := frames / 4
+	if refFrames < 3 {
+		refFrames = 3
+	}
+	refNs := timePerFrame(refFrames, func() {
+		cur := x
+		for _, l := range base.Net.Layers() {
+			cur = nn.ReferenceForward(l, cur)
+			if l.Name() == tap {
+				break
+			}
+		}
+	})
+	madds, err := base.MAddsTo(stage, []int{1, height, width, 3})
+	if err != nil {
+		return nil, err
+	}
+	res.Paths = append(res.Paths, kernelPath("base-dnn-extract", stage, fastNs, extAllocs, refNs, madds))
+
+	mc, err := filter.NewMC(filter.Spec{Name: "kernel-bench", Arch: filter.LocalizedBinary, Seed: o.Seed + 2}, base, width, height)
+	if err != nil {
+		return nil, err
+	}
+	fm := tensor.New(mc.FeatureMapShape()...)
+	tensor.NewRNG(o.Seed+3).FillNormal(fm, 0, 1)
+	mc.Push(fm)
+	pushNs := timePerFrame(frames, func() { mc.Push(fm) })
+	pushAllocs := allocsPerFrame(10, func() { mc.Push(fm) })
+	res.Paths = append(res.Paths, kernelPath("mc-push", mc.Stage(), pushNs, pushAllocs, 0, mc.MAddsPerFrame(true)))
+
+	fmt.Fprintf(w, "Inference kernel fast path (%dx%d, width-mult %.2f, %d frames)\n", width, height, o.MCWidthMult, frames)
+	fmt.Fprintf(w, "%-18s %-12s %12s %10s %12s %9s\n", "path", "stage", "ns/frame", "allocs", "ref ns/frame", "speedup")
+	for _, p := range res.Paths {
+		ref, sp := "-", "-"
+		if p.ReferenceNsPerFrame > 0 {
+			ref = fmt.Sprintf("%.0f", p.ReferenceNsPerFrame)
+			sp = fmt.Sprintf("%.2fx", p.Speedup)
+		}
+		fmt.Fprintf(w, "%-18s %-12s %12.0f %10.1f %12s %9s\n", p.Name, p.Stage, p.NsPerFrame, p.AllocsPerFrame, ref, sp)
+	}
+	return res, nil
+}
+
+func kernelPath(name, stage string, ns, allocs, refNs float64, madds int64) KernelPath {
+	p := KernelPath{
+		Name: name, Stage: stage,
+		NsPerFrame: ns, AllocsPerFrame: allocs,
+		ReferenceNsPerFrame: refNs,
+		MAddsPerFrame:       madds,
+	}
+	if ns > 0 {
+		p.GMAddsPerSec = float64(madds) / ns
+	}
+	if refNs > 0 && ns > 0 {
+		p.Speedup = refNs / ns
+	}
+	return p
+}
+
+// allocsPerFrame reports the mean heap allocations per call of fn
+// (the same measurement testing.AllocsPerRun makes, usable outside a
+// test binary).
+func allocsPerFrame(frames int, fn func()) float64 {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	fn() // warm up
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < frames; i++ {
+		fn()
+	}
+	runtime.ReadMemStats(&m1)
+	return float64(m1.Mallocs-m0.Mallocs) / float64(frames)
+}
+
+// timePerFrame runs fn frames times and returns the mean ns per call.
+func timePerFrame(frames int, fn func()) float64 {
+	t0 := time.Now()
+	for i := 0; i < frames; i++ {
+		fn()
+	}
+	return float64(time.Since(t0).Nanoseconds()) / float64(frames)
+}

@@ -382,3 +382,118 @@ func TestNormalizationAffectsCropMap(t *testing.T) {
 		t.Fatal("wrong-length normalization accepted")
 	}
 }
+
+// TestPushFastPathMatchesNetwork pins the streaming fast path (frozen
+// programs, arena crop, buffered window ring) against the training-net
+// evaluation (BuildInput + net.Forward) for every architecture,
+// including a crop and input normalization.
+func TestPushFastPathMatchesNetwork(t *testing.T) {
+	base := testBase(t)
+	crop := vision.Rect{X0: 16, Y0: 9, X1: 88, Y1: 49}
+	for _, arch := range []Arch{FullFrameObjectDetector, LocalizedBinary, WindowedLocalizedBinary, PoolingClassifier} {
+		for _, withCropNorm := range []bool{false, true} {
+			spec := Spec{Name: "fp-" + arch.String(), Arch: arch, Seed: 4}
+			if withCropNorm {
+				spec.Crop = &crop
+			}
+			mc, err := NewMC(spec, base, 96, 54)
+			if err != nil {
+				t.Fatalf("%v: %v", arch, err)
+			}
+			c := mc.FeatureMapShape()[3]
+			if withCropNorm {
+				mean := make([]float32, c)
+				std := make([]float32, c)
+				for i := range std {
+					mean[i] = 0.1 * float32(i%5)
+					std[i] = 1 + 0.05*float32(i%3)
+				}
+				if err := mc.SetNormalization(mean, std); err != nil {
+					t.Fatal(err)
+				}
+			}
+			g := tensor.NewRNG(int64(5 + int(arch)))
+			fms := make([]*tensor.Tensor, 8)
+			for i := range fms {
+				fms[i] = tensor.New(mc.FeatureMapShape()...)
+				g.FillNormal(fms[i], 0, 1)
+			}
+			var streamed []Classification
+			for _, fm := range fms {
+				streamed = append(streamed, mc.Push(fm)...)
+			}
+			streamed = append(streamed, mc.Flush()...)
+			if len(streamed) != len(fms) {
+				t.Fatalf("%v crop=%v: %d classifications for %d frames", arch, withCropNorm, len(streamed), len(fms))
+			}
+			for i, cl := range streamed {
+				if cl.Frame != i {
+					t.Fatalf("%v: classification %d has frame %d", arch, i, cl.Frame)
+				}
+				want := sigmoid(mc.Net().Forward(mc.BuildInput(fms, i), false).Data[0])
+				diff := float64(cl.Prob) - float64(want)
+				if diff < 0 {
+					diff = -diff
+				}
+				if diff > 1e-5 {
+					t.Fatalf("%v crop=%v frame %d: streamed %v vs net %v", arch, withCropNorm, i, cl.Prob, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPushZeroAlloc pins steady-state MC.Push at zero allocations per
+// frame for both the immediate and the windowed (ring-buffered)
+// architectures.
+func TestPushZeroAlloc(t *testing.T) {
+	base := testBase(t)
+	for _, arch := range []Arch{LocalizedBinary, WindowedLocalizedBinary} {
+		mc, err := NewMC(Spec{Name: "za-" + arch.String(), Arch: arch, Seed: 6}, base, 96, 54)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fm := tensor.New(mc.FeatureMapShape()...)
+		tensor.NewRNG(7).FillNormal(fm, 0, 1)
+		// Warm up past the window lag so the ring and result buffers
+		// reach steady state.
+		for i := 0; i < mc.Lag()+3; i++ {
+			mc.Push(fm)
+		}
+		if n := testing.AllocsPerRun(50, func() { mc.Push(fm) }); n != 0 {
+			t.Fatalf("%v: Push allocates %v objects per frame, want 0", arch, n)
+		}
+	}
+}
+
+// TestPushFastPathTracksTraining verifies the streaming fast path sees
+// weight updates made after the first Push (frozen programs read live
+// parameters).
+func TestPushFastPathTracksTraining(t *testing.T) {
+	base := testBase(t)
+	mc, err := NewMC(Spec{Name: "live", Arch: LocalizedBinary, Seed: 8}, base, 96, 54)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm := tensor.New(mc.FeatureMapShape()...)
+	tensor.NewRNG(9).FillNormal(fm, 0, 1)
+	before := mc.Push(fm)[0].Prob
+	for _, p := range mc.Net().Params() {
+		for i := range p.Value.Data {
+			p.Value.Data[i] *= 1.1
+		}
+	}
+	mc.Reset()
+	after := mc.Push(fm)[0].Prob
+	if before == after {
+		t.Fatal("Push ignored a weight update: fast path snapshotted weights")
+	}
+	want := sigmoid(mc.Net().Forward(mc.CropMap(fm), false).Data[0])
+	diff := float64(after) - float64(want)
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 1e-5 {
+		t.Fatalf("post-update Push %v vs net %v", after, want)
+	}
+}

@@ -40,6 +40,21 @@ type MC struct {
 	bufStart int
 	pushed   int
 	decided  int
+
+	// Inference fast path (compiled lazily on first use; reads live
+	// weights, so training the net and streaming interleave safely).
+	// prog covers the whole net for the plain architectures and the
+	// post-concat head for the windowed one; reduceProg is the
+	// windowed per-frame 1×1 reduction.
+	prog       *nn.Program
+	ws         *nn.Workspace
+	reduceProg *nn.Program
+	reduceWs   *nn.Workspace
+	cropBuf    *tensor.Tensor   // arena for CropMap on the streaming path
+	winBuf     *tensor.Tensor   // arena for the window concat
+	winParts   []*tensor.Tensor // reused concat argument slice
+	ringFree   []*tensor.Tensor // recycled reduced-map buffers
+	clsBuf     []Classification // reused Push/Flush result slice
 }
 
 // NewMC constructs a microclassifier for the given spec against a base
@@ -212,6 +227,63 @@ func ChannelStats(fms []*tensor.Tensor) (mean, std []float32) {
 	return mean, std
 }
 
+// ensureFastPath lazily compiles the MC's frozen inference programs
+// and workspace arenas. Programs read live weights, so training the
+// MC's net after compilation stays coherent. Compilation cannot fail
+// for the fixed Figure 2 architectures; a failure is a programming
+// error in build() and panics.
+func (m *MC) ensureFastPath() {
+	if m.prog != nil {
+		return
+	}
+	h := m.cropFM.Y1 - m.cropFM.Y0
+	w := m.cropFM.X1 - m.cropFM.X0
+	c := m.fmShape[3]
+	var err error
+	if m.spec.Arch == WindowedLocalizedBinary {
+		m.reduceProg, err = nn.CompileLayers(m.spec.Name+"/reduce-frozen",
+			[]nn.Layer{m.reduce}, []int{1, h, w, c})
+		if err == nil {
+			m.reduceWs = m.reduceProg.NewWorkspace()
+			m.prog, err = nn.CompileLayers(m.spec.Name+"/head-frozen",
+				m.head, []int{1, h, w, m.reduce.Filters * m.spec.Window})
+		}
+	} else {
+		m.prog, err = nn.Compile(m.net, m.InputShape())
+	}
+	if err != nil {
+		panic(fmt.Sprintf("filter: %s: compile fast path: %v", m.spec.Name, err))
+	}
+	m.ws = m.prog.NewWorkspace()
+}
+
+// streamInput applies the MC's crop and normalization into the
+// streaming arena (no allocation after warm-up). The returned tensor
+// is reused on the next call.
+func (m *MC) streamInput(fm *tensor.Tensor) *tensor.Tensor {
+	full := m.cropFM.X0 == 0 && m.cropFM.Y0 == 0 && m.cropFM.X1 == fm.Shape[2] && m.cropFM.Y1 == fm.Shape[1]
+	if full && m.normMean == nil {
+		return fm
+	}
+	if m.cropBuf == nil {
+		m.cropBuf = tensor.New(1, m.cropFM.Y1-m.cropFM.Y0, m.cropFM.X1-m.cropFM.X0, m.fmShape[3])
+	}
+	if full {
+		copy(m.cropBuf.Data, fm.Data)
+	} else {
+		fm.CropHWInto(m.cropBuf, m.cropFM.Y0, m.cropFM.Y1, m.cropFM.X0, m.cropFM.X1)
+	}
+	if m.normMean != nil {
+		c := len(m.normMean)
+		data := m.cropBuf.Data
+		for i := range data {
+			ci := i % c
+			data[i] = (data[i] - m.normMean[ci]) * m.normInvStd[ci]
+		}
+	}
+	return m.cropBuf
+}
+
 // CropMap applies the MC's crop and input normalization to a raw
 // stage feature map.
 func (m *MC) CropMap(fm *tensor.Tensor) *tensor.Tensor {
@@ -271,16 +343,37 @@ func (m *MC) Prob(x *tensor.Tensor) float32 {
 // result (the paper's buffering optimization — the 1×1 convolutions
 // are "only computed once, and their outputs are buffered and reused
 // by subsequent windows").
+//
+// Push runs on the frozen inference fast path and is allocation-free
+// in the steady state: the returned slice (and the reduced-map ring it
+// draws on) is reused by the next Push/Flush, so callers must consume
+// it before pushing the next frame.
 func (m *MC) Push(fm *tensor.Tensor) []Classification {
+	m.ensureFastPath()
 	if m.spec.Arch != WindowedLocalizedBinary {
 		frame := m.pushed
 		m.pushed++
-		return []Classification{{Frame: frame, Prob: m.Prob(m.CropMap(fm))}}
+		logit := m.prog.Run(m.ws, m.streamInput(fm))
+		m.clsBuf = append(m.clsBuf[:0], Classification{Frame: frame, Prob: sigmoid(logit.Data[0])})
+		return m.clsBuf
 	}
-	reduced := m.reduce.Forward(m.CropMap(fm), false)
-	m.buf = append(m.buf, reduced)
+	reduced := m.reduceProg.Run(m.reduceWs, m.streamInput(fm))
+	buf := m.ringGet(reduced.Shape)
+	copy(buf.Data, reduced.Data)
+	m.buf = append(m.buf, buf)
 	m.pushed++
 	return m.drainWindows(false)
+}
+
+// ringGet recycles a reduced-map buffer from the free list, or
+// allocates one on the first pass through.
+func (m *MC) ringGet(shape []int) *tensor.Tensor {
+	if k := len(m.ringFree); k > 0 {
+		t := m.ringFree[k-1]
+		m.ringFree = m.ringFree[:k-1]
+		return t
+	}
+	return tensor.New(shape...)
 }
 
 // Flush emits the pending tail classifications of a windowed MC (whose
@@ -291,9 +384,10 @@ func (m *MC) Flush() []Classification {
 	return out
 }
 
-// Reset clears streaming state.
+// Reset clears streaming state, recycling the reduced-map ring.
 func (m *MC) Reset() {
-	m.buf = nil
+	m.ringFree = append(m.ringFree, m.buf...)
+	m.buf = m.buf[:0]
 	m.bufStart = 0
 	m.pushed = 0
 	m.decided = 0
@@ -304,13 +398,13 @@ func (m *MC) drainWindows(flush bool) []Classification {
 		return nil
 	}
 	half := m.spec.Window / 2
-	var out []Classification
+	m.clsBuf = m.clsBuf[:0]
 	for m.decided < m.pushed {
 		frame := m.decided
 		if !flush && frame+half >= m.pushed {
 			break
 		}
-		parts := make([]*tensor.Tensor, 0, m.spec.Window)
+		m.winParts = m.winParts[:0]
 		for off := -half; off <= half; off++ {
 			i := frame + off
 			if i < m.bufStart {
@@ -319,20 +413,24 @@ func (m *MC) drainWindows(flush bool) []Classification {
 			if i >= m.pushed {
 				i = m.pushed - 1
 			}
-			parts = append(parts, m.buf[i-m.bufStart])
+			m.winParts = append(m.winParts, m.buf[i-m.bufStart])
 		}
-		x := tensor.ConcatChannels(parts...)
-		for _, l := range m.head {
-			x = l.Forward(x, false)
+		if m.winBuf == nil {
+			p0 := m.winParts[0]
+			m.winBuf = tensor.New(1, p0.Shape[1], p0.Shape[2], p0.Shape[3]*m.spec.Window)
 		}
-		out = append(out, Classification{Frame: frame, Prob: sigmoid(x.Data[0])})
+		tensor.ConcatChannelsInto(m.winBuf, m.winParts...)
+		x := m.prog.Run(m.ws, m.winBuf)
+		m.clsBuf = append(m.clsBuf, Classification{Frame: frame, Prob: sigmoid(x.Data[0])})
 		m.decided++
 		for m.bufStart < m.decided-half {
-			m.buf = m.buf[1:]
+			m.ringFree = append(m.ringFree, m.buf[0])
+			n := copy(m.buf, m.buf[1:])
+			m.buf = m.buf[:n]
 			m.bufStart++
 		}
 	}
-	return out
+	return m.clsBuf
 }
 
 // Lag returns how many frames of input the MC needs beyond a frame

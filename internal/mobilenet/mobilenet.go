@@ -15,6 +15,7 @@ package mobilenet
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/nn"
 	"repro/internal/tensor"
@@ -89,6 +90,19 @@ type Model struct {
 	// channelsOf records the output channel count of each named
 	// convolution stage, e.g. "conv4_2/sep" -> 128 at WidthMult 0.25.
 	channelsOf map[string]int
+	// tapOf maps a stage name to its tap layer ("<stage>/relu"),
+	// precomputed so the extraction hot path never builds strings.
+	tapOf map[string]string
+
+	// progMu guards the per-input-shape compiled inference programs.
+	// Programs read live weights, so they are compiled once per shape
+	// and shared by every Extractor.
+	progMu sync.Mutex
+	progs  map[[4]int]*nn.Program
+
+	// extPool recycles Extractors for the goroutine-safe Extract and
+	// ExtractMulti entry points.
+	extPool sync.Pool
 }
 
 // scaleChannels applies the width multiplier with a floor of 4.
@@ -133,7 +147,14 @@ func New(cfg Config) *Model {
 		net.Add(nn.NewGlobalAvgPool("pool6"))
 		net.Add(nn.NewDense("fc7", inC, cfg.NumClasses, rng))
 	}
-	return &Model{Net: net, cfg: cfg, channelsOf: channels}
+	taps := make(map[string]string, len(channels))
+	for stage := range channels {
+		taps[stage] = stage + "/relu"
+	}
+	m := &Model{Net: net, cfg: cfg, channelsOf: channels, tapOf: taps,
+		progs: make(map[[4]int]*nn.Program)}
+	m.extPool.New = func() any { return m.NewExtractor() }
+	return m
 }
 
 // Config returns the configuration the model was built with.
@@ -143,10 +164,11 @@ func (m *Model) Config() Config { return m.cfg }
 // network layer whose output is that stage's activation (its ReLU).
 // It returns an error for unknown stages.
 func (m *Model) TapFor(stage string) (string, error) {
-	if _, ok := m.channelsOf[stage]; !ok {
+	tap, ok := m.tapOf[stage]
+	if !ok {
 		return "", fmt.Errorf("mobilenet: no stage %q", stage)
 	}
-	return stage + "/relu", nil
+	return tap, nil
 }
 
 // Stages returns the tappable stage names in execution order.
@@ -189,48 +211,158 @@ func (m *Model) MAddsTo(stage string, in []int) (int64, error) {
 	return madds, nil
 }
 
-// Extract runs the network up to the given stage and returns its
-// activation. This is the feature-extractor fast path: execution stops
-// at the deepest tap a deployment needs.
-func (m *Model) Extract(x *tensor.Tensor, stage string) (*tensor.Tensor, error) {
-	tap, err := m.TapFor(stage)
+// program returns the compiled inference program for an input shape,
+// compiling it on first use. Programs read live weights, so one
+// compilation per shape serves the model's whole lifetime — including
+// through pretraining, which mutates the weights in place.
+func (m *Model) program(shape [4]int) (*nn.Program, error) {
+	m.progMu.Lock()
+	defer m.progMu.Unlock()
+	if p, ok := m.progs[shape]; ok {
+		return p, nil
+	}
+	p, err := nn.Compile(m.Net, shape[:])
+	if err != nil {
+		return nil, fmt.Errorf("mobilenet: compile %v: %w", shape, err)
+	}
+	m.progs[shape] = p
+	return p, nil
+}
+
+// Extractor is a single-owner handle onto the model's frozen inference
+// fast path: it binds the compiled program for the input shape it
+// sees, owns a workspace arena, and reuses both across frames so
+// steady-state extraction performs zero heap allocations.
+//
+// The returned activations are workspace memory — valid until the
+// owner's next Extract/ExtractMulti call. An Extractor must not be
+// shared between goroutines; create one per pipeline owner (each
+// core.EdgeNode holds its own). The concurrency-safe Model.Extract and
+// Model.ExtractMulti wrappers copy their results instead.
+type Extractor struct {
+	m     *Model
+	shape [4]int
+	prog  *nn.Program
+	ws    *nn.Workspace
+	taps  map[string]*tensor.Tensor
+	idxs  []int
+}
+
+// NewExtractor returns an unbound extractor; it compiles (or reuses)
+// the model's program for whatever input shape it first sees.
+func (m *Model) NewExtractor() *Extractor {
+	return &Extractor{m: m, taps: make(map[string]*tensor.Tensor, 4)}
+}
+
+// bind points the extractor at the program for x's shape.
+func (e *Extractor) bind(x *tensor.Tensor) error {
+	if len(x.Shape) != 4 {
+		return fmt.Errorf("mobilenet: extract needs rank-4 NHWC input, got %v", x.Shape)
+	}
+	var s [4]int
+	copy(s[:], x.Shape)
+	if e.prog != nil && s == e.shape {
+		return nil
+	}
+	prog, err := e.m.program(s)
+	if err != nil {
+		return err
+	}
+	e.prog, e.ws, e.shape = prog, prog.NewWorkspace(), s
+	return nil
+}
+
+// opFor resolves a stage name to its program op index.
+func (e *Extractor) opFor(stage string) (int, error) {
+	tap, ok := e.m.tapOf[stage]
+	if !ok {
+		return 0, fmt.Errorf("mobilenet: no stage %q", stage)
+	}
+	idx, ok := e.prog.OpIndex(tap)
+	if !ok {
+		return 0, fmt.Errorf("mobilenet: stage %q has no fused tap %q", stage, tap)
+	}
+	return idx, nil
+}
+
+// Extract runs the fast path up to the given stage and returns its
+// activation (workspace memory, valid until the next call on this
+// extractor).
+func (e *Extractor) Extract(x *tensor.Tensor, stage string) (*tensor.Tensor, error) {
+	if err := e.bind(x); err != nil {
+		return nil, err
+	}
+	idx, err := e.opFor(stage)
 	if err != nil {
 		return nil, err
 	}
-	return m.Net.ForwardTo(x, false, tap), nil
+	return e.prog.RunTo(e.ws, x, idx), nil
+}
+
+// ExtractMulti runs the fast path once, stopping at the deepest
+// requested stage, and returns every requested stage's activation. The
+// returned map and tensors are reused on the next call — consume them
+// before pushing the next frame.
+func (e *Extractor) ExtractMulti(x *tensor.Tensor, stages []string) (map[string]*tensor.Tensor, error) {
+	clear(e.taps)
+	if len(stages) == 0 {
+		return e.taps, nil
+	}
+	if err := e.bind(x); err != nil {
+		return nil, err
+	}
+	e.idxs = e.idxs[:0]
+	deepest := -1
+	for _, st := range stages {
+		idx, err := e.opFor(st)
+		if err != nil {
+			return nil, err
+		}
+		e.idxs = append(e.idxs, idx)
+		if idx > deepest {
+			deepest = idx
+		}
+	}
+	e.prog.RunTo(e.ws, x, deepest)
+	for i, st := range stages {
+		e.taps[st] = e.prog.Output(e.ws, e.idxs[i])
+	}
+	return e.taps, nil
+}
+
+// Extract runs the network up to the given stage and returns its
+// activation. This is the feature-extractor fast path: execution stops
+// at the deepest tap a deployment needs. Safe for concurrent use (the
+// result is a private copy); pipelines that need the zero-allocation
+// steady state hold a NewExtractor instead.
+func (m *Model) Extract(x *tensor.Tensor, stage string) (*tensor.Tensor, error) {
+	e := m.extPool.Get().(*Extractor)
+	out, err := e.Extract(x, stage)
+	if err != nil {
+		m.extPool.Put(e)
+		return nil, err
+	}
+	out = out.Clone()
+	m.extPool.Put(e)
+	return out, nil
 }
 
 // ExtractMulti runs the network once and returns the activations of
 // every requested stage, stopping at the deepest one. This is how the
 // feature extractor serves many microclassifiers that tap different
-// layers while paying for the base DNN only once (§3.1).
+// layers while paying for the base DNN only once (§3.1). Safe for
+// concurrent use; see Extract.
 func (m *Model) ExtractMulti(x *tensor.Tensor, stages []string) (map[string]*tensor.Tensor, error) {
-	if len(stages) == 0 {
-		return map[string]*tensor.Tensor{}, nil
+	e := m.extPool.Get().(*Extractor)
+	taps, err := e.ExtractMulti(x, stages)
+	if err != nil {
+		m.extPool.Put(e)
+		return nil, err
 	}
-	want := make(map[string]string, len(stages)) // tap layer -> stage
-	deepest := -1
-	layers := m.Net.Layers()
-	index := make(map[string]int, len(layers))
-	for i, l := range layers {
-		index[l.Name()] = i
+	out := make(map[string]*tensor.Tensor, len(taps))
+	for st, fm := range taps {
+		out[st] = fm.Clone()
 	}
-	for _, st := range stages {
-		tap, err := m.TapFor(st)
-		if err != nil {
-			return nil, err
-		}
-		want[tap] = st
-		if idx := index[tap]; idx > deepest {
-			deepest = idx
-		}
-	}
-	out := make(map[string]*tensor.Tensor, len(stages))
-	for i := 0; i <= deepest; i++ {
-		x = layers[i].Forward(x, false)
-		if st, ok := want[layers[i].Name()]; ok {
-			out[st] = x
-		}
-	}
+	m.extPool.Put(e)
 	return out, nil
 }

@@ -1,10 +1,13 @@
 package mobilenet
 
 import (
+	"fmt"
 	"math"
 	"reflect"
+	"sync"
 	"testing"
 
+	"repro/internal/nn"
 	"repro/internal/tensor"
 )
 
@@ -165,5 +168,132 @@ func TestBatchNormVariantBuilds(t *testing.T) {
 	}
 	if out.Shape[3] != 32 {
 		t.Fatalf("bn variant channels %d", out.Shape[3])
+	}
+}
+
+// TestExtractorMatchesLayerwise pins the compiled fast path against
+// the layer-by-layer inference pass, with and without batch-norm, for
+// several stages.
+func TestExtractorMatchesLayerwise(t *testing.T) {
+	for _, bn := range []bool{false, true} {
+		m := New(Config{WidthMult: 0.25, BatchNorm: bn, Seed: 2})
+		if bn {
+			// Give the running statistics non-identity values so the
+			// fold actually folds something.
+			g := tensor.NewRNG(9)
+			for _, l := range m.Net.Layers() {
+				if b, ok := l.(*nn.BatchNorm); ok {
+					g.FillNormal(b.RunningMean, 0, 0.2)
+					g.FillUniform(b.RunningVar, 0.5, 1.5)
+					g.FillNormal(b.Beta.Value, 0, 0.1)
+				}
+			}
+		}
+		g := tensor.NewRNG(3)
+		x := tensor.New(1, 30, 40, 3)
+		g.FillNormal(x, 0, 1)
+		ext := m.NewExtractor()
+		for _, stage := range []string{"conv1", "conv2_2/sep", "conv4_1/dw", "conv5_6/sep"} {
+			tap, err := m.TapFor(stage)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := m.Net.ForwardTo(x.Clone(), false, tap)
+			got, err := ext.Extract(x, stage)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.SameShape(want) {
+				t.Fatalf("bn=%v %s: shape %v vs %v", bn, stage, got.Shape, want.Shape)
+			}
+			for i := range want.Data {
+				d := float64(got.Data[i]) - float64(want.Data[i])
+				if d < 0 {
+					d = -d
+				}
+				if d > 1e-4*(1+math.Abs(float64(want.Data[i]))) {
+					t.Fatalf("bn=%v %s: [%d] fast %v vs layerwise %v", bn, stage, i, got.Data[i], want.Data[i])
+				}
+			}
+		}
+	}
+}
+
+// TestExtractorZeroAlloc pins the steady-state Extract and
+// ExtractMulti paths at zero heap allocations per frame.
+func TestExtractorZeroAlloc(t *testing.T) {
+	m := New(Config{WidthMult: 0.25, Seed: 2})
+	x := tensor.New(1, 30, 40, 3)
+	tensor.NewRNG(3).FillNormal(x, 0, 1)
+	ext := m.NewExtractor()
+	stages := []string{"conv2_2/sep", "conv4_1/sep"}
+	if _, err := ext.Extract(x, "conv4_1/sep"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ext.ExtractMulti(x, stages); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(20, func() {
+		if _, err := ext.Extract(x, "conv4_1/sep"); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("Extract allocates %v objects per frame, want 0", n)
+	}
+	if n := testing.AllocsPerRun(20, func() {
+		if _, err := ext.ExtractMulti(x, stages); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("ExtractMulti allocates %v objects per frame, want 0", n)
+	}
+}
+
+// TestModelExtractConcurrentSafe exercises the pooled, copying
+// Extract/ExtractMulti wrappers from many goroutines (the experiment
+// harness extracts training features this way) under identical-result
+// assertions.
+func TestModelExtractConcurrentSafe(t *testing.T) {
+	m := New(Config{WidthMult: 0.25, Seed: 2})
+	inputs := make([]*tensor.Tensor, 8)
+	g := tensor.NewRNG(5)
+	for i := range inputs {
+		inputs[i] = tensor.New(1, 18, 24, 3)
+		g.FillNormal(inputs[i], 0, 1)
+	}
+	want := make([]*tensor.Tensor, len(inputs))
+	for i, x := range inputs {
+		var err error
+		want[i], err = m.Extract(x, "conv3_2/sep")
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 4) // one slot per worker: no shared writes
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i, x := range inputs {
+				got, err := m.Extract(x, "conv3_2/sep")
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				for j := range got.Data {
+					if got.Data[j] != want[i].Data[j] {
+						errs[w] = fmt.Errorf("concurrent Extract diverged on input %d", i)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
 	}
 }

@@ -100,53 +100,18 @@ func (c *Conv2D) MAdds(in []int) int64 {
 	return int64(out[0]) * int64(out[1]) * int64(out[2]) * int64(c.inC) * int64(c.Kernel*c.Kernel) * int64(c.Filters)
 }
 
-// Forward implements Layer.
+// Forward implements Layer. It runs on the im2col+GEMM fast path (see
+// fastpath.go); the historical direct loop survives as the reference
+// kernel in reference.go, which the fast path is test-pinned against.
 func (c *Conv2D) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
-	n, h, w, ic := checkRank4(c.LayerName, x.Shape)
+	_, _, _, ic := checkRank4(c.LayerName, x.Shape)
 	if ic != c.inC {
 		panic(fmt.Sprintf("nn: %s expects %d input channels, got %d", c.LayerName, c.inC, ic))
 	}
-	oh, padY := outDim(h, c.Kernel, c.Stride, c.Pad)
-	ow, padX := outDim(w, c.Kernel, c.Stride, c.Pad)
-	out := tensor.New(n, oh, ow, c.Filters)
-	wd, bd := c.W.Value.Data, c.B.Value.Data
-	k, s, f := c.Kernel, c.Stride, c.Filters
-
-	parFor(n*oh, func(job int) {
-		b, oy := job/oh, job%oh
-		for ox := 0; ox < ow; ox++ {
-			dst := ((b*oh+oy)*ow + ox) * f
-			acc := out.Data[dst : dst+f]
-			copy(acc, bd)
-			iy0 := oy*s - padY
-			ix0 := ox*s - padX
-			for ky := 0; ky < k; ky++ {
-				iy := iy0 + ky
-				if iy < 0 || iy >= h {
-					continue
-				}
-				for kx := 0; kx < k; kx++ {
-					ix := ix0 + kx
-					if ix < 0 || ix >= w {
-						continue
-					}
-					src := ((b*h+iy)*w + ix) * ic
-					wRow := ((ky*k + kx) * ic) * f
-					for ci := 0; ci < ic; ci++ {
-						xv := x.Data[src+ci]
-						if xv == 0 {
-							continue
-						}
-						wOff := wRow + ci*f
-						wv := wd[wOff : wOff+f]
-						for co := range acc {
-							acc[co] += xv * wv[co]
-						}
-					}
-				}
-			}
-		}
-	})
+	g := c.geom(x.Shape)
+	out := tensor.New(g.n, g.oh, g.ow, g.f)
+	ep := tensor.Epilogue{Bias: c.B.Value.Data}
+	convForward(g, x.Data, c.W.Value.Data, out.Data, ep, convScratch{})
 	if training {
 		c.lastX = x
 	}
@@ -267,47 +232,18 @@ func (d *DepthwiseConv2D) MAdds(in []int) int64 {
 	return int64(out[0]) * int64(out[1]) * int64(out[2]) * int64(d.channels) * int64(d.Kernel*d.Kernel)
 }
 
-// Forward implements Layer.
+// Forward implements Layer. It runs on the specialized direct
+// depthwise kernel (fastpath.go) with hoisted bounds; the historical
+// loop survives as the reference kernel in reference.go.
 func (d *DepthwiseConv2D) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
-	n, h, w, ic := checkRank4(d.LayerName, x.Shape)
+	_, _, _, ic := checkRank4(d.LayerName, x.Shape)
 	if ic != d.channels {
 		panic(fmt.Sprintf("nn: %s expects %d channels, got %d", d.LayerName, d.channels, ic))
 	}
-	oh, padY := outDim(h, d.Kernel, d.Stride, d.Pad)
-	ow, padX := outDim(w, d.Kernel, d.Stride, d.Pad)
-	out := tensor.New(n, oh, ow, ic)
-	wd, bd := d.W.Value.Data, d.B.Value.Data
-	k, s := d.Kernel, d.Stride
-
-	parFor(n*oh, func(job int) {
-		b, oy := job/oh, job%oh
-		for ox := 0; ox < ow; ox++ {
-			dst := ((b*oh+oy)*ow + ox) * ic
-			acc := out.Data[dst : dst+ic]
-			copy(acc, bd)
-			iy0 := oy*s - padY
-			ix0 := ox*s - padX
-			for ky := 0; ky < k; ky++ {
-				iy := iy0 + ky
-				if iy < 0 || iy >= h {
-					continue
-				}
-				for kx := 0; kx < k; kx++ {
-					ix := ix0 + kx
-					if ix < 0 || ix >= w {
-						continue
-					}
-					src := ((b*h+iy)*w + ix) * ic
-					wOff := (ky*k + kx) * ic
-					xin := x.Data[src : src+ic]
-					wv := wd[wOff : wOff+ic]
-					for ci := range acc {
-						acc[ci] += xin[ci] * wv[ci]
-					}
-				}
-			}
-		}
-	})
+	g := d.geom(x.Shape)
+	out := tensor.New(g.n, g.oh, g.ow, g.ic)
+	ep := tensor.Epilogue{Bias: d.B.Value.Data}
+	depthwiseForward(g, x.Data, d.W.Value.Data, out.Data, ep, false, nil)
 	if training {
 		d.lastX = x
 	}

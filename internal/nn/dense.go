@@ -97,25 +97,14 @@ func (d *Dense) MAdds(in []int) int64 {
 	return int64(out[0]) * int64(d.In) * int64(d.Out)
 }
 
-// Forward implements Layer.
+// Forward implements Layer. It runs as a GEMM (fastpath.go); the
+// historical per-row loop survives as the reference kernel in
+// reference.go.
 func (d *Dense) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
 	n := d.OutShape(x.Shape)[0]
 	out := tensor.New(n, d.Out)
-	wd, bd := d.W.Value.Data, d.B.Value.Data
-	parFor(n, func(b int) {
-		acc := out.Data[b*d.Out : (b+1)*d.Out]
-		copy(acc, bd)
-		row := x.Data[b*d.In : (b+1)*d.In]
-		for i, xv := range row {
-			if xv == 0 {
-				continue
-			}
-			wRow := wd[i*d.Out : (i+1)*d.Out]
-			for j := range acc {
-				acc[j] += xv * wRow[j]
-			}
-		}
-	})
+	ep := tensor.Epilogue{Bias: d.B.Value.Data}
+	denseForward(d, x.Data, out.Data, n, ep, convScratch{})
 	if training {
 		d.lastX = x
 	}

@@ -1,0 +1,420 @@
+package nn
+
+import (
+	"repro/internal/tensor"
+)
+
+// This file holds the inference fast path's layer kernels: im2col
+// lowering plus the GEMM-backed convolution and fully-connected
+// forward passes, and a specialized direct depthwise kernel. The same
+// kernels serve two callers with different buffer policies:
+//
+//   - The layers' Forward methods (training and ad-hoc inference)
+//     allocate their scratch per call and parallelize row blocks with
+//     parFor. Results are bitwise independent of the worker count
+//     because every output row is computed by the same sequential
+//     k-loop regardless of which goroutine runs it.
+//   - Compiled inference programs (program.go) pass preallocated
+//     workspace scratch and run serially, so steady-state per-frame
+//     execution performs zero heap allocations; cross-frame
+//     parallelism comes from streams and microclassifier fan-out, not
+//     from inside a kernel.
+
+// convGeom captures the resolved geometry of one convolution.
+type convGeom struct {
+	n, h, w, ic        int
+	k, s               int
+	oh, ow, padY, padX int
+	f                  int
+}
+
+func (c *Conv2D) geom(shape []int) convGeom {
+	n, h, w, ic := checkRank4(c.LayerName, shape)
+	oh, padY := outDim(h, c.Kernel, c.Stride, c.Pad)
+	ow, padX := outDim(w, c.Kernel, c.Stride, c.Pad)
+	return convGeom{n: n, h: h, w: w, ic: ic, k: c.Kernel, s: c.Stride,
+		oh: oh, ow: ow, padY: padY, padX: padX, f: c.Filters}
+}
+
+func (d *DepthwiseConv2D) geom(shape []int) convGeom {
+	n, h, w, ic := checkRank4(d.LayerName, shape)
+	oh, padY := outDim(h, d.Kernel, d.Stride, d.Pad)
+	ow, padX := outDim(w, d.Kernel, d.Stride, d.Pad)
+	return convGeom{n: n, h: h, w: w, ic: ic, k: d.Kernel, s: d.Stride,
+		oh: oh, ow: ow, padY: padY, padX: padX, f: ic}
+}
+
+// isPointwise reports whether the convolution is a 1×1 stride-1
+// unpadded map — in which case im2col is the identity and the GEMM
+// reads the input activations directly.
+func (g convGeom) isPointwise() bool {
+	return g.k == 1 && g.s == 1 && g.padY == 0 && g.padX == 0
+}
+
+// colWidth is the im2col matrix's row length (K·K·inC).
+func (g convGeom) colWidth() int { return g.k * g.k * g.ic }
+
+// im2col lowers the NHWC input block rows [row0, row1) — output rows
+// indexed (b, oy, ox) in row-major order over [n, oh, ow] — into the
+// column matrix col, one row of K·K·inC per output position, zero
+// padding out-of-bounds taps. The (kx, ci) tail of each row matches
+// the input's (x, channel) layout, so in-bounds spans are single
+// copies.
+func (g convGeom) im2col(xd []float32, row0, row1 int, col []float32) {
+	kw := g.colWidth()
+	rowC := g.k * g.ic
+	for r := row0; r < row1; r++ {
+		b := r / (g.oh * g.ow)
+		oy := r / g.ow % g.oh
+		ox := r % g.ow
+		dst := col[(r-row0)*kw : (r-row0+1)*kw]
+		iy0 := oy*g.s - g.padY
+		ix0 := ox*g.s - g.padX
+		kxLo, kxHi := 0, g.k
+		if ix0 < 0 {
+			kxLo = -ix0
+		}
+		if ix0+g.k > g.w {
+			kxHi = g.w - ix0
+		}
+		for ky := 0; ky < g.k; ky++ {
+			iy := iy0 + ky
+			seg := dst[ky*rowC : (ky+1)*rowC]
+			if iy < 0 || iy >= g.h {
+				for i := range seg {
+					seg[i] = 0
+				}
+				continue
+			}
+			for i := 0; i < kxLo*g.ic; i++ {
+				seg[i] = 0
+			}
+			if kxHi > kxLo {
+				src := ((b*g.h+iy)*g.w + ix0 + kxLo) * g.ic
+				copy(seg[kxLo*g.ic:kxHi*g.ic], xd[src:src+(kxHi-kxLo)*g.ic])
+			}
+			for i := kxHi * g.ic; i < rowC; i++ {
+				seg[i] = 0
+			}
+		}
+	}
+}
+
+// convScratch bundles the scratch buffers a GEMM-lowered convolution
+// needs. The compiled-program path supplies workspace-owned buffers;
+// the nil scratch means "allocate per call" (training path).
+type convScratch struct {
+	col    []float32 // im2col rows (unused for pointwise convs)
+	packA  []float32
+	packB  []float32
+	serial bool // run single-threaded (workspace buffers are not shareable)
+}
+
+// convForward runs the convolution as im2col+GEMM with the fused
+// epilogue, writing into out (length n·oh·ow·f).
+func convForward(g convGeom, xd, wd, out []float32, ep tensor.Epilogue, sc convScratch) {
+	m := g.n * g.oh * g.ow
+	kk := g.colWidth()
+	if m == 0 {
+		return
+	}
+	if g.isPointwise() {
+		gemmRows(m, g.f, kk, xd, wd, out, ep, sc)
+		return
+	}
+	// Lower then multiply in row blocks so the col matrix stays modest
+	// and row blocks can run on separate goroutines.
+	if sc.serial {
+		if sc.col == nil {
+			sc.col = make([]float32, m*kk)
+		}
+		g.im2col(xd, 0, m, sc.col)
+		gemmRows(m, g.f, kk, sc.col, wd, out, ep, sc)
+		return
+	}
+	pb := make([]float32, tensor.PackBSize(kk, g.f))
+	tensor.PackB(kk, g.f, wd, pb)
+	blocks := gemmBlocks(m)
+	chunk := (m + blocks - 1) / blocks
+	chunk = (chunk + 3) &^ 3
+	parFor((m+chunk-1)/chunk, func(bi int) {
+		// Address a closure-local copy of the epilogue: taking &ep on
+		// the shared parameter would force it (and every serial-path
+		// caller's epilogue) onto the heap.
+		epc := ep
+		lo := bi * chunk
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		rows := hi - lo
+		col := make([]float32, rows*kk)
+		g.im2col(xd, lo, hi, col)
+		if rows < 8 {
+			// Tiny tail block: the unpacked path needs no scratch.
+			tensor.Gemm(rows, g.f, kk, col, wd, out[lo*g.f:], &epc, nil, nil)
+			return
+		}
+		tensor.GemmPacked(rows, g.f, kk, col, pb, out[lo*g.f:], &epc,
+			make([]float32, tensor.PackASize(rows, kk)))
+	})
+}
+
+// gemmRows multiplies an already-lowered activation matrix against the
+// weights, serially with supplied scratch or across parFor row blocks.
+func gemmRows(m, n, k int, a, b, c []float32, ep tensor.Epilogue, sc convScratch) {
+	if sc.serial {
+		if m >= 8 && (sc.packA == nil || sc.packB == nil) {
+			sc.packA = make([]float32, tensor.PackASize(m, k))
+			sc.packB = make([]float32, tensor.PackBSize(k, n))
+		}
+		// Address a block-local copy: taking &ep directly would flip the
+		// parFor closure below to a by-reference capture and heap-move
+		// the parameter for every caller, including this zero-alloc
+		// serial path.
+		epSerial := ep
+		tensor.Gemm(m, n, k, a, b, c, &epSerial, sc.packA, sc.packB)
+		return
+	}
+	if m < 8 {
+		epSmall := ep
+		tensor.Gemm(m, n, k, a, b, c, &epSmall, nil, nil)
+		return
+	}
+	pb := make([]float32, tensor.PackBSize(k, n))
+	tensor.PackB(k, n, b, pb)
+	blocks := gemmBlocks(m)
+	chunk := (m + blocks - 1) / blocks
+	chunk = (chunk + 3) &^ 3
+	parFor((m+chunk-1)/chunk, func(bi int) {
+		epc := ep // see convForward: keep the shared parameter off the heap
+		lo := bi * chunk
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		rows := hi - lo
+		tensor.GemmPacked(rows, n, k, a[lo*k:], pb, c[lo*n:], &epc,
+			make([]float32, tensor.PackASize(rows, k)))
+	})
+}
+
+// gemmBlocks picks how many row blocks to split an m-row GEMM into on
+// the training path.
+func gemmBlocks(m int) int {
+	w := Workers
+	if w < 1 {
+		w = 1
+	}
+	if w > (m+31)/32 {
+		w = (m + 31) / 32 // keep blocks at least 32 rows
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// dwRepLen returns the scratch length the vectorized stride-1
+// depthwise path needs: K·K period-repeated weight rows plus repeated
+// bias, scale, and shift rows, each of length ow·C.
+func dwRepLen(g convGeom) int {
+	if !dwVectorizable(g) {
+		return 0
+	}
+	return (g.k*g.k + 3) * g.ow * g.ic
+}
+
+// dwVectorizable reports whether the row-vectorized depthwise kernel
+// applies: stride 1 makes every (ky,kx) tap a contiguous shifted span
+// of the input row, and the row must be long enough to amortize the
+// vector-call setup.
+func dwVectorizable(g convGeom) bool {
+	return g.s == 1 && g.ow*g.ic >= 32
+}
+
+// depthwiseForward is the specialized direct depthwise kernel: each
+// channel convolves with its own K×K filter, bias is preloaded, and
+// the batch-norm scale/shift and ReLU epilogue are fused into the same
+// pass over the row. Stride-1 layers run the row-vectorized kernel
+// (whole-row SSE spans against period-repeated weights); strided
+// layers run the per-tap kernel with hoisted bounds. There are no
+// data-dependent branches on activation values in either path.
+func depthwiseForward(g convGeom, xd, wd, out []float32, ep tensor.Epilogue, serial bool, rep []float32) {
+	if dwVectorizable(g) {
+		if rep == nil {
+			rep = make([]float32, dwRepLen(g))
+		}
+		dwBuildRep(g, wd, ep, rep)
+		if serial {
+			for job := 0; job < g.n*g.oh; job++ {
+				depthwiseRowVec(g, xd, out, ep, rep, job)
+			}
+			return
+		}
+		parFor(g.n*g.oh, func(job int) { depthwiseRowVec(g, xd, out, ep, rep, job) })
+		return
+	}
+	if serial {
+		// Inline loop: no closure, so the arena path stays
+		// allocation-free.
+		for job := 0; job < g.n*g.oh; job++ {
+			depthwiseRow(g, xd, wd, out, ep, job)
+		}
+		return
+	}
+	parFor(g.n*g.oh, func(job int) { depthwiseRow(g, xd, wd, out, ep, job) })
+}
+
+// dwBuildRep tiles the per-channel weight, bias, scale, and shift
+// vectors across a full output row so the row kernel can consume them
+// as flat spans. Rebuilt from the live parameters on every execution
+// (one extra pass over K²·ow·C floats, 1/K² of the kernel's work).
+func dwBuildRep(g convGeom, wd []float32, ep tensor.Epilogue, rep []float32) {
+	rowW := g.ow * g.ic
+	for kidx := 0; kidx < g.k*g.k; kidx++ {
+		row := rep[kidx*rowW : (kidx+1)*rowW]
+		src := wd[kidx*g.ic : (kidx+1)*g.ic]
+		for ox := 0; ox < g.ow; ox++ {
+			copy(row[ox*g.ic:(ox+1)*g.ic], src)
+		}
+	}
+	tile := func(slot int, src []float32, fill float32) {
+		row := rep[(g.k*g.k+slot)*rowW : (g.k*g.k+slot+1)*rowW]
+		if src == nil {
+			for i := range row {
+				row[i] = fill
+			}
+			return
+		}
+		for ox := 0; ox < g.ow; ox++ {
+			copy(row[ox*g.ic:(ox+1)*g.ic], src)
+		}
+	}
+	tile(0, ep.Bias, 0)
+	if ep.Scale != nil {
+		tile(1, ep.Scale, 0)
+		tile(2, ep.Shift, 0)
+	}
+}
+
+// depthwiseRowVec computes one output row (batch b, row oy encoded in
+// job) as whole-row vector operations: one VecMulAdd per in-bounds
+// (ky,kx) tap over the contiguous [oxLo,oxHi) span, then the fused
+// epilogue over the row.
+func depthwiseRowVec(g convGeom, xd, out []float32, ep tensor.Epilogue, rep []float32, job int) {
+	rowW := g.ow * g.ic
+	b, oy := job/g.oh, job%g.oh
+	acc := out[job*rowW : (job+1)*rowW : (job+1)*rowW]
+	copy(acc, rep[g.k*g.k*rowW:(g.k*g.k+1)*rowW]) // bias (or zeros)
+	iy0 := oy - g.padY
+	kyLo, kyHi := 0, g.k
+	if iy0 < 0 {
+		kyLo = -iy0
+	}
+	if iy0+g.k > g.h {
+		kyHi = g.h - iy0
+	}
+	for ky := kyLo; ky < kyHi; ky++ {
+		iy := iy0 + ky
+		xRow := ((b*g.h + iy) * g.w) * g.ic
+		for kx := 0; kx < g.k; kx++ {
+			oxLo, oxHi := 0, g.ow
+			if kx < g.padX {
+				oxLo = g.padX - kx
+			}
+			if lim := g.w - kx + g.padX; lim < oxHi {
+				oxHi = lim
+			}
+			if oxHi <= oxLo {
+				continue
+			}
+			span := (oxHi - oxLo) * g.ic
+			xo := xRow + (oxLo+kx-g.padX)*g.ic
+			wo := (ky*g.k+kx)*rowW + oxLo*g.ic
+			tensor.VecMulAdd(acc[oxLo*g.ic:oxLo*g.ic+span], xd[xo:xo+span], rep[wo:wo+span])
+		}
+	}
+	if ep.Scale != nil {
+		sc := rep[(g.k*g.k+1)*rowW : (g.k*g.k+2)*rowW]
+		sh := rep[(g.k*g.k+2)*rowW : (g.k*g.k+3)*rowW]
+		tensor.VecScaleShift(acc, sc, sh)
+	}
+	if ep.ReLU {
+		if ep.Cap > 0 {
+			tensor.VecReLUCap(acc, ep.Cap)
+		} else {
+			tensor.VecReLU(acc)
+		}
+	}
+}
+
+// depthwiseRow computes one output row (batch b, row oy encoded in
+// job).
+func depthwiseRow(g convGeom, xd, wd, out []float32, ep tensor.Epilogue, job int) {
+	b, oy := job/g.oh, job%g.oh
+	iy0 := oy*g.s - g.padY
+	kyLo, kyHi := 0, g.k
+	if iy0 < 0 {
+		kyLo = -iy0
+	}
+	if iy0+g.k > g.h {
+		kyHi = g.h - iy0
+	}
+	for ox := 0; ox < g.ow; ox++ {
+		dst := ((b*g.oh+oy)*g.ow + ox) * g.ic
+		acc := out[dst : dst+g.ic : dst+g.ic]
+		if ep.Bias != nil {
+			copy(acc, ep.Bias)
+		} else {
+			for i := range acc {
+				acc[i] = 0
+			}
+		}
+		ix0 := ox*g.s - g.padX
+		kxLo, kxHi := 0, g.k
+		if ix0 < 0 {
+			kxLo = -ix0
+		}
+		if ix0+g.k > g.w {
+			kxHi = g.w - ix0
+		}
+		for ky := kyLo; ky < kyHi; ky++ {
+			iy := iy0 + ky
+			rowBase := (b*g.h + iy) * g.w
+			for kx := kxLo; kx < kxHi; kx++ {
+				src := (rowBase + ix0 + kx) * g.ic
+				wOff := (ky*g.k + kx) * g.ic
+				xin := xd[src : src+g.ic : src+g.ic]
+				wv := wd[wOff : wOff+g.ic : wOff+g.ic]
+				for ci := range acc {
+					acc[ci] += xin[ci] * wv[ci]
+				}
+			}
+		}
+		if ep.Scale != nil || ep.ReLU {
+			if ep.Scale != nil {
+				sc := ep.Scale
+				sh := ep.Shift
+				for ci := range acc {
+					acc[ci] = acc[ci]*sc[ci] + sh[ci]
+				}
+			}
+			if ep.ReLU {
+				cap := ep.Cap
+				for ci, v := range acc {
+					if v < 0 {
+						acc[ci] = 0
+					} else if cap > 0 && v > cap {
+						acc[ci] = cap
+					}
+				}
+			}
+		}
+	}
+}
+
+// denseForward runs y = xW + b (plus fused activation) as a GEMM.
+func denseForward(d *Dense, xd, out []float32, batch int, ep tensor.Epilogue, sc convScratch) {
+	gemmRows(batch, d.Out, d.In, xd, d.W.Value.Data, out, ep, sc)
+}

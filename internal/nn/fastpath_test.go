@@ -1,0 +1,274 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// close5 checks |a-b| <= tol*(1+|b|) element-wise — the fast path must
+// match the naive reference kernels to float32 working precision.
+func close5(t *testing.T, who string, got, want *tensor.Tensor, tol float64) {
+	t.Helper()
+	if !got.SameShape(want) {
+		t.Fatalf("%s: shape %v vs %v", who, got.Shape, want.Shape)
+	}
+	for i := range want.Data {
+		g, w := float64(got.Data[i]), float64(want.Data[i])
+		if math.Abs(g-w) > tol*(1+math.Abs(w)) {
+			t.Fatalf("%s: [%d] fast %v vs reference %v (tol %v)", who, i, g, w, tol)
+		}
+	}
+}
+
+// convShapeTable covers the satellite's required shape space: Same and
+// Valid padding, stride > 1, odd-pad edges (even inputs with Same
+// padding produce asymmetric pads), and 1×1 pointwise convolutions.
+var convShapeTable = []struct {
+	name           string
+	h, w, ic, f    int
+	kernel, stride int
+	pad            Padding
+	batch          int
+}{
+	{"same-k3s1", 9, 11, 3, 8, 3, 1, Same, 1},
+	{"same-k3s2-even", 8, 12, 4, 6, 3, 2, Same, 2},
+	{"same-k3s2-odd", 7, 9, 5, 7, 3, 2, Same, 1},
+	{"same-k5s1", 10, 10, 2, 5, 5, 1, Same, 1},
+	{"same-k5s3", 11, 13, 3, 4, 5, 3, Same, 1},
+	{"valid-k3s1", 9, 9, 3, 8, 3, 1, Valid, 1},
+	{"valid-k3s2", 10, 8, 6, 5, 3, 2, Valid, 2},
+	{"valid-k5s2", 12, 11, 2, 9, 5, 2, Valid, 1},
+	{"pointwise-1x1", 6, 7, 16, 12, 1, 1, Same, 1},
+	{"pointwise-1x1-batch", 5, 5, 8, 32, 1, 1, Same, 3},
+	{"tiny-map", 2, 3, 64, 33, 3, 1, Same, 1},
+	{"kernel-larger-than-input", 3, 3, 2, 4, 5, 1, Same, 1},
+}
+
+func TestConv2DFastMatchesReference(t *testing.T) {
+	for _, tc := range convShapeTable {
+		t.Run(tc.name, func(t *testing.T) {
+			g := tensor.NewRNG(3)
+			l := NewConv2D("c", tc.ic, tc.f, tc.kernel, tc.stride, tc.pad, g)
+			g.FillNormal(l.B.Value, 0, 0.5)
+			x := tensor.New(tc.batch, tc.h, tc.w, tc.ic)
+			g.FillNormal(x, 0, 1)
+			close5(t, tc.name, l.Forward(x, false), l.forwardReference(x), 1e-5)
+		})
+	}
+}
+
+func TestDepthwiseFastMatchesReference(t *testing.T) {
+	for _, tc := range convShapeTable {
+		t.Run(tc.name, func(t *testing.T) {
+			g := tensor.NewRNG(4)
+			l := NewDepthwiseConv2D("d", tc.ic, tc.kernel, tc.stride, tc.pad, g)
+			g.FillNormal(l.B.Value, 0, 0.5)
+			x := tensor.New(tc.batch, tc.h, tc.w, tc.ic)
+			g.FillNormal(x, 0, 1)
+			close5(t, tc.name, l.Forward(x, false), l.forwardReference(x), 1e-5)
+		})
+	}
+}
+
+func TestDenseFastMatchesReference(t *testing.T) {
+	for _, tc := range []struct{ batch, in, out int }{
+		{1, 7, 5}, {1, 200, 1}, {3, 64, 200}, {16, 33, 17}, {64, 128, 32},
+	} {
+		g := tensor.NewRNG(5)
+		l := NewDense("fc", tc.in, tc.out, g)
+		g.FillNormal(l.B.Value, 0, 0.5)
+		x := tensor.New(tc.batch, tc.in)
+		g.FillNormal(x, 0, 1)
+		close5(t, "dense", l.Forward(x, false), l.forwardReference(x), 1e-5)
+	}
+}
+
+// buildFusedNet assembles a conv+bn+relu / depthwise / dense stack that
+// exercises every fusion the compiler performs, with non-trivial
+// batch-norm running statistics.
+func buildFusedNet(t *testing.T) (*Network, *tensor.Tensor) {
+	t.Helper()
+	g := tensor.NewRNG(6)
+	net := NewNetwork("fused")
+	conv := NewConv2D("conv1", 3, 8, 3, 2, Same, g)
+	g.FillNormal(conv.B.Value, 0, 0.5)
+	bn1 := NewBatchNorm("conv1/bn", 8)
+	g.FillNormal(bn1.Gamma.Value, 1, 0.2)
+	g.FillNormal(bn1.Beta.Value, 0, 0.2)
+	g.FillNormal(bn1.RunningMean, 0, 0.3)
+	bn1.RunningVar.Fill(1.3)
+	dw := NewDepthwiseConv2D("conv2/dw", 8, 3, 1, Same, g)
+	bn2 := NewBatchNorm("conv2/bn", 8)
+	g.FillNormal(bn2.Beta.Value, 0, 0.1)
+	bn2.RunningVar.Fill(0.8)
+	net.Add(conv).Add(bn1).Add(NewReLU("conv1/relu")).
+		Add(dw).Add(bn2).Add(NewReLU("conv2/relu")).
+		Add(NewConv2D("conv3/sep", 8, 16, 1, 1, Same, g)).
+		Add(NewReLU("conv3/relu")).
+		Add(NewMaxPool2D("pool", 2, 2, Same)).
+		Add(NewFlatten("flatten")).
+		Add(NewDense("fc1", 16*3*4, 10, g)).
+		Add(NewReLU6("fc1/relu6")).
+		Add(NewDense("fc2", 10, 1, g)).
+		Add(NewSigmoid("out"))
+	x := tensor.New(1, 9, 13, 3)
+	g.FillNormal(x, 0, 1)
+	return net, x
+}
+
+// TestProgramMatchesNetwork pins the frozen, fused program against the
+// layer-by-layer inference pass, including the batch-norm fold and the
+// intermediate tap outputs.
+func TestProgramMatchesNetwork(t *testing.T) {
+	net, x := buildFusedNet(t)
+	prog, err := Compile(net, x.Shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := prog.NewWorkspace()
+
+	want, wantTaps := net.ForwardTaps(x.Clone(), false, "conv1/relu", "conv2/relu", "conv3/relu", "out")
+	got := prog.Run(ws, x)
+	close5(t, "final", got, want, 1e-5)
+	for tap, w := range wantTaps {
+		idx, ok := prog.OpIndex(tap)
+		if !ok {
+			t.Fatalf("program has no tap %q", tap)
+		}
+		close5(t, tap, prog.Output(ws, idx), w, 1e-5)
+	}
+}
+
+// TestProgramTracksLiveWeights verifies that a compiled program reads
+// live parameters: mutating weights after Compile must change the
+// program's output without recompilation (the property that makes
+// interleaved training and frozen inference safe).
+func TestProgramTracksLiveWeights(t *testing.T) {
+	net, x := buildFusedNet(t)
+	prog, err := Compile(net, x.Shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := prog.NewWorkspace()
+	before := prog.Run(ws, x).Clone()
+
+	for _, p := range net.Params() {
+		for i := range p.Value.Data {
+			p.Value.Data[i] *= 1.5
+		}
+	}
+	after := prog.Run(ws, x)
+	close5(t, "live-weights", after, net.Forward(x.Clone(), false), 1e-5)
+	same := true
+	for i := range before.Data {
+		if before.Data[i] != after.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("program output unchanged after weight mutation: weights were snapshotted")
+	}
+}
+
+// TestProgramZeroAlloc pins the steady-state execution of a compiled
+// program at zero heap allocations per frame.
+func TestProgramZeroAlloc(t *testing.T) {
+	net, x := buildFusedNet(t)
+	prog, err := Compile(net, x.Shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := prog.NewWorkspace()
+	prog.Run(ws, x) // warm up
+	if n := testing.AllocsPerRun(50, func() { prog.Run(ws, x) }); n != 0 {
+		t.Fatalf("program Run allocates %v objects per frame, want 0", n)
+	}
+}
+
+// TestFrozenInferenceDoesNotContaminateTraining is the satellite
+// regression: running fused inference between a training forward and
+// its backward must not disturb activation caches, ReLU masks,
+// batch-norm running statistics, or the resulting gradients.
+func TestFrozenInferenceDoesNotContaminateTraining(t *testing.T) {
+	build := func() (*Network, *tensor.Tensor) { return buildFusedNet(t) }
+
+	// Gradients without any interleaved inference.
+	netA, x := build()
+	outA := netA.Forward(x.Clone(), true)
+	gradA := tensor.New(outA.Shape...)
+	gradA.Fill(1)
+	netA.Backward(gradA)
+
+	// Same training step, but with frozen inference squeezed between
+	// forward and backward.
+	netB, _ := build()
+	prog, err := Compile(netB, x.Shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := prog.NewWorkspace()
+	outB := netB.Forward(x.Clone(), true)
+
+	var statsBefore []float32
+	for _, l := range netB.Layers() {
+		if bn, ok := l.(*BatchNorm); ok {
+			statsBefore = append(statsBefore, bn.RunningMean.Data...)
+			statsBefore = append(statsBefore, bn.RunningVar.Data...)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		prog.Run(ws, x)
+	}
+	var statsAfter []float32
+	for _, l := range netB.Layers() {
+		if bn, ok := l.(*BatchNorm); ok {
+			statsAfter = append(statsAfter, bn.RunningMean.Data...)
+			statsAfter = append(statsAfter, bn.RunningVar.Data...)
+		}
+	}
+	for i := range statsBefore {
+		if statsBefore[i] != statsAfter[i] {
+			t.Fatalf("frozen inference moved batch-norm running stats at %d: %v -> %v",
+				i, statsBefore[i], statsAfter[i])
+		}
+	}
+
+	gradB := tensor.New(outB.Shape...)
+	gradB.Fill(1)
+	netB.Backward(gradB) // panics if any lastX cache was clobbered
+
+	paramsA, paramsB := netA.Params(), netB.Params()
+	for pi := range paramsA {
+		for i := range paramsA[pi].Grad.Data {
+			if paramsA[pi].Grad.Data[i] != paramsB[pi].Grad.Data[i] {
+				t.Fatalf("param %s grad[%d] differs after interleaved frozen inference: %v vs %v",
+					paramsA[pi].Name, i, paramsA[pi].Grad.Data[i], paramsB[pi].Grad.Data[i])
+			}
+		}
+	}
+}
+
+// TestForwardDeterministicAcrossWorkers pins the training-path forward
+// to worker-count independence: the GEMM row blocking must produce
+// bitwise identical outputs for any parallel split.
+func TestForwardDeterministicAcrossWorkers(t *testing.T) {
+	g := tensor.NewRNG(9)
+	l := NewConv2D("c", 8, 16, 3, 1, Same, g)
+	x := tensor.New(2, 17, 19, 8)
+	g.FillNormal(x, 0, 1)
+
+	old := Workers
+	defer func() { Workers = old }()
+	Workers = 1
+	serial := l.Forward(x, false)
+	Workers = 7
+	parallel := l.Forward(x, false)
+	for i := range serial.Data {
+		if serial.Data[i] != parallel.Data[i] {
+			t.Fatalf("conv forward depends on worker count at %d", i)
+		}
+	}
+}

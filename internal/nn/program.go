@@ -1,0 +1,597 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// A Program is a network frozen for inference at one fixed input
+// shape: layers are fused into ops (convolution + batch-norm + ReLU
+// collapse into a single GEMM or depthwise pass whose epilogue applies
+// the folded scale/shift and activation in the write-back), every
+// intermediate shape is resolved at compile time, and execution writes
+// into a Workspace's preallocated slot buffers so the steady state
+// performs zero heap allocations.
+//
+// Programs hold no weight copies: every op reads its layer's live
+// Param tensors (and batch-norm running statistics) at execution time,
+// so a program can never go stale with respect to training — training
+// a network and running its compiled program interleave safely, and
+// the program never touches training state (activation caches, ReLU
+// masks, batch-norm batch statistics).
+//
+// A Program is immutable after Compile and safe to share across
+// goroutines; each concurrent executor needs its own Workspace.
+type Program struct {
+	name    string
+	inShape []int
+	ops     []progOp
+	slots   []slotSpec
+	byName  map[string]int // layer name -> op producing its output
+
+	maxPackA   int
+	maxPackB   int
+	maxScratch int // per-channel scale+shift scratch (2·C)
+}
+
+type opKind int
+
+const (
+	opConv opKind = iota
+	opDepthwise
+	opDense
+	opBatchNorm
+	opReLU
+	opMaxPool
+	opAvgPool
+	opGlobalAvgPool
+	opGlobalMax
+	opSigmoid
+	opView // shape-only (Flatten): output slot aliases the input slot
+)
+
+type progOp struct {
+	kind opKind
+	name string // the last fused source layer: the tap address
+	in   int    // input slot, -1 = program input
+	out  int    // output slot
+	col  int    // conv only: im2col slot, -1 when lowered in place
+
+	conv  *Conv2D
+	dw    *DepthwiseConv2D
+	dense *Dense
+	bn    *BatchNorm
+	act   *ReLU
+	mp    *MaxPool2D
+	avg   *AvgPool2D
+	gap   *GlobalAvgPool
+	gmax  *GlobalMax
+
+	g     convGeom // conv/depthwise geometry
+	batch int      // dense: rows
+}
+
+type slotSpec struct {
+	shape   []int
+	aliasOf int // -1: owns storage; else: view over that slot's data
+}
+
+// Compile freezes net for inference at the given input shape. It
+// returns an error if the network contains a layer type the program
+// executor does not support.
+func Compile(net *Network, inShape []int) (*Program, error) {
+	return CompileLayers(net.NetName, net.Layers(), inShape)
+}
+
+// CompileLayers freezes an explicit layer sequence (a sub-network,
+// e.g. the head of a windowed microclassifier) for inference.
+func CompileLayers(name string, layers []Layer, inShape []int) (*Program, error) {
+	if len(layers) == 0 {
+		return nil, fmt.Errorf("nn: compile %q: no layers", name)
+	}
+	p := &Program{
+		name:    name,
+		inShape: append([]int(nil), inShape...),
+		byName:  make(map[string]int),
+	}
+	shape := append([]int(nil), inShape...)
+	cur := -1 // current slot holding the running activation
+
+	addSlot := func(s []int, alias int) int {
+		p.slots = append(p.slots, slotSpec{shape: append([]int(nil), s...), aliasOf: alias})
+		return len(p.slots) - 1
+	}
+	emit := func(op progOp) {
+		p.ops = append(p.ops, op)
+		p.byName[op.name] = len(p.ops) - 1
+		cur = op.out
+	}
+	needGemm := func(m, n, k int) {
+		if a := tensor.PackASize(m, k); a > p.maxPackA {
+			p.maxPackA = a
+		}
+		if b := tensor.PackBSize(k, n); b > p.maxPackB {
+			p.maxPackB = b
+		}
+	}
+	needScratch := func(c int) {
+		if 2*c > p.maxScratch {
+			p.maxScratch = 2 * c
+		}
+	}
+
+	i := 0
+	for i < len(layers) {
+		l := layers[i]
+		consumed := 1
+		switch t := l.(type) {
+		case *Conv2D:
+			op := progOp{kind: opConv, conv: t, in: cur, col: -1, name: t.LayerName}
+			op.g = t.geom(shape)
+			shape = t.OutShape(shape)
+			if bn, ok := fuseBN(layers, i+consumed, op.g.f); ok {
+				op.bn, op.name = bn, bn.LayerName
+				consumed++
+				needScratch(op.g.f)
+			}
+			if r, ok := fuseReLU(layers, i+consumed); ok {
+				op.act, op.name = r, r.LayerName
+				consumed++
+			}
+			if !op.g.isPointwise() {
+				op.col = addSlot([]int{op.g.n * op.g.oh * op.g.ow, op.g.colWidth()}, -1)
+			}
+			needGemm(op.g.n*op.g.oh*op.g.ow, op.g.f, op.g.colWidth())
+			op.out = addSlot(shape, -1)
+			emit(op)
+
+		case *DepthwiseConv2D:
+			op := progOp{kind: opDepthwise, dw: t, in: cur, col: -1, name: t.LayerName}
+			op.g = t.geom(shape)
+			shape = t.OutShape(shape)
+			if bn, ok := fuseBN(layers, i+consumed, op.g.ic); ok {
+				op.bn, op.name = bn, bn.LayerName
+				consumed++
+				needScratch(op.g.ic)
+			}
+			if r, ok := fuseReLU(layers, i+consumed); ok {
+				op.act, op.name = r, r.LayerName
+				consumed++
+			}
+			if rl := dwRepLen(op.g); rl > 0 {
+				// Scratch for the row-vectorized kernel's repeated
+				// weight/bias/scale/shift rows.
+				op.col = addSlot([]int{rl}, -1)
+			}
+			op.out = addSlot(shape, -1)
+			emit(op)
+
+		case *Dense:
+			op := progOp{kind: opDense, dense: t, in: cur, col: -1, name: t.LayerName}
+			op.batch = t.OutShape(shape)[0]
+			shape = t.OutShape(shape)
+			if r, ok := fuseReLU(layers, i+consumed); ok {
+				op.act, op.name = r, r.LayerName
+				consumed++
+			}
+			needGemm(op.batch, t.Out, t.In)
+			op.out = addSlot(shape, -1)
+			emit(op)
+
+		case *BatchNorm:
+			op := progOp{kind: opBatchNorm, bn: t, in: cur, col: -1, name: t.LayerName}
+			shape = t.OutShape(shape)
+			if r, ok := fuseReLU(layers, i+consumed); ok {
+				op.act, op.name = r, r.LayerName
+				consumed++
+			}
+			needScratch(t.Channels)
+			op.out = addSlot(shape, -1)
+			emit(op)
+
+		case *ReLU:
+			op := progOp{kind: opReLU, act: t, in: cur, col: -1, name: t.LayerName}
+			shape = t.OutShape(shape)
+			op.out = addSlot(shape, -1)
+			emit(op)
+
+		case *MaxPool2D:
+			op := progOp{kind: opMaxPool, mp: t, in: cur, col: -1, name: t.LayerName}
+			shape = t.OutShape(shape)
+			op.out = addSlot(shape, -1)
+			emit(op)
+
+		case *AvgPool2D:
+			op := progOp{kind: opAvgPool, avg: t, in: cur, col: -1, name: t.LayerName}
+			shape = t.OutShape(shape)
+			op.out = addSlot(shape, -1)
+			emit(op)
+
+		case *GlobalAvgPool:
+			op := progOp{kind: opGlobalAvgPool, gap: t, in: cur, col: -1, name: t.LayerName}
+			shape = t.OutShape(shape)
+			op.out = addSlot(shape, -1)
+			emit(op)
+
+		case *GlobalMax:
+			op := progOp{kind: opGlobalMax, gmax: t, in: cur, col: -1, name: t.LayerName}
+			shape = t.OutShape(shape)
+			op.out = addSlot(shape, -1)
+			emit(op)
+
+		case *Sigmoid:
+			op := progOp{kind: opSigmoid, in: cur, col: -1, name: t.LayerName}
+			shape = t.OutShape(shape)
+			op.out = addSlot(shape, -1)
+			emit(op)
+
+		case *Flatten:
+			if cur < 0 {
+				return nil, fmt.Errorf("nn: compile %q: %s cannot be the first layer", name, t.LayerName)
+			}
+			op := progOp{kind: opView, in: cur, col: -1, name: t.LayerName}
+			shape = t.OutShape(shape)
+			op.out = addSlot(shape, cur)
+			emit(op)
+
+		case *Dropout:
+			// Inference identity: alias the name to the current op.
+			if cur < 0 {
+				return nil, fmt.Errorf("nn: compile %q: %s cannot be the first layer", name, t.LayerName)
+			}
+			p.byName[t.LayerName] = len(p.ops) - 1
+
+		default:
+			return nil, fmt.Errorf("nn: compile %q: unsupported layer %T (%s)", name, l, l.Name())
+		}
+		i += consumed
+	}
+	return p, nil
+}
+
+// fuseBN returns the batch-norm at layers[i] when it can fold into a
+// preceding convolution with c output channels.
+func fuseBN(layers []Layer, i, c int) (*BatchNorm, bool) {
+	if i >= len(layers) {
+		return nil, false
+	}
+	bn, ok := layers[i].(*BatchNorm)
+	if !ok || bn.Channels != c {
+		return nil, false
+	}
+	return bn, true
+}
+
+func fuseReLU(layers []Layer, i int) (*ReLU, bool) {
+	if i >= len(layers) {
+		return nil, false
+	}
+	r, ok := layers[i].(*ReLU)
+	return r, ok
+}
+
+// Name returns the program's name.
+func (p *Program) Name() string { return p.name }
+
+// InShape returns the input shape the program was compiled for.
+func (p *Program) InShape() []int { return append([]int(nil), p.inShape...) }
+
+// OpIndex resolves a layer name to the index of the op that produces
+// that layer's output (fused groups are addressed by their last
+// layer). It reports false for names whose intermediate value does not
+// exist in the fused program.
+func (p *Program) OpIndex(layerName string) (int, bool) {
+	i, ok := p.byName[layerName]
+	return i, ok
+}
+
+// NumOps returns the op count; RunTo accepts indices in [0, NumOps).
+func (p *Program) NumOps() int { return len(p.ops) }
+
+// NewWorkspace allocates the arena a single executor needs: one buffer
+// per op output (plus im2col and packing scratch), all sized at
+// compile time. Workspaces are not safe for concurrent use; allocate
+// one per goroutine and reuse it across frames — after the first Run
+// the steady state allocates nothing.
+func (p *Program) NewWorkspace() *Workspace {
+	ws := &Workspace{
+		prog:    p,
+		bufs:    make([]*tensor.Tensor, len(p.slots)),
+		packA:   make([]float32, p.maxPackA),
+		packB:   make([]float32, p.maxPackB),
+		scratch: make([]float32, p.maxScratch),
+	}
+	for i, s := range p.slots {
+		if s.aliasOf >= 0 {
+			ws.bufs[i] = ws.bufs[s.aliasOf].Reshape(s.shape...)
+		} else {
+			ws.bufs[i] = tensor.New(s.shape...)
+		}
+	}
+	return ws
+}
+
+// Workspace is the per-executor arena for one compiled Program: slot
+// buffers for every op output, im2col scratch, and GEMM packing
+// buffers. See Program.NewWorkspace.
+type Workspace struct {
+	prog    *Program
+	bufs    []*tensor.Tensor
+	packA   []float32
+	packB   []float32
+	scratch []float32
+}
+
+// Run executes the whole program on x and returns the final
+// activation. The returned tensor is workspace memory: it stays valid
+// until the next Run on this workspace.
+func (p *Program) Run(ws *Workspace, x *tensor.Tensor) *tensor.Tensor {
+	return p.RunTo(ws, x, len(p.ops)-1)
+}
+
+// RunTo executes ops [0, upto] and returns op upto's output (workspace
+// memory, valid until the next Run). Earlier op outputs remain
+// readable via Output, which is how multi-tap extraction reads several
+// stages from one pass.
+func (p *Program) RunTo(ws *Workspace, x *tensor.Tensor, upto int) *tensor.Tensor {
+	if ws.prog != p {
+		panic(fmt.Sprintf("nn: workspace belongs to program %q, not %q", ws.prog.name, p.name))
+	}
+	if len(x.Shape) != len(p.inShape) {
+		panic(fmt.Sprintf("nn: program %q compiled for shape %v, got %v", p.name, p.inShape, x.Shape))
+	}
+	for i, d := range p.inShape {
+		if x.Shape[i] != d {
+			panic(fmt.Sprintf("nn: program %q compiled for shape %v, got %v", p.name, p.inShape, x.Shape))
+		}
+	}
+	for oi := 0; oi <= upto; oi++ {
+		op := &p.ops[oi]
+		in := x
+		if op.in >= 0 {
+			in = ws.bufs[op.in]
+		}
+		out := ws.bufs[op.out]
+		p.exec(ws, op, in, out)
+	}
+	return ws.bufs[p.ops[upto].out]
+}
+
+// Output returns op opIdx's activation from the last Run/RunTo that
+// reached it (workspace memory).
+func (p *Program) Output(ws *Workspace, opIdx int) *tensor.Tensor {
+	return ws.bufs[p.ops[opIdx].out]
+}
+
+// bnFold writes the inference-time batch-norm fold into the workspace
+// scratch: scale = gamma/sqrt(var+eps), shift = beta - mean·scale. The
+// fold is recomputed from the live running statistics on every
+// execution (O(C), negligible next to the convolution it fuses into),
+// which is what keeps frozen programs coherent with ongoing training.
+func bnFold(bn *BatchNorm, scratch []float32) (scale, shift []float32) {
+	c := bn.Channels
+	scale, shift = scratch[:c], scratch[c:2*c]
+	gamma, beta := bn.Gamma.Value.Data, bn.Beta.Value.Data
+	mean, variance := bn.RunningMean.Data, bn.RunningVar.Data
+	for i := 0; i < c; i++ {
+		s := gamma[i] * float32(1/math.Sqrt(float64(variance[i]+bn.Eps)))
+		scale[i] = s
+		shift[i] = beta[i] - mean[i]*s
+	}
+	return scale, shift
+}
+
+func (p *Program) exec(ws *Workspace, op *progOp, in, out *tensor.Tensor) {
+	switch op.kind {
+	case opConv:
+		ep := tensor.Epilogue{Bias: op.conv.B.Value.Data}
+		if op.bn != nil {
+			ep.Scale, ep.Shift = bnFold(op.bn, ws.scratch)
+		}
+		if op.act != nil {
+			ep.ReLU, ep.Cap = true, op.act.Cap
+		}
+		sc := convScratch{packA: ws.packA, packB: ws.packB, serial: true}
+		if op.col >= 0 {
+			sc.col = ws.bufs[op.col].Data
+		}
+		convForward(op.g, in.Data, op.conv.W.Value.Data, out.Data, ep, sc)
+
+	case opDepthwise:
+		ep := tensor.Epilogue{Bias: op.dw.B.Value.Data}
+		if op.bn != nil {
+			ep.Scale, ep.Shift = bnFold(op.bn, ws.scratch)
+		}
+		if op.act != nil {
+			ep.ReLU, ep.Cap = true, op.act.Cap
+		}
+		var rep []float32
+		if op.col >= 0 {
+			rep = ws.bufs[op.col].Data
+		}
+		depthwiseForward(op.g, in.Data, op.dw.W.Value.Data, out.Data, ep, true, rep)
+
+	case opDense:
+		ep := tensor.Epilogue{Bias: op.dense.B.Value.Data}
+		if op.act != nil {
+			ep.ReLU, ep.Cap = true, op.act.Cap
+		}
+		denseForward(op.dense, in.Data, out.Data, op.batch,
+			ep, convScratch{packA: ws.packA, packB: ws.packB, serial: true})
+
+	case opBatchNorm:
+		scale, shift := bnFold(op.bn, ws.scratch)
+		c := op.bn.Channels
+		relu := op.act != nil
+		var cap float32
+		if relu {
+			cap = op.act.Cap
+		}
+		for i, v := range in.Data {
+			v = v*scale[i%c] + shift[i%c]
+			if relu {
+				if v < 0 {
+					v = 0
+				} else if cap > 0 && v > cap {
+					v = cap
+				}
+			}
+			out.Data[i] = v
+		}
+
+	case opReLU:
+		cap := op.act.Cap
+		for i, v := range in.Data {
+			switch {
+			case v <= 0:
+				out.Data[i] = 0
+			case cap > 0 && v >= cap:
+				out.Data[i] = cap
+			default:
+				out.Data[i] = v
+			}
+		}
+
+	case opMaxPool:
+		maxPoolInto(op.mp, in, out)
+
+	case opAvgPool:
+		avgPoolInto(op.avg, in, out)
+
+	case opGlobalAvgPool:
+		globalAvgPoolInto(in, out)
+
+	case opGlobalMax:
+		globalMaxInto(in, out)
+
+	case opSigmoid:
+		for i, v := range in.Data {
+			out.Data[i] = float32(1 / (1 + math.Exp(-float64(v))))
+		}
+
+	case opView:
+		// Output aliases input storage; nothing to compute.
+	}
+}
+
+// maxPoolInto is MaxPool2D.Forward without training state or
+// allocation.
+func maxPoolInto(m *MaxPool2D, x, out *tensor.Tensor) {
+	n, h, w, c := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, padY := outDim(h, m.Kernel, m.Stride, m.Pad)
+	ow, padX := outDim(w, m.Kernel, m.Stride, m.Pad)
+	k, s := m.Kernel, m.Stride
+	for b := 0; b < n; b++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				dst := ((b*oh+oy)*ow + ox) * c
+				for ci := 0; ci < c; ci++ {
+					first := true
+					var best float32
+					for ky := 0; ky < k; ky++ {
+						iy := oy*s - padY + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < k; kx++ {
+							ix := ox*s - padX + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							v := x.Data[((b*h+iy)*w+ix)*c+ci]
+							if first || v > best {
+								best, first = v, false
+							}
+						}
+					}
+					out.Data[dst+ci] = best
+				}
+			}
+		}
+	}
+}
+
+// avgPoolInto is AvgPool2D.Forward without training state or
+// allocation.
+func avgPoolInto(a *AvgPool2D, x, out *tensor.Tensor) {
+	n, h, w, c := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, padY := outDim(h, a.Kernel, a.Stride, a.Pad)
+	ow, padX := outDim(w, a.Kernel, a.Stride, a.Pad)
+	k, s := a.Kernel, a.Stride
+	for b := 0; b < n; b++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				dst := ((b*oh+oy)*ow + ox) * c
+				row := out.Data[dst : dst+c]
+				for i := range row {
+					row[i] = 0
+				}
+				count := 0
+				for ky := 0; ky < k; ky++ {
+					iy := oy*s - padY + ky
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for kx := 0; kx < k; kx++ {
+						ix := ox*s - padX + kx
+						if ix < 0 || ix >= w {
+							continue
+						}
+						count++
+						src := ((b*h+iy)*w + ix) * c
+						for ci := 0; ci < c; ci++ {
+							row[ci] += x.Data[src+ci]
+						}
+					}
+				}
+				if count > 0 {
+					inv := 1 / float32(count)
+					for ci := range row {
+						row[ci] *= inv
+					}
+				}
+			}
+		}
+	}
+}
+
+// globalAvgPoolInto is GlobalAvgPool.Forward without training state or
+// allocation.
+func globalAvgPoolInto(x, out *tensor.Tensor) {
+	n, h, w, c := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	inv := 1 / float32(h*w)
+	for b := 0; b < n; b++ {
+		acc := out.Data[b*c : (b+1)*c]
+		for i := range acc {
+			acc[i] = 0
+		}
+		for p := 0; p < h*w; p++ {
+			src := (b*h*w + p) * c
+			for ci := 0; ci < c; ci++ {
+				acc[ci] += x.Data[src+ci]
+			}
+		}
+		for ci := range acc {
+			acc[ci] *= inv
+		}
+	}
+}
+
+// globalMaxInto is GlobalMax.Forward without training state or
+// allocation.
+func globalMaxInto(x, out *tensor.Tensor) {
+	n, h, w, c := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	for b := 0; b < n; b++ {
+		for ci := 0; ci < c; ci++ {
+			best := x.Data[(b*h*w)*c+ci]
+			for p := 1; p < h*w; p++ {
+				if v := x.Data[(b*h*w+p)*c+ci]; v > best {
+					best = v
+				}
+			}
+			out.Data[b*c+ci] = best
+		}
+	}
+}

@@ -1,0 +1,323 @@
+package tensor
+
+// This file is the inference fast path's compute core: a cache-blocked,
+// register-tiled single-precision GEMM with a fused epilogue, the
+// primitive that im2col-lowered convolutions, pointwise convolutions,
+// and fully-connected layers in internal/nn all reduce to. It is
+// deliberately allocation-free: callers supply packing scratch buffers
+// (see PackASize/PackBSize), so steady-state per-frame inference never
+// touches the garbage collector.
+//
+// Layout conventions: all matrices are dense row-major. A is m×k, B is
+// k×n, C is m×n. The convolution weight layout [K,K,inC,outC] used by
+// internal/nn is already the row-major [k*k*inC, outC] matrix this GEMM
+// wants, so weights never need transposition.
+//
+// The inner microkernel computes a 4×8 register tile from packed
+// panels. On amd64 it is four-lane SSE assembly (gemm_kernel_amd64.s);
+// elsewhere a portable Go kernel runs (gemm_kernel_generic.go). Both
+// accumulate each output element over k in the same sequential order,
+// so results are bitwise identical across kernels, row splits, and
+// worker counts.
+
+// gemmMR×gemmNR is the register tile computed by the microkernel: four
+// A rows against eight B columns (two four-lane vectors), which fills
+// the sixteen-register amd64 XMM budget with eight accumulators plus
+// streamed operands.
+const (
+	gemmMR = 4
+	gemmNR = 8
+	// gemmSmallM switches to the unpacked row-block path: below this
+	// row count the packing passes cost more than they save (the whole
+	// B matrix is streamed exactly once either way).
+	gemmSmallM = 8
+)
+
+// Epilogue describes the fused write-back applied to every GEMM output
+// element, in order: add Bias[j], then scale/shift (the inference-time
+// batch-norm fold: v*Scale[j]+Shift[j]), then ReLU with optional Cap
+// (ReLU6 when Cap=6). All slices are indexed by output column and may
+// be nil to skip that step. The epilogue runs on each completed row
+// block while it is still cache-hot, so the activation never takes an
+// extra pass over cold memory.
+type Epilogue struct {
+	Bias  []float32
+	Scale []float32
+	Shift []float32
+	ReLU  bool
+	Cap   float32
+}
+
+// Apply transforms one output row (length n, column j0 offset into the
+// epilogue vectors) in place, as vectorized in-cache passes: bias,
+// then scale/shift, then ReLU. Exported so direct (non-GEMM) kernels —
+// the depthwise convolution — share the exact same write-back math.
+func (ep *Epilogue) Apply(row []float32, j0 int) {
+	if ep == nil {
+		return
+	}
+	if ep.Bias != nil {
+		VecAdd(row, ep.Bias[j0:j0+len(row)])
+	}
+	if ep.Scale != nil {
+		VecScaleShift(row, ep.Scale[j0:j0+len(row)], ep.Shift[j0:j0+len(row)])
+	}
+	if ep.ReLU {
+		if ep.Cap > 0 {
+			VecReLUCap(row, ep.Cap)
+		} else {
+			VecReLU(row)
+		}
+	}
+}
+
+// applyOne runs the epilogue for a single element at column j.
+func (ep *Epilogue) applyOne(v float32, j int) float32 {
+	if ep == nil {
+		return v
+	}
+	if ep.Bias != nil {
+		v += ep.Bias[j]
+	}
+	if ep.Scale != nil {
+		v = v*ep.Scale[j] + ep.Shift[j]
+	}
+	if ep.ReLU {
+		if v < 0 {
+			v = 0
+		} else if ep.Cap > 0 && v > ep.Cap {
+			v = ep.Cap
+		}
+	}
+	return v
+}
+
+func roundUp(x, to int) int { return (x + to - 1) / to * to }
+
+// PackASize returns the scratch length GemmPacked needs to pack an
+// m×k A matrix (rows padded to the microkernel tile height).
+func PackASize(m, k int) int { return roundUp(m, gemmMR) * k }
+
+// PackBSize returns the scratch length needed by PackB for a k×n B
+// matrix (columns padded to the microkernel tile width).
+func PackBSize(k, n int) int { return roundUp(n, gemmNR) * k }
+
+// PackB packs row-major B (k×n) into column panels of width gemmNR:
+// panel j0 holds columns [j0, j0+8) interleaved per k-step, zero-padded
+// past n. The packed layout makes the microkernel's B reads perfectly
+// sequential. dst must have at least PackBSize(k, n) elements.
+func PackB(k, n int, b, dst []float32) {
+	j0 := 0
+	for ; j0+gemmNR <= n; j0 += gemmNR {
+		panel := dst[j0*k : (j0+gemmNR)*k : (j0+gemmNR)*k]
+		for p := 0; p < k; p++ {
+			row := b[p*n+j0 : p*n+j0+gemmNR : p*n+j0+gemmNR]
+			q := p * gemmNR
+			panel[q] = row[0]
+			panel[q+1] = row[1]
+			panel[q+2] = row[2]
+			panel[q+3] = row[3]
+			panel[q+4] = row[4]
+			panel[q+5] = row[5]
+			panel[q+6] = row[6]
+			panel[q+7] = row[7]
+		}
+	}
+	if j0 < n {
+		panel := dst[j0*k : (j0+gemmNR)*k]
+		jMax := n - j0
+		for p := 0; p < k; p++ {
+			row := b[p*n+j0:]
+			q := p * gemmNR
+			for j := 0; j < jMax; j++ {
+				panel[q+j] = row[j]
+			}
+			for j := jMax; j < gemmNR; j++ {
+				panel[q+j] = 0
+			}
+		}
+	}
+}
+
+// packA packs row-major A (m×k) into row panels of height gemmMR,
+// zero-padded past m.
+func packA(m, k int, a, dst []float32) {
+	for i0 := 0; i0 < m; i0 += gemmMR {
+		panel := dst[i0*k : (i0+gemmMR)*k]
+		iMax := m - i0
+		if iMax > gemmMR {
+			iMax = gemmMR
+		}
+		for r := 0; r < gemmMR; r++ {
+			if r >= iMax {
+				for p := 0; p < k; p++ {
+					panel[p*gemmMR+r] = 0
+				}
+				continue
+			}
+			row := a[(i0+r)*k : (i0+r+1)*k]
+			for p, v := range row {
+				panel[p*gemmMR+r] = v
+			}
+		}
+	}
+}
+
+// GemmPacked computes C = A·B with B already packed by PackB; the
+// epilogue is applied to each completed row block while it is still
+// cache-hot (the fused write-back). a holds the unpacked row-major m×k
+// block; scratchA needs PackASize(m, k) elements. C rows are fully
+// overwritten. Row blocks are independent and every output element
+// accumulates over k in the same sequential order, so callers may
+// split m across goroutines (each with its own scratchA) for bitwise
+// identical results.
+func GemmPacked(m, n, k int, a, bp, c []float32, ep *Epilogue, scratchA []float32) {
+	packA(m, k, a, scratchA)
+	nFull := n - n%gemmNR
+	i0 := 0
+	for ; i0+gemmMR <= m; i0 += gemmMR {
+		ap := scratchA[i0*k : (i0+gemmMR)*k]
+		c0 := c[(i0+0)*n : (i0+1)*n]
+		c1 := c[(i0+1)*n : (i0+2)*n]
+		c2 := c[(i0+2)*n : (i0+3)*n]
+		c3 := c[(i0+3)*n : (i0+4)*n]
+		for j0 := 0; j0 < nFull; j0 += gemmNR {
+			kern4x8(k, ap, bp[j0*k:(j0+gemmNR)*k], c0[j0:], c1[j0:], c2[j0:], c3[j0:])
+		}
+		if nFull < n {
+			kernColsTail(k, n-nFull, ap, bp[nFull*k:], c0[nFull:], c1[nFull:], c2[nFull:], c3[nFull:])
+		}
+		ep.Apply(c0, 0)
+		ep.Apply(c1, 0)
+		ep.Apply(c2, 0)
+		ep.Apply(c3, 0)
+	}
+	for ; i0 < m; i0++ {
+		// Trailing rows past the last full 4-row panel: their packed
+		// lanes exist (zero-padded panel), computed scalar.
+		lane := i0 % gemmMR
+		ap := scratchA[(i0-lane)*k:]
+		row := c[i0*n : (i0+1)*n]
+		kernRowTail(k, n, lane, ap, bp, row)
+		ep.Apply(row, 0)
+	}
+}
+
+// kernColsTail computes the trailing (n % 8) columns of one 4-row
+// block from the final zero-padded B panel.
+func kernColsTail(k, nj int, ap, bpPanel []float32, c0, c1, c2, c3 []float32) {
+	for jj := 0; jj < nj; jj++ {
+		var s0, s1, s2, s3 float32
+		for p := 0; p < k; p++ {
+			b := bpPanel[p*gemmNR+jj]
+			s0 += ap[p*gemmMR+0] * b
+			s1 += ap[p*gemmMR+1] * b
+			s2 += ap[p*gemmMR+2] * b
+			s3 += ap[p*gemmMR+3] * b
+		}
+		c0[jj], c1[jj], c2[jj], c3[jj] = s0, s1, s2, s3
+	}
+}
+
+// kernRowTail computes one full C row for a trailing row (lane within
+// its zero-padded A panel), scalar.
+func kernRowTail(k, n, lane int, ap, bp []float32, row []float32) {
+	for j0 := 0; j0 < n; j0 += gemmNR {
+		panel := bp[j0*k:]
+		jMax := n - j0
+		if jMax > gemmNR {
+			jMax = gemmNR
+		}
+		for jj := 0; jj < jMax; jj++ {
+			var s float32
+			for p := 0; p < k; p++ {
+				s += ap[p*gemmMR+lane] * panel[p*gemmNR+jj]
+			}
+			row[j0+jj] = s
+		}
+	}
+}
+
+// gemmSmall handles short A blocks (m < gemmSmallM) without packing:
+// B is streamed once in row order while up to four C rows accumulate
+// in cache.
+func gemmSmall(m, n, k int, a, b, c []float32, ep *Epilogue) {
+	for i := 0; i < m*n; i++ {
+		c[i] = 0
+	}
+	i0 := 0
+	for ; i0+4 <= m; i0 += 4 {
+		axpy4(n, k, a[i0*k:], b, c[i0*n:])
+	}
+	switch m - i0 {
+	case 1:
+		axpy1(n, k, a[i0*k:], b, c[i0*n:])
+	case 2:
+		axpy2(n, k, a[i0*k:], b, c[i0*n:])
+	case 3:
+		axpy2(n, k, a[i0*k:], b, c[i0*n:])
+		axpy1(n, k, a[(i0+2)*k:], b, c[(i0+2)*n:])
+	}
+	if ep != nil {
+		for i := 0; i < m; i++ {
+			ep.Apply(c[i*n:(i+1)*n], 0)
+		}
+	}
+}
+
+func axpy4(n, k int, a, b, c []float32) {
+	c0 := c[0*n : 1*n : 1*n]
+	c1 := c[1*n : 2*n : 2*n]
+	c2 := c[2*n : 3*n : 3*n]
+	c3 := c[3*n : 4*n : 4*n]
+	for p := 0; p < k; p++ {
+		bv := b[p*n : (p+1)*n : (p+1)*n]
+		VecAxpy(a[p], bv, c0)
+		VecAxpy(a[k+p], bv, c1)
+		VecAxpy(a[2*k+p], bv, c2)
+		VecAxpy(a[3*k+p], bv, c3)
+	}
+}
+
+func axpy2(n, k int, a, b, c []float32) {
+	c0 := c[0*n : 1*n : 1*n]
+	c1 := c[1*n : 2*n : 2*n]
+	for p := 0; p < k; p++ {
+		bv := b[p*n : (p+1)*n : (p+1)*n]
+		VecAxpy(a[p], bv, c0)
+		VecAxpy(a[k+p], bv, c1)
+	}
+}
+
+func axpy1(n, k int, a, b, c []float32) {
+	c0 := c[0*n : 1*n : 1*n]
+	for p := 0; p < k; p++ {
+		VecAxpy(a[p], b[p*n:(p+1)*n:(p+1)*n], c0)
+	}
+}
+
+// Gemm computes C = A·B (A m×k, B k×n, C m×n, all row-major) with the
+// fused epilogue applied on write-back. scratchA and scratchB are
+// packing buffers of at least PackASize/PackBSize elements; they (and
+// ep) may be nil only when m < gemmSmallM, where the unpacked path
+// runs. C is fully overwritten.
+func Gemm(m, n, k int, a, b, c []float32, ep *Epilogue, scratchA, scratchB []float32) {
+	if m <= 0 || n <= 0 {
+		return
+	}
+	if k <= 0 {
+		for i := 0; i < m; i++ {
+			row := c[i*n : (i+1)*n]
+			for j := range row {
+				row[j] = ep.applyOne(0, j)
+			}
+		}
+		return
+	}
+	if m < gemmSmallM {
+		gemmSmall(m, n, k, a, b, c, ep)
+		return
+	}
+	PackB(k, n, b, scratchB)
+	GemmPacked(m, n, k, a, scratchB, c, ep, scratchA)
+}

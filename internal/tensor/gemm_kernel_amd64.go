@@ -1,0 +1,34 @@
+//go:build amd64 && !purego
+
+package tensor
+
+// kern4x8 computes one 4×8 register tile over the full k extent from
+// packed panels (A interleaved by 4 rows, B by 8 columns) and stores
+// it raw into the four C rows: cR[j] = Σ_p ap[p*4+R]·bp[p*8+j].
+//
+// The amd64 implementation is four-lane SSE assembly
+// (gemm_kernel_amd64.s): MULPS/ADDPS are part of the amd64 baseline
+// instruction set, so no CPU feature detection is needed. Each output
+// element still accumulates over p in sequential order (lane-parallel
+// across columns, never across k), so results are bitwise identical to
+// the portable Go kernel.
+func kern4x8(k int, ap, bp, c0, c1, c2, c3 []float32) {
+	if k <= 0 {
+		for j := 0; j < gemmNR; j++ {
+			c0[j], c1[j], c2[j], c3[j] = 0, 0, 0, 0
+		}
+		return
+	}
+	_ = ap[4*k-1]
+	_ = bp[8*k-1]
+	_ = c0[7]
+	_ = c1[7]
+	_ = c2[7]
+	_ = c3[7]
+	kern4x8SSE(k, &ap[0], &bp[0], &c0[0], &c1[0], &c2[0], &c3[0])
+}
+
+// kern4x8SSE is implemented in gemm_kernel_amd64.s.
+//
+//go:noescape
+func kern4x8SSE(k int, ap, bp, c0, c1, c2, c3 *float32)

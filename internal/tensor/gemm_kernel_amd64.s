@@ -1,0 +1,86 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func kern4x8SSE(k int, ap, bp, c0, c1, c2, c3 *float32)
+//
+// Four-lane SSE GEMM microkernel: accumulates a 4-row × 8-column tile
+// C[r][j] = Σ_p ap[p*4+r] * bp[p*8+j] and stores it raw (the Go caller
+// applies the fused epilogue per completed row block). Accumulators:
+//   X0,X1 = row0 cols 0-3, 4-7
+//   X2,X3 = row1
+//   X4,X5 = row2
+//   X6,X7 = row3
+// X12/X13 hold the streamed B vectors, X14 the broadcast A element,
+// X15 a product temporary. MULPS/ADDPS are unfused (no FMA), so every
+// lane accumulates in the same IEEE order as the portable Go kernel.
+TEXT ·kern4x8SSE(SB), NOSPLIT, $0-56
+	MOVQ k+0(FP), CX
+	MOVQ ap+8(FP), AX
+	MOVQ bp+16(FP), BX
+	MOVQ c0+24(FP), R8
+	MOVQ c1+32(FP), R9
+	MOVQ c2+40(FP), R10
+	MOVQ c3+48(FP), R11
+
+	XORPS X0, X0
+	XORPS X1, X1
+	XORPS X2, X2
+	XORPS X3, X3
+	XORPS X4, X4
+	XORPS X5, X5
+	XORPS X6, X6
+	XORPS X7, X7
+
+loop:
+	MOVUPS (BX), X12
+	MOVUPS 16(BX), X13
+
+	MOVSS  (AX), X14
+	SHUFPS $0x00, X14, X14
+	MOVAPS X12, X15
+	MULPS  X14, X15
+	ADDPS  X15, X0
+	MOVAPS X13, X15
+	MULPS  X14, X15
+	ADDPS  X15, X1
+
+	MOVSS  4(AX), X14
+	SHUFPS $0x00, X14, X14
+	MOVAPS X12, X15
+	MULPS  X14, X15
+	ADDPS  X15, X2
+	MOVAPS X13, X15
+	MULPS  X14, X15
+	ADDPS  X15, X3
+
+	MOVSS  8(AX), X14
+	SHUFPS $0x00, X14, X14
+	MOVAPS X12, X15
+	MULPS  X14, X15
+	ADDPS  X15, X4
+	MOVAPS X13, X15
+	MULPS  X14, X15
+	ADDPS  X15, X5
+
+	MOVSS  12(AX), X14
+	SHUFPS $0x00, X14, X14
+	MULPS  X14, X12
+	ADDPS  X12, X6
+	MULPS  X14, X13
+	ADDPS  X13, X7
+
+	ADDQ $16, AX
+	ADDQ $32, BX
+	DECQ CX
+	JNZ  loop
+
+	MOVUPS X0, (R8)
+	MOVUPS X1, 16(R8)
+	MOVUPS X2, (R9)
+	MOVUPS X3, 16(R9)
+	MOVUPS X4, (R10)
+	MOVUPS X5, 16(R10)
+	MOVUPS X6, (R11)
+	MOVUPS X7, 16(R11)
+	RET

@@ -1,0 +1,27 @@
+//go:build !amd64 || purego
+
+package tensor
+
+// kern4x8 is the portable microkernel: one 4×8 tile from packed panels
+// (A interleaved by 4 rows, B by 8 columns), stored raw into the four
+// C rows. Each output element accumulates over p sequentially, so the
+// result is bitwise identical to the amd64 SSE kernel.
+func kern4x8(k int, ap, bp, c0, c1, c2, c3 []float32) {
+	var t0, t1, t2, t3 [gemmNR]float32
+	for p := 0; p < k; p++ {
+		av := ap[p*gemmMR : p*gemmMR+gemmMR : p*gemmMR+gemmMR]
+		bv := bp[p*gemmNR : p*gemmNR+gemmNR : p*gemmNR+gemmNR]
+		a0, a1, a2, a3 := av[0], av[1], av[2], av[3]
+		for j := 0; j < gemmNR; j++ {
+			b := bv[j]
+			t0[j] += a0 * b
+			t1[j] += a1 * b
+			t2[j] += a2 * b
+			t3[j] += a3 * b
+		}
+	}
+	copy(c0[:gemmNR], t0[:])
+	copy(c1[:gemmNR], t1[:])
+	copy(c2[:gemmNR], t2[:])
+	copy(c3[:gemmNR], t3[:])
+}

@@ -237,6 +237,31 @@ func (t *Tensor) CropHW(y0, y1, x0, x1 int) *Tensor {
 	return out
 }
 
+// CropHWInto writes the spatial region [y0,y1)×[x0,x1) of t into dst,
+// which must already have shape [N, y1-y0, x1-x0, C]. It is CropHW
+// without the allocation — the primitive behind the zero-allocation
+// microclassifier streaming path.
+func (t *Tensor) CropHWInto(dst *Tensor, y0, y1, x0, x1 int) {
+	if t.Rank() != 4 || dst.Rank() != 4 {
+		panic(fmt.Sprintf("tensor: CropHWInto needs rank-4 NHWC, got %v -> %v", t.Shape, dst.Shape))
+	}
+	n, h, w, c := t.Shape[0], t.Shape[1], t.Shape[2], t.Shape[3]
+	if y0 < 0 || x0 < 0 || y1 > h || x1 > w || y0 >= y1 || x0 >= x1 {
+		panic(fmt.Sprintf("tensor: crop [%d:%d,%d:%d] out of bounds for %dx%d", y0, y1, x0, x1, h, w))
+	}
+	ch, cw := y1-y0, x1-x0
+	if dst.Shape[0] != n || dst.Shape[1] != ch || dst.Shape[2] != cw || dst.Shape[3] != c {
+		panic(fmt.Sprintf("tensor: CropHWInto dst %v does not fit crop [%d,%d,%d,%d] of %v", dst.Shape, n, ch, cw, c, t.Shape))
+	}
+	for b := 0; b < n; b++ {
+		for y := 0; y < ch; y++ {
+			srcRow := ((b*h+(y+y0))*w + x0) * c
+			dstRow := ((b*ch+y)*cw + 0) * c
+			copy(dst.Data[dstRow:dstRow+cw*c], t.Data[srcRow:srcRow+cw*c])
+		}
+	}
+}
+
 // PasteHW adds src into the spatial region of t starting at (y0, x0).
 // It is the adjoint of CropHW and is used during backpropagation
 // through a crop.
@@ -293,6 +318,40 @@ func ConcatChannels(ts ...*Tensor) *Tensor {
 		}
 	}
 	return out
+}
+
+// ConcatChannelsInto is ConcatChannels without the allocation: dst
+// must already have shape [N, H, W, ΣC]. Used by the windowed
+// microclassifier's zero-allocation streaming path.
+func ConcatChannelsInto(dst *Tensor, ts ...*Tensor) {
+	if len(ts) == 0 {
+		panic("tensor: ConcatChannelsInto of nothing")
+	}
+	n, h, w := ts[0].Shape[0], ts[0].Shape[1], ts[0].Shape[2]
+	totalC := 0
+	for _, t := range ts {
+		if t.Rank() != 4 || t.Shape[0] != n || t.Shape[1] != h || t.Shape[2] != w {
+			panic(fmt.Sprintf("tensor: concat shape mismatch %v vs %v", ts[0].Shape, t.Shape))
+		}
+		totalC += t.Shape[3]
+	}
+	if dst.Shape[0] != n || dst.Shape[1] != h || dst.Shape[2] != w || dst.Shape[3] != totalC {
+		panic(fmt.Sprintf("tensor: ConcatChannelsInto dst %v does not fit [%d,%d,%d,%d]", dst.Shape, n, h, w, totalC))
+	}
+	for b := 0; b < n; b++ {
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				base := ((b*h+y)*w + x) * totalC
+				off := 0
+				for _, t := range ts {
+					c := t.Shape[3]
+					src := ((b*h+y)*w + x) * c
+					copy(dst.Data[base+off:base+off+c], t.Data[src:src+c])
+					off += c
+				}
+			}
+		}
+	}
 }
 
 // SplitChannels is the inverse of ConcatChannels: it splits t along the

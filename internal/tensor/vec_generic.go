@@ -1,0 +1,61 @@
+//go:build !amd64 || purego
+
+package tensor
+
+// Portable element-wise kernels; see vec_amd64.go for the SSE
+// versions. Per-element operations and ordering are identical.
+
+// VecMulAdd computes dst[i] += a[i] * b[i].
+func VecMulAdd(dst, a, b []float32) {
+	a = a[:len(dst)]
+	b = b[:len(dst)]
+	for i := range dst {
+		dst[i] += a[i] * b[i]
+	}
+}
+
+// VecAxpy computes y[i] += alpha * x[i].
+func VecAxpy(alpha float32, x, y []float32) {
+	x = x[:len(y)]
+	for i := range y {
+		y[i] += alpha * x[i]
+	}
+}
+
+// VecAdd computes dst[i] += b[i].
+func VecAdd(dst, b []float32) {
+	b = b[:len(dst)]
+	for i := range dst {
+		dst[i] += b[i]
+	}
+}
+
+// VecScaleShift computes dst[i] = dst[i]*scale[i] + shift[i].
+func VecScaleShift(dst, scale, shift []float32) {
+	scale = scale[:len(dst)]
+	shift = shift[:len(dst)]
+	for i := range dst {
+		dst[i] = dst[i]*scale[i] + shift[i]
+	}
+}
+
+// VecReLU computes dst[i] = max(0, dst[i]), NaN-preserving.
+func VecReLU(dst []float32) {
+	for i, v := range dst {
+		if v < 0 {
+			dst[i] = 0
+		}
+	}
+}
+
+// VecReLUCap computes dst[i] = min(cap, max(0, dst[i])),
+// NaN-preserving.
+func VecReLUCap(dst []float32, cap float32) {
+	for i, v := range dst {
+		if v < 0 {
+			dst[i] = 0
+		} else if v > cap {
+			dst[i] = cap
+		}
+	}
+}

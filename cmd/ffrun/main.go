@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
@@ -19,6 +20,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/metrics"
 	"repro/internal/mobilenet"
+	"repro/internal/obs"
 	"repro/internal/pretrain"
 )
 
@@ -40,10 +42,15 @@ func main() {
 		archiveDir     = flag.String("archive-dir", "", "archive the full original stream to per-stream segment files under this directory; demand-fetch then serves from disk")
 		archiveBudget  = flag.Int64("archive-budget", 0, "archive byte budget (0 = unbounded; oldest segments evicted first)")
 		archiveBitrate = flag.Float64("archive-bitrate", 0, "codec-model bitrate accounted for the continuous archive (b/s; default 4x -bitrate)")
+
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/trace.json, and /debug/pprof on this address (empty disables)")
+		logJSON   = flag.Bool("log-json", false, "emit structured logs as JSON lines")
+		slowFrame = flag.Duration("slow-frame", 0, "log the full span chain of frames slower than this (0 disables)")
 	)
 	flag.Parse()
+	log := obs.NewLogger(os.Stderr, *logJSON, slog.LevelInfo)
 	if *weights == "" && *connect == "" {
-		fmt.Fprintln(os.Stderr, "ffrun: -weights is required (train one with fftrain), unless -connect lets the controller deploy one")
+		log.Error("ffrun: -weights is required (train one with fftrain), unless -connect lets the controller deploy one")
 		os.Exit(1)
 	}
 
@@ -54,7 +61,7 @@ func main() {
 	case "roadway":
 		cfg = dataset.Roadway(*width, *frames, *seed)
 	default:
-		fmt.Fprintf(os.Stderr, "ffrun: unknown dataset %q\n", *dsName)
+		log.Error("ffrun: unknown dataset", "dataset", *dsName)
 		os.Exit(1)
 	}
 	d := dataset.Generate(cfg)
@@ -62,8 +69,23 @@ func main() {
 	// The base DNN must match fftrain's (same seed derivation).
 	base := mobilenet.New(mobilenet.Config{WidthMult: 0.25, BatchNorm: true, Seed: 1 + 100})
 	if _, err := pretrain.Run(base, pretrain.Config{Seed: 1 + 101}); err != nil {
-		fmt.Fprintln(os.Stderr, "ffrun:", err)
+		log.Error("ffrun: pretrain failed", "err", err)
 		os.Exit(1)
+	}
+
+	// Observability is always on: the instrumentation is alloc-free on
+	// the hot path, and the observer doubles as the slow-frame trigger
+	// and the -debug-addr data source.
+	observer := obs.NewObserver(obs.Options{SlowFrame: *slowFrame, Log: log})
+	if *debugAddr != "" {
+		dbg, err := obs.ServeDebug(*debugAddr, observer)
+		if err != nil {
+			log.Error("ffrun: debug server failed", "err", err)
+			os.Exit(1)
+		}
+		defer dbg.Close()
+		log.Info("ffrun: debug server listening",
+			"addr", dbg.Addr, "endpoints", "/metrics /debug/trace.json /debug/pprof/")
 	}
 
 	// The edge pipeline runs inside a fleet agent; without -connect it
@@ -74,19 +96,20 @@ func main() {
 			FrameWidth: cfg.Width, FrameHeight: cfg.Height, FPS: cfg.FPS,
 			Base: base, UploadBitrate: *bitrate, UplinkBandwidth: *uplink,
 			ArchiveToDisk: *archiveDir != "", ArchiveBitrate: *archiveBitrate,
+			Obs: observer,
 		},
 		Reconnect:     *reconnect,
 		ArchiveDir:    *archiveDir,
 		ArchiveBudget: *archiveBudget,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ffrun:", err)
+		log.Error("ffrun: agent setup failed", "err", err)
 		os.Exit(1)
 	}
 	// The dataset is also the node's local archive for demand-fetch.
 	edge, err := agent.AddStream(*stream, cfg.Width, cfg.Height, d)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ffrun:", err)
+		log.Error("ffrun: add stream failed", "stream", *stream, "err", err)
 		os.Exit(1)
 	}
 
@@ -94,11 +117,11 @@ func main() {
 	if *weights != "" {
 		mc, err := filter.LoadMCFile(*weights, base, cfg.Width, cfg.Height)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "ffrun:", err)
+			log.Error("ffrun: load weights failed", "weights", *weights, "err", err)
 			os.Exit(1)
 		}
 		if err := edge.Deploy(mc, float32(*threshold)); err != nil {
-			fmt.Fprintln(os.Stderr, "ffrun:", err)
+			log.Error("ffrun: deploy failed", "mc", mc.Spec().Name, "err", err)
 			os.Exit(1)
 		}
 		mcName = mc.Spec().Name
@@ -112,16 +135,16 @@ func main() {
 
 	if *connect != "" {
 		if err := agent.Connect("tcp", *connect); err != nil {
-			fmt.Fprintln(os.Stderr, "ffrun:", err)
+			log.Error("ffrun: connect failed", "addr", *connect, "err", err)
 			os.Exit(1)
 		}
-		fmt.Printf("connected to %s as node %q (session %d)\n", *connect, *nodeName, agent.SessionID())
+		log.Info("ffrun: connected", "addr", *connect, "node", *nodeName, "session", agent.SessionID())
 	}
 
 	// With no local weights, the controller must deploy an MC (ffserve
 	// -deploy) before the stream can start.
 	if mcName == "" {
-		fmt.Println("waiting for the controller to deploy a microclassifier ...")
+		log.Info("ffrun: waiting for the controller to deploy a microclassifier")
 		for len(agent.DeployedMCs(*stream)) == 0 {
 			select {
 			case <-agent.Done():
@@ -129,7 +152,7 @@ func main() {
 				// re-deploys on resume; only a non-resilient agent
 				// gives up here.
 				if !*reconnect {
-					fmt.Fprintln(os.Stderr, "ffrun: controller disconnected before deploying")
+					log.Error("ffrun: controller disconnected before deploying")
 					os.Exit(1)
 				}
 				time.Sleep(100 * time.Millisecond)
@@ -137,14 +160,14 @@ func main() {
 			}
 		}
 		mcName = agent.DeployedMCs(*stream)[0]
-		fmt.Printf("controller deployed %q\n", mcName)
+		log.Info("ffrun: controller deployed", "mc", mcName)
 	}
 
 	dc := core.NewDatacenter()
 	for i := 0; i < cfg.Frames; i++ {
 		ups, err := agent.ProcessFrame(*stream, d.Frame(i))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "ffrun:", err)
+			log.Error("ffrun: process frame failed", "frame", i, "err", err)
 			os.Exit(1)
 		}
 		for _, u := range ups {
@@ -155,7 +178,7 @@ func main() {
 	}
 	ups, err := agent.Flush()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ffrun:", err)
+		log.Error("ffrun: flush failed", "err", err)
 		os.Exit(1)
 	}
 	dc.ReceiveAll(ups)
@@ -177,6 +200,14 @@ func main() {
 	fmt.Printf("\nframes processed   %d\n", st.Frames)
 	fmt.Printf("uploads            %d (%d frames, %d bits)\n", st.Uploads, st.UploadedFrames, st.UploadedBits)
 	fmt.Printf("average uplink     %.1f kb/s\n", st.AverageUploadBitrate(cfg.FPS)/1000)
+	if s := observer.Frame.Summary(); s.Count > 0 {
+		fmt.Printf("frame latency      p50 %s, p95 %s, p99 %s, max %s\n",
+			time.Duration(s.P50), time.Duration(s.P95), time.Duration(s.P99), time.Duration(s.Max))
+	}
+	if s := observer.Extract.Summary(); s.Count > 0 {
+		fmt.Printf("extract latency    p50 %s, p95 %s, p99 %s\n",
+			time.Duration(s.P50), time.Duration(s.P95), time.Duration(s.P99))
+	}
 	if ast, ok := agent.ArchiveStats(*stream); ok {
 		fmt.Printf("archive            %d frames in %d segments, %.1f MB on disk (%d bits coded)\n",
 			ast.Frames, ast.Segments, float64(ast.Bytes)/1e6, ast.ArchivedBits)

@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fleet"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/vision"
 )
 
@@ -100,8 +102,27 @@ func main() {
 
 		archiveDir    = flag.String("archive-dir", "", "persist demand-fetched context frames into per-node/stream archive stores under this directory")
 		archiveBudget = flag.Int64("archive-budget", 0, "per-stream byte budget for -archive-dir stores (0 = unbounded; oldest segments evicted first)")
+
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/trace.json, and /debug/pprof on this address (empty disables)")
+		logJSON   = flag.Bool("log-json", false, "emit structured logs as JSON lines")
 	)
 	flag.Parse()
+	log := obs.NewLogger(os.Stderr, *logJSON, slog.LevelInfo)
+
+	// The controller-side observer carries fleet rollup gauges (updated
+	// every summary tick from heartbeat data) rather than hot-path
+	// histograms; -debug-addr exposes it alongside pprof.
+	observer := obs.NewObserver(obs.Options{Log: log})
+	if *debugAddr != "" {
+		dbg, err := obs.ServeDebug(*debugAddr, observer)
+		if err != nil {
+			log.Error("ffserve: debug server failed", "err", err)
+			os.Exit(1)
+		}
+		defer dbg.Close()
+		log.Info("ffserve: debug server listening",
+			"addr", dbg.Addr, "endpoints", "/metrics /debug/trace.json /debug/pprof/")
+	}
 
 	var ctxArchive *contextArchiver
 	if *archiveDir != "" {
@@ -114,7 +135,7 @@ func main() {
 		var err error
 		mcBytes, err = os.ReadFile(*deploy)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "ffserve:", err)
+			log.Error("ffserve: read deploy weights failed", "file", *deploy, "err", err)
 			os.Exit(1)
 		}
 	}
@@ -122,13 +143,12 @@ func main() {
 	var ctrl *fleet.Controller
 	cfg := fleet.ControllerConfig{
 		HeartbeatMiss: *hbMiss,
+		Log:           log,
 		OnSession: func(s *fleet.Session) {
+			log.Info("ffserve: node joined",
+				"session", s.ID(), "node", s.Node(),
+				"resumed", s.Resumed(), "streams", len(s.Streams()))
 			streams := s.Streams()
-			verb := "connected"
-			if s.Resumed() {
-				verb = "reconnected"
-			}
-			fmt.Printf("ffserve: session %d: node %q %s with %d stream(s)\n", s.ID(), s.Node(), verb, len(streams))
 			if mcBytes == nil || len(streams) == 0 || s.Resumed() {
 				// Resumed sessions are reconciled against recorded
 				// intent; re-deploying here would only be rejected as
@@ -142,10 +162,11 @@ func main() {
 			// Controller.Deploy records intent, so the node gets the
 			// MC re-pushed if it ever comes back without it.
 			if err := ctrl.Deploy(s.Node(), target, mcBytes, float32(*threshold)); err != nil {
-				fmt.Fprintf(os.Stderr, "ffserve: deploy to %s/%s: %v\n", s.Node(), target, err)
+				log.Error("ffserve: deploy failed", "node", s.Node(), "stream", target, "err", err)
 				return
 			}
-			fmt.Printf("ffserve: deployed %s to %s/%s (threshold %.2f)\n", *deploy, s.Node(), target, *threshold)
+			log.Info("ffserve: deployed",
+				"weights", *deploy, "node", s.Node(), "stream", target, "threshold", *threshold)
 		},
 		OnUpload: func(s *fleet.Session, up core.Upload) {
 			if *fetchCtx <= 0 || !up.Final {
@@ -174,26 +195,29 @@ func main() {
 					resp, err = s.Fetch(stream, lo, up.Start, *fetchBitrate)
 				}
 				if err != nil {
-					fmt.Fprintf(os.Stderr, "ffserve: fetch context %s [%d,%d): %v\n", up.MCName, lo, up.Start, err)
+					log.Error("ffserve: fetch context failed",
+						"mc", up.MCName, "start", lo, "end", up.Start, "err", err)
 					return
 				}
 				if ctxArchive != nil {
 					if err := ctxArchive.Save(s.Node(), stream, frames, resp.Bits); err != nil {
-						fmt.Fprintf(os.Stderr, "ffserve: archive context %s/%s: %v\n", s.Node(), stream, err)
+						log.Error("ffserve: archive context failed",
+							"node", s.Node(), "stream", stream, "err", err)
 					}
 				}
-				fmt.Printf("ffserve: fetched context for %s event %d: frames [%d,%d), %d bits\n",
-					up.MCName, up.EventID, resp.Start, resp.End, resp.Bits)
+				log.Info("ffserve: fetched context",
+					"mc", up.MCName, "event", up.EventID,
+					"start", resp.Start, "end", resp.End, "bits", resp.Bits)
 			}()
 		},
 	}
 	ctrl = fleet.NewController(cfg)
 	bound, err := ctrl.Listen("tcp", *addr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ffserve:", err)
+		log.Error("ffserve: listen failed", "addr", *addr, "err", err)
 		os.Exit(1)
 	}
-	fmt.Printf("ffserve: listening on %s (protocol v2 + legacy v1)\n", bound)
+	log.Info("ffserve: listening", "addr", bound.String(), "protocols", "v2 + legacy v1")
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt)
@@ -202,18 +226,21 @@ func main() {
 	for {
 		select {
 		case <-tick.C:
-			printSummary(ctrl, *frames)
+			printSummary(ctrl, *frames, observer)
 		case <-stop:
-			fmt.Println("ffserve: shutting down")
+			log.Info("ffserve: shutting down")
 			ctrl.Close()
 			return
 		}
 	}
 }
 
-// printSummary prints the fleet registry, the uplink rollup, and the
-// per-application upload summaries, all deterministically sorted.
-func printSummary(ctrl *fleet.Controller, frames int) {
+// printSummary prints the fleet registry, the uplink rollup (including
+// the heartbeat-carried latency tails), and the per-application upload
+// summaries, all deterministically sorted. It also refreshes the
+// observer's fleet gauges, so -debug-addr's /metrics tracks the same
+// rollup the console shows.
+func printSummary(ctrl *fleet.Controller, frames int, observer *obs.Observer) {
 	nodes := ctrl.ListNodes()
 	// Application summaries are read under the controller's lock so
 	// they are consistent against concurrent session uploads.
@@ -243,29 +270,57 @@ func printSummary(ctrl *fleet.Controller, frames int) {
 	var loads []metrics.NodeLoad
 	for _, n := range nodes {
 		fmt.Printf("  session %-3d %-16s %d stream(s), %d uploads\n", n.ID, n.Node, len(n.Streams), n.Uploads)
-		for _, si := range n.Streams {
+		for i, si := range n.Streams {
 			st := n.Heartbeat.Streams[si.Name]
 			fmt.Printf("    %-20s %dx%d@%d  %6d frames, %8d bits uplinked\n",
 				si.Name, si.Width, si.Height, si.FPS, st.Frames, st.UploadedBits)
-			loads = append(loads, metrics.NodeLoad{
+			load := metrics.NodeLoad{
 				Node: n.Node + "/" + si.Name, Frames: st.Frames, FPS: si.FPS,
 				Uploads: st.Uploads, UploadedBits: st.UploadedBits,
 				DemandFetchBits: st.DemandFetchBits,
 				ArchivedBits:    st.ArchivedBits, ArchiveBytes: st.ArchiveBytes,
 				ArchiveEvictedSegments: st.ArchiveEvictedSegments,
 				ArchiveEvictedBytes:    st.ArchiveEvictedBytes,
-			})
+			}
+			// Heartbeat latency summaries are node-level (streams share
+			// one observer), so attribute them to a single load per node
+			// or SummarizeFleet would double-count observations.
+			if i == 0 {
+				load.ExtractLat = n.Heartbeat.Extract
+				load.MCPushLat = n.Heartbeat.MCPush
+				load.QueueWaitLat = n.Heartbeat.QueueWait
+				load.UploadRTTLat = n.Heartbeat.UploadRTT
+			}
+			loads = append(loads, load)
 		}
 	}
 	if sum := metrics.SummarizeFleet(loads); sum.Frames > 0 {
 		fmt.Printf("  fleet: %d uploads, %d bits, avg %.1f kb/s, hottest %s at %.1f kb/s\n",
 			sum.Uploads, sum.UploadedBits, sum.AverageBitrate/1000, sum.MaxNode, sum.MaxNodeBitrate/1000)
+		// The tails are worst-case merges across nodes: if these look
+		// fine, every node's tails are fine.
+		if sum.ExtractLat.Count > 0 {
+			fmt.Printf("  fleet latency: extract p50 %s p95 %s p99 %s; mc push p95 %s; queue wait p95 %s\n",
+				time.Duration(sum.ExtractLat.P50), time.Duration(sum.ExtractLat.P95),
+				time.Duration(sum.ExtractLat.P99), time.Duration(sum.MCPushLat.P95),
+				time.Duration(sum.QueueWaitLat.P95))
+		}
+		if sum.UploadRTTLat.Count > 0 {
+			fmt.Printf("  fleet upload rtt: p50 %s p95 %s p99 %s (max %s)\n",
+				time.Duration(sum.UploadRTTLat.P50), time.Duration(sum.UploadRTTLat.P95),
+				time.Duration(sum.UploadRTTLat.P99), time.Duration(sum.UploadRTTLat.Max))
+		}
 		// Lifecycle totals come from the controller's durable node
 		// records, not the live-session loads: an evicted node with no
 		// current session is exactly the one that must not vanish from
 		// this line.
-		if ev, rc := ctrl.Lifecycle(); ev > 0 || rc > 0 {
+		ev, rc := ctrl.Lifecycle()
+		if ev > 0 || rc > 0 {
 			fmt.Printf("  fleet lifecycle: %d session(s) evicted, %d reconnect(s)\n", ev, rc)
+		}
+		if observer != nil {
+			sum.Evicted, sum.Reconnects = ev, rc
+			updateFleetGauges(observer, sum)
 		}
 		if sum.ArchiveBytes > 0 || sum.ArchiveEvictedSegments > 0 {
 			fmt.Printf("  edge archives: %.1f MB on disk, %d segments evicted (%.1f MB reclaimed)\n",
@@ -280,6 +335,22 @@ func printSummary(ctrl *fleet.Controller, frames int) {
 		fmt.Printf("  %-32s %6d frames, %8d bits, %d events\n",
 			a.name, a.covered, a.bits, a.events)
 	}
+}
+
+// updateFleetGauges mirrors the fleet rollup into the observer's
+// registry, so /metrics exposes what the console summary prints.
+func updateFleetGauges(o *obs.Observer, sum metrics.FleetSummary) {
+	o.Reg.Gauge("ff_fleet_nodes").Set(int64(sum.Nodes))
+	o.Reg.Gauge("ff_fleet_frames").Set(int64(sum.Frames))
+	o.Reg.Gauge("ff_fleet_uploads").Set(int64(sum.Uploads))
+	o.Reg.Gauge("ff_fleet_uploaded_bits").Set(sum.UploadedBits)
+	o.Reg.Gauge("ff_fleet_evicted_sessions").Set(int64(sum.Evicted))
+	o.Reg.Gauge("ff_fleet_reconnects").Set(int64(sum.Reconnects))
+	o.Reg.Gauge("ff_fleet_extract_p95_ns").Set(sum.ExtractLat.P95)
+	o.Reg.Gauge("ff_fleet_extract_p99_ns").Set(sum.ExtractLat.P99)
+	o.Reg.Gauge("ff_fleet_mc_push_p95_ns").Set(sum.MCPushLat.P95)
+	o.Reg.Gauge("ff_fleet_queue_wait_p95_ns").Set(sum.QueueWaitLat.P95)
+	o.Reg.Gauge("ff_fleet_upload_rtt_p95_ns").Set(sum.UploadRTTLat.P95)
 }
 
 // splitStream splits a "stream/mc" upload name into its parts; the

@@ -20,7 +20,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/vision"
 )
 
@@ -148,6 +150,12 @@ type Store struct {
 	stats       Stats
 	evictedBits int64 // coded bits of evicted frames (keeps ArchivedBits monotonic)
 	werr        error // first writer error; sticky
+
+	// Observability (see Instrument), read by the writer goroutine
+	// under mu.
+	obsTrace  *obs.Tracer
+	obsHist   *obs.Histogram
+	obsStream uint32
 
 	reqs chan request
 	wg   sync.WaitGroup
@@ -497,6 +505,18 @@ func (s *Store) closeFiles() {
 	}
 }
 
+// Instrument attaches observability sinks to the append path: every
+// disk append is timed into hist and recorded as a StageArchiveAppend
+// span on tr under the interned stream ID. Either sink may be nil.
+// Safe to call while the writer is running.
+func (s *Store) Instrument(tr *obs.Tracer, hist *obs.Histogram, stream uint32) {
+	s.mu.Lock()
+	s.obsTrace = tr
+	s.obsHist = hist
+	s.obsStream = stream
+	s.mu.Unlock()
+}
+
 // writer is the store's single writer goroutine: it appends records,
 // rolls and fsyncs full segments, and applies retention.
 func (s *Store) writer() {
@@ -509,12 +529,26 @@ func (s *Store) writer() {
 		if s.Err() != nil {
 			continue // sticky failure: drop writes, keep draining
 		}
-		if err := s.append(req); err != nil {
+		t0 := time.Now()
+		err := s.append(req)
+		if err != nil {
 			s.mu.Lock()
 			if s.werr == nil {
 				s.werr = err
 			}
 			s.mu.Unlock()
+		}
+		s.mu.RLock()
+		tr, hist, sid := s.obsTrace, s.obsHist, s.obsStream
+		s.mu.RUnlock()
+		if hist != nil || tr != nil {
+			d := time.Since(t0)
+			if hist != nil {
+				hist.Observe(d)
+			}
+			if tr != nil {
+				tr.Record(obs.StageArchiveAppend, sid, int64(req.idx), t0, d)
+			}
 		}
 	}
 }

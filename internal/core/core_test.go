@@ -453,8 +453,14 @@ func TestMetaEvictedWithFrames(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if len(e.frames) > cfg.RetainFrames {
-		t.Fatalf("retained %d frames, window is %d", len(e.frames), cfg.RetainFrames)
+	live := 0
+	for _, f := range e.frames {
+		if f != nil {
+			live++
+		}
+	}
+	if live > cfg.RetainFrames {
+		t.Fatalf("retained %d frames, window is %d", live, cfg.RetainFrames)
 	}
 	if len(e.meta) > cfg.RetainFrames {
 		t.Fatalf("meta map holds %d entries after 120 frames, window is %d (leak)", len(e.meta), cfg.RetainFrames)

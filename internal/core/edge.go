@@ -16,6 +16,8 @@ import (
 	"repro/internal/filter"
 	"repro/internal/mobilenet"
 	"repro/internal/nn"
+	"repro/internal/obs"
+	"repro/internal/tensor"
 	"repro/internal/vision"
 )
 
@@ -86,6 +88,14 @@ type Config struct {
 	// order afterwards, so upload sequences, event IDs, and bit
 	// accounting do not depend on this setting.
 	MCWorkers int
+	// StreamLabel names this stream in traces and metrics (default
+	// "stream"). MultiStreamNode.AddStream sets it to the stream name.
+	StreamLabel string
+	// Obs, when non-nil, receives per-stage latency observations and
+	// per-frame pipeline spans from the node. The instrumentation is
+	// allocation-free on the steady-state hot path, so it may stay on
+	// in production. Streams of one node share an Observer.
+	Obs *obs.Observer
 }
 
 func (c *Config) fillDefaults() error {
@@ -115,6 +125,9 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.ArchiveToDisk && c.ArchiveBitrate <= 0 {
 		c.ArchiveBitrate = 4 * c.UploadBitrate
+	}
+	if c.StreamLabel == "" {
+		c.StreamLabel = "stream"
 	}
 	return nil
 }
@@ -155,8 +168,12 @@ type Stats struct {
 	DecodeTime  time.Duration
 	BaseDNNTime time.Duration
 	MCTime      time.Duration
-	// EncodeTime is spent re-encoding matched segments.
+	// EncodeTime is spent re-encoding video for the uplink: matched
+	// event segments and demand-fetched archive ranges.
 	EncodeTime time.Duration
+	// ArchiveTime is the ingest path's codec-model encode of the
+	// continuous local archive (zero when ArchiveToDisk is off).
+	ArchiveTime time.Duration
 	// MCTimeBy splits MCTime per microclassifier.
 	MCTimeBy map[string]time.Duration
 	// UploadedBits and UploadedFrames count what was sent.
@@ -184,6 +201,13 @@ func (s *Stats) AverageUploadBitrate(fps int) float64 {
 	}
 	seconds := float64(s.Frames) / float64(fps)
 	return float64(s.UploadedBits) / seconds
+}
+
+// mcStep is one MC's phase-2a result slot: the classifications that
+// became final this frame and the push latency.
+type mcStep struct {
+	cls []filter.Classification
+	dt  time.Duration
 }
 
 // deployedMC is one application's MC with its per-stream state.
@@ -232,9 +256,29 @@ type EdgeNode struct {
 	archive *codec.Encoder
 	store   FrameArchive // persistent archive; nil = accounting-only
 
-	frames     map[int]*vision.Image // retained originals
+	// frames is the retained-originals ring: frame f lives at
+	// frames[f%len(frames)], sized RetainFrames+1 so the window
+	// [nextFrame-RetainFrames, nextFrame] fits without collisions. A
+	// fixed slice (rather than a map) keeps steady-state retention
+	// allocation-free.
+	frames     []*vision.Image
 	oldestKept int
 	nextFrame  int
+
+	// Hot-path arenas, owned by the pipeline goroutine: xbuf is the
+	// ingest tensor ToTensorInto fills each frame; steps is phase 2a's
+	// per-MC result slots; curMaps points at the extractor's feature
+	// maps for the frame in flight; mcRun is the prebuilt fan-out
+	// body (building the closure per frame would allocate).
+	xbuf    *tensor.Tensor
+	steps   []mcStep
+	curMaps map[string]*tensor.Tensor
+	mcRun   func(int)
+
+	// obs is the node's observability sink (nil disables); sid is the
+	// stream's interned trace ID.
+	obs *obs.Observer
+	sid uint32
 
 	// mu guards externally observable state (stats, meta, mcs) between
 	// the pipeline owner and concurrent observers. All writes happen on
@@ -252,11 +296,22 @@ func NewEdgeNode(cfg Config) (*EdgeNode, error) {
 	}
 	e := &EdgeNode{
 		cfg:    cfg,
-		frames: make(map[int]*vision.Image),
+		frames: make([]*vision.Image, cfg.RetainFrames+1),
 		meta:   make(map[int]FrameMeta),
 		ext:    cfg.Base.NewExtractor(),
+		xbuf:   tensor.New(1, cfg.FrameHeight, cfg.FrameWidth, 3),
+		obs:    cfg.Obs,
 	}
 	e.stats.MCTimeBy = make(map[string]time.Duration)
+	if e.obs != nil {
+		e.sid = e.obs.Trace.StreamID(cfg.StreamLabel)
+	}
+	e.mcRun = func(i int) {
+		d := e.mcs[i]
+		t1 := time.Now()
+		cls := d.mc.Push(e.curMaps[d.mc.Stage()])
+		e.steps[i] = mcStep{cls: cls, dt: time.Since(t1)}
+	}
 	if cfg.UplinkBandwidth > 0 {
 		e.uplink = NewTokenBucket(cfg.UplinkBandwidth, cfg.UplinkBandwidth) // 1 s burst
 	}
@@ -299,6 +354,9 @@ func (e *EdgeNode) deploy(mc *filter.MC, threshold float32) error {
 		return fmt.Errorf("core: MC %q has empty feature map", mc.Spec().Name)
 	}
 	mc.Reset()
+	if e.obs != nil {
+		mc.Instrument(e.obs.Trace, e.obs.MCPush, e.sid, e.nextFrame)
+	}
 	d := &deployedMC{
 		mc:        mc,
 		threshold: threshold,
@@ -310,6 +368,7 @@ func (e *EdgeNode) deploy(mc *filter.MC, threshold float32) error {
 	e.mcs = append(e.mcs, d)
 	e.mu.Unlock()
 	e.stages = e.stageUnion()
+	e.steps = make([]mcStep, len(e.mcs))
 	return nil
 }
 
@@ -329,6 +388,7 @@ func (e *EdgeNode) Undeploy(name string) ([]Upload, error) {
 		e.mcs = append(e.mcs[:i], e.mcs[i+1:]...)
 		e.mu.Unlock()
 		e.stages = e.stageUnion()
+		e.steps = make([]mcStep, len(e.mcs))
 		return ups, nil
 	}
 	return nil, fmt.Errorf("core: no deployed MC named %q", name)
@@ -430,15 +490,22 @@ func (e *EdgeNode) FetchArchive(src FrameSource, start, end int, bitrate float64
 			frames = append(frames, src.Frame(f))
 		}
 	}
+	t0 := time.Now()
 	bits, recons := codec.EncodeSegment(codec.Config{
 		Width: e.cfg.FrameWidth, Height: e.cfg.FrameHeight, FPS: e.cfg.FPS,
 		TargetBitrate: bitrate,
 	}, frames)
+	encodeTime := time.Since(t0)
+	if e.obs != nil {
+		e.obs.Fetch.Observe(encodeTime)
+		e.obs.Trace.Record(obs.StageFetch, e.sid, int64(start), t0, encodeTime)
+	}
 	var delay float64
 	if e.uplink != nil {
 		delay = e.uplink.Send(bits)
 	}
 	e.mu.Lock()
+	e.stats.EncodeTime += encodeTime
 	e.stats.DemandFetchBits += bits
 	e.stats.DemandFetches++
 	if delay > e.stats.MaxUplinkDelay {
@@ -480,6 +547,11 @@ func (e *EdgeNode) ProcessFrame(img *vision.Image) ([]Upload, error) {
 	if img.W != e.cfg.FrameWidth || img.H != e.cfg.FrameHeight {
 		return nil, fmt.Errorf("core: frame %dx%d does not match stream %dx%d", img.W, img.H, e.cfg.FrameWidth, e.cfg.FrameHeight)
 	}
+	o := e.obs
+	var tFrame time.Time
+	if o != nil {
+		tFrame = time.Now()
+	}
 	idx := e.nextFrame
 	e.nextFrame++
 	e.retain(idx, img)
@@ -487,22 +559,37 @@ func (e *EdgeNode) ProcessFrame(img *vision.Image) ([]Upload, error) {
 		e.uplink.Advance(1 / float64(e.cfg.FPS))
 	}
 	var archivedBits int64
+	var archiveTime time.Duration
 	if e.archive != nil {
+		ta := time.Now()
 		out := e.archive.Encode(img)
 		archivedBits = out.Bits
+		archiveTime = time.Since(ta)
+		if o != nil {
+			o.ArchiveEncode.Observe(archiveTime)
+			o.Trace.Record(obs.StageArchiveEncode, e.sid, int64(idx), ta, archiveTime)
+		}
 	}
 
 	// Frame ingest: decode the incoming pixels into the base DNN's
-	// input tensor. The frame counts as ingested from here on — even
-	// if a later phase errors, nextFrame/retention/uplink state has
-	// advanced, so Frames must agree.
+	// input tensor (an arena, reused every frame). The frame counts as
+	// ingested from here on — even if a later phase errors,
+	// nextFrame/retention/uplink state has advanced, so Frames must
+	// agree.
 	td := time.Now()
-	x := img.ToTensor()
+	x := img.ToTensorInto(e.xbuf)
+	decodeTime := time.Since(td)
 	e.mu.Lock()
 	e.stats.Frames++
 	e.stats.ArchivedBits += archivedBits
-	e.stats.DecodeTime += time.Since(td)
+	e.stats.ArchiveTime += archiveTime
+	e.stats.DecodeTime += decodeTime
 	e.mu.Unlock()
+	if o != nil {
+		o.Frames.Inc()
+		o.Decode.Observe(decodeTime)
+		o.Trace.Record(obs.StageDecode, e.sid, int64(idx), td, decodeTime)
+	}
 
 	// Persist the original frame to the attached archive (the write
 	// lands asynchronously; demand-fetch reads barrier on the writer).
@@ -522,28 +609,26 @@ func (e *EdgeNode) ProcessFrame(img *vision.Image) ([]Upload, error) {
 		return nil, err
 	}
 	baseTime := time.Since(t0)
+	if o != nil {
+		o.Extract.Observe(baseTime)
+		o.Trace.Record(obs.StageExtract, e.sid, int64(idx), t0, baseTime)
+	}
 
 	// Phase 2a: every MC consumes the shared maps. Each MC is pure
 	// independent compute here (its streaming state is touched only by
 	// its own Push), so the fan-out is deterministic; per-MC timing is
-	// written to a private slot and aggregated after the join.
-	type mcStep struct {
-		cls []filter.Classification
-		dt  time.Duration
-	}
-	steps := make([]mcStep, len(e.mcs))
-	nn.ForEach(len(e.mcs), e.cfg.MCWorkers, func(i int) {
-		d := e.mcs[i]
-		t1 := time.Now()
-		cls := d.mc.Push(maps[d.mc.Stage()])
-		steps[i] = mcStep{cls: cls, dt: time.Since(t1)}
-	})
+	// written to a private slot and aggregated after the join. The
+	// fan-out body and result slots are node fields: rebuilding them
+	// per frame would allocate.
+	e.curMaps = maps
+	nn.ForEach(len(e.mcs), e.cfg.MCWorkers, e.mcRun)
+	e.curMaps = nil
 
 	e.mu.Lock()
 	e.stats.BaseDNNTime += baseTime
 	for i, d := range e.mcs {
-		e.stats.MCTime += steps[i].dt
-		e.stats.MCTimeBy[d.mc.Spec().Name] += steps[i].dt
+		e.stats.MCTime += e.steps[i].dt
+		e.stats.MCTimeBy[d.mc.Spec().Name] += e.steps[i].dt
 	}
 	e.mu.Unlock()
 
@@ -553,7 +638,7 @@ func (e *EdgeNode) ProcessFrame(img *vision.Image) ([]Upload, error) {
 	// accounting.
 	var uploads []Upload
 	for i, d := range e.mcs {
-		for _, c := range steps[i].cls {
+		for _, c := range e.steps[i].cls {
 			ups, err := e.observe(d, c)
 			if err != nil {
 				return nil, err
@@ -562,6 +647,10 @@ func (e *EdgeNode) ProcessFrame(img *vision.Image) ([]Upload, error) {
 		}
 	}
 	e.evict()
+	if o != nil {
+		o.Trace.RecordFrame(e.sid, int64(idx), tFrame, time.Since(tFrame))
+		o.Frame.Observe(time.Since(tFrame))
+	}
 	return uploads, nil
 }
 
@@ -677,8 +766,8 @@ func (e *EdgeNode) closeSegment(d *deployedMC, end int, final bool) (Upload, err
 	}
 	frames := make([]*vision.Image, 0, end-start)
 	for f := start; f < end; f++ {
-		img, ok := e.frames[f]
-		if !ok {
+		img := e.retained(f)
+		if img == nil {
 			return Upload{}, fmt.Errorf("core: frame %d evicted before upload (increase RetainFrames)", f)
 		}
 		frames = append(frames, img)
@@ -689,6 +778,10 @@ func (e *EdgeNode) closeSegment(d *deployedMC, end int, final bool) (Upload, err
 		TargetBitrate: e.cfg.UploadBitrate,
 	}, frames)
 	encodeTime := time.Since(t0)
+	if e.obs != nil {
+		e.obs.Encode.Observe(encodeTime)
+		e.obs.Trace.Record(obs.StageEncode, e.sid, int64(start), t0, encodeTime)
+	}
 
 	up := Upload{MCName: d.mc.Spec().Name, EventID: id, Start: start, End: end, Bits: bits, Final: final}
 	if e.cfg.KeepReconstructions {
@@ -726,16 +819,26 @@ func (e *EdgeNode) stageUnion() []string {
 
 // retain stores an original frame in the ring buffer.
 func (e *EdgeNode) retain(idx int, img *vision.Image) {
-	e.frames[idx] = img
+	e.frames[idx%len(e.frames)] = img
+}
+
+// retained returns the ring's copy of frame f, nil when it has aged
+// out (or was never stored).
+func (e *EdgeNode) retained(f int) *vision.Image {
+	if f < e.oldestKept || f >= e.nextFrame {
+		return nil
+	}
+	return e.frames[f%len(e.frames)]
 }
 
 // evict drops frames that have fallen out of the retention window,
-// along with their event-ID metadata — both maps are bounded by
-// RetainFrames, so arbitrarily long runs hold constant memory.
+// along with their event-ID metadata — the ring and the metadata map
+// are bounded by RetainFrames, so arbitrarily long runs hold constant
+// memory.
 func (e *EdgeNode) evict() {
 	e.mu.Lock()
 	for e.oldestKept < e.nextFrame-e.cfg.RetainFrames {
-		delete(e.frames, e.oldestKept)
+		e.frames[e.oldestKept%len(e.frames)] = nil
 		delete(e.meta, e.oldestKept)
 		e.oldestKept++
 	}

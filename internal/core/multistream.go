@@ -39,6 +39,7 @@ func (m *MultiStreamNode) AddStream(name string, frameW, frameH int) (*EdgeNode,
 	}
 	cfg := m.cfg
 	cfg.FrameWidth, cfg.FrameHeight = frameW, frameH
+	cfg.StreamLabel = name
 	e, err := NewEdgeNode(cfg)
 	if err != nil {
 		return nil, err
@@ -91,6 +92,7 @@ func (m *MultiStreamNode) Stats() Stats {
 		total.BaseDNNTime += s.BaseDNNTime
 		total.MCTime += s.MCTime
 		total.EncodeTime += s.EncodeTime
+		total.ArchiveTime += s.ArchiveTime
 		total.UploadedBits += s.UploadedBits
 		total.UploadedFrames += s.UploadedFrames
 		total.Uploads += s.Uploads

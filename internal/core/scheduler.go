@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/filter"
+	"repro/internal/obs"
 	"repro/internal/vision"
 )
 
@@ -44,6 +46,7 @@ type SchedulerConfig struct {
 type schedItem struct {
 	img   *vision.Image
 	frame int
+	enq   time.Time // submission time, for the queue-wait span
 	op    func(e *EdgeNode)
 }
 
@@ -131,7 +134,7 @@ func (s *Scheduler) Submit(stream string, img *vision.Image) error {
 		s.mu.Unlock()
 		return fmt.Errorf("core: scheduler closed")
 	}
-	s.push(q, schedItem{img: img, frame: q.submitted})
+	s.push(q, schedItem{img: img, frame: q.submitted, enq: time.Now()})
 	q.submitted++
 	s.mu.Unlock()
 	return nil
@@ -284,6 +287,11 @@ func (s *Scheduler) worker() {
 		if it.op != nil {
 			it.op(q.edge)
 		} else {
+			if o := q.edge.obs; o != nil {
+				wait := time.Since(it.enq)
+				o.QueueWait.Observe(wait)
+				o.Trace.Record(obs.StageQueueWait, q.edge.sid, int64(it.frame), it.enq, wait)
+			}
 			ups, err := q.edge.ProcessFrame(it.img)
 			if err != nil {
 				s.recordErr(fmt.Errorf("core: stream %q frame %d: %w", q.name, it.frame, err))

@@ -49,12 +49,17 @@ func SmoothKofN(raw []bool, n, k int) []bool {
 // order; once a frame's full window is available the smoother emits
 // its decision, so output lags input by N/2 frames. Flush drains the
 // tail (whose windows are clipped on the right, matching SmoothKofN).
+//
+// Push and Flush are allocation-free in the steady state: raw labels
+// live in a fixed ring sized by the window, and the returned decision
+// slice is reused by the next Push/Flush — consume it before pushing
+// the next frame.
 type Smoother struct {
 	n, k    int
-	base    int // frame index of buf[0]
-	buf     []bool
-	pushed  int // total frames pushed
-	emitted int // next frame index to decide
+	win     []bool // label ring; frame f lives at win[f%len(win)]
+	pushed  int    // total frames pushed
+	emitted int    // next frame index to decide
+	dec     []Decision
 }
 
 // NewSmoother constructs a streaming K-of-N smoother.
@@ -62,7 +67,10 @@ func NewSmoother(n, k int) *Smoother {
 	if n <= 0 || k <= 0 || k > n {
 		panic(fmt.Sprintf("event: bad smoothing params n=%d k=%d", n, k))
 	}
-	return &Smoother{n: n, k: k}
+	// At the moment Push stores frame p, every frame back to
+	// emitted-half ≤ p-2·half is still inside a future window, so at
+	// most 2·half+1 ≤ n+1 labels are live at once.
+	return &Smoother{n: n, k: k, win: make([]bool, n+1)}
 }
 
 // Decision is one smoothed output frame.
@@ -74,21 +82,23 @@ type Decision struct {
 }
 
 // Push adds the next frame's raw classification and returns any
-// decisions that became final.
+// decisions that became final. The returned slice is reused by the
+// next Push/Flush.
 func (s *Smoother) Push(raw bool) []Decision {
-	s.buf = append(s.buf, raw)
+	s.win[s.pushed%len(s.win)] = raw
 	s.pushed++
 	return s.drain(false)
 }
 
-// Flush returns the remaining decisions for the tail frames.
+// Flush returns the remaining decisions for the tail frames. The
+// returned slice is reused by the next Push/Flush.
 func (s *Smoother) Flush() []Decision {
 	return s.drain(true)
 }
 
 func (s *Smoother) drain(flush bool) []Decision {
 	half := s.n / 2
-	var out []Decision
+	s.dec = s.dec[:0]
 	for s.emitted < s.pushed {
 		frame := s.emitted
 		if !flush && frame+half >= s.pushed {
@@ -104,21 +114,14 @@ func (s *Smoother) drain(flush bool) []Decision {
 		}
 		votes := 0
 		for j := lo; j < hi; j++ {
-			if s.buf[j-s.base] {
+			if s.win[j%len(s.win)] {
 				votes++
 			}
 		}
-		out = append(out, Decision{Frame: frame, Positive: votes >= s.k})
+		s.dec = append(s.dec, Decision{Frame: frame, Positive: votes >= s.k})
 		s.emitted++
-		// Frames earlier than emitted-half are out of every future
-		// window; drop them (re-slicing; the buffer is reallocated by
-		// append once in a while, bounding memory).
-		for s.base < s.emitted-half {
-			s.buf = s.buf[1:]
-			s.base++
-		}
 	}
-	return out
+	return s.dec
 }
 
 // Detector assigns monotonically increasing event IDs to contiguous

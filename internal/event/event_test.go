@@ -141,3 +141,19 @@ func TestDetectorStartFlag(t *testing.T) {
 		t.Fatal("positive after a gap should start a new event")
 	}
 }
+
+// TestSmootherZeroAlloc pins steady-state Push at zero allocations:
+// the vote ring and the decision buffer are fixed at construction and
+// reused, so arbitrarily long streams hold constant memory.
+func TestSmootherZeroAlloc(t *testing.T) {
+	s := NewSmoother(5, 2)
+	// Warm past the smoothing lag so the decision buffer reaches its
+	// steady-state capacity.
+	for i := 0; i < 10; i++ {
+		s.Push(i%3 == 0)
+	}
+	i := 0
+	if n := testing.AllocsPerRun(100, func() { s.Push(i%3 == 0); i++ }); n != 0 {
+		t.Fatalf("Push allocates %v objects per frame, want 0", n)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/filter"
 	"repro/internal/mobilenet"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -22,6 +23,14 @@ type KernelPath struct {
 	// NsPerFrame is the steady-state wall time per frame on the frozen
 	// fast path.
 	NsPerFrame float64 `json:"ns_per_frame"`
+	// P50NsPerFrame, P95NsPerFrame, and P99NsPerFrame are tail
+	// quantiles of the per-frame latency distribution, interpolated
+	// from an obs.Histogram fed one observation per frame — the same
+	// digest the fleet's heartbeat rollup carries. Zero on reference
+	// paths, which report only a mean.
+	P50NsPerFrame int64 `json:"p50_ns_per_frame,omitempty"`
+	P95NsPerFrame int64 `json:"p95_ns_per_frame,omitempty"`
+	P99NsPerFrame int64 `json:"p99_ns_per_frame,omitempty"`
 	// AllocsPerFrame is the steady-state heap allocations per frame
 	// (the workspace arena pins this at 0).
 	AllocsPerFrame float64 `json:"allocs_per_frame"`
@@ -70,7 +79,7 @@ func Kernels(w io.Writer, o Options, frames int) (*KernelsResult, error) {
 	if _, err := ext.Extract(x, stage); err != nil {
 		return nil, err
 	}
-	fastNs := timePerFrame(frames, func() {
+	fastNs, fastQ := timeQuantiles(frames, func() {
 		if _, err := ext.Extract(x, stage); err != nil {
 			panic(err)
 		}
@@ -101,7 +110,7 @@ func Kernels(w io.Writer, o Options, frames int) (*KernelsResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res.Paths = append(res.Paths, kernelPath("base-dnn-extract", stage, fastNs, extAllocs, refNs, madds))
+	res.Paths = append(res.Paths, kernelPath("base-dnn-extract", stage, fastNs, fastQ, extAllocs, refNs, madds))
 
 	mc, err := filter.NewMC(filter.Spec{Name: "kernel-bench", Arch: filter.LocalizedBinary, Seed: o.Seed + 2}, base, width, height)
 	if err != nil {
@@ -110,27 +119,29 @@ func Kernels(w io.Writer, o Options, frames int) (*KernelsResult, error) {
 	fm := tensor.New(mc.FeatureMapShape()...)
 	tensor.NewRNG(o.Seed+3).FillNormal(fm, 0, 1)
 	mc.Push(fm)
-	pushNs := timePerFrame(frames, func() { mc.Push(fm) })
+	pushNs, pushQ := timeQuantiles(frames, func() { mc.Push(fm) })
 	pushAllocs := allocsPerFrame(10, func() { mc.Push(fm) })
-	res.Paths = append(res.Paths, kernelPath("mc-push", mc.Stage(), pushNs, pushAllocs, 0, mc.MAddsPerFrame(true)))
+	res.Paths = append(res.Paths, kernelPath("mc-push", mc.Stage(), pushNs, pushQ, pushAllocs, 0, mc.MAddsPerFrame(true)))
 
 	fmt.Fprintf(w, "Inference kernel fast path (%dx%d, width-mult %.2f, %d frames)\n", width, height, o.MCWidthMult, frames)
-	fmt.Fprintf(w, "%-18s %-12s %12s %10s %12s %9s\n", "path", "stage", "ns/frame", "allocs", "ref ns/frame", "speedup")
+	fmt.Fprintf(w, "%-18s %-12s %12s %10s %10s %10s %12s %9s\n", "path", "stage", "ns/frame", "p50", "p95", "p99", "ref ns/frame", "speedup")
 	for _, p := range res.Paths {
 		ref, sp := "-", "-"
 		if p.ReferenceNsPerFrame > 0 {
 			ref = fmt.Sprintf("%.0f", p.ReferenceNsPerFrame)
 			sp = fmt.Sprintf("%.2fx", p.Speedup)
 		}
-		fmt.Fprintf(w, "%-18s %-12s %12.0f %10.1f %12s %9s\n", p.Name, p.Stage, p.NsPerFrame, p.AllocsPerFrame, ref, sp)
+		fmt.Fprintf(w, "%-18s %-12s %12.0f %10d %10d %10d %12s %9s\n",
+			p.Name, p.Stage, p.NsPerFrame, p.P50NsPerFrame, p.P95NsPerFrame, p.P99NsPerFrame, ref, sp)
 	}
 	return res, nil
 }
 
-func kernelPath(name, stage string, ns, allocs, refNs float64, madds int64) KernelPath {
+func kernelPath(name, stage string, ns float64, q obs.Summary, allocs, refNs float64, madds int64) KernelPath {
 	p := KernelPath{
 		Name: name, Stage: stage,
 		NsPerFrame: ns, AllocsPerFrame: allocs,
+		P50NsPerFrame: q.P50, P95NsPerFrame: q.P95, P99NsPerFrame: q.P99,
 		ReferenceNsPerFrame: refNs,
 		MAddsPerFrame:       madds,
 	}
@@ -165,4 +176,21 @@ func timePerFrame(frames int, fn func()) float64 {
 		fn()
 	}
 	return float64(time.Since(t0).Nanoseconds()) / float64(frames)
+}
+
+// timeQuantiles times each call of fn individually through an
+// obs.Histogram, returning the mean ns per call (total elapsed over
+// calls, same methodology as timePerFrame) and the latency digest.
+// The per-call timer costs two time.Now reads (~tens of ns) against
+// paths in the tens of µs and up.
+func timeQuantiles(frames int, fn func()) (float64, obs.Summary) {
+	h := new(obs.Histogram)
+	t0 := time.Now()
+	for i := 0; i < frames; i++ {
+		t1 := time.Now()
+		fn()
+		h.Observe(time.Since(t1))
+	}
+	mean := float64(time.Since(t0).Nanoseconds()) / float64(frames)
+	return mean, h.Summary()
 }

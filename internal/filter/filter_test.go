@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/mobilenet"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 	"repro/internal/train"
 	"repro/internal/vision"
@@ -462,6 +463,38 @@ func TestPushZeroAlloc(t *testing.T) {
 		}
 		if n := testing.AllocsPerRun(50, func() { mc.Push(fm) }); n != 0 {
 			t.Fatalf("%v: Push allocates %v objects per frame, want 0", arch, n)
+		}
+	}
+}
+
+// TestInstrumentedPushZeroAlloc pins the instrumented streaming path:
+// with a histogram and a span tracer attached, steady-state Push must
+// stay at zero allocations per frame, and the sinks must actually see
+// the observations.
+func TestInstrumentedPushZeroAlloc(t *testing.T) {
+	base := testBase(t)
+	for _, arch := range []Arch{LocalizedBinary, WindowedLocalizedBinary} {
+		mc, err := NewMC(Spec{Name: "iza-" + arch.String(), Arch: arch, Seed: 6}, base, 96, 54)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := obs.NewTracer(64)
+		h := new(obs.Histogram)
+		mc.Instrument(tr, h, tr.StreamID("cam0"), 0)
+		fm := tensor.New(mc.FeatureMapShape()...)
+		tensor.NewRNG(7).FillNormal(fm, 0, 1)
+		for i := 0; i < mc.Lag()+3; i++ {
+			mc.Push(fm)
+		}
+		before := h.Summary().Count
+		if n := testing.AllocsPerRun(50, func() { mc.Push(fm) }); n != 0 {
+			t.Fatalf("%v: instrumented Push allocates %v objects per frame, want 0", arch, n)
+		}
+		if got := h.Summary().Count - before; got < 50 {
+			t.Fatalf("%v: histogram saw %d observations, want >= 50", arch, got)
+		}
+		if tr.Recorded() == 0 {
+			t.Fatalf("%v: tracer recorded no spans", arch)
 		}
 	}
 }

@@ -3,9 +3,11 @@ package filter
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/mobilenet"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 	"repro/internal/vision"
 )
@@ -55,6 +57,13 @@ type MC struct {
 	winParts   []*tensor.Tensor // reused concat argument slice
 	ringFree   []*tensor.Tensor // recycled reduced-map buffers
 	clsBuf     []Classification // reused Push/Flush result slice
+
+	// Observability (see Instrument). The hot path reads these
+	// directly; all writes happen at deploy time.
+	obsTrace  *obs.Tracer
+	obsHist   *obs.Histogram
+	obsStream uint32
+	obsOffset int // MC-local frame 0 in stream coordinates
 }
 
 // NewMC constructs a microclassifier for the given spec against a base
@@ -349,6 +358,38 @@ func (m *MC) Prob(x *tensor.Tensor) float32 {
 // draws on) is reused by the next Push/Flush, so callers must consume
 // it before pushing the next frame.
 func (m *MC) Push(fm *tensor.Tensor) []Classification {
+	if m.obsHist == nil && m.obsTrace == nil {
+		return m.push(fm)
+	}
+	frame := int64(m.obsOffset + m.pushed)
+	t0 := time.Now()
+	out := m.push(fm)
+	d := time.Since(t0)
+	if m.obsHist != nil {
+		m.obsHist.Observe(d)
+	}
+	if m.obsTrace != nil {
+		m.obsTrace.Record(obs.StageMCPush, m.obsStream, frame, t0, d)
+	}
+	return out
+}
+
+// Instrument attaches observability sinks to the MC's streaming path:
+// every Push is timed into hist and recorded as a StageMCPush span on
+// tr under the interned stream ID. frameOffset maps the MC's local
+// frame counter to stream coordinates (an MC deployed mid-stream
+// counts from zero). Either sink may be nil; both nil restores the
+// uninstrumented path. Call at deploy time, never concurrently with
+// Push. Instrumentation keeps Push allocation-free.
+func (m *MC) Instrument(tr *obs.Tracer, hist *obs.Histogram, stream uint32, frameOffset int) {
+	m.obsTrace = tr
+	m.obsHist = hist
+	m.obsStream = stream
+	m.obsOffset = frameOffset
+}
+
+// push is the uninstrumented classification path behind Push.
+func (m *MC) push(fm *tensor.Tensor) []Classification {
 	m.ensureFastPath()
 	if m.spec.Arch != WindowedLocalizedBinary {
 		frame := m.pushed

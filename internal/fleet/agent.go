@@ -17,6 +17,7 @@ import (
 	"repro/internal/archive"
 	"repro/internal/core"
 	"repro/internal/filter"
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/vision"
 )
@@ -139,6 +140,9 @@ type Agent struct {
 	pending   []transport.UploadRecord
 	unsent    int
 	dropped   int
+	// sentAt records when each unacked upload was last written, for
+	// the upload-RTT histogram; entries retire with their acks.
+	sentAt map[uint64]time.Time
 
 	// wmu serializes record writes to the connection.
 	wmu  sync.Mutex
@@ -204,6 +208,7 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 	return &Agent{
 		cfg:           cfg,
 		node:          n,
+		sentAt:        make(map[uint64]time.Time),
 		archives:      make(map[string]core.FrameSource),
 		stores:        make(map[string]*archive.Store),
 		managed:       make(map[string]map[string]bool),
@@ -267,6 +272,9 @@ func (a *Agent) AddStream(name string, frameW, frameH int, src core.FrameSource)
 		if err := e.AttachArchive(st); err != nil {
 			st.Close()
 			return nil, fmt.Errorf("fleet: stream %q archive: %w", name, err)
+		}
+		if o := a.cfg.Edge.Obs; o != nil {
+			st.Instrument(o.Trace, o.ArchiveAppend, o.Trace.StreamID(name))
 		}
 		a.stores[name] = st
 	}
@@ -826,6 +834,14 @@ func (a *Agent) sendUploads(ups []core.Upload) error {
 		if a.unsent -= drop; a.unsent < 0 {
 			a.unsent = 0
 		}
+		// Dropped uploads will never be acked; retire their RTT
+		// bookkeeping so the map stays bounded through a long outage.
+		floor := a.pending[0].Seq
+		for seq := range a.sentAt {
+			if seq < floor {
+				delete(a.sentAt, seq)
+			}
+		}
 	}
 	a.pmu.Unlock()
 	if err := a.flushPending(); err != nil {
@@ -869,11 +885,18 @@ func (a *Agent) flushPending() error {
 		}
 		rec := a.pending[a.unsent]
 		a.pmu.Unlock()
+		t0 := time.Now()
 		if err := transport.WriteRecordDeadline(conn, transport.KindUpload, rec, a.cfg.WriteTimeout); err != nil {
 			conn.Close()
 			return fmt.Errorf("fleet: send upload: %w", err)
 		}
+		if o := a.cfg.Edge.Obs; o != nil {
+			d := time.Since(t0)
+			o.Upload.Observe(d)
+			o.Trace.Record(obs.StageUpload, a.uploadStreamID(rec.MCName), int64(rec.Start), t0, d)
+		}
 		a.pmu.Lock()
+		a.sentAt[rec.Seq] = t0
 		// Advance past what we just wrote by sequence number — a
 		// concurrent ack may have trimmed the buffer under us.
 		for a.unsent < len(a.pending) && a.pending[a.unsent].Seq <= rec.Seq {
@@ -947,9 +970,33 @@ func (a *Agent) controlLoop(conn net.Conn) error {
 	}
 }
 
-// handleUploadAck retires acked uploads from the resend buffer.
+// uploadStreamID resolves an upload's interned trace-stream ID from
+// its "stream/mc" name; uploads from unprefixed (local) MCs land on a
+// node-level "uplink" track.
+func (a *Agent) uploadStreamID(mcName string) uint32 {
+	o := a.cfg.Edge.Obs
+	for i := 0; i < len(mcName); i++ {
+		if mcName[i] == '/' {
+			return o.Trace.StreamID(mcName[:i])
+		}
+	}
+	return o.Trace.StreamID("uplink")
+}
+
+// handleUploadAck retires acked uploads from the resend buffer and
+// feeds their send-to-ack round trips into the upload-RTT histogram.
 func (a *Agent) handleUploadAck(ua UploadAck) {
+	o := a.cfg.Edge.Obs
+	now := time.Now()
 	a.pmu.Lock()
+	for seq, t0 := range a.sentAt {
+		if seq <= ua.Seq {
+			if o != nil {
+				o.UploadRTT.Observe(now.Sub(t0))
+			}
+			delete(a.sentAt, seq)
+		}
+	}
 	i := 0
 	for i < len(a.pending) && a.pending[i].Seq <= ua.Seq {
 		i++
@@ -1192,6 +1239,12 @@ func (a *Agent) snapshot() Heartbeat {
 			ss.ArchiveEvictedBytes = ast.EvictedBytes
 		}
 		hb.Streams[si.Name] = ss
+	}
+	if o := a.cfg.Edge.Obs; o != nil {
+		hb.Extract = o.Extract.Summary()
+		hb.MCPush = o.MCPush.Summary()
+		hb.QueueWait = o.QueueWait.Summary()
+		hb.UploadRTT = o.UploadRTT.Summary()
 	}
 	return hb
 }

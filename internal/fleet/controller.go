@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"sort"
 	"sync"
@@ -48,6 +49,10 @@ type ControllerConfig struct {
 	// block on a round trip to the same session (spawn a goroutine
 	// for that).
 	OnUpload func(*Session, core.Upload)
+	// Log receives structured session-lifecycle events (connects,
+	// resumes, stale-session replacements, liveness evictions). Nil
+	// discards them.
+	Log *slog.Logger
 }
 
 // deployment is one intended microclassifier deployment.
@@ -101,6 +106,9 @@ type Controller struct {
 func NewController(cfg ControllerConfig) *Controller {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = DefaultTimeout
+	}
+	if cfg.Log == nil {
+		cfg.Log = slog.New(slog.DiscardHandler)
 	}
 	return &Controller{
 		cfg:      cfg,
@@ -303,6 +311,8 @@ func (c *Controller) serveSession(conn net.Conn) error {
 			old.evict()
 			delete(c.sessions, id)
 			st.evicted++
+			c.cfg.Log.Warn("fleet: stale session replaced",
+				"node", hello.Node, "session", id, "evicted", st.evicted)
 		}
 	}
 	if hello.Resume {
@@ -325,6 +335,10 @@ func (c *Controller) serveSession(conn net.Conn) error {
 	s := newSession(c.nextID, hello, conn, c.cfg.Timeout, liveness)
 	c.sessions[s.id] = s
 	c.mu.Unlock()
+	c.cfg.Log.Info("fleet: session open",
+		"node", hello.Node, "session", s.id, "resume", hello.Resume,
+		"streams", len(hello.Streams), "deploy_gen", hello.DeployGen,
+		"reconcile", len(work))
 	defer func() {
 		// If the handshake failed before s.run could report, wake any
 		// caller that already found the session in the registry.
@@ -359,8 +373,15 @@ func (c *Controller) serveSession(conn net.Conn) error {
 	// and run's own return is just the closed connection.)
 	if terminal := s.Err(); errors.Is(terminal, ErrLiveness) {
 		c.mu.Lock()
-		c.node(s.node).evicted++
+		evicted := c.node(s.node).evicted + 1
+		c.node(s.node).evicted = evicted
 		c.mu.Unlock()
+		c.cfg.Log.Warn("fleet: liveness eviction",
+			"node", s.node, "session", s.id, "window", liveness,
+			"evicted", evicted)
+	} else {
+		c.cfg.Log.Info("fleet: session closed",
+			"node", s.node, "session", s.id, "uploads", s.Received())
 	}
 	return err
 }

@@ -9,7 +9,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/filter"
+	"repro/internal/metrics"
 	"repro/internal/mobilenet"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 	"repro/internal/train"
 	"repro/internal/transport"
@@ -528,5 +530,89 @@ func TestAgentSchedulerMatchesSerial(t *testing.T) {
 				t.Fatalf("%s upload %d differs:\n got %+v\nwant %+v", key, i, g, w)
 			}
 		}
+	}
+}
+
+// TestHeartbeatCarriesLatencySummaries verifies the observability
+// rollup path end to end: an instrumented agent's heartbeats carry its
+// extraction, MC-push, and upload-RTT histogram digests over the gob
+// wire to the controller registry, where they feed the fleet summary.
+func TestHeartbeatCarriesLatencySummaries(t *testing.T) {
+	base := testBase()
+	observer := obs.NewObserver(obs.Options{})
+	edgeCfg := core.Config{
+		FrameWidth: 48, FrameHeight: 27, FPS: 15, Base: base,
+		UploadBitrate: 30_000, Obs: observer,
+	}
+
+	ctrl := NewController(ControllerConfig{Timeout: 10 * time.Second})
+	addr, err := ctrl.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+
+	agent, err := NewAgent(AgentConfig{Node: "edge-obs", Edge: edgeCfg, Heartbeat: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge, err := agent.AddStream("cam0", 48, 27, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Threshold -1 matches every frame, so uploads (and their acks)
+	// flow and the RTT histogram fills.
+	mc, err := filter.NewMC(filter.Spec{Name: "hb-mc", Arch: filter.LocalizedBinary, Hidden: 8, Seed: 3}, base, 48, 27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := edge.Deploy(mc, -1); err != nil {
+		t.Fatal(err)
+	}
+	if err := agent.Connect("tcp", addr.String()); err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+
+	bg := vision.Background(48, 27, nil, 2)
+	scene := &vision.Scene{Background: bg, NoiseStd: 0.01}
+	const n = 30
+	for i := 0; i < n; i++ {
+		if _, err := agent.ProcessFrame("cam0", scene.Render(nil, 1, tensor.NewRNG(int64(i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := agent.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	sess, err := ctrl.Session("edge-obs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hb Heartbeat
+	waitFor(t, "latency heartbeat", func() bool {
+		got, at := sess.LastHeartbeat()
+		if at.IsZero() {
+			return false
+		}
+		hb = got
+		return hb.Extract.Count >= n && hb.MCPush.Count >= n && hb.UploadRTT.Count > 0
+	})
+	if hb.Extract.P95 <= 0 || hb.Extract.P95 < hb.Extract.P50 {
+		t.Fatalf("extraction quantiles implausible: %+v", hb.Extract)
+	}
+	if hb.Extract.Max < hb.Extract.P99 {
+		t.Fatalf("extraction max %d below p99 %d", hb.Extract.Max, hb.Extract.P99)
+	}
+	if hb.UploadRTT.Sum <= 0 {
+		t.Fatalf("upload RTT sum %d, want > 0", hb.UploadRTT.Sum)
+	}
+
+	// The controller-side rollup attributes the node summary once.
+	load := metrics.NodeLoad{Node: "edge-obs/cam0", ExtractLat: hb.Extract, UploadRTTLat: hb.UploadRTT}
+	sum := metrics.SummarizeFleet([]metrics.NodeLoad{load})
+	if sum.ExtractLat.Count != hb.Extract.Count || sum.ExtractLat.P95 != hb.Extract.P95 {
+		t.Fatalf("fleet rollup lost the summary: %+v vs %+v", sum.ExtractLat, hb.Extract)
 	}
 }

@@ -15,7 +15,11 @@
 // Request/response pairing uses per-session sequence numbers.
 package fleet
 
-import "time"
+import (
+	"time"
+
+	"repro/internal/obs"
+)
 
 // StreamInfo describes one camera stream an edge node hosts,
 // advertised in the session hello.
@@ -162,9 +166,21 @@ type StreamStats struct {
 	ArchiveEvictedBytes    int64
 }
 
-// Heartbeat carries periodic per-stream stats (edge → datacenter).
+// Heartbeat carries periodic per-stream stats (edge → datacenter),
+// plus node-level latency histogram summaries when the agent runs
+// with an observer. The summaries are node-wide (streams share one
+// observer), so the rollup side must attribute them once per node,
+// not once per stream. Zero-count summaries mean "not instrumented";
+// gob decodes heartbeats from older nodes with the fields zeroed.
 type Heartbeat struct {
 	Streams map[string]StreamStats
+	// Extract, MCPush, QueueWait, and UploadRTT digest the node's
+	// base-DNN extraction, MC classification, scheduler queue-wait,
+	// and upload send-to-ack latency histograms.
+	Extract   obs.Summary
+	MCPush    obs.Summary
+	QueueWait obs.Summary
+	UploadRTT obs.Summary
 }
 
 // UploadAck acknowledges one received upload by its edge-assigned

@@ -1,5 +1,7 @@
 package metrics
 
+import "repro/internal/obs"
+
 // NodeLoad summarizes one fleet stream's uplink counters as reported
 // in the control plane's heartbeat records (internal/fleet). The
 // datacenter controller converts heartbeats into NodeLoads and rolls
@@ -38,6 +40,16 @@ type NodeLoad struct {
 	// load so SummarizeFleet does not double-count.
 	Evicted    int
 	Reconnects int
+	// ExtractLat, MCPushLat, QueueWaitLat, and UploadRTTLat digest the
+	// node's latency histograms (base-DNN extraction, MC push,
+	// scheduler queue wait, upload send-to-ack round trip) as carried
+	// in heartbeats. Like Evicted/Reconnects they are node-level: when
+	// a node contributes one NodeLoad per stream, set them on a single
+	// load so SummarizeFleet does not double-count observations.
+	ExtractLat   obs.Summary
+	MCPushLat    obs.Summary
+	QueueWaitLat obs.Summary
+	UploadRTTLat obs.Summary
 }
 
 // Bitrate returns the node's realized average uplink usage in bits/s
@@ -76,6 +88,16 @@ type FleetSummary struct {
 	// dying, not recovering.
 	Evicted    int
 	Reconnects int
+	// ExtractLat, MCPushLat, QueueWaitLat, and UploadRTTLat are the
+	// fleet's latency rollups, merged worst-case across nodes
+	// (obs.Summary.Merge): counts and sums add, quantiles and max take
+	// the maximum. The merged p95 is therefore the worst per-node p95,
+	// not a true fleet-wide quantile — a deliberately pessimistic bound
+	// that never hides a slow node behind a fast fleet average.
+	ExtractLat   obs.Summary
+	MCPushLat    obs.Summary
+	QueueWaitLat obs.Summary
+	UploadRTTLat obs.Summary
 	// AverageBitrate is total uploaded bits over total stream time
 	// across nodes with a known rate, in bits/s.
 	AverageBitrate float64
@@ -104,6 +126,10 @@ func SummarizeFleet(nodes []NodeLoad) FleetSummary {
 		s.ArchiveEvictedBytes += n.ArchiveEvictedBytes
 		s.Evicted += n.Evicted
 		s.Reconnects += n.Reconnects
+		s.ExtractLat.Merge(n.ExtractLat)
+		s.MCPushLat.Merge(n.MCPushLat)
+		s.QueueWaitLat.Merge(n.QueueWaitLat)
+		s.UploadRTTLat.Merge(n.UploadRTTLat)
 		if n.Frames > 0 && n.FPS > 0 {
 			seconds += float64(n.Frames) / float64(n.FPS)
 			ratedBits += n.UploadedBits + n.DemandFetchBits

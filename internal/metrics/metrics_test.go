@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/dataset"
+	"repro/internal/obs"
 )
 
 func TestEventRecallExistenceDominates(t *testing.T) {
@@ -142,5 +143,29 @@ func TestAveragePrecisionWorstRanking(t *testing.T) {
 func TestAveragePrecisionNoPositives(t *testing.T) {
 	if AveragePrecision([]bool{false}, []float32{0.5}) != 0 {
 		t.Fatal("AP with no positives should be 0")
+	}
+}
+
+func TestSummarizeFleetLatencyWorstCaseMerge(t *testing.T) {
+	fast := obs.Summary{Count: 100, Sum: 1000, P50: 8, P95: 20, P99: 30, Max: 40}
+	slow := obs.Summary{Count: 10, Sum: 5000, P50: 100, P95: 400, P99: 450, Max: 500}
+	sum := SummarizeFleet([]NodeLoad{
+		{Node: "a/cam0", ExtractLat: fast, QueueWaitLat: slow},
+		{Node: "b/cam0", ExtractLat: slow, QueueWaitLat: fast},
+		{Node: "b/cam1"}, // second stream of node b: zero summaries, no double count
+	})
+	// Counts and sums add; quantiles and max take the worst node.
+	if sum.ExtractLat.Count != 110 || sum.ExtractLat.Sum != 6000 {
+		t.Fatalf("count/sum merge wrong: %+v", sum.ExtractLat)
+	}
+	if sum.ExtractLat.P50 != 100 || sum.ExtractLat.P95 != 400 || sum.ExtractLat.P99 != 450 || sum.ExtractLat.Max != 500 {
+		t.Fatalf("quantile merge not worst-case: %+v", sum.ExtractLat)
+	}
+	if sum.QueueWaitLat.P95 != 400 {
+		t.Fatalf("queue-wait merge wrong: %+v", sum.QueueWaitLat)
+	}
+	// Unset summaries on extra per-stream loads contribute nothing.
+	if sum.MCPushLat.Count != 0 || sum.MCPushLat.P95 != 0 {
+		t.Fatalf("uninstrumented summary polluted rollup: %+v", sum.MCPushLat)
 	}
 }

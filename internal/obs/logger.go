@@ -1,0 +1,16 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds the structured logger the cmds share: text by
+// default, JSON lines with -log-json. Level filters at source.
+func NewLogger(w io.Writer, jsonFormat bool, level slog.Level) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	if jsonFormat {
+		return slog.New(slog.NewJSONHandler(w, opts))
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
+}

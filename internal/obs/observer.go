@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"log/slog"
+	"time"
+)
+
+// Options parameterizes an Observer.
+type Options struct {
+	// TraceCapacity is the span ring size (default
+	// DefaultTraceCapacity).
+	TraceCapacity int
+	// SlowFrame arms the slow-frame trigger: frames whose envelope
+	// exceeds it have their span chains logged. Zero disables.
+	SlowFrame time.Duration
+	// Log receives slow-frame chains and is the Observer's structured
+	// logger (default slog.Default()).
+	Log *slog.Logger
+}
+
+// Observer bundles one node's observability surface: the metric
+// registry, the span tracer, the structured logger, and direct
+// handles onto the pipeline's latency histograms so hot paths skip
+// the registry lookup. A nil *Observer disables instrumentation
+// everywhere it is threaded.
+type Observer struct {
+	Reg   *Registry
+	Trace *Tracer
+	Log   *slog.Logger
+
+	// Frames counts processed frames across streams.
+	Frames *Counter
+
+	// Per-stage latency histograms, all in ns. Frame is the whole
+	// ProcessFrame envelope; QueueWait is scheduler mailbox time;
+	// ArchiveEncode is the ingest path's codec-model encode;
+	// ArchiveAppend is the persistent store's disk write; Upload is
+	// the wire send of one upload record; UploadRTT is send-to-ack.
+	Frame, QueueWait, Decode, Extract, MCPush, Encode *Histogram
+	ArchiveEncode, ArchiveAppend, Upload, UploadRTT   *Histogram
+	Fetch                                             *Histogram
+}
+
+// NewObserver constructs an observer with its registry, tracer, and
+// pipeline histograms wired up.
+func NewObserver(opts Options) *Observer {
+	log := opts.Log
+	if log == nil {
+		log = slog.Default()
+	}
+	o := &Observer{
+		Reg:   NewRegistry(),
+		Trace: NewTracer(opts.TraceCapacity),
+		Log:   log,
+	}
+	o.Trace.SetSlowFrame(opts.SlowFrame, log)
+	o.Frames = o.Reg.Counter("ff_frames_total")
+	o.Frame = o.Reg.Histogram("ff_frame_ns")
+	o.QueueWait = o.Reg.Histogram("ff_queue_wait_ns")
+	o.Decode = o.Reg.Histogram("ff_decode_ns")
+	o.Extract = o.Reg.Histogram("ff_extract_ns")
+	o.MCPush = o.Reg.Histogram("ff_mc_push_ns")
+	o.Encode = o.Reg.Histogram("ff_encode_ns")
+	o.ArchiveEncode = o.Reg.Histogram("ff_archive_encode_ns")
+	o.ArchiveAppend = o.Reg.Histogram("ff_archive_append_ns")
+	o.Upload = o.Reg.Histogram("ff_upload_send_ns")
+	o.UploadRTT = o.Reg.Histogram("ff_upload_rtt_ns")
+	o.Fetch = o.Reg.Histogram("ff_fetch_ns")
+	return o
+}

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter. All methods are
+// lock-free and allocation-free.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable instantaneous value. All methods are lock-free
+// and allocation-free.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the gauge by n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Registry is a named collection of counters, gauges, and histograms.
+// Get-or-create registration takes a lock; the returned instruments
+// are lock-free, so hot paths hold them directly and never touch the
+// registry per observation.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry constructs an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Names
+// should be valid Prometheus identifiers ([a-zA-Z_][a-zA-Z0-9_]*).
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Metric is one named value in a registry snapshot.
+type Metric struct {
+	// Name is the registered name; histogram entries carry a
+	// "/p50"-style suffix per exported quantile.
+	Name string
+	// Value is the current reading (ns for histogram quantiles).
+	Value float64
+}
+
+// Snapshot returns every registered metric as a sorted flat list —
+// counters and gauges by value, histograms expanded into count, mean,
+// and tail quantiles.
+func (r *Registry) Snapshot() []Metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Metric
+	for name, c := range r.counters {
+		out = append(out, Metric{Name: name, Value: float64(c.Value())})
+	}
+	for name, g := range r.gauges {
+		out = append(out, Metric{Name: name, Value: float64(g.Value())})
+	}
+	for name, h := range r.hists {
+		s := h.Summary()
+		out = append(out,
+			Metric{Name: name + "/count", Value: float64(s.Count)},
+			Metric{Name: name + "/mean", Value: s.Mean()},
+			Metric{Name: name + "/p50", Value: float64(s.P50)},
+			Metric{Name: name + "/p95", Value: float64(s.P95)},
+			Metric{Name: name + "/p99", Value: float64(s.P99)},
+			Metric{Name: name + "/max", Value: float64(s.Max)},
+		)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): counters and gauges as single
+// samples, histograms as summaries with quantile labels. Output is
+// sorted by name for deterministic scrapes.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	cnames := sortedKeys(r.counters)
+	gnames := sortedKeys(r.gauges)
+	hnames := sortedKeys(r.hists)
+	counters := make(map[string]int64, len(cnames))
+	gauges := make(map[string]int64, len(gnames))
+	sums := make(map[string]Summary, len(hnames))
+	for _, n := range cnames {
+		counters[n] = r.counters[n].Value()
+	}
+	for _, n := range gnames {
+		gauges[n] = r.gauges[n].Value()
+	}
+	for _, n := range hnames {
+		sums[n] = r.hists[n].Summary()
+	}
+	r.mu.Unlock()
+
+	for _, n := range cnames {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, counters[n]); err != nil {
+			return err
+		}
+	}
+	for _, n := range gnames {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, gauges[n]); err != nil {
+			return err
+		}
+	}
+	for _, n := range hnames {
+		s := sums[n]
+		_, err := fmt.Fprintf(w,
+			"# TYPE %s summary\n%s{quantile=\"0.5\"} %d\n%s{quantile=\"0.95\"} %d\n%s{quantile=\"0.99\"} %d\n%s_sum %d\n%s_count %d\n",
+			n, n, s.P50, n, s.P95, n, s.P99, n, s.Sum, n, s.Count)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

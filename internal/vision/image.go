@@ -122,6 +122,20 @@ func (im *Image) ToTensor() *tensor.Tensor {
 	return t
 }
 
+// ToTensorInto copies the image into dst when its shape is [1,H,W,3]
+// for this image, allocating a fresh tensor otherwise. It is the
+// arena-friendly form of ToTensor: a pipeline that processes
+// same-sized frames reuses one tensor and ingests frames without
+// allocating.
+func (im *Image) ToTensorInto(dst *tensor.Tensor) *tensor.Tensor {
+	if dst == nil || len(dst.Shape) != 4 ||
+		dst.Shape[0] != 1 || dst.Shape[1] != im.H || dst.Shape[2] != im.W || dst.Shape[3] != 3 {
+		return im.ToTensor()
+	}
+	copy(dst.Data, im.Pix)
+	return dst
+}
+
 // FromTensor converts a [1,H,W,3] tensor back to an image (a copy).
 func FromTensor(t *tensor.Tensor) *Image {
 	if t.Rank() != 4 || t.Shape[0] != 1 || t.Shape[3] != 3 {

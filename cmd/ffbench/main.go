@@ -12,6 +12,9 @@
 //	multistream   concurrent edge runtime: streams × workers sweep
 //	kernels       inference fast-path microbenchmark (ns/frame,
 //	              allocs/frame, speedup vs reference kernels)
+//	fleet         sharded control-plane soak on the simulated network
+//	              (per-shard placement, ledgers, heartbeat quantiles,
+//	              mid-run re-shard)
 //	all           everything above
 //
 // -cpuprofile/-memprofile write pprof profiles of the run, which is
@@ -45,7 +48,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "datasets|bandwidth|throughput|breakdown|cost-accuracy|crop|window-buffer|pooling-baseline|phased-pipelined|multistream|archive|kernels|all")
+		experiment = flag.String("experiment", "all", "datasets|bandwidth|throughput|breakdown|cost-accuracy|crop|window-buffer|pooling-baseline|phased-pipelined|multistream|archive|kernels|fleet|all")
 		width      = flag.Int("width", 96, "working-scale frame width")
 		trainN     = flag.Int("train-frames", 1200, "training-day frames")
 		testN      = flag.Int("test-frames", 1200, "test-day frames")
@@ -57,6 +60,10 @@ func main() {
 		streams    = flag.Int("streams", 4, "stream count for the multistream sweep (swept as 1,2,...,streams)")
 		msFrames   = flag.Int("ms-frames", 30, "frames per stream in the multistream sweep")
 		archFrames = flag.Int("archive-frames", 300, "frames appended in the archive benchmark")
+		flAgents   = flag.Int("fleet-agents", 32, "edge agents in the fleet soak benchmark")
+		flShards   = flag.Int("fleet-shards", 4, "initial controller shards in the fleet soak benchmark")
+		flResize   = flag.Int("fleet-resize", 6, "shard count after the fleet soak's mid-run resize")
+		flFrames   = flag.Int("fleet-frames", 8, "frames each agent filters in the fleet soak benchmark")
 		kernFrames = flag.Int("kernel-frames", 200, "frames timed per path in the kernels benchmark")
 		jsonPath   = flag.String("json", "", "write machine-readable results (per-experiment data + wall times) to this path")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
@@ -268,6 +275,16 @@ func main() {
 				return err
 			}
 			record("archive", res)
+			return nil
+		})
+	}
+	if want("fleet") {
+		run("fleet (sharded control-plane soak)", func() error {
+			res, err := experiments.FleetSoak(w, o, *flAgents, *flShards, *flResize, *flFrames)
+			if err != nil {
+				return err
+			}
+			record("fleet", res)
 			return nil
 		})
 	}

@@ -191,9 +191,9 @@ func main() {
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
-	if pending, dropped := agent.PendingUploads(); agent.Reconnects() > 0 || dropped > 0 || pending > 0 {
-		fmt.Printf("fleet resilience   %d reconnects, %d uploads awaiting ack, %d dropped by buffer cap\n",
-			agent.Reconnects(), pending, dropped)
+	if pending, dropped := agent.PendingUploads(); agent.Reconnects() > 0 || agent.Rehomes() > 0 || dropped > 0 || pending > 0 {
+		fmt.Printf("fleet resilience   %d reconnects, %d shard re-homes (last shard %d), %d uploads awaiting ack, %d dropped by buffer cap\n",
+			agent.Reconnects(), agent.Rehomes(), agent.Shard(), pending, dropped)
 	}
 
 	st := agent.Stats()

@@ -92,6 +92,7 @@ func main() {
 		interval = flag.Duration("interval", 5*time.Second, "summary interval")
 		frames   = flag.Int("frames", 2000, "stream length assumed when printing coverage")
 		hbMiss   = flag.Int("heartbeat-miss", 5, "evict a session after this many missed heartbeat intervals (0 disables liveness eviction)")
+		shards   = flag.Int("shards", 1, "controller shards; nodes are placed by consistent hashing and per-shard summaries are merged into the fleet rollup")
 
 		deploy    = flag.String("deploy", "", "MC weights file (from fftrain) to deploy to every connecting node")
 		deployTo  = flag.String("deploy-stream", "", "stream to deploy onto (default: each node's first advertised stream)")
@@ -143,6 +144,7 @@ func main() {
 	var ctrl *fleet.Controller
 	cfg := fleet.ControllerConfig{
 		HeartbeatMiss: *hbMiss,
+		Shards:        *shards,
 		Log:           log,
 		OnSession: func(s *fleet.Session) {
 			log.Info("ffserve: node joined",
@@ -267,34 +269,36 @@ func printSummary(ctrl *fleet.Controller, frames int, observer *obs.Observer) {
 	}
 
 	fmt.Printf("-- %d node(s) connected --\n", len(nodes))
-	var loads []metrics.NodeLoad
 	for _, n := range nodes {
-		fmt.Printf("  session %-3d %-16s %d stream(s), %d uploads\n", n.ID, n.Node, len(n.Streams), n.Uploads)
-		for i, si := range n.Streams {
+		fmt.Printf("  session %-3d %-16s shard %d, %d stream(s), %d uploads\n",
+			n.ID, n.Node, n.Shard, len(n.Streams), n.Uploads)
+		for _, si := range n.Streams {
 			st := n.Heartbeat.Streams[si.Name]
 			fmt.Printf("    %-20s %dx%d@%d  %6d frames, %8d bits uplinked\n",
 				si.Name, si.Width, si.Height, si.FPS, st.Frames, st.UploadedBits)
-			load := metrics.NodeLoad{
-				Node: n.Node + "/" + si.Name, Frames: st.Frames, FPS: si.FPS,
-				Uploads: st.Uploads, UploadedBits: st.UploadedBits,
-				DemandFetchBits: st.DemandFetchBits,
-				ArchivedBits:    st.ArchivedBits, ArchiveBytes: st.ArchiveBytes,
-				ArchiveEvictedSegments: st.ArchiveEvictedSegments,
-				ArchiveEvictedBytes:    st.ArchiveEvictedBytes,
-			}
-			// Heartbeat latency summaries are node-level (streams share
-			// one observer), so attribute them to a single load per node
-			// or SummarizeFleet would double-count observations.
-			if i == 0 {
-				load.ExtractLat = n.Heartbeat.Extract
-				load.MCPushLat = n.Heartbeat.MCPush
-				load.QueueWaitLat = n.Heartbeat.QueueWait
-				load.UploadRTTLat = n.Heartbeat.UploadRTT
-			}
-			loads = append(loads, load)
 		}
 	}
-	if sum := metrics.SummarizeFleet(loads); sum.Frames > 0 {
+	// The fleet view is the cross-shard rollup: each shard summarizes
+	// its own sessions' heartbeat loads, and the summaries merge. This
+	// is exactly what a multi-process deployment would do — no code
+	// path here ever needs the flattened fleet-wide load list.
+	perShard := ctrl.ShardLoads()
+	summaries := make([]metrics.FleetSummary, 0, len(perShard))
+	for _, l := range perShard {
+		summaries = append(summaries, metrics.SummarizeFleet(l))
+	}
+	stats := ctrl.ShardStats()
+	if len(stats) > 1 {
+		for _, s := range stats {
+			fmt.Printf("  shard %d: %d node(s), %d session(s), %d ledger uploads, %d redirects, hb gap p95 %s\n",
+				s.Shard, s.Nodes, s.Sessions, s.Uploads, s.Redirects,
+				time.Duration(s.HeartbeatGap.P95))
+		}
+	}
+	if observer != nil {
+		updateShardGauges(observer, stats)
+	}
+	if sum := metrics.MergeFleet(summaries); sum.Frames > 0 {
 		fmt.Printf("  fleet: %d uploads, %d bits, avg %.1f kb/s, hottest %s at %.1f kb/s\n",
 			sum.Uploads, sum.UploadedBits, sum.AverageBitrate/1000, sum.MaxNode, sum.MaxNodeBitrate/1000)
 		// The tails are worst-case merges across nodes: if these look
@@ -351,6 +355,21 @@ func updateFleetGauges(o *obs.Observer, sum metrics.FleetSummary) {
 	o.Reg.Gauge("ff_fleet_mc_push_p95_ns").Set(sum.MCPushLat.P95)
 	o.Reg.Gauge("ff_fleet_queue_wait_p95_ns").Set(sum.QueueWaitLat.P95)
 	o.Reg.Gauge("ff_fleet_upload_rtt_p95_ns").Set(sum.UploadRTTLat.P95)
+}
+
+// updateShardGauges mirrors per-shard load and heartbeat-cadence
+// stats into ff_fleet_shard_<i>_* gauges, the balance view that shows
+// a hot or empty shard at a glance.
+func updateShardGauges(o *obs.Observer, stats []fleet.ShardStat) {
+	o.Reg.Gauge("ff_fleet_shards").Set(int64(len(stats)))
+	for _, s := range stats {
+		o.Reg.ShardGauge(s.Shard, "nodes").Set(int64(s.Nodes))
+		o.Reg.ShardGauge(s.Shard, "sessions").Set(int64(s.Sessions))
+		o.Reg.ShardGauge(s.Shard, "ledger_uploads").Set(int64(s.Uploads))
+		o.Reg.ShardGauge(s.Shard, "ledger_bits").Set(s.UploadBits)
+		o.Reg.ShardGauge(s.Shard, "redirects").Set(int64(s.Redirects))
+		o.Reg.ShardGauge(s.Shard, "hb_gap_p95_ns").Set(s.HeartbeatGap.P95)
+	}
 }
 
 // splitStream splits a "stream/mc" upload name into its parts; the

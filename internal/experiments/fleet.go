@@ -1,0 +1,314 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"reflect"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/filter"
+	"repro/internal/fleet"
+	"repro/internal/metrics"
+	"repro/internal/mobilenet"
+	"repro/internal/simnet"
+	"repro/internal/tensor"
+	"repro/internal/vision"
+)
+
+// FleetShardBench is one control-plane shard's load in the fleet soak
+// benchmark: how many nodes the consistent-hash ring placed on it,
+// how much exactly-once ledger it accumulated, and the
+// heartbeat-cadence quantiles its sessions observed.
+type FleetShardBench struct {
+	Shard         int     `json:"shard"`
+	Nodes         int     `json:"nodes"`
+	Sessions      int     `json:"sessions"`
+	LedgerUploads int     `json:"ledger_uploads"`
+	LedgerBits    int64   `json:"ledger_bits"`
+	Redirects     int     `json:"redirects"`
+	HBGapCount    uint64  `json:"hb_gap_count"`
+	HBGapP50Ms    float64 `json:"hb_gap_p50_ms"`
+	HBGapP95Ms    float64 `json:"hb_gap_p95_ms"`
+	HBGapP99Ms    float64 `json:"hb_gap_p99_ms"`
+}
+
+// FleetSoakResult is the fleet soak benchmark's structured output.
+type FleetSoakResult struct {
+	Agents         int   `json:"agents"`
+	Shards         int   `json:"shards"`
+	ResizeTo       int   `json:"resize_to"`
+	FramesPerAgent int   `json:"frames_per_agent"`
+	Moved          int   `json:"moved"`
+	Uploads        int   `json:"uploads"`
+	UploadBits     int64 `json:"upload_bits"`
+	Evicted        int   `json:"evicted"`
+	Reconnects     int   `json:"reconnects"`
+	// RollupExact reports whether merging the per-shard summaries
+	// reproduced the unsharded rollup of the same loads bit for bit.
+	RollupExact bool              `json:"rollup_exact"`
+	PerShard    []FleetShardBench `json:"per_shard"`
+}
+
+// FleetSoak benchmarks the sharded fleet control plane on the
+// deterministic simulated network: `agents` edges across `shards`
+// controller shards filter frames and upload events, the control
+// plane is resized to `resizeTo` shards mid-run (re-homing nodes via
+// consistent hashing), and the run converges to an exactly-once
+// global ledger. The result records per-shard agent counts, ledger
+// sizes, and heartbeat-gap quantiles — the balance/health view a
+// deployment would watch.
+func FleetSoak(w io.Writer, o Options, agents, shards, resizeTo, frames int) (*FleetSoakResult, error) {
+	o.fillDefaults()
+	if agents <= 0 {
+		agents = 32
+	}
+	if shards <= 0 {
+		shards = 4
+	}
+	if resizeTo <= 0 {
+		resizeTo = shards + 2
+	}
+	if frames <= 0 {
+		frames = 8
+	}
+
+	// A systems benchmark, not an accuracy one: an untrained base and
+	// an always-positive pooling MC keep every frame flowing through
+	// the full extract→filter→upload pipeline without training cost.
+	base := mobilenet.New(mobilenet.Config{WidthMult: o.MCWidthMult, Seed: o.Seed})
+	const fw, fh = 48, 27
+	mc, err := filter.NewMC(filter.Spec{Name: "mc-fleet", Arch: filter.PoolingClassifier, Seed: o.Seed + 7}, base, fw, fh)
+	if err != nil {
+		return nil, err
+	}
+	var mcBuf bytes.Buffer
+	if err := mc.Save(&mcBuf); err != nil {
+		return nil, err
+	}
+
+	n := simnet.New(o.Seed)
+	ln, err := n.Listen("dc")
+	if err != nil {
+		return nil, err
+	}
+	ctrl := fleet.NewController(fleet.ControllerConfig{
+		Timeout:       5 * time.Second,
+		HeartbeatMiss: 40,
+		Shards:        shards,
+	})
+	ctrl.Serve(ln)
+	defer ctrl.Close()
+
+	names := make([]string, agents)
+	for i := range names {
+		names[i] = fmt.Sprintf("edge-%03d", i)
+	}
+	// Record deploy intent while every node is offline: the connect
+	// storm below then exercises the reconcile path on every shard.
+	for _, name := range names {
+		if err := ctrl.Deploy(name, "cam0", mcBuf.Bytes(), -1); !errors.Is(err, fleet.ErrDeferred) {
+			return nil, fmt.Errorf("deploy to offline %s: %v", name, err)
+		}
+	}
+
+	type soakEdge struct {
+		name  string
+		agent *fleet.Agent
+		gt    int
+		next  int
+	}
+	edges := make([]*soakEdge, 0, agents)
+	defer func() {
+		var wg sync.WaitGroup
+		for _, e := range edges {
+			wg.Add(1)
+			go func(e *soakEdge) { defer wg.Done(); e.agent.Close() }(e)
+		}
+		wg.Wait()
+	}()
+	for _, name := range names {
+		name := name
+		a, err := fleet.NewAgent(fleet.AgentConfig{
+			Node: name,
+			Edge: core.Config{
+				FrameWidth: fw, FrameHeight: fh, FPS: 16, Base: base,
+				UploadBitrate: 30_000, MaxChunkFrames: 4,
+			},
+			Heartbeat:     50 * time.Millisecond,
+			Reconnect:     true,
+			ReconnectMin:  20 * time.Millisecond,
+			ReconnectMax:  250 * time.Millisecond,
+			ReconnectSeed: o.Seed,
+			WriteTimeout:  5 * time.Second,
+			Dial: func(network, addr string) (net.Conn, error) {
+				return n.Dial(name, addr)
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := a.AddStream("cam0", fw, fh, nil); err != nil {
+			a.Close()
+			return nil, err
+		}
+		if err := a.Connect("sim", "dc"); err != nil {
+			a.Close()
+			return nil, err
+		}
+		edges = append(edges, &soakEdge{name: name, agent: a})
+	}
+
+	waitCond := func(what string, cond func() bool) error {
+		deadline := time.Now().Add(60 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("fleet soak: timed out waiting for %s", what)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		return nil
+	}
+	if err := waitCond("deploy reconciliation", func() bool {
+		for _, e := range edges {
+			mcs := e.agent.DeployedMCs("cam0")
+			if len(mcs) != 1 {
+				return false
+			}
+		}
+		return true
+	}); err != nil {
+		return nil, err
+	}
+
+	feed := func(frames int) error {
+		var wg sync.WaitGroup
+		errs := make(chan error, len(edges))
+		for _, e := range edges {
+			wg.Add(1)
+			go func(e *soakEdge) {
+				defer wg.Done()
+				bg := vision.Background(fw, fh, nil, 2)
+				scene := &vision.Scene{Background: bg, NoiseStd: 0.01}
+				for i := 0; i < frames; i++ {
+					img := scene.Render(nil, 1, tensor.NewRNG(int64(e.next)))
+					ups, err := e.agent.ProcessFrame("cam0", img)
+					if err != nil {
+						errs <- fmt.Errorf("%s frame %d: %w", e.name, e.next, err)
+						return
+					}
+					e.gt += len(ups)
+					e.next++
+				}
+				ups, err := e.agent.Flush()
+				if err != nil {
+					errs <- fmt.Errorf("%s flush: %w", e.name, err)
+					return
+				}
+				e.gt += len(ups)
+			}(e)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			return err
+		}
+		return nil
+	}
+	converge := func(phase string) error {
+		for _, e := range edges {
+			e := e
+			if err := waitCond(fmt.Sprintf("%s convergence of %s", phase, e.name), func() bool {
+				total := -1
+				if err := ctrl.WithNodeDatacenter(e.name, func(dc *core.Datacenter) {
+					total = 0
+					for _, app := range dc.KnownApplications() {
+						total += len(dc.Uploads(app))
+					}
+				}); err != nil {
+					return false
+				}
+				return total == e.gt
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	half := (frames + 1) / 2
+	if err := feed(half); err != nil {
+		return nil, err
+	}
+	if err := converge("pre-resize"); err != nil {
+		return nil, err
+	}
+
+	moved, err := ctrl.Resize(resizeTo)
+	if err != nil {
+		return nil, err
+	}
+	if err := waitCond("fleet resumed after resize", func() bool {
+		return len(ctrl.ListNodes()) == agents
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := feed(frames - half); err != nil {
+		return nil, err
+	}
+	if err := converge("post-resize"); err != nil {
+		return nil, err
+	}
+	// Let a few heartbeat rounds land on the post-resize shards so
+	// every shard's gap histogram has observations to digest.
+	time.Sleep(300 * time.Millisecond)
+
+	res := &FleetSoakResult{
+		Agents: agents, Shards: shards, ResizeTo: resizeTo,
+		FramesPerAgent: frames, Moved: moved,
+	}
+	res.Evicted, res.Reconnects = ctrl.Lifecycle()
+	perShard := ctrl.ShardLoads()
+	var flat []metrics.NodeLoad
+	summaries := make([]metrics.FleetSummary, 0, len(perShard))
+	for _, loads := range perShard {
+		flat = append(flat, loads...)
+		summaries = append(summaries, metrics.SummarizeFleet(loads))
+	}
+	res.RollupExact = reflect.DeepEqual(metrics.MergeFleet(summaries), metrics.SummarizeFleet(flat))
+
+	ms := func(ns int64) float64 { return float64(ns) / 1e6 }
+	fmt.Fprintf(w, "%-6s %6s %9s %14s %12s %10s %12s %12s\n",
+		"shard", "nodes", "sessions", "ledger-uploads", "ledger-bits", "redirects", "hb-p50(ms)", "hb-p95(ms)")
+	for _, s := range ctrl.ShardStats() {
+		res.Uploads += s.Uploads
+		res.UploadBits += s.UploadBits
+		res.PerShard = append(res.PerShard, FleetShardBench{
+			Shard: s.Shard, Nodes: s.Nodes, Sessions: s.Sessions,
+			LedgerUploads: s.Uploads, LedgerBits: s.UploadBits,
+			Redirects:  s.Redirects,
+			HBGapCount: s.HeartbeatGap.Count,
+			HBGapP50Ms: ms(s.HeartbeatGap.P50),
+			HBGapP95Ms: ms(s.HeartbeatGap.P95),
+			HBGapP99Ms: ms(s.HeartbeatGap.P99),
+		})
+		fmt.Fprintf(w, "%-6d %6d %9d %14d %12d %10d %12.1f %12.1f\n",
+			s.Shard, s.Nodes, s.Sessions, s.Uploads, s.UploadBits, s.Redirects,
+			ms(s.HeartbeatGap.P50), ms(s.HeartbeatGap.P95))
+	}
+	want := 0
+	for _, e := range edges {
+		want += e.gt
+	}
+	if res.Uploads != want {
+		return nil, fmt.Errorf("fleet soak: per-shard ledgers sum to %d uploads, ground truth is %d", res.Uploads, want)
+	}
+	fmt.Fprintf(w, "agents=%d shards=%d->%d moved=%d uploads=%d (exactly-once ok) reconnects=%d rollup-exact=%v\n",
+		agents, shards, resizeTo, moved, res.Uploads, res.Reconnects, res.RollupExact)
+	return res, nil
+}

@@ -156,10 +156,16 @@ type Agent struct {
 	closed     bool
 	lastGen    uint64
 	reconnects int
-	network    string
-	addr       string
-	done       chan struct{}
-	hbStop     chan struct{}
+	// rehomes counts redirect records received — sessions the
+	// controller ended (or hellos it refused) because the node's
+	// owning shard changed; shard is the owner announced by the most
+	// recent welcome.
+	rehomes int
+	shard   int
+	network string
+	addr    string
+	done    chan struct{}
+	hbStop  chan struct{}
 
 	stopOnce      sync.Once
 	reconnectStop chan struct{}
@@ -379,6 +385,20 @@ func (a *Agent) handshake(conn net.Conn) error {
 	if err != nil {
 		return err
 	}
+	if kind == transport.KindRedirect {
+		// The hello landed on a shard that lost (or never had) the
+		// node while a re-shard was in flight. Redialing re-routes
+		// under the settled placement; count it so operators can see
+		// placement churn.
+		var rd Redirect
+		if err := transport.DecodeRecord(body, &rd); err != nil {
+			return err
+		}
+		a.sessMu.Lock()
+		a.rehomes++
+		a.sessMu.Unlock()
+		return fmt.Errorf("fleet: hello refused for shard %d (%s): %w", rd.Shard, rd.Reason, ErrRedirected)
+	}
 	if kind != transport.KindWelcome {
 		return fmt.Errorf("fleet: controller answered record kind %d, want welcome", kind)
 	}
@@ -398,6 +418,7 @@ func (a *Agent) handshake(conn net.Conn) error {
 	}
 	a.conn = conn
 	a.sessionID = w.SessionID
+	a.shard = w.Shard
 	if w.DeployGen > a.lastGen {
 		a.lastGen = w.DeployGen
 	}
@@ -570,6 +591,24 @@ func (a *Agent) Reconnects() int {
 	a.sessMu.Lock()
 	defer a.sessMu.Unlock()
 	return a.reconnects
+}
+
+// Rehomes returns how many redirect records the agent has received —
+// sessions ended (or hellos refused) because a shard-count change
+// moved the node to a different controller shard. Every re-home also
+// shows up as a reconnect once the agent resumes on the new owner.
+func (a *Agent) Rehomes() int {
+	a.sessMu.Lock()
+	defer a.sessMu.Unlock()
+	return a.rehomes
+}
+
+// Shard returns the controller shard that owns the current (or most
+// recent) session, as announced in its welcome.
+func (a *Agent) Shard() int {
+	a.sessMu.Lock()
+	defer a.sessMu.Unlock()
+	return a.shard
 }
 
 // PendingUploads returns the number of uploads buffered awaiting a
@@ -962,6 +1001,19 @@ func (a *Agent) controlLoop(conn net.Conn) error {
 				return err
 			}
 			a.handleUploadAck(ua)
+		case transport.KindRedirect:
+			// The node was re-homed to another shard mid-session. Treat
+			// it like any lost session — the reconnect monitor redials,
+			// and the resume hello reconciles on the new owner — but
+			// count it separately from fault-driven reconnects.
+			var rd Redirect
+			if err := transport.DecodeRecord(body, &rd); err != nil {
+				return err
+			}
+			a.sessMu.Lock()
+			a.rehomes++
+			a.sessMu.Unlock()
+			return fmt.Errorf("fleet: moved to shard %d (%s): %w", rd.Shard, rd.Reason, ErrRedirected)
 		case transport.KindBye:
 			return nil
 		default:

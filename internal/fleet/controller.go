@@ -4,15 +4,17 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
-	"io"
-	"log/slog"
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"log/slog"
 
 	"repro/internal/core"
 	"repro/internal/filter"
+	"repro/internal/metrics"
 	"repro/internal/transport"
 	"repro/internal/vision"
 )
@@ -38,6 +40,11 @@ type ControllerConfig struct {
 	// Zero disables liveness eviction; nodes with heartbeats disabled
 	// are never evicted.
 	HeartbeatMiss int
+	// Shards is the number of controller shards the router places
+	// nodes on (1 when zero or negative — the unsharded controller).
+	// Each shard owns the full per-node state of the nodes the
+	// consistent-hash ring assigns it; Resize changes the count live.
+	Shards int
 	// OnSession, when non-nil, runs in its own goroutine for every
 	// edge session that completes its handshake — the hook ffserve
 	// uses for deploy-on-connect. Resumed sessions fire it too; check
@@ -61,10 +68,13 @@ type deployment struct {
 	threshold float32
 }
 
-// nodeState is the controller's durable record of one edge node,
-// keyed by node name. It survives sessions: when the node reconnects,
-// the controller reconciles the node's reported state against the
-// intent here, and upload accounting continues without duplication.
+// nodeState is a shard's durable record of one edge node, keyed by
+// node name. It survives sessions — when the node reconnects, the
+// owning shard reconciles the node's reported state against the
+// intent here, and upload accounting continues without duplication —
+// and it survives re-homes: a shard-count change moves the record
+// itself to the new owner, so the ledger high-water mark, intent, and
+// lifecycle counters never fork.
 type nodeState struct {
 	// intent is the intended deployment: stream -> MC name -> bytes.
 	intent map[string]map[string]deployment
@@ -81,75 +91,165 @@ type nodeState struct {
 	evicted int
 	// reconnects counts resume hellos accepted for the node.
 	reconnects int
+	// rehomed counts shard moves (Resize placing the node elsewhere).
+	rehomed int
 }
 
-// Controller is the datacenter side of the fleet control plane: it
-// accepts edge sessions (protocol v2, plus legacy v1 upload pipes for
-// backward compatibility), tracks them in a registry, reconciles
-// reconnecting nodes against deployment intent, and exposes the
-// datacenter API — ListNodes, Deploy, Fetch — that cmd/ffserve serves.
+// Controller is the datacenter side of the fleet control plane: a
+// thin router in front of one or more controller shards. The router
+// owns the listener, the consistent-hash ring, and the placement
+// epoch; each shard owns the session registry, exactly-once upload
+// ledger, deploy-generation intent, and datacenter stores for the
+// nodes hashed onto it. Connections are routed by the node name in
+// the hello; every datacenter API call (ListNodes, Deploy, Fetch)
+// resolves the owning shard the same way, so callers never see the
+// sharding except through ShardStats and NodeInfo.Shard.
 type Controller struct {
 	cfg ControllerConfig
-	dc  *core.Datacenter // aggregate across all sessions + legacy conns
 
-	mu       sync.Mutex
-	ln       net.Listener
-	nextID   uint64
-	sessions map[uint64]*Session
-	nodes    map[string]*nodeState
-	conns    map[net.Conn]struct{} // every open conn, incl. pre-hello and legacy
-	legacy   int                   // uploads received over v1 connections
-	wg       sync.WaitGroup
+	// epoch is the placement epoch, bumped (before the ring swap) by
+	// every Resize. Shards compare it against the epoch a routing
+	// decision was made under and refuse stale placements, which is
+	// what keeps a node's state on exactly one shard at all times.
+	epoch  atomic.Uint64
+	nextID atomic.Uint64 // session IDs, unique across shards
+
+	mu     sync.Mutex
+	ln     net.Listener
+	shards []*shard
+	ring   *ring
+	conns  map[net.Conn]struct{} // every open conn, incl. pre-hello and legacy
+	wg     sync.WaitGroup
 }
 
-// NewController constructs a controller.
+// NewController constructs a controller with cfg.Shards shards.
 func NewController(cfg ControllerConfig) *Controller {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = DefaultTimeout
 	}
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
 	if cfg.Log == nil {
 		cfg.Log = slog.New(slog.DiscardHandler)
 	}
-	return &Controller{
-		cfg:      cfg,
-		dc:       core.NewDatacenter(),
-		sessions: make(map[uint64]*Session),
-		nodes:    make(map[string]*nodeState),
-		conns:    make(map[net.Conn]struct{}),
+	c := &Controller{
+		cfg:   cfg,
+		ring:  newRing(cfg.Shards),
+		conns: make(map[net.Conn]struct{}),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		c.shards = append(c.shards, newShard(i, c))
+	}
+	return c
+}
+
+// NumShards returns the current shard count.
+func (c *Controller) NumShards() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.shards)
+}
+
+// ShardOf returns the shard index currently owning a node name.
+func (c *Controller) ShardOf(node string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ring.owner(node)
+}
+
+// placement resolves a node's owning shard together with the
+// placement epoch the answer is valid under.
+func (c *Controller) placement(node string) (int, uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ring.owner(node), c.epoch.Load()
+}
+
+// shardAt returns the shard at an index that is known to exist
+// (index 0 always does: the controller never has fewer than one
+// shard, and shrinks retire the highest indices first).
+func (c *Controller) shardAt(i int) *shard {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.shards[i]
+}
+
+// snapshotShards returns the current shard slice for iteration.
+func (c *Controller) snapshotShards() []*shard {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*shard(nil), c.shards...)
+}
+
+// onNode runs f with the owning shard and the node's durable state,
+// both locked under the shard mutex and validated against the
+// placement epoch — the one way controller APIs touch per-node state.
+// If the epoch moves between the routing lookup and the shard lock
+// (a concurrent Resize), it re-routes and retries; the loop runs at
+// most once per concurrent resize. With create false and the node
+// unknown it returns false without calling f.
+func (c *Controller) onNode(name string, create bool, f func(*shard, *nodeState)) bool {
+	for {
+		c.mu.Lock()
+		sh := c.shards[c.ring.owner(name)]
+		epoch := c.epoch.Load()
+		c.mu.Unlock()
+		sh.mu.Lock()
+		if c.epoch.Load() != epoch {
+			sh.mu.Unlock()
+			continue
+		}
+		st := sh.nodes[name]
+		if st == nil {
+			if !create {
+				sh.mu.Unlock()
+				return false
+			}
+			st = sh.node(name)
+		}
+		f(sh, st)
+		sh.mu.Unlock()
+		return true
 	}
 }
 
-// Datacenter returns the aggregate receiver: every deduplicated
-// upload from every session (and legacy v1 connection) lands here, in
-// addition to the per-session and per-node datacenters. Session
-// uploads are keyed "node/stream/mc"; legacy v1 uploads keep their
-// own naming. The returned receiver is only safe to query directly
-// once the controller is closed; use WithDatacenter while sessions
-// are live.
-func (c *Controller) Datacenter() *core.Datacenter { return c.dc }
+// Datacenter returns a merged snapshot of every shard's aggregate
+// receiver: every deduplicated upload from every session (and legacy
+// v1 connection), keyed "node/stream/mc" (legacy uploads keep their
+// own naming). The snapshot is consistent per shard and safe to query
+// while sessions are live.
+func (c *Controller) Datacenter() *core.Datacenter {
+	merged := core.NewDatacenter()
+	for _, sh := range c.snapshotShards() {
+		sh.mu.Lock()
+		for _, app := range sh.dc.KnownApplications() {
+			merged.ReceiveAll(sh.dc.Uploads(app))
+		}
+		sh.mu.Unlock()
+	}
+	return merged
+}
 
-// WithDatacenter runs f with the aggregate receiver under the
-// controller's lock, so queries are safe against concurrent session
-// uploads. f must not call back into the controller.
+// WithDatacenter runs f with a merged snapshot of the aggregate
+// receivers (see Datacenter). f must not call back into the
+// controller.
 func (c *Controller) WithDatacenter(f func(*core.Datacenter)) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	f(c.dc)
+	f(c.Datacenter())
 }
 
 // WithNodeDatacenter runs f with the named node's cross-session
-// receiver under the controller's lock: every upload the node ever
-// delivered (deduplicated across reconnects), keyed with the edge's
-// own "stream/mc" naming. It returns an error for a node the
-// controller has never seen.
+// receiver under its owning shard's lock: every upload the node ever
+// delivered (deduplicated across reconnects and re-homes), keyed with
+// the edge's own "stream/mc" naming. It returns an error for a node
+// the controller has never seen.
 func (c *Controller) WithNodeDatacenter(node string, f func(*core.Datacenter)) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	st := c.nodes[node]
-	if st == nil {
+	ok := c.onNode(node, false, func(_ *shard, st *nodeState) {
+		f(st.dc)
+	})
+	if !ok {
 		return fmt.Errorf("fleet: unknown node %q", node)
 	}
-	f(st.dc)
 	return nil
 }
 
@@ -219,8 +319,8 @@ func (c *Controller) Close() error {
 	return err
 }
 
-// handleConn negotiates the protocol version and serves one
-// connection to completion. The pre-hello reads are bounded by the
+// handleConn negotiates the protocol version and routes one
+// connection to its shard. The pre-hello reads are bounded by the
 // controller timeout: a peer that dials and stalls must not pin a
 // goroutine and connection until controller shutdown.
 func (c *Controller) handleConn(conn net.Conn) error {
@@ -236,49 +336,22 @@ func (c *Controller) handleConn(conn net.Conn) error {
 	}
 	switch v {
 	case transport.Version1:
-		return c.serveLegacy(conn)
+		// Legacy pipes carry no node identity to hash; they all park
+		// on shard 0, which always exists.
+		return c.shardAt(0).serveLegacy(conn)
 	case transport.Version2:
-		return c.serveSession(conn)
+		return c.routeSession(conn)
 	default:
 		return fmt.Errorf("fleet: %w %d", transport.ErrVersion, v)
 	}
 }
 
-// serveLegacy drains a v1 one-way upload pipe into the aggregate
-// datacenter — backward compatibility with pre-fleet edges.
-func (c *Controller) serveLegacy(conn net.Conn) error {
-	for {
-		kind, body, err := transport.ReadRecord(conn)
-		if err != nil {
-			if errors.Is(err, io.EOF) {
-				return nil
-			}
-			return err
-		}
-		switch kind {
-		case transport.KindUpload:
-			var rec transport.UploadRecord
-			if err := transport.DecodeRecord(body, &rec); err != nil {
-				return err
-			}
-			c.mu.Lock()
-			c.dc.Receive(rec.ToUpload())
-			c.legacy++
-			c.mu.Unlock()
-		case transport.KindBye:
-			return nil
-		default:
-			return fmt.Errorf("fleet: v1 peer sent record kind %d", kind)
-		}
-	}
-}
-
-// serveSession completes the v2 handshake and runs the session until
-// it ends, deregistering it afterwards (graceful drain: in-flight
-// round trips fail with ErrSessionClosed). A hello that names an
-// already-connected node evicts the stale session first; a resume
-// hello additionally triggers deployment reconciliation.
-func (c *Controller) serveSession(conn net.Conn) error {
+// routeSession reads and validates the hello, resolves the owning
+// shard on the consistent-hash ring, and hands the connection over as
+// a Forward pinned to the placement epoch. The shard re-checks the
+// epoch before registering and redirects if a resize raced the
+// hand-off.
+func (c *Controller) routeSession(conn net.Conn) error {
 	// The hello must arrive within the controller timeout; after it,
 	// liveness (when enabled) takes over the read bounds.
 	kind, body, err := transport.ReadRecordDeadline(conn, c.cfg.Timeout)
@@ -295,149 +368,134 @@ func (c *Controller) serveSession(conn net.Conn) error {
 	if hello.Node == "" {
 		return errors.New("fleet: hello without a node name")
 	}
-
-	liveness := time.Duration(0)
-	if c.cfg.HeartbeatMiss > 0 && hello.HeartbeatEvery > 0 {
-		liveness = time.Duration(c.cfg.HeartbeatMiss) * hello.HeartbeatEvery
-	}
-
 	c.mu.Lock()
-	// A node has at most one live session: a returning node (crashed,
-	// partitioned, or NATed onto a new connection) replaces its stale
-	// session, which the registry would otherwise serve round trips to.
-	st := c.node(hello.Node)
-	for id, old := range c.sessions {
-		if old.Node() == hello.Node {
-			old.evict()
-			delete(c.sessions, id)
-			st.evicted++
-			c.cfg.Log.Warn("fleet: stale session replaced",
-				"node", hello.Node, "session", id, "evicted", st.evicted)
-		}
-	}
-	if hello.Resume {
-		st.reconnects++
-	} else {
-		// A fresh (non-resume) hello is a new edge incarnation whose
-		// upload sequence space restarts at 1; keeping the previous
-		// incarnation's high-water mark would silently drop every
-		// upload the new process sends as a "duplicate".
-		st.lastSeq = 0
-	}
-	gen := st.gen
-	// Snapshot the reconciliation work in the same critical section
-	// that registers the session: intent recorded by a concurrent
-	// Deploy (e.g. an OnSession hook) after this point has its own
-	// pusher, and double-pushing would end in a duplicate rejection
-	// that rolls back valid intent.
-	work := reconcileWorkLocked(st, hello)
-	c.nextID++
-	s := newSession(c.nextID, hello, conn, c.cfg.Timeout, liveness)
-	c.sessions[s.id] = s
+	idx := c.ring.owner(hello.Node)
+	sh := c.shards[idx]
+	epoch := c.epoch.Load()
 	c.mu.Unlock()
-	c.cfg.Log.Info("fleet: session open",
-		"node", hello.Node, "session", s.id, "resume", hello.Resume,
-		"streams", len(hello.Streams), "deploy_gen", hello.DeployGen,
-		"reconcile", len(work))
-	defer func() {
-		// If the handshake failed before s.run could report, wake any
-		// caller that already found the session in the registry.
-		s.markDone(errors.New("fleet: session handshake failed"))
-		c.mu.Lock()
-		delete(c.sessions, s.id)
-		c.mu.Unlock()
-	}()
-
-	if err := transport.WriteHeader(conn, transport.Version2); err != nil {
-		return err
-	}
-	if err := s.write(transport.KindWelcome, Welcome{SessionID: s.id, DeployGen: gen}); err != nil {
-		return err
-	}
-	// Reconcile every session against intent, not just resumes:
-	// intent recorded while the node was offline (ErrDeferred) must
-	// also reach a node that restarted and reconnects with a fresh
-	// hello. For a node with no intent history this is a no-op.
-	if hello.DeployGen != gen || len(work) > 0 {
-		go runReconcile(s, gen, work)
-	}
-	if hook := c.cfg.OnSession; hook != nil {
-		go hook(s)
-	}
-	err = s.run(func(s *Session, rec transport.UploadRecord) bool {
-		return c.acceptUpload(s, rec)
-	})
-	// Liveness evictions end the session from inside its reader; count
-	// them against the node. (Stale-session evictions are counted at
-	// the point of replacement, where the terminal error is ErrEvicted
-	// and run's own return is just the closed connection.)
-	if terminal := s.Err(); errors.Is(terminal, ErrLiveness) {
-		c.mu.Lock()
-		evicted := c.node(s.node).evicted + 1
-		c.node(s.node).evicted = evicted
-		c.mu.Unlock()
-		c.cfg.Log.Warn("fleet: liveness eviction",
-			"node", s.node, "session", s.id, "window", liveness,
-			"evicted", evicted)
-	} else {
-		c.cfg.Log.Info("fleet: session closed",
-			"node", s.node, "session", s.id, "uploads", s.Received())
-	}
-	return err
+	return sh.serveSession(conn, Forward{Shard: idx, Epoch: epoch, Hello: hello})
 }
 
-// node returns the durable state for a node name. Callers hold c.mu.
-func (c *Controller) node(name string) *nodeState {
-	st := c.nodes[name]
-	if st == nil {
-		st = &nodeState{
-			intent: make(map[string]map[string]deployment),
-			dc:     core.NewDatacenter(),
-		}
-		c.nodes[name] = st
+// Resize changes the shard count live and returns how many nodes
+// moved. New placement takes effect atomically: the placement epoch
+// bumps first, so in-flight registrations and API calls that routed
+// under the old ring abort and retry instead of landing on a shard
+// that no longer owns their node. Moved nodes' state records
+// (ledger high-water mark, intent, lifecycle counters, datacenter)
+// transfer wholesale to their new owner, and their live sessions are
+// closed with a redirect — the edge reconnects and its resume hello
+// reconciles on the new shard exactly like any other reconnect.
+// Shrinking folds the retired shards' aggregate history (ledger
+// totals, datacenter, legacy counters) into shard 0, so fleet-global
+// sums are preserved.
+func (c *Controller) Resize(shards int) (moved int, err error) {
+	if shards < 1 {
+		return 0, fmt.Errorf("fleet: shard count %d, need at least 1", shards)
 	}
-	return st
-}
-
-// acceptUpload is the node-level dedup gate: a sequenced upload at or
-// below the node's high-water mark is a retransmission of something
-// already accounted and is dropped (though still acked by the
-// session, so the edge retires it). Fresh uploads land in the node
-// and aggregate datacenters.
-func (c *Controller) acceptUpload(s *Session, rec transport.UploadRecord) bool {
-	up := rec.ToUpload()
 	c.mu.Lock()
-	// An evicted session must not touch the node ledger: its
-	// replacement may already have reset the dedup high-water mark,
-	// and a stale delivery would re-poison it. Eviction (markDone)
-	// happens under c.mu, so checking here — after acquiring it —
-	// leaves no window for a stale reader to slip past.
-	select {
-	case <-s.done:
+	old := len(c.shards)
+	if shards == old {
 		c.mu.Unlock()
-		return false
-	default:
+		return 0, nil
 	}
-	st := c.node(s.node)
-	if rec.Seq != 0 {
-		if rec.Seq <= st.lastSeq {
-			c.mu.Unlock()
-			return false
+	// Epoch first, then the ring: any routing decision that read the
+	// old ring fails its epoch check, and any that reads the new
+	// epoch (via onNode's retry) blocks on c.mu until the new ring is
+	// in place.
+	c.epoch.Add(1)
+	epoch := c.epoch.Load()
+	for i := old; i < shards; i++ {
+		c.shards = append(c.shards, newShard(i, c))
+	}
+	c.ring = newRing(shards)
+
+	// Collect the moves under the new ring. After the epoch bump no
+	// new node record can appear under the old placement (creation
+	// paths re-check the epoch), so the scan is complete.
+	type move struct {
+		node     string
+		from, to int
+	}
+	var moves []move
+	for idx, sh := range c.shards {
+		sh.mu.Lock()
+		for name := range sh.nodes {
+			if to := c.ring.owner(name); to != idx {
+				moves = append(moves, move{node: name, from: idx, to: to})
+			}
 		}
-		st.lastSeq = rec.Seq
+		sh.mu.Unlock()
 	}
-	st.dc.Receive(up)
-	// The aggregate view prefixes the node name so two nodes running
-	// the same application don't collide; the per-node and per-session
-	// datacenters keep the edge's own naming.
-	tagged := up
-	tagged.MCName = s.node + "/" + up.MCName
-	c.dc.Receive(tagged)
+	sort.Slice(moves, func(i, j int) bool { return moves[i].node < moves[j].node })
+
+	type redirectTarget struct {
+		s  *Session
+		to int
+	}
+	var redirects []redirectTarget
+	for _, m := range moves {
+		from, to := c.shards[m.from], c.shards[m.to]
+		from.mu.Lock()
+		st := from.nodes[m.node]
+		if st == nil {
+			from.mu.Unlock()
+			continue
+		}
+		delete(from.nodes, m.node)
+		for id, s := range from.sessions {
+			if s.Node() == m.node {
+				// Not an eviction: the node did nothing wrong, the map
+				// changed. markDone pins ErrRedirected as the terminal
+				// error, so the post-run liveness accounting in
+				// serveSession cannot also count this session.
+				s.markDone(ErrRedirected)
+				delete(from.sessions, id)
+				redirects = append(redirects, redirectTarget{s: s, to: m.to})
+			}
+		}
+		from.mu.Unlock()
+		st.rehomed++
+		to.mu.Lock()
+		to.nodes[m.node] = st
+		to.mu.Unlock()
+		moved++
+		c.cfg.Log.Info("fleet: node re-homed",
+			"node", m.node, "from", m.from, "to", m.to, "epoch", epoch)
+	}
+
+	if shards < old {
+		// Retired shards no longer own nodes (the moves above emptied
+		// them), but their accepted-upload history must survive for
+		// fleet-global sums: fold it into shard 0.
+		base := c.shards[0]
+		for _, sh := range c.shards[shards:] {
+			sh.mu.Lock()
+			legacy, uploads, uploadBits := sh.legacy, sh.uploads, sh.uploadBits
+			var ups []core.Upload
+			for _, app := range sh.dc.KnownApplications() {
+				ups = append(ups, sh.dc.Uploads(app)...)
+			}
+			sh.mu.Unlock()
+			base.mu.Lock()
+			base.legacy += legacy
+			base.uploads += uploads
+			base.uploadBits += uploadBits
+			base.dc.ReceiveAll(ups)
+			base.mu.Unlock()
+		}
+		c.shards = c.shards[:shards]
+	}
 	c.mu.Unlock()
-	if hook := c.cfg.OnUpload; hook != nil {
-		hook(s, up)
+
+	// Tell the moved sessions why they died, best-effort, off the
+	// router lock: a partitioned edge won't get the record, but its
+	// reconnect monitor redials regardless.
+	for _, r := range redirects {
+		_ = r.s.write(transport.KindRedirect,
+			Redirect{Shard: r.to, Epoch: epoch, Reason: "re-homed"})
+		r.s.conn.Close()
 	}
-	return true
+	return moved, nil
 }
 
 // reconcileItem is one reconciliation push: a re-deploy of missing
@@ -453,7 +511,8 @@ type reconcileItem struct {
 // re-pushed, and managed MCs absent from intent are withdrawn.
 // Locally deployed MCs (never shipped through intent tracking) are
 // invisible here — the node only reports intent-managed names — so
-// reconciliation never touches them. Callers hold c.mu.
+// reconciliation never touches them. Callers hold the owning shard's
+// lock.
 func reconcileWorkLocked(st *nodeState, hello Hello) []reconcileItem {
 	var work []reconcileItem
 	for stream, mcs := range st.intent {
@@ -516,6 +575,8 @@ type NodeInfo struct {
 	HeartbeatAge time.Duration
 	// Resumed reports whether the session is a reconnect.
 	Resumed bool
+	// Shard is the controller shard hosting the session.
+	Shard int
 	// Evicted and Reconnects are the node's lifetime lifecycle
 	// counters (sessions force-closed by the controller; resume
 	// hellos accepted) — they survive the sessions they describe.
@@ -523,32 +584,35 @@ type NodeInfo struct {
 	Reconnects int
 }
 
-// ListNodes returns the connected edge sessions, sorted by node name
-// then session ID.
+// ListNodes returns the connected edge sessions across all shards,
+// sorted by node name then session ID.
 func (c *Controller) ListNodes() []NodeInfo {
-	c.mu.Lock()
-	sessions := make([]*Session, 0, len(c.sessions))
-	for _, s := range c.sessions {
-		sessions = append(sessions, s)
-	}
-	counters := make(map[string][2]int, len(c.nodes))
-	for name, st := range c.nodes {
-		counters[name] = [2]int{st.evicted, st.reconnects}
-	}
-	c.mu.Unlock()
-	infos := make([]NodeInfo, 0, len(sessions))
-	for _, s := range sessions {
-		hb, at := s.LastHeartbeat()
-		age := time.Duration(-1)
-		if !at.IsZero() {
-			age = time.Since(at)
+	var infos []NodeInfo
+	for _, sh := range c.snapshotShards() {
+		sh.mu.Lock()
+		sessions := make([]*Session, 0, len(sh.sessions))
+		for _, s := range sh.sessions {
+			sessions = append(sessions, s)
 		}
-		lc := counters[s.Node()]
-		infos = append(infos, NodeInfo{
-			ID: s.ID(), Node: s.Node(), Streams: s.Streams(),
-			Uploads: s.Received(), Heartbeat: hb, HeartbeatAge: age,
-			Resumed: s.Resumed(), Evicted: lc[0], Reconnects: lc[1],
-		})
+		counters := make(map[string][2]int, len(sh.nodes))
+		for name, st := range sh.nodes {
+			counters[name] = [2]int{st.evicted, st.reconnects}
+		}
+		sh.mu.Unlock()
+		for _, s := range sessions {
+			hb, at := s.LastHeartbeat()
+			age := time.Duration(-1)
+			if !at.IsZero() {
+				age = time.Since(at)
+			}
+			lc := counters[s.Node()]
+			infos = append(infos, NodeInfo{
+				ID: s.ID(), Node: s.Node(), Streams: s.Streams(),
+				Uploads: s.Received(), Heartbeat: hb, HeartbeatAge: age,
+				Resumed: s.Resumed(), Shard: sh.id,
+				Evicted: lc[0], Reconnects: lc[1],
+			})
+		}
 	}
 	sort.Slice(infos, func(i, j int) bool {
 		if infos[i].Node != infos[j].Node {
@@ -562,75 +626,111 @@ func (c *Controller) ListNodes() []NodeInfo {
 // Lifecycle returns the fleet-wide lifecycle totals: sessions the
 // controller evicted (liveness timeouts + stale sessions replaced on
 // resume) and resume hellos accepted. Both survive the sessions they
-// count.
+// count, and both ride the node records through re-homes.
 func (c *Controller) Lifecycle() (evicted, reconnects int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for _, st := range c.nodes {
-		evicted += st.evicted
-		reconnects += st.reconnects
+	for _, sh := range c.snapshotShards() {
+		sh.mu.Lock()
+		for _, st := range sh.nodes {
+			evicted += st.evicted
+			reconnects += st.reconnects
+		}
+		sh.mu.Unlock()
 	}
 	return evicted, reconnects
 }
 
-// Session finds a live session by node name. When several sessions
-// share a name the most recent wins.
+// Rehomed returns how many node moves the controller's resizes have
+// performed in total (a node moved twice counts twice).
+func (c *Controller) Rehomed() int {
+	total := 0
+	for _, sh := range c.snapshotShards() {
+		sh.mu.Lock()
+		for _, st := range sh.nodes {
+			total += st.rehomed
+		}
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// ShardStats snapshots every shard's load — node and session counts,
+// ledger totals, redirect counts, heartbeat-gap digests — ordered by
+// shard index.
+func (c *Controller) ShardStats() []ShardStat {
+	shards := c.snapshotShards()
+	stats := make([]ShardStat, 0, len(shards))
+	for _, sh := range shards {
+		stats = append(stats, sh.stats())
+	}
+	return stats
+}
+
+// ShardLoads converts each shard's live sessions into per-stream
+// NodeLoads, indexed by shard. Summarize each slice with
+// metrics.SummarizeFleet and merge with metrics.MergeFleet for the
+// fleet rollup; the result is identical to summarizing the
+// concatenation (the merge is associative and commutative).
+func (c *Controller) ShardLoads() [][]metrics.NodeLoad {
+	shards := c.snapshotShards()
+	loads := make([][]metrics.NodeLoad, 0, len(shards))
+	for _, sh := range shards {
+		loads = append(loads, sh.loads())
+	}
+	return loads
+}
+
+// Session finds a live session by node name on its owning shard. When
+// several sessions share a name the most recent wins.
 func (c *Controller) Session(node string) (*Session, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	s := c.liveSession(node)
+	var s *Session
+	c.onNode(node, false, func(sh *shard, _ *nodeState) {
+		s = sh.liveSessionLocked(node)
+	})
 	if s == nil {
 		return nil, fmt.Errorf("fleet: no connected node %q", node)
 	}
 	return s, nil
 }
 
-// liveSession returns the newest session for a node, nil when
-// offline. Callers hold c.mu.
-func (c *Controller) liveSession(node string) *Session {
-	var best *Session
-	for _, s := range c.sessions {
-		if s.Node() == node && (best == nil || s.ID() > best.ID()) {
-			best = s
-		}
-	}
-	return best
-}
-
 // LegacyReceived returns the uploads accepted over v1 connections.
 func (c *Controller) LegacyReceived() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.legacy
+	total := 0
+	for _, sh := range c.snapshotShards() {
+		sh.mu.Lock()
+		total += sh.legacy
+		sh.mu.Unlock()
+	}
+	return total
 }
 
 // Deploy ships serialized microclassifier bytes (a filter.(*MC).Save
 // stream, e.g. an fftrain weights file) to a stream of the named
-// node, recording the deployment as intent so a node that loses it
-// (crash, partition) gets it re-pushed on reconnect. With the node
-// offline, the intent is still recorded and ErrDeferred returned. A
-// deployment the edge itself rejects (ErrRejected) is rolled back out
-// of the intent; a transport failure keeps it, because the node's
-// state is unknown and reconciliation will settle it.
+// node, recording the deployment as intent on the owning shard so a
+// node that loses it (crash, partition) gets it re-pushed on
+// reconnect. With the node offline, the intent is still recorded and
+// ErrDeferred returned. A deployment the edge itself rejects
+// (ErrRejected) is rolled back out of the intent; a transport failure
+// keeps it, because the node's state is unknown and reconciliation
+// will settle it.
 func (c *Controller) Deploy(node, stream string, mc []byte, threshold float32) error {
 	name, nameErr := filter.MCName(bytes.NewReader(mc))
 
-	c.mu.Lock()
-	st := c.node(node)
 	var prev deployment
 	var had bool
 	var gen uint64
-	if nameErr == nil {
-		if st.intent[stream] == nil {
-			st.intent[stream] = make(map[string]deployment)
+	var sess *Session
+	c.onNode(node, true, func(sh *shard, st *nodeState) {
+		if nameErr == nil {
+			if st.intent[stream] == nil {
+				st.intent[stream] = make(map[string]deployment)
+			}
+			prev, had = st.intent[stream][name]
+			st.intent[stream][name] = deployment{mc: mc, threshold: threshold}
+			st.gen++
+			gen = st.gen
 		}
-		prev, had = st.intent[stream][name]
-		st.intent[stream][name] = deployment{mc: mc, threshold: threshold}
-		st.gen++
-		gen = st.gen
-	}
-	sess := c.liveSession(node)
-	c.mu.Unlock()
+		sess = sh.liveSessionLocked(node)
+	})
 
 	if sess == nil {
 		if nameErr != nil {
@@ -641,14 +741,16 @@ func (c *Controller) Deploy(node, stream string, mc []byte, threshold float32) e
 	err := sess.deploy(stream, mc, threshold, gen)
 	if err != nil && nameErr == nil && errors.Is(err, ErrRejected) {
 		// The node answered and refused: this intent can never apply.
-		c.mu.Lock()
-		if had {
-			st.intent[stream][name] = prev
-		} else {
-			delete(st.intent[stream], name)
-		}
-		st.gen++
-		c.mu.Unlock()
+		// The rollback re-resolves the node record — a resize may have
+		// moved it (pointer and all) to another shard mid round trip.
+		c.onNode(node, true, func(_ *shard, st *nodeState) {
+			if had {
+				st.intent[stream][name] = prev
+			} else {
+				delete(st.intent[stream], name)
+			}
+			st.gen++
+		})
 	}
 	return err
 }
@@ -659,15 +761,16 @@ func (c *Controller) Deploy(node, stream string, mc []byte, threshold float32) e
 // recorded and ErrDeferred returned; the node's copy is removed when
 // it reconnects.
 func (c *Controller) Undeploy(node, stream, mcName string) error {
-	c.mu.Lock()
-	st := c.node(node)
-	if _, had := st.intent[stream][mcName]; had {
-		delete(st.intent[stream], mcName)
-		st.gen++
-	}
-	gen := st.gen
-	sess := c.liveSession(node)
-	c.mu.Unlock()
+	var gen uint64
+	var sess *Session
+	c.onNode(node, true, func(sh *shard, st *nodeState) {
+		if _, had := st.intent[stream][mcName]; had {
+			delete(st.intent[stream], mcName)
+			st.gen++
+		}
+		gen = st.gen
+		sess = sh.liveSessionLocked(node)
+	})
 	if sess == nil {
 		return fmt.Errorf("fleet: undeploy %s/%s %q: %w", node, stream, mcName, ErrDeferred)
 	}
@@ -686,39 +789,37 @@ func (c *Controller) DeployMC(node, stream string, mc *filter.MC, threshold floa
 // Intent returns the controller's intended MC deployment for a node
 // as stream -> sorted MC names, with the current generation.
 func (c *Controller) Intent(node string) (map[string][]string, uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	st := c.nodes[node]
-	if st == nil {
-		return nil, 0
-	}
-	out := make(map[string][]string, len(st.intent))
-	for stream, mcs := range st.intent {
-		names := make([]string, 0, len(mcs))
-		for name := range mcs {
-			names = append(names, name)
+	var out map[string][]string
+	var gen uint64
+	c.onNode(node, false, func(_ *shard, st *nodeState) {
+		out = make(map[string][]string, len(st.intent))
+		for stream, mcs := range st.intent {
+			names := make([]string, 0, len(mcs))
+			for name := range mcs {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			out[stream] = names
 		}
-		sort.Strings(names)
-		out[stream] = names
-	}
-	return out, st.gen
+		gen = st.gen
+	})
+	return out, gen
 }
 
 // IntentMCBytes returns the serialized bytes the controller intends
 // for one node/stream/MC, for byte-level verification of converged
 // deployments.
 func (c *Controller) IntentMCBytes(node, stream, mcName string) ([]byte, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	st := c.nodes[node]
-	if st == nil {
-		return nil, false
-	}
-	dep, ok := st.intent[stream][mcName]
-	if !ok {
-		return nil, false
-	}
-	return append([]byte(nil), dep.mc...), true
+	var out []byte
+	var ok bool
+	c.onNode(node, false, func(_ *shard, st *nodeState) {
+		dep, found := st.intent[stream][mcName]
+		if found {
+			out = append([]byte(nil), dep.mc...)
+			ok = true
+		}
+	})
+	return out, ok
 }
 
 // Fetch demand-fetches archived frames [start, end) of a stream on

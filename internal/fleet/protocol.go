@@ -65,6 +65,37 @@ type Welcome struct {
 	// DeployGen is the controller's current deploy generation for the
 	// node, so a fresh edge starts in sync.
 	DeployGen uint64
+	// Shard is the controller shard that owns the node's session
+	// (always 0 on an unsharded controller).
+	Shard int
+}
+
+// Redirect refuses or terminates a session because the node belongs
+// to a different controller shard (datacenter → edge). The edge
+// treats it like any other lost session: it redials, and its resume
+// hello reconciles ledger and deploy state on the owning shard.
+type Redirect struct {
+	// Shard is the owning shard at the time of the redirect — purely
+	// informational for a single-address fleet, where redialing the
+	// same endpoint routes correctly.
+	Shard int
+	// Epoch is the placement epoch the redirect was issued under.
+	Epoch uint64
+	// Reason describes why the session was turned away ("re-homed",
+	// "stale placement").
+	Reason string
+}
+
+// Forward hands a validated hello from the router to the owning shard
+// together with the placement epoch the routing decision was made
+// under. The shard rejects (redirects) the hello if the epoch moved
+// before registration, so a node is never registered on a shard that
+// no longer owns it. It also frames the hello when a routing tier
+// forwards it over the wire to a remote shard.
+type Forward struct {
+	Shard int
+	Epoch uint64
+	Hello Hello
 }
 
 // DeployRequest ships a microclassifier to an edge stream

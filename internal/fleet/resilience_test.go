@@ -375,7 +375,11 @@ func TestSessionRequestTimeouts(t *testing.T) {
 				close(deployDone)
 			}()
 			seq := f.readDeploy()
-			go tc.drive(t, f, seq, deployDone)
+			driveDone := make(chan struct{})
+			go func() {
+				defer close(driveDone)
+				tc.drive(t, f, seq, deployDone)
+			}()
 			select {
 			case err := <-errCh:
 				if !tc.wantErr(err) {
@@ -383,6 +387,17 @@ func TestSessionRequestTimeouts(t *testing.T) {
 				}
 			case <-time.After(10 * time.Second):
 				t.Fatal("Deploy never returned")
+			}
+			// Join the drive goroutine before going on: the edge side of
+			// a fakeEdge is two unsynchronized test goroutines sharing one
+			// conn (real agents serialize writes), so letting a starved
+			// drive's late ack overlap the follow-up round trip — or the
+			// deferred conn close — corrupts the stream or hits a closed
+			// pipe and fails the test spuriously.
+			select {
+			case <-driveDone:
+			case <-time.After(10 * time.Second):
+				t.Fatal("drive never finished")
 			}
 
 			if tc.after {

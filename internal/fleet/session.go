@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/vision"
 )
@@ -27,6 +28,12 @@ var ErrLiveness = errors.New("fleet: heartbeat liveness timeout")
 // ErrEvicted terminates a session the controller force-closed because
 // the node reconnected: the resumed session replaces the stale one.
 var ErrEvicted = errors.New("fleet: session replaced by reconnect")
+
+// ErrRedirected terminates a session whose node was re-homed to
+// another controller shard (a shard-count change moved it on the
+// consistent-hash ring). The edge reconnects and resumes on the new
+// owner; the agent surfaces the count via Rehomes.
+var ErrRedirected = errors.New("fleet: session re-homed to another shard")
 
 // Session is the controller's view of one connected edge node. Its
 // uploads land in a per-session core.Datacenter, attributing every
@@ -59,9 +66,13 @@ type Session struct {
 	dc        *core.Datacenter
 	done      chan struct{}
 	closeOnce sync.Once
+
+	// hbGap, when non-nil, observes the gap between consecutive
+	// heartbeats — the owning shard's heartbeat-latency histogram.
+	hbGap *obs.Histogram
 }
 
-func newSession(id uint64, hello Hello, conn net.Conn, timeout, liveness time.Duration) *Session {
+func newSession(id uint64, hello Hello, conn net.Conn, timeout, liveness time.Duration, hbGap *obs.Histogram) *Session {
 	return &Session{
 		id:          id,
 		node:        hello.Node,
@@ -74,6 +85,7 @@ func newSession(id uint64, hello Hello, conn net.Conn, timeout, liveness time.Du
 		fetchFrames: make(map[uint64][]*vision.Image),
 		dc:          core.NewDatacenter(),
 		done:        make(chan struct{}),
+		hbGap:       hbGap,
 	}
 }
 
@@ -273,10 +285,14 @@ func (s *Session) write(kind uint8, payload any) error {
 // run is the session's reader loop; the controller drives it in the
 // connection's goroutine. It returns after a clean goodbye, a read
 // error, a liveness eviction, or the connection closing. onUpload
-// decides whether an upload is fresh (the controller's node-level
-// dedup) — accepted uploads land in the session datacenter and are
-// acked by sequence number either way, so the edge stops resending.
-func (s *Session) run(onUpload func(*Session, transport.UploadRecord) bool) error {
+// decides whether an upload is fresh (accepted → recorded in the
+// session datacenter) and whether to ack it. The two are distinct: a
+// dedup-dropped retransmission is refused but still acked so the edge
+// retires it, while an upload refused because this shard no longer
+// owns the node must NOT be acked — the edge keeps it buffered and
+// resends to the node's new owner, or exactly-once would silently
+// become at-most-once across a re-home.
+func (s *Session) run(onUpload func(*Session, transport.UploadRecord) (accept, ack bool)) error {
 	err := s.readLoop(onUpload)
 	s.markDone(err)
 	return err
@@ -302,7 +318,7 @@ func (s *Session) evict() {
 	s.conn.Close()
 }
 
-func (s *Session) readLoop(onUpload func(*Session, transport.UploadRecord) bool) error {
+func (s *Session) readLoop(onUpload func(*Session, transport.UploadRecord) (accept, ack bool)) error {
 	// Acks are best-effort: they only trim the edge's resend buffer
 	// (dedup makes retransmissions harmless), so a failed ack write —
 	// typical when an edge says goodbye and closes while its final
@@ -325,13 +341,17 @@ func (s *Session) readLoop(onUpload func(*Session, transport.UploadRecord) bool)
 			if err := transport.DecodeRecord(body, &rec); err != nil {
 				return err
 			}
-			if onUpload == nil || onUpload(s, rec) {
+			accept, ack := true, true
+			if onUpload != nil {
+				accept, ack = onUpload(s, rec)
+			}
+			if accept {
 				s.mu.Lock()
 				s.dc.Receive(rec.ToUpload())
 				s.received++
 				s.mu.Unlock()
 			}
-			if rec.Seq != 0 && !ackBroken {
+			if ack && rec.Seq != 0 && !ackBroken {
 				if err := s.write(transport.KindUploadAck, UploadAck{Seq: rec.Seq}); err != nil {
 					// A write timeout means the live peer's downlink is
 					// stalled: end the session so the edge reconnects
@@ -386,10 +406,15 @@ func (s *Session) readLoop(onUpload func(*Session, transport.UploadRecord) bool)
 			if err := transport.DecodeRecord(body, &hb); err != nil {
 				return err
 			}
+			now := time.Now()
 			s.mu.Lock()
+			prev := s.heartbeatAt
 			s.heartbeat = hb
-			s.heartbeatAt = time.Now()
+			s.heartbeatAt = now
 			s.mu.Unlock()
+			if s.hbGap != nil && !prev.IsZero() {
+				s.hbGap.Observe(now.Sub(prev))
+			}
 		case transport.KindBye:
 			return nil
 		default:

@@ -1,0 +1,362 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/transport"
+)
+
+// shard is one slice of the control plane: a self-contained session
+// registry, exactly-once upload ledger, deploy-generation intent
+// store, and datacenter receiver for the nodes the consistent-hash
+// ring places on it. Every per-node guarantee the monolithic
+// controller gave — upload dedup by sequence high-water mark, intent
+// reconciliation on resume, lifecycle counting — holds within a
+// shard, and a node only ever lives on one shard at a time (the
+// placement-epoch check in serveSession enforces it), so the
+// guarantees compose to fleet-global ones.
+type shard struct {
+	id int
+	c  *Controller
+
+	mu       sync.Mutex
+	sessions map[uint64]*Session
+	nodes    map[string]*nodeState
+	dc       *core.Datacenter // aggregate across this shard's sessions
+	legacy   int              // uploads received over v1 connections
+	// uploads and uploadBits are the shard ledger totals: every
+	// deduplicated upload accepted, across all of the shard's nodes.
+	uploads    int
+	uploadBits int64
+	// redirects counts hellos and sessions this shard turned away
+	// because the placement epoch moved under them.
+	redirects int
+
+	// hbGap observes the gap between consecutive heartbeats of each
+	// session — the shard's control-latency signal.
+	hbGap *obs.Histogram
+}
+
+func newShard(id int, c *Controller) *shard {
+	return &shard{
+		id:       id,
+		c:        c,
+		sessions: make(map[uint64]*Session),
+		nodes:    make(map[string]*nodeState),
+		dc:       core.NewDatacenter(),
+		hbGap:    &obs.Histogram{},
+	}
+}
+
+// node returns the durable state for a node name. Callers hold sh.mu
+// and own the node under the current placement epoch.
+func (sh *shard) node(name string) *nodeState {
+	st := sh.nodes[name]
+	if st == nil {
+		st = &nodeState{
+			intent: make(map[string]map[string]deployment),
+			dc:     core.NewDatacenter(),
+		}
+		sh.nodes[name] = st
+	}
+	return st
+}
+
+// liveSessionLocked returns the newest session for a node, nil when
+// offline. Callers hold sh.mu.
+func (sh *shard) liveSessionLocked(node string) *Session {
+	var best *Session
+	for _, s := range sh.sessions {
+		if s.Node() == node && (best == nil || s.ID() > best.ID()) {
+			best = s
+		}
+	}
+	return best
+}
+
+// serveLegacy drains a v1 one-way upload pipe into the shard's
+// datacenter — backward compatibility with pre-fleet edges. Legacy
+// pipes carry no node identity, so the router parks them all on
+// shard 0 rather than hashing nothing.
+func (sh *shard) serveLegacy(conn net.Conn) error {
+	for {
+		kind, body, err := transport.ReadRecord(conn)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		switch kind {
+		case transport.KindUpload:
+			var rec transport.UploadRecord
+			if err := transport.DecodeRecord(body, &rec); err != nil {
+				return err
+			}
+			sh.mu.Lock()
+			sh.dc.Receive(rec.ToUpload())
+			sh.legacy++
+			sh.mu.Unlock()
+		case transport.KindBye:
+			return nil
+		default:
+			return fmt.Errorf("fleet: v1 peer sent record kind %d", kind)
+		}
+	}
+}
+
+// serveSession registers and runs one edge session whose hello the
+// router forwarded. fwd pins the placement epoch the routing decision
+// was made under: if a concurrent Resize moved the epoch before the
+// registration critical section, the shard mutates nothing and
+// redirects — the edge redials and the (new) owner registers it. The
+// check sits before any state change, so a stale placement can never
+// split a node's ledger or lifecycle counters across shards.
+func (sh *shard) serveSession(conn net.Conn, fwd Forward) error {
+	hello := fwd.Hello
+	cfg := &sh.c.cfg
+	liveness := time.Duration(0)
+	if cfg.HeartbeatMiss > 0 && hello.HeartbeatEvery > 0 {
+		liveness = time.Duration(cfg.HeartbeatMiss) * hello.HeartbeatEvery
+	}
+
+	sh.mu.Lock()
+	if sh.c.epoch.Load() != fwd.Epoch {
+		// Placement moved while the hello was in flight. The routing
+		// decision may still be right (most resizes move few nodes),
+		// but re-checking here would need c.mu under sh.mu — the wrong
+		// lock order. Turning the hello away is always safe: redials
+		// are cheap and re-route under the new epoch.
+		sh.redirects++
+		sh.mu.Unlock()
+		if err := transport.WriteHeader(conn, transport.Version2); err != nil {
+			return err
+		}
+		shardNow, epochNow := sh.c.placement(hello.Node)
+		_ = transport.WriteRecordDeadline(conn, transport.KindRedirect,
+			Redirect{Shard: shardNow, Epoch: epochNow, Reason: "stale placement"}, cfg.Timeout)
+		return ErrRedirected
+	}
+	// A node has at most one live session: a returning node (crashed,
+	// partitioned, or NATed onto a new connection) replaces its stale
+	// session, which the registry would otherwise serve round trips to.
+	st := sh.node(hello.Node)
+	for id, old := range sh.sessions {
+		if old.Node() == hello.Node {
+			old.evict()
+			delete(sh.sessions, id)
+			st.evicted++
+			cfg.Log.Warn("fleet: stale session replaced",
+				"node", hello.Node, "shard", sh.id, "session", id, "evicted", st.evicted)
+		}
+	}
+	if hello.Resume {
+		st.reconnects++
+	} else {
+		// A fresh (non-resume) hello is a new edge incarnation whose
+		// upload sequence space restarts at 1; keeping the previous
+		// incarnation's high-water mark would silently drop every
+		// upload the new process sends as a "duplicate".
+		st.lastSeq = 0
+	}
+	gen := st.gen
+	// Snapshot the reconciliation work in the same critical section
+	// that registers the session: intent recorded by a concurrent
+	// Deploy (e.g. an OnSession hook) after this point has its own
+	// pusher, and double-pushing would end in a duplicate rejection
+	// that rolls back valid intent.
+	work := reconcileWorkLocked(st, hello)
+	s := newSession(sh.c.nextID.Add(1), hello, conn, cfg.Timeout, liveness, sh.hbGap)
+	sh.sessions[s.id] = s
+	sh.mu.Unlock()
+	cfg.Log.Info("fleet: session open",
+		"node", hello.Node, "shard", sh.id, "session", s.id, "resume", hello.Resume,
+		"streams", len(hello.Streams), "deploy_gen", hello.DeployGen,
+		"reconcile", len(work))
+	defer func() {
+		// If the handshake failed before s.run could report, wake any
+		// caller that already found the session in the registry.
+		s.markDone(errors.New("fleet: session handshake failed"))
+		sh.mu.Lock()
+		delete(sh.sessions, s.id)
+		sh.mu.Unlock()
+	}()
+
+	if err := transport.WriteHeader(conn, transport.Version2); err != nil {
+		return err
+	}
+	if err := s.write(transport.KindWelcome, Welcome{SessionID: s.id, DeployGen: gen, Shard: sh.id}); err != nil {
+		return err
+	}
+	// Reconcile every session against intent, not just resumes:
+	// intent recorded while the node was offline (ErrDeferred) must
+	// also reach a node that restarted and reconnects with a fresh
+	// hello. For a node with no intent history this is a no-op.
+	if hello.DeployGen != gen || len(work) > 0 {
+		go runReconcile(s, gen, work)
+	}
+	if hook := cfg.OnSession; hook != nil {
+		go hook(s)
+	}
+	err := s.run(sh.acceptUpload)
+	// Liveness evictions end the session from inside its reader; count
+	// them against the node. The lookup must not auto-create: a resize
+	// may have re-homed the node record while this session was dying
+	// (its terminal error is then ErrRedirected, so this branch cannot
+	// double-count a moved node anyway).
+	if terminal := s.Err(); errors.Is(terminal, ErrLiveness) {
+		sh.mu.Lock()
+		evicted := 0
+		if st := sh.nodes[s.node]; st != nil {
+			st.evicted++
+			evicted = st.evicted
+		}
+		sh.mu.Unlock()
+		cfg.Log.Warn("fleet: liveness eviction",
+			"node", s.node, "shard", sh.id, "session", s.id, "window", liveness,
+			"evicted", evicted)
+	} else {
+		cfg.Log.Info("fleet: session closed",
+			"node", s.node, "shard", sh.id, "session", s.id, "uploads", s.Received())
+	}
+	return err
+}
+
+// acceptUpload is the node-level dedup gate. A sequenced upload at or
+// below the node's high-water mark is a retransmission of something
+// already accounted: dropped but acked, so the edge retires it. An
+// upload reaching a session that is already done, or a shard that no
+// longer owns the node record (re-home raced the delivery), is
+// dropped WITHOUT an ack: no shard is accounting it here, so the edge
+// must keep it buffered and retransmit to the node's current owner.
+// Fresh uploads land in the node and shard datacenters and the shard
+// ledger totals.
+func (sh *shard) acceptUpload(s *Session, rec transport.UploadRecord) (accept, ack bool) {
+	up := rec.ToUpload()
+	sh.mu.Lock()
+	// An evicted session must not touch the node ledger: its
+	// replacement may already have reset the dedup high-water mark,
+	// and a stale delivery would re-poison it. Eviction (markDone)
+	// happens under sh.mu, so checking here — after acquiring it —
+	// leaves no window for a stale reader to slip past.
+	select {
+	case <-s.done:
+		sh.mu.Unlock()
+		return false, false
+	default:
+	}
+	// No auto-create: after a re-home the node record lives on another
+	// shard, and this session is a dead man walking (markDone raced
+	// with the move). Refusing keeps the moved ledger authoritative.
+	st := sh.nodes[s.node]
+	if st == nil {
+		sh.mu.Unlock()
+		return false, false
+	}
+	if rec.Seq != 0 {
+		if rec.Seq <= st.lastSeq {
+			sh.mu.Unlock()
+			return false, true
+		}
+		st.lastSeq = rec.Seq
+	}
+	st.dc.Receive(up)
+	// The aggregate view prefixes the node name so two nodes running
+	// the same application don't collide; the per-node and per-session
+	// datacenters keep the edge's own naming.
+	tagged := up
+	tagged.MCName = s.node + "/" + up.MCName
+	sh.dc.Receive(tagged)
+	sh.uploads++
+	sh.uploadBits += up.Bits
+	sh.mu.Unlock()
+	if hook := sh.c.cfg.OnUpload; hook != nil {
+		hook(s, up)
+	}
+	return true, true
+}
+
+// loads converts the shard's live sessions into per-stream NodeLoads
+// — the heartbeat rollup input. Latency digests and lifecycle
+// counters are node-level, so they ride on each node's first load
+// only (SummarizeFleet would double-count them otherwise). Loads are
+// not sorted; the rollup is order-independent by construction.
+func (sh *shard) loads() []metrics.NodeLoad {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	var loads []metrics.NodeLoad
+	for _, s := range sh.sessions {
+		hb, _ := s.LastHeartbeat()
+		for i, si := range s.Streams() {
+			st := hb.Streams[si.Name]
+			load := metrics.NodeLoad{
+				Node: s.Node() + "/" + si.Name, Frames: st.Frames, FPS: si.FPS,
+				Uploads: st.Uploads, UploadedBits: st.UploadedBits,
+				DemandFetchBits: st.DemandFetchBits,
+				ArchivedBits:    st.ArchivedBits, ArchiveBytes: st.ArchiveBytes,
+				ArchiveEvictedSegments: st.ArchiveEvictedSegments,
+				ArchiveEvictedBytes:    st.ArchiveEvictedBytes,
+			}
+			if i == 0 {
+				load.ExtractLat = hb.Extract
+				load.MCPushLat = hb.MCPush
+				load.QueueWaitLat = hb.QueueWait
+				load.UploadRTTLat = hb.UploadRTT
+				if ns := sh.nodes[s.Node()]; ns != nil {
+					load.Evicted = ns.evicted
+					load.Reconnects = ns.reconnects
+				}
+			}
+			loads = append(loads, load)
+		}
+	}
+	return loads
+}
+
+// ShardStat is one shard's load snapshot for operators and the
+// ff_fleet_shard_* gauges.
+type ShardStat struct {
+	// Shard is the shard index.
+	Shard int
+	// Nodes counts node records homed on the shard (durable across
+	// sessions); Sessions counts live sessions.
+	Nodes    int
+	Sessions int
+	// Uploads and UploadBits are the shard ledger totals: every
+	// deduplicated upload the shard ever accepted.
+	Uploads    int
+	UploadBits int64
+	// Legacy counts uploads over v1 pipes (always on shard 0).
+	Legacy int
+	// Redirects counts hellos turned away under a stale placement
+	// epoch.
+	Redirects int
+	// HeartbeatGap digests the observed gap between consecutive
+	// heartbeats across the shard's sessions — its control-plane
+	// latency signal.
+	HeartbeatGap obs.Summary
+}
+
+// stats snapshots the shard's ShardStat.
+func (sh *shard) stats() ShardStat {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return ShardStat{
+		Shard:        sh.id,
+		Nodes:        len(sh.nodes),
+		Sessions:     len(sh.sessions),
+		Uploads:      sh.uploads,
+		UploadBits:   sh.uploadBits,
+		Legacy:       sh.legacy,
+		Redirects:    sh.redirects,
+		HeartbeatGap: sh.hbGap.Summary(),
+	}
+}

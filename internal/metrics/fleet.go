@@ -101,6 +101,12 @@ type FleetSummary struct {
 	// AverageBitrate is total uploaded bits over total stream time
 	// across nodes with a known rate, in bits/s.
 	AverageBitrate float64
+	// RatedBits and RatedSeconds are AverageBitrate's numerator and
+	// denominator (link bits and stream time of nodes with a known
+	// rate). They are carried explicitly so per-shard summaries merge
+	// exactly: averages of averages drift, but sums of sums do not.
+	RatedBits    int64
+	RatedSeconds float64
 	// MaxNodeBitrate is the highest single-node average bitrate —
 	// the hot spot a capacity planner watches.
 	MaxNodeBitrate float64
@@ -112,8 +118,6 @@ type FleetSummary struct {
 // summary.
 func SummarizeFleet(nodes []NodeLoad) FleetSummary {
 	var s FleetSummary
-	var seconds float64
-	var ratedBits int64
 	for _, n := range nodes {
 		s.Nodes++
 		s.Frames += n.Frames
@@ -131,16 +135,66 @@ func SummarizeFleet(nodes []NodeLoad) FleetSummary {
 		s.QueueWaitLat.Merge(n.QueueWaitLat)
 		s.UploadRTTLat.Merge(n.UploadRTTLat)
 		if n.Frames > 0 && n.FPS > 0 {
-			seconds += float64(n.Frames) / float64(n.FPS)
-			ratedBits += n.UploadedBits + n.DemandFetchBits
+			s.RatedSeconds += float64(n.Frames) / float64(n.FPS)
+			s.RatedBits += n.UploadedBits + n.DemandFetchBits
 		}
-		if br := n.Bitrate(); br > s.MaxNodeBitrate {
+		// The hot-spot pick must be a proper semilattice (deterministic
+		// under reordering) or sharded rollups would disagree with the
+		// unsharded one: ties on bitrate break toward the smaller name.
+		if br := n.Bitrate(); br > s.MaxNodeBitrate ||
+			(br > 0 && br == s.MaxNodeBitrate && n.Node < s.MaxNode) {
 			s.MaxNodeBitrate = br
 			s.MaxNode = n.Node
 		}
 	}
-	if seconds > 0 {
-		s.AverageBitrate = float64(ratedBits) / seconds
+	if s.RatedSeconds > 0 {
+		s.AverageBitrate = float64(s.RatedBits) / s.RatedSeconds
+	}
+	return s
+}
+
+// Merge folds another summary into s — the cross-shard rollup. Counts
+// and totals add; latency digests merge with the same worst-case
+// semantics SummarizeFleet uses (obs.Summary.Merge); AverageBitrate is
+// recomputed from the exact RatedBits/RatedSeconds sums; the hot-spot
+// node is the bitrate maximum with the same smaller-name tie-break.
+// Merge is associative and commutative, so shards may report in any
+// order, grouping, or interleaving and the rollup is identical — and
+// equal to SummarizeFleet over the concatenated loads.
+func (s *FleetSummary) Merge(o FleetSummary) {
+	s.Nodes += o.Nodes
+	s.Frames += o.Frames
+	s.Uploads += o.Uploads
+	s.UploadedBits += o.UploadedBits
+	s.DemandFetchBits += o.DemandFetchBits
+	s.ArchivedBits += o.ArchivedBits
+	s.ArchiveBytes += o.ArchiveBytes
+	s.ArchiveEvictedSegments += o.ArchiveEvictedSegments
+	s.ArchiveEvictedBytes += o.ArchiveEvictedBytes
+	s.Evicted += o.Evicted
+	s.Reconnects += o.Reconnects
+	s.ExtractLat.Merge(o.ExtractLat)
+	s.MCPushLat.Merge(o.MCPushLat)
+	s.QueueWaitLat.Merge(o.QueueWaitLat)
+	s.UploadRTTLat.Merge(o.UploadRTTLat)
+	s.RatedBits += o.RatedBits
+	s.RatedSeconds += o.RatedSeconds
+	if o.MaxNodeBitrate > s.MaxNodeBitrate ||
+		(o.MaxNodeBitrate > 0 && o.MaxNodeBitrate == s.MaxNodeBitrate && o.MaxNode < s.MaxNode) {
+		s.MaxNodeBitrate = o.MaxNodeBitrate
+		s.MaxNode = o.MaxNode
+	}
+	s.AverageBitrate = 0
+	if s.RatedSeconds > 0 {
+		s.AverageBitrate = float64(s.RatedBits) / s.RatedSeconds
+	}
+}
+
+// MergeFleet rolls per-shard summaries up into one fleet summary.
+func MergeFleet(parts []FleetSummary) FleetSummary {
+	var s FleetSummary
+	for _, p := range parts {
+		s.Merge(p)
 	}
 	return s
 }

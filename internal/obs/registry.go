@@ -79,6 +79,16 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
+// ShardGauge returns the gauge for one control-plane shard's metric,
+// named "ff_fleet_shard_<shard>_<name>" — the per-shard load/latency
+// surface a sharded fleet controller exports (node counts, ledger
+// sizes, heartbeat-gap tails). Shards come and go with resizes;
+// retired shards keep their last reading, which scrapes can drop by
+// comparing against the live shard count gauge.
+func (r *Registry) ShardGauge(shard int, name string) *Gauge {
+	return r.Gauge(fmt.Sprintf("ff_fleet_shard_%d_%s", shard, name))
+}
+
 // Histogram returns the named histogram, creating it on first use.
 func (r *Registry) Histogram(name string) *Histogram {
 	r.mu.Lock()

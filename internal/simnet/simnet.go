@@ -148,15 +148,37 @@ func (n *Network) Dial(from, to string) (net.Conn, error) {
 	}
 }
 
-// live returns the open pipes for one direction. Callers hold n.mu.
+// live returns the open pipes for one direction, compacting dead ones
+// out of the registry as it goes — a long chaos soak reconnects
+// thousands of times, and without pruning every dead pipe would pin
+// its buffers until the network is garbage. Callers hold n.mu; pipe
+// methods never take n.mu, so calling p.dead() here is safe.
 func (n *Network) live(from, to string) []*pipe {
-	var out []*pipe
-	for _, p := range n.pipes[dirKey(from, to)] {
+	key := dirKey(from, to)
+	kept := n.pipes[key][:0]
+	for _, p := range n.pipes[key] {
 		if !p.dead() {
-			out = append(out, p)
+			kept = append(kept, p)
 		}
 	}
-	return out
+	if len(kept) == 0 {
+		delete(n.pipes, key)
+		return nil
+	}
+	n.pipes[key] = kept
+	return kept
+}
+
+// Pipes returns how many pipes (two per connection, one each way) the
+// registry currently tracks, dead or alive — the leak observable.
+func (n *Network) Pipes() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	total := 0
+	for _, ps := range n.pipes {
+		total += len(ps)
+	}
+	return total
 }
 
 // SetLatency sets the one-way delivery delay for the direction,
@@ -246,6 +268,11 @@ func (n *Network) Partition(a, b string) {
 	for _, p := range n.pipes[dirKey(b, a)] {
 		p.sever()
 	}
+	// Severed pipes are dead for good (Heal does not revive them); the
+	// endpoints hold their own references, so the registry entries are
+	// pure bookkeeping and can go now.
+	delete(n.pipes, dirKey(a, b))
+	delete(n.pipes, dirKey(b, a))
 }
 
 // Heal lifts a partition: new dials between a and b succeed again.

@@ -107,6 +107,19 @@ const (
 	// retransmitted after a reconnect, and the receiver deduplicates
 	// by sequence number — together, exactly-once upload accounting.
 	KindUploadAck uint8 = 12
+	// KindRedirect tells an edge its node is owned by a different
+	// controller shard (datacenter → edge). Sent instead of a welcome
+	// when a hello lands on the wrong shard of a sharded control
+	// plane, or mid-session when a shard-count change re-homes the
+	// node; the edge reconnects and its resume hello reconciles on the
+	// new owner exactly like any other reconnect.
+	KindRedirect uint8 = 13
+	// KindForward hands a validated hello from the router to the
+	// owning shard (router → shard). It pins the placement epoch the
+	// routing decision was made under, so a shard can detect a
+	// concurrent re-shard and redirect instead of registering a node
+	// it no longer owns.
+	KindForward uint8 = 14
 )
 
 // MaxRecordBytes bounds a single record payload, keeping a

@@ -15,6 +15,10 @@
 //	fleet         sharded control-plane soak on the simulated network
 //	              (per-shard placement, ledgers, heartbeat quantiles,
 //	              mid-run re-shard)
+//	drift         semantic drift detection end to end: an induced
+//	              brightness shift on one node must be flagged from
+//	              heartbeat score sketches with zero false positives
+//	              on a stationary control node
 //	all           everything above
 //
 // -cpuprofile/-memprofile write pprof profiles of the run, which is
@@ -48,7 +52,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "datasets|bandwidth|throughput|breakdown|cost-accuracy|crop|window-buffer|pooling-baseline|phased-pipelined|multistream|archive|kernels|fleet|all")
+		experiment = flag.String("experiment", "all", "datasets|bandwidth|throughput|breakdown|cost-accuracy|crop|window-buffer|pooling-baseline|phased-pipelined|multistream|archive|kernels|fleet|drift|all")
 		width      = flag.Int("width", 96, "working-scale frame width")
 		trainN     = flag.Int("train-frames", 1200, "training-day frames")
 		testN      = flag.Int("test-frames", 1200, "test-day frames")
@@ -64,6 +68,7 @@ func main() {
 		flShards   = flag.Int("fleet-shards", 4, "initial controller shards in the fleet soak benchmark")
 		flResize   = flag.Int("fleet-resize", 6, "shard count after the fleet soak's mid-run resize")
 		flFrames   = flag.Int("fleet-frames", 8, "frames each agent filters in the fleet soak benchmark")
+		drFrames   = flag.Int("drift-frames", 96, "per-phase frame budget in the drift detection benchmark")
 		kernFrames = flag.Int("kernel-frames", 200, "frames timed per path in the kernels benchmark")
 		jsonPath   = flag.String("json", "", "write machine-readable results (per-experiment data + wall times) to this path")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
@@ -285,6 +290,16 @@ func main() {
 				return err
 			}
 			record("fleet", res)
+			return nil
+		})
+	}
+	if want("drift") {
+		run("drift (fleet-wide semantic drift detection)", func() error {
+			res, err := experiments.Drift(w, o, *drFrames)
+			if err != nil {
+				return err
+			}
+			record("drift", res)
 			return nil
 		})
 	}

@@ -30,6 +30,7 @@ func main() {
 		width     = flag.Int("width", 96, "working-scale frame width")
 		frames    = flag.Int("frames", 1200, "stream length")
 		seed      = flag.Int64("seed", 2, "stream seed (2 = the test day)")
+		bdrift    = flag.Float64("brightness-drift", -1, "override the dataset's sinusoidal lighting-drift amplitude (-1 keeps the dataset default; e.g. 0.7 induces a strong day-night shift for drift-detection smokes)")
 		weights   = flag.String("weights", "", "MC weights from fftrain (required unless the controller deploys one)")
 		threshold = flag.Float64("threshold", 0.5, "decision threshold from fftrain")
 		bitrate   = flag.Float64("bitrate", 60_000, "upload re-encode bitrate (b/s)")
@@ -63,6 +64,9 @@ func main() {
 	default:
 		log.Error("ffrun: unknown dataset", "dataset", *dsName)
 		os.Exit(1)
+	}
+	if *bdrift >= 0 {
+		cfg.BrightnessDrift = float32(*bdrift)
 	}
 	d := dataset.Generate(cfg)
 

@@ -19,6 +19,7 @@ import (
 	"repro/internal/archive"
 	"repro/internal/core"
 	"repro/internal/fleet"
+	"repro/internal/health"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/vision"
@@ -104,8 +105,9 @@ func main() {
 		archiveDir    = flag.String("archive-dir", "", "persist demand-fetched context frames into per-node/stream archive stores under this directory")
 		archiveBudget = flag.Int64("archive-budget", 0, "per-stream byte budget for -archive-dir stores (0 = unbounded; oldest segments evicted first)")
 
-		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/trace.json, and /debug/pprof on this address (empty disables)")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /healthz, /debug/health, /debug/trace.json, and /debug/pprof on this address (empty disables)")
 		logJSON   = flag.Bool("log-json", false, "emit structured logs as JSON lines")
+		sloSpec   = flag.String("slo", "", "SLO threshold overrides as name=warn[:crit] or name=off, comma-separated (e.g. \"extract_p99_ms=20:100,drift_psi=0.1\"); empty keeps the defaults")
 	)
 	flag.Parse()
 	log := obs.NewLogger(os.Stderr, *logJSON, slog.LevelInfo)
@@ -114,15 +116,24 @@ func main() {
 	// every summary tick from heartbeat data) rather than hot-path
 	// histograms; -debug-addr exposes it alongside pprof.
 	observer := obs.NewObserver(obs.Options{Log: log})
+	describeFleetGauges(observer.Reg)
+	sloRules, err := health.Parse(*sloSpec, fleetSLOs())
+	if err != nil {
+		log.Error("ffserve: bad -slo spec", "spec", *sloSpec, "err", err)
+		os.Exit(1)
+	}
+	ht := &healthTick{eng: health.New(sloRules), log: log}
 	if *debugAddr != "" {
-		dbg, err := obs.ServeDebug(*debugAddr, observer)
+		mux := obs.NewDebugMux(observer)
+		ht.eng.Register(mux)
+		dbg, err := obs.ServeMux(*debugAddr, mux)
 		if err != nil {
 			log.Error("ffserve: debug server failed", "err", err)
 			os.Exit(1)
 		}
 		defer dbg.Close()
 		log.Info("ffserve: debug server listening",
-			"addr", dbg.Addr, "endpoints", "/metrics /debug/trace.json /debug/pprof/")
+			"addr", dbg.Addr, "endpoints", "/metrics /healthz /debug/health /debug/trace.json /debug/pprof/")
 	}
 
 	var ctxArchive *contextArchiver
@@ -223,12 +234,13 @@ func main() {
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt)
+	ht.interval = *interval
 	tick := time.NewTicker(*interval)
 	defer tick.Stop()
 	for {
 		select {
 		case <-tick.C:
-			printSummary(ctrl, *frames, observer)
+			printSummary(ctrl, *frames, observer, ht)
 		case <-stop:
 			log.Info("ffserve: shutting down")
 			ctrl.Close()
@@ -237,12 +249,78 @@ func main() {
 	}
 }
 
+// fleetSLOs is ffserve's declared SLO set over the rollup signals the
+// summary tick computes. Signal units are milliseconds for latencies,
+// counts for the backlog, per-minute for eviction churn, and raw
+// statistic values for the drift scores; -slo overrides the
+// thresholds without changing the signal wiring.
+func fleetSLOs() []health.Rule {
+	return []health.Rule{
+		{Name: "extract_p99_ms", Signal: "extract_p99_ms", Warn: 50, Crit: 250, For: 2, ClearFor: 2},
+		{Name: "hb_gap_p95_ms", Signal: "hb_gap_p95_ms", Warn: 2000, Crit: 10_000, For: 2, ClearFor: 2},
+		{Name: "upload_backlog", Signal: "upload_backlog", Warn: 64, Crit: 512, For: 2, ClearFor: 2},
+		{Name: "evictions_per_min", Signal: "evictions_per_min", Warn: 2, Crit: 10, ClearFor: 2},
+		{Name: "drift_psi", Signal: "drift_psi", Warn: fleet.DefaultDriftPSI, Crit: 2 * fleet.DefaultDriftPSI, ClearFor: 2},
+		{Name: "drift_ks", Signal: "drift_ks", Warn: fleet.DefaultDriftKS, ClearFor: 2},
+	}
+}
+
+// healthTick folds one summary interval's fleet rollup into the SLO
+// engine. Signals without data this tick (no instrumented nodes, no
+// heartbeats yet) are omitted rather than zeroed, so their rules hold
+// state instead of flapping.
+type healthTick struct {
+	eng      *health.Engine
+	interval time.Duration
+	log      *slog.Logger
+	// lastEvicted/started derive the eviction rate from consecutive
+	// lifecycle totals.
+	lastEvicted int
+	started     bool
+}
+
+func (h *healthTick) eval(sum metrics.FleetSummary, stats []fleet.ShardStat, evicted int) health.Status {
+	signals := make(map[string]float64)
+	if sum.Nodes > 0 {
+		signals["upload_backlog"] = float64(sum.PendingUploads)
+		signals["drift_psi"] = sum.MaxDriftPSI
+		signals["drift_ks"] = sum.MaxDriftKS
+	}
+	if sum.ExtractLat.Count > 0 {
+		signals["extract_p99_ms"] = float64(sum.ExtractLat.P99) / 1e6
+	}
+	var gap int64
+	for _, s := range stats {
+		if s.HeartbeatGap.Count > 0 && s.HeartbeatGap.P95 > gap {
+			gap = s.HeartbeatGap.P95
+		}
+	}
+	if gap > 0 {
+		signals["hb_gap_p95_ms"] = float64(gap) / 1e6
+	}
+	if h.started && h.interval > 0 {
+		signals["evictions_per_min"] = float64(evicted-h.lastEvicted) / h.interval.Minutes()
+	}
+	h.lastEvicted, h.started = evicted, true
+	status, alerts := h.eng.Eval(signals)
+	for _, a := range alerts {
+		if a.Status == health.Healthy {
+			h.log.Info("ffserve: slo recovered", "rule", a.Rule, "value", a.Value)
+		} else {
+			h.log.Warn("ffserve: slo breached",
+				"rule", a.Rule, "status", a.Status.String(), "value", a.Value, "threshold", a.Threshold)
+		}
+	}
+	return status
+}
+
 // printSummary prints the fleet registry, the uplink rollup (including
-// the heartbeat-carried latency tails), and the per-application upload
-// summaries, all deterministically sorted. It also refreshes the
-// observer's fleet gauges, so -debug-addr's /metrics tracks the same
-// rollup the console shows.
-func printSummary(ctrl *fleet.Controller, frames int, observer *obs.Observer) {
+// the heartbeat-carried latency tails), drift status, and the
+// per-application upload summaries, all deterministically sorted. It
+// also evaluates the SLO engine for the tick and refreshes the
+// observer's fleet gauges, so -debug-addr's /metrics and /healthz
+// track the same rollup the console shows.
+func printSummary(ctrl *fleet.Controller, frames int, observer *obs.Observer, ht *healthTick) {
 	nodes := ctrl.ListNodes()
 	// Application summaries are read under the controller's lock so
 	// they are consistent against concurrent session uploads.
@@ -264,6 +342,33 @@ func printSummary(ctrl *fleet.Controller, frames int, observer *obs.Observer) {
 			apps = append(apps, appLine{name, covered, dc.TotalBits(name), len(dc.Events(name))})
 		}
 	})
+	// The fleet view is the cross-shard rollup: each shard summarizes
+	// its own sessions' heartbeat loads, and the summaries merge. This
+	// is exactly what a multi-process deployment would do — no code
+	// path here ever needs the flattened fleet-wide load list.
+	perShard := ctrl.ShardLoads()
+	summaries := make([]metrics.FleetSummary, 0, len(perShard))
+	for _, l := range perShard {
+		summaries = append(summaries, metrics.SummarizeFleet(l))
+	}
+	stats := ctrl.ShardStats()
+	sum := metrics.MergeFleet(summaries)
+	// Lifecycle totals come from the controller's durable node
+	// records, not the live-session loads: an evicted node with no
+	// current session is exactly the one that must not vanish from
+	// the rollup.
+	ev, rc := ctrl.Lifecycle()
+	// The SLO engine runs every tick, connected nodes or not: rules
+	// must keep their hysteresis state (and the eviction-rate window
+	// its baseline) across idle intervals.
+	status := health.Healthy
+	if ht != nil {
+		status = ht.eval(sum, stats, ev)
+	}
+	if observer != nil {
+		observer.Reg.Gauge("ff_fleet_health").Set(int64(status))
+	}
+
 	if len(nodes) == 0 && len(apps) == 0 && ctrl.LegacyReceived() == 0 {
 		return
 	}
@@ -278,16 +383,6 @@ func printSummary(ctrl *fleet.Controller, frames int, observer *obs.Observer) {
 				si.Name, si.Width, si.Height, si.FPS, st.Frames, st.UploadedBits)
 		}
 	}
-	// The fleet view is the cross-shard rollup: each shard summarizes
-	// its own sessions' heartbeat loads, and the summaries merge. This
-	// is exactly what a multi-process deployment would do — no code
-	// path here ever needs the flattened fleet-wide load list.
-	perShard := ctrl.ShardLoads()
-	summaries := make([]metrics.FleetSummary, 0, len(perShard))
-	for _, l := range perShard {
-		summaries = append(summaries, metrics.SummarizeFleet(l))
-	}
-	stats := ctrl.ShardStats()
 	if len(stats) > 1 {
 		for _, s := range stats {
 			fmt.Printf("  shard %d: %d node(s), %d session(s), %d ledger uploads, %d redirects, hb gap p95 %s\n",
@@ -298,7 +393,10 @@ func printSummary(ctrl *fleet.Controller, frames int, observer *obs.Observer) {
 	if observer != nil {
 		updateShardGauges(observer, stats)
 	}
-	if sum := metrics.MergeFleet(summaries); sum.Frames > 0 {
+	if ht != nil {
+		printHealthLine(ht.eng, status)
+	}
+	if sum.Frames > 0 {
 		fmt.Printf("  fleet: %d uploads, %d bits, avg %.1f kb/s, hottest %s at %.1f kb/s\n",
 			sum.Uploads, sum.UploadedBits, sum.AverageBitrate/1000, sum.MaxNode, sum.MaxNodeBitrate/1000)
 		// The tails are worst-case merges across nodes: if these look
@@ -314,11 +412,13 @@ func printSummary(ctrl *fleet.Controller, frames int, observer *obs.Observer) {
 				time.Duration(sum.UploadRTTLat.P50), time.Duration(sum.UploadRTTLat.P95),
 				time.Duration(sum.UploadRTTLat.P99), time.Duration(sum.UploadRTTLat.Max))
 		}
-		// Lifecycle totals come from the controller's durable node
-		// records, not the live-session loads: an evicted node with no
-		// current session is exactly the one that must not vanish from
-		// this line.
-		ev, rc := ctrl.Lifecycle()
+		// Drift status comes from the same rollup the gauges export:
+		// the worst recent window and how many (stream, MC) pairs are
+		// currently flagged.
+		if sum.Scores.Count > 0 {
+			fmt.Printf("  fleet drift: %d score obs, pass rate %.3f, worst psi %.3f (%s), worst ks %.3f, %d pair(s) drifted\n",
+				sum.Scores.Count, sum.Scores.PassRate(), sum.MaxDriftPSI, sum.MaxDriftNode, sum.MaxDriftKS, sum.Drifted)
+		}
 		if ev > 0 || rc > 0 {
 			fmt.Printf("  fleet lifecycle: %d session(s) evicted, %d reconnect(s)\n", ev, rc)
 		}
@@ -355,6 +455,46 @@ func updateFleetGauges(o *obs.Observer, sum metrics.FleetSummary) {
 	o.Reg.Gauge("ff_fleet_mc_push_p95_ns").Set(sum.MCPushLat.P95)
 	o.Reg.Gauge("ff_fleet_queue_wait_p95_ns").Set(sum.QueueWaitLat.P95)
 	o.Reg.Gauge("ff_fleet_upload_rtt_p95_ns").Set(sum.UploadRTTLat.P95)
+	o.Reg.Gauge("ff_fleet_pending_uploads").Set(int64(sum.PendingUploads))
+	// Drift gauges scale the float statistics by 1e3 (gauges are
+	// integers): ff_fleet_drift_score 250 == PSI 0.25.
+	o.Reg.Gauge("ff_fleet_drift_score").Set(int64(sum.MaxDriftPSI * 1000))
+	o.Reg.Gauge("ff_fleet_drift_ks").Set(int64(sum.MaxDriftKS * 1000))
+	o.Reg.Gauge("ff_fleet_drift_pairs").Set(int64(sum.Drifted))
+	o.Reg.Gauge("ff_fleet_score_observations").Set(int64(sum.Scores.Count))
+}
+
+// describeFleetGauges registers HELP text for the summary-tick gauges
+// so /metrics documents them (the hot-path instruments are described
+// by NewObserver).
+func describeFleetGauges(reg *obs.Registry) {
+	for name, help := range map[string]string{
+		"ff_fleet_health":             "SLO engine overall status (0 healthy, 1 degraded, 2 critical)",
+		"ff_fleet_pending_uploads":    "edge-side upload backlog awaiting controller acks",
+		"ff_fleet_drift_score":        "worst per-stream PSI drift score across the fleet, scaled by 1e3",
+		"ff_fleet_drift_ks":           "worst per-stream binned KS drift score across the fleet, scaled by 1e3",
+		"ff_fleet_drift_pairs":        "(stream, MC) pairs currently above a drift alert threshold",
+		"ff_fleet_score_observations": "MC score observations aggregated across the fleet",
+	} {
+		reg.Describe(name, help)
+	}
+}
+
+// printHealthLine prints the tick's SLO outcome: the overall status
+// and, when not healthy, the firing rules with their current values.
+func printHealthLine(eng *health.Engine, status health.Status) {
+	if status == health.Healthy {
+		fmt.Println("  health: ok")
+		return
+	}
+	_, rules := eng.Status()
+	line := "  health: " + status.String()
+	for _, rs := range rules {
+		if rs.Status != health.Healthy {
+			line += fmt.Sprintf(" [%s %.3g]", rs.Rule.Name, rs.Value)
+		}
+	}
+	fmt.Println(line)
 }
 
 // updateShardGauges mirrors per-shard load and heartbeat-cadence

@@ -217,6 +217,12 @@ type deployedMC struct {
 	smoother  *event.Smoother
 	detector  *event.Detector
 
+	// sketch accumulates the MC's score distribution since deploy —
+	// the semantic signal heartbeats carry for fleet drift detection.
+	// Always on: a sketch is a few hundred bytes and recording is
+	// allocation-free, so observer-less nodes still report one.
+	sketch *obs.ScoreSketch
+
 	// offset maps the MC's local frame counter (0 at deploy time) to
 	// stream frame indices; non-zero for live mid-stream deployments.
 	offset int
@@ -354,14 +360,19 @@ func (e *EdgeNode) deploy(mc *filter.MC, threshold float32) error {
 		return fmt.Errorf("core: MC %q has empty feature map", mc.Spec().Name)
 	}
 	mc.Reset()
+	sketch := &obs.ScoreSketch{}
+	var agg *obs.ScoreSketch
 	if e.obs != nil {
 		mc.Instrument(e.obs.Trace, e.obs.MCPush, e.sid, e.nextFrame)
+		agg = e.obs.Scores
 	}
+	mc.InstrumentScores(sketch, agg, float64(threshold))
 	d := &deployedMC{
 		mc:        mc,
 		threshold: threshold,
 		smoother:  event.NewSmoother(e.cfg.SmoothN, e.cfg.SmoothK),
 		detector:  event.NewDetector(),
+		sketch:    sketch,
 		offset:    e.nextFrame,
 	}
 	e.mu.Lock()
@@ -419,6 +430,24 @@ func (e *EdgeNode) MCNames() []string {
 		names[i] = d.mc.Spec().Name
 	}
 	return names
+}
+
+// ScoreSketches returns a snapshot of every deployed MC's cumulative
+// score sketch since deploy, keyed by MC name. Safe to call while
+// another goroutine owns the pipeline: sketch counters are atomic and
+// mu guards the MC list. This is what the fleet agent folds into
+// heartbeats.
+func (e *EdgeNode) ScoreSketches() map[string]obs.SketchSnapshot {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.mcs) == 0 {
+		return nil
+	}
+	out := make(map[string]obs.SketchSnapshot, len(e.mcs))
+	for _, d := range e.mcs {
+		out[d.mc.Spec().Name] = d.sketch.Snapshot()
+	}
+	return out
 }
 
 // Stats returns a snapshot of the node's counters. Safe to call while

@@ -48,6 +48,23 @@ func TestProcessFrameZeroAllocInstrumented(t *testing.T) {
 		if o.Frame.Count() == 0 || o.Extract.Count() == 0 {
 			t.Fatalf("%v: observer saw no frames", arch)
 		}
+		// Score sketching rides the same pinned hot path: the node
+		// aggregate and the per-MC sketch both saw every classification.
+		if o.Scores.Count() == 0 {
+			t.Fatalf("%v: node score sketch saw no observations", arch)
+		}
+		sketches := e.ScoreSketches()
+		if len(sketches) != 1 {
+			t.Fatalf("%v: ScoreSketches returned %d entries, want 1", arch, len(sketches))
+		}
+		for name, snap := range sketches {
+			if snap.Count == 0 {
+				t.Fatalf("%v: per-MC sketch %q empty", arch, name)
+			}
+			if snap.Passes != 0 {
+				t.Fatalf("%v: threshold 2 must never pass, got %d passes", arch, snap.Passes)
+			}
+		}
 	}
 }
 

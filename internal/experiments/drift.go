@@ -1,0 +1,317 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"reflect"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/filter"
+	"repro/internal/fleet"
+	"repro/internal/metrics"
+	"repro/internal/mobilenet"
+	"repro/internal/simnet"
+)
+
+// DriftBenchResult is the drift-detection experiment's structured
+// output: how quickly the controller's score-sketch detector flagged
+// an induced lighting shift, and whether the stationary control
+// stream stayed quiet.
+type DriftBenchResult struct {
+	// FramesPerPhase is the per-node frame budget of each phase
+	// (stationary, then drifted on one node).
+	FramesPerPhase int `json:"frames_per_phase"`
+	// MinCount, PSIThreshold, and KSThreshold echo the detector
+	// configuration the run used.
+	MinCount     uint64  `json:"min_count"`
+	PSIThreshold float64 `json:"psi_threshold"`
+	KSThreshold  float64 `json:"ks_threshold"`
+	// Detected reports whether the drifting node was flagged;
+	// DetectionFrames is the number of drifted frames fed before the
+	// flag was observed (-1 when undetected) — the detection latency
+	// in frames.
+	Detected        bool `json:"detected"`
+	DetectionFrames int  `json:"detection_latency_frames"`
+	// DriftPSI and DriftKS are the drifting pair's final scores;
+	// ControlPSI is the stationary control pair's final PSI.
+	DriftPSI   float64 `json:"drift_psi"`
+	DriftKS    float64 `json:"drift_ks"`
+	ControlPSI float64 `json:"control_psi"`
+	// FalsePositives counts detector polls that found the control
+	// pair flagged (zero on a correct run — the false-positive rate's
+	// numerator over Polls).
+	FalsePositives int `json:"false_positives"`
+	Polls          int `json:"polls"`
+	// RollupExact reports whether merging the per-shard fleet
+	// summaries (now carrying score sketches and drift maxima)
+	// reproduced the unsharded rollup bit for bit.
+	RollupExact bool `json:"rollup_exact"`
+}
+
+// Drift benchmarks the fleet's semantic drift detection end to end on
+// the deterministic simulated network: two edge nodes run the same
+// microclassifier over the same synthetic scene; halfway through, one
+// node's lighting is shifted (dataset.Config.BrightnessDrift renders
+// the same schedule under a sinusoidal lighting change) while the
+// other stays stationary as the false-positive control. The
+// controller must flag the shifted node from heartbeat score sketches
+// alone and never flag the control.
+func Drift(w io.Writer, o Options, frames int) (*DriftBenchResult, error) {
+	o.fillDefaults()
+	if frames <= 0 {
+		frames = 96
+	}
+
+	const fw, fh = 48, 27
+	// Same schedule, two lightings: BrightnessDrift only changes the
+	// Brightness(i) multiplier, so the drifted dataset renders the
+	// baseline's exact scene under shifted lighting. Phase 2 replays
+	// the phase-1 frame indices on both nodes — the control re-renders
+	// them bit for bit (a provably stationary distribution), while the
+	// drift node renders the same indices from the drifted config,
+	// whose first quarter-sinusoid ramps the multiplier from 1.0
+	// toward 1.7. Any score shift on the drift node is therefore
+	// attributable to lighting alone, not to the object schedule.
+	base := dataset.Jackson(fw, 4*frames, o.Seed)
+	base.BrightnessDrift = 0
+	stationary := dataset.Generate(base)
+	shifted := base
+	shifted.BrightnessDrift = 0.7
+	drifted := dataset.Generate(shifted)
+
+	dnn := mobilenet.New(mobilenet.Config{WidthMult: o.MCWidthMult, Seed: o.Seed})
+	mc, err := filter.NewMC(filter.Spec{Name: "mc-drift", Arch: filter.PoolingClassifier, Seed: o.Seed + 7}, dnn, fw, fh)
+	if err != nil {
+		return nil, err
+	}
+	// An untrained head emits sigmoid(≈0) ≈ 0.5 for every frame — no
+	// score spread, so no input shift can move the sketch histogram. A
+	// short fit on stationary frames gives the head real weight
+	// magnitudes (and training-set normalization, which Save carries),
+	// making the score distribution respond to the feature shift.
+	trainCfg := base
+	trainCfg.Frames = 2 * frames
+	trainD := dataset.Generate(trainCfg)
+	fms, err := extractStages(trainD, dnn, []string{mc.Stage()})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fitMC(w, o, mc, fms[mc.Stage()], trainD.Labels); err != nil {
+		return nil, err
+	}
+	var mcBuf bytes.Buffer
+	if err := mc.Save(&mcBuf); err != nil {
+		return nil, err
+	}
+
+	n := simnet.New(o.Seed)
+	ln, err := n.Listen("dc")
+	if err != nil {
+		return nil, err
+	}
+	// MinCount = one full phase: the baseline freezes on exactly the
+	// phase-1 observations and each window spans exactly one phase-2
+	// replay, so window-vs-baseline comparisons never straddle a
+	// partial content cycle (which would alias schedule variance into
+	// the drift score at this working scale).
+	driftCfg := fleet.DriftConfig{
+		PSI: fleet.DefaultDriftPSI, KS: fleet.DefaultDriftKS, MinCount: uint64(frames),
+	}
+	ctrl := fleet.NewController(fleet.ControllerConfig{
+		Timeout:       5 * time.Second,
+		HeartbeatMiss: 40,
+		Shards:        2,
+		Drift:         driftCfg,
+	})
+	ctrl.Serve(ln)
+	defer ctrl.Close()
+
+	names := []string{"edge-control", "edge-drift"}
+	for _, name := range names {
+		// Threshold 2 keeps the wire clear of uploads: this benchmark
+		// exercises the heartbeat sketch path, not the event path.
+		if err := ctrl.Deploy(name, "cam0", mcBuf.Bytes(), 2); !errors.Is(err, fleet.ErrDeferred) {
+			return nil, fmt.Errorf("deploy to offline %s: %v", name, err)
+		}
+	}
+	agents := make(map[string]*fleet.Agent, len(names))
+	defer func() {
+		for _, a := range agents {
+			a.Close()
+		}
+	}()
+	for _, name := range names {
+		name := name
+		a, err := fleet.NewAgent(fleet.AgentConfig{
+			Node: name,
+			Edge: core.Config{
+				FrameWidth: fw, FrameHeight: fh, FPS: 15, Base: dnn,
+				UploadBitrate: 30_000,
+			},
+			Heartbeat:     30 * time.Millisecond,
+			Reconnect:     true,
+			ReconnectMin:  20 * time.Millisecond,
+			ReconnectMax:  250 * time.Millisecond,
+			ReconnectSeed: o.Seed,
+			WriteTimeout:  5 * time.Second,
+			Dial: func(network, addr string) (net.Conn, error) {
+				return n.Dial(name, addr)
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := a.AddStream("cam0", fw, fh, nil); err != nil {
+			a.Close()
+			return nil, err
+		}
+		if err := a.Connect("sim", "dc"); err != nil {
+			a.Close()
+			return nil, err
+		}
+		agents[name] = a
+	}
+
+	waitCond := func(what string, cond func() bool) error {
+		deadline := time.Now().Add(60 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("drift bench: timed out waiting for %s", what)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		return nil
+	}
+	if err := waitCond("deploy reconciliation", func() bool {
+		for _, a := range agents {
+			if len(a.DeployedMCs("cam0")) != 1 {
+				return false
+			}
+		}
+		return true
+	}); err != nil {
+		return nil, err
+	}
+
+	report := func(node string) (fleet.DriftReport, bool) {
+		for _, r := range ctrl.DriftReports() {
+			if r.Node == node {
+				return r, true
+			}
+		}
+		return fleet.DriftReport{}, false
+	}
+	res := &DriftBenchResult{
+		FramesPerPhase:  frames,
+		MinCount:        driftCfg.MinCount,
+		PSIThreshold:    driftCfg.PSI,
+		KSThreshold:     driftCfg.KS,
+		DetectionFrames: -1,
+	}
+	// checkControl samples the control node's detector state; any
+	// flagged sighting is a false positive.
+	checkControl := func() {
+		res.Polls++
+		if r, ok := report("edge-control"); ok {
+			res.ControlPSI = r.PSI
+			if r.Drifted {
+				res.FalsePositives++
+			}
+		}
+	}
+
+	// Phase 1: both nodes stationary. Baselines freeze and at least
+	// one window scores near zero on each.
+	for i := 0; i < frames; i++ {
+		for _, name := range names {
+			if _, err := agents[name].ProcessFrame("cam0", stationary.Frame(i)); err != nil {
+				return nil, fmt.Errorf("%s frame %d: %w", name, i, err)
+			}
+		}
+	}
+	if err := waitCond("phase-1 sketches in heartbeats", func() bool {
+		for _, name := range names {
+			r, ok := report(name)
+			if !ok || r.Total < uint64(frames) || r.Baseline == 0 {
+				return false
+			}
+		}
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	checkControl()
+	if r, _ := report("edge-drift"); r.Drifted {
+		res.FalsePositives++
+	}
+
+	// Phase 2: both nodes replay the phase-1 indices — the control
+	// bit-for-bit, the drift node under the brightness ramp. Feed in
+	// chunks and poll after each so false positives are sampled
+	// throughout the phase, not just at its end.
+	const chunk = 8
+	fed := 0
+	for fed < frames {
+		k := chunk
+		if frames-fed < k {
+			k = frames - fed
+		}
+		for j := 0; j < k; j++ {
+			if _, err := agents["edge-control"].ProcessFrame("cam0", stationary.Frame(fed+j)); err != nil {
+				return nil, err
+			}
+			if _, err := agents["edge-drift"].ProcessFrame("cam0", drifted.Frame(fed+j)); err != nil {
+				return nil, err
+			}
+		}
+		fed += k
+		// Wait for the heartbeat carrying this chunk's observations.
+		if err := waitCond("heartbeat after chunk", func() bool {
+			r, ok := report("edge-drift")
+			return ok && r.Total >= uint64(frames+fed)
+		}); err != nil {
+			return nil, err
+		}
+		checkControl()
+		if r, _ := report("edge-drift"); r.Drifted && !res.Detected {
+			res.Detected = true
+			res.DetectionFrames = fed
+		}
+	}
+
+	dr, _ := report("edge-drift")
+	res.DriftPSI, res.DriftKS = dr.PSI, dr.KS
+	if cr, ok := report("edge-control"); ok {
+		res.ControlPSI = cr.PSI
+	}
+
+	// The sharded rollup must reproduce the flat one bit for bit now
+	// that it carries score sketches and drift maxima.
+	perShard := ctrl.ShardLoads()
+	var flat []metrics.NodeLoad
+	summaries := make([]metrics.FleetSummary, 0, len(perShard))
+	for _, loads := range perShard {
+		flat = append(flat, loads...)
+		summaries = append(summaries, metrics.SummarizeFleet(loads))
+	}
+	res.RollupExact = reflect.DeepEqual(metrics.MergeFleet(summaries), metrics.SummarizeFleet(flat))
+
+	fmt.Fprintf(w, "%-14s %10s %10s %8s %8s\n", "node", "psi", "ks", "windows", "drifted")
+	for _, r := range ctrl.DriftReports() {
+		fmt.Fprintf(w, "%-14s %10.4f %10.4f %8d %8v\n", r.Node, r.PSI, r.KS, r.Windows, r.Drifted)
+	}
+	fmt.Fprintf(w, "detected=%v latency=%d frames false-positives=%d/%d polls rollup-exact=%v\n",
+		res.Detected, res.DetectionFrames, res.FalsePositives, res.Polls, res.RollupExact)
+	if !res.Detected {
+		return nil, fmt.Errorf("drift bench: induced brightness drift went undetected (psi %.4f, ks %.4f)", dr.PSI, dr.KS)
+	}
+	if res.FalsePositives > 0 {
+		return nil, fmt.Errorf("drift bench: %d false positive(s) on the stationary control", res.FalsePositives)
+	}
+	return res, nil
+}

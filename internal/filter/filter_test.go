@@ -480,13 +480,17 @@ func TestInstrumentedPushZeroAlloc(t *testing.T) {
 		}
 		tr := obs.NewTracer(64)
 		h := new(obs.Histogram)
+		sk := new(obs.ScoreSketch)
+		agg := new(obs.ScoreSketch)
 		mc.Instrument(tr, h, tr.StreamID("cam0"), 0)
+		mc.InstrumentScores(sk, agg, 0.5)
 		fm := tensor.New(mc.FeatureMapShape()...)
 		tensor.NewRNG(7).FillNormal(fm, 0, 1)
 		for i := 0; i < mc.Lag()+3; i++ {
 			mc.Push(fm)
 		}
 		before := h.Summary().Count
+		skBefore := sk.Count()
 		if n := testing.AllocsPerRun(50, func() { mc.Push(fm) }); n != 0 {
 			t.Fatalf("%v: instrumented Push allocates %v objects per frame, want 0", arch, n)
 		}
@@ -496,6 +500,42 @@ func TestInstrumentedPushZeroAlloc(t *testing.T) {
 		if tr.Recorded() == 0 {
 			t.Fatalf("%v: tracer recorded no spans", arch)
 		}
+		// Sketching saw every emitted classification (exactly one per
+		// Push in the steady state, even for the lagged windowed arch),
+		// and the per-MC and aggregate sketches agree.
+		if got := sk.Count() - skBefore; got < 50 {
+			t.Fatalf("%v: score sketch saw %d observations, want >= 50", arch, got)
+		}
+		snap, aggSnap := sk.Snapshot(), agg.Snapshot()
+		if snap != aggSnap {
+			t.Fatalf("%v: per-MC sketch diverged from aggregate:\n%+v\n%+v", arch, snap, aggSnap)
+		}
+		if snap.Passes != snap.Count && snap.Passes == 0 && snap.Count > 0 && snap.Mean() >= 0.5 {
+			t.Fatalf("%v: pass accounting inconsistent: %+v", arch, snap)
+		}
+	}
+}
+
+// TestFlushRecordsScores verifies the windowed tail classifications
+// emitted by Flush land in the score sketch too — drift detection must
+// not lose the end of a segment.
+func TestFlushRecordsScores(t *testing.T) {
+	base := testBase(t)
+	mc, err := NewMC(Spec{Name: "flush-scores", Arch: WindowedLocalizedBinary, Seed: 6}, base, 96, 54)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk := new(obs.ScoreSketch)
+	mc.InstrumentScores(sk, nil, 0.5)
+	fm := tensor.New(mc.FeatureMapShape()...)
+	tensor.NewRNG(7).FillNormal(fm, 0, 1)
+	const frames = 9
+	for i := 0; i < frames; i++ {
+		mc.Push(fm)
+	}
+	mc.Flush()
+	if got := sk.Count(); got != frames {
+		t.Fatalf("sketch saw %d observations after Flush, want %d (one per frame)", got, frames)
 	}
 }
 

@@ -58,12 +58,15 @@ type MC struct {
 	ringFree   []*tensor.Tensor // recycled reduced-map buffers
 	clsBuf     []Classification // reused Push/Flush result slice
 
-	// Observability (see Instrument). The hot path reads these
-	// directly; all writes happen at deploy time.
+	// Observability (see Instrument / InstrumentScores). The hot path
+	// reads these directly; all writes happen at deploy time.
 	obsTrace  *obs.Tracer
 	obsHist   *obs.Histogram
 	obsStream uint32
 	obsOffset int // MC-local frame 0 in stream coordinates
+	obsSketch *obs.ScoreSketch
+	obsAgg    *obs.ScoreSketch
+	obsThresh float64
 }
 
 // NewMC constructs a microclassifier for the given spec against a base
@@ -359,7 +362,7 @@ func (m *MC) Prob(x *tensor.Tensor) float32 {
 // it before pushing the next frame.
 func (m *MC) Push(fm *tensor.Tensor) []Classification {
 	if m.obsHist == nil && m.obsTrace == nil {
-		return m.push(fm)
+		return m.recordScores(m.push(fm))
 	}
 	frame := int64(m.obsOffset + m.pushed)
 	t0 := time.Now()
@@ -371,7 +374,7 @@ func (m *MC) Push(fm *tensor.Tensor) []Classification {
 	if m.obsTrace != nil {
 		m.obsTrace.Record(obs.StageMCPush, m.obsStream, frame, t0, d)
 	}
-	return out
+	return m.recordScores(out)
 }
 
 // Instrument attaches observability sinks to the MC's streaming path:
@@ -386,6 +389,39 @@ func (m *MC) Instrument(tr *obs.Tracer, hist *obs.Histogram, stream uint32, fram
 	m.obsHist = hist
 	m.obsStream = stream
 	m.obsOffset = frameOffset
+}
+
+// InstrumentScores attaches semantic observability to the MC's
+// streaming path: every classification Push or Flush emits is recorded
+// into sketch (the per-MC score distribution that rides heartbeats)
+// and agg (a node-level aggregate across MCs, typically
+// Observer.Scores), with scores at or above threshold counted as
+// passes. Either sketch may be nil; both nil restores the unrecorded
+// path. Like Instrument: call at deploy time, never concurrently with
+// Push, and recording keeps Push allocation-free.
+func (m *MC) InstrumentScores(sketch, agg *obs.ScoreSketch, threshold float64) {
+	m.obsSketch = sketch
+	m.obsAgg = agg
+	m.obsThresh = threshold
+}
+
+// recordScores feeds emitted classifications into the attached score
+// sketches. Allocation-free; returns cls unchanged.
+func (m *MC) recordScores(cls []Classification) []Classification {
+	if m.obsSketch == nil && m.obsAgg == nil {
+		return cls
+	}
+	for _, c := range cls {
+		p := float64(c.Prob)
+		pass := p >= m.obsThresh
+		if m.obsSketch != nil {
+			m.obsSketch.Observe(p, pass)
+		}
+		if m.obsAgg != nil {
+			m.obsAgg.Observe(p, pass)
+		}
+	}
+	return cls
 }
 
 // push is the uninstrumented classification path behind Push.
@@ -420,7 +456,7 @@ func (m *MC) ringGet(shape []int) *tensor.Tensor {
 // Flush emits the pending tail classifications of a windowed MC (whose
 // windows are clamped at the stream end) and resets streaming state.
 func (m *MC) Flush() []Classification {
-	out := m.drainWindows(true)
+	out := m.recordScores(m.drainWindows(true))
 	m.Reset()
 	return out
 }

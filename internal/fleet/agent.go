@@ -1291,6 +1291,12 @@ func (a *Agent) snapshot() Heartbeat {
 			ss.ArchiveEvictedBytes = ast.EvictedBytes
 		}
 		hb.Streams[si.Name] = ss
+		if sketches := e.ScoreSketches(); len(sketches) > 0 {
+			if hb.Scores == nil {
+				hb.Scores = make(map[string]map[string]obs.SketchSnapshot, len(a.streams))
+			}
+			hb.Scores[si.Name] = sketches
+		}
 	}
 	if o := a.cfg.Edge.Obs; o != nil {
 		hb.Extract = o.Extract.Summary()
@@ -1298,5 +1304,6 @@ func (a *Agent) snapshot() Heartbeat {
 		hb.QueueWait = o.QueueWait.Summary()
 		hb.UploadRTT = o.UploadRTT.Summary()
 	}
+	hb.PendingUploads, _ = a.PendingUploads()
 	return hb
 }

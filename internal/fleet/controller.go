@@ -57,9 +57,13 @@ type ControllerConfig struct {
 	// for that).
 	OnUpload func(*Session, core.Upload)
 	// Log receives structured session-lifecycle events (connects,
-	// resumes, stale-session replacements, liveness evictions). Nil
-	// discards them.
+	// resumes, stale-session replacements, liveness evictions) and
+	// drift threshold transitions. Nil discards them.
 	Log *slog.Logger
+	// Drift parameterizes the semantic drift detector run against the
+	// per-MC score sketches heartbeats carry (zero fields take the
+	// package defaults).
+	Drift DriftConfig
 }
 
 // deployment is one intended microclassifier deployment.
@@ -93,6 +97,11 @@ type nodeState struct {
 	reconnects int
 	// rehomed counts shard moves (Resize placing the node elsewhere).
 	rehomed int
+	// drift is the per-(stream, MC) drift-detection state, keyed
+	// "stream/mc". It rides the node record: a Resize moves the whole
+	// nodeState pointer, so baselines, window boundaries, and scores
+	// survive re-homes without forking or resetting.
+	drift map[string]*driftState
 }
 
 // Controller is the datacenter side of the fleet control plane: a
@@ -133,6 +142,7 @@ func NewController(cfg ControllerConfig) *Controller {
 	if cfg.Log == nil {
 		cfg.Log = slog.New(slog.DiscardHandler)
 	}
+	cfg.Drift.fillDefaults()
 	c := &Controller{
 		cfg:   cfg,
 		ring:  newRing(cfg.Shards),

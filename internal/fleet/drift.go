@@ -1,0 +1,225 @@
+package fleet
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// Default drift-detector parameters. PSI conventions treat 0.1–0.25
+// as moderate shift and >0.25 as major; the binned KS statistic is a
+// lower bound on the exact KS distance, so a threshold that fires on
+// the bound fires on the true distance too.
+const (
+	DefaultDriftPSI      = 0.25
+	DefaultDriftKS       = 0.35
+	DefaultDriftMinCount = 32
+)
+
+// DriftConfig parameterizes the controller's semantic drift detector,
+// which compares each deployed MC's recent score distribution against
+// a baseline frozen shortly after deploy (FilterForward's gateway to
+// "has the world the MC was trained on changed?"). Zero fields take
+// the defaults above.
+type DriftConfig struct {
+	// PSI is the population-stability-index alert threshold: a window
+	// whose PSI against the baseline reaches it is drifted.
+	PSI float64
+	// KS is the binned Kolmogorov–Smirnov alert threshold, an
+	// independent trigger (KS catches localized CDF shifts PSI's
+	// log-ratio form can understate).
+	KS float64
+	// MinCount is the minimum number of score observations before a
+	// baseline freezes and before a window is scored — small windows
+	// make both statistics pure noise.
+	MinCount uint64
+}
+
+func (d *DriftConfig) fillDefaults() {
+	if d.PSI <= 0 {
+		d.PSI = DefaultDriftPSI
+	}
+	if d.KS <= 0 {
+		d.KS = DefaultDriftKS
+	}
+	if d.MinCount == 0 {
+		d.MinCount = DefaultDriftMinCount
+	}
+}
+
+// driftState is one (stream, MC) pair's drift-detection state on its
+// node record. Heartbeats carry cumulative sketches; the detector
+// derives tumbling windows of at least MinCount observations by
+// subtracting the snapshot at the last window boundary, and scores
+// each window against the baseline frozen when the pair first reached
+// MinCount. The state lives in nodeState, so a Resize re-home moves
+// it wholesale with the node record and no window is ever lost or
+// double-scored across shards.
+type driftState struct {
+	// baseline is the frozen reference distribution; baselineSet
+	// guards it (an all-zero snapshot is a legal baseline only after
+	// an explicit freeze, which MinCount makes impossible).
+	baseline    obs.SketchSnapshot
+	baselineSet bool
+	// prev is the cumulative snapshot at the last window boundary;
+	// last is the latest cumulative snapshot seen (its Count going
+	// backwards marks an MC redeploy, which resets the pair).
+	prev obs.SketchSnapshot
+	last obs.SketchSnapshot
+	// psi and ks are the most recent window's scores; windows counts
+	// scored windows; drifted is the current threshold state, kept so
+	// events fire on transitions, not on every heartbeat.
+	psi, ks float64
+	windows int
+	drifted bool
+}
+
+// driftEvent is one threshold transition, collected under the shard
+// lock and logged outside it.
+type driftEvent struct {
+	node, key string
+	psi, ks   float64
+	window    uint64
+	started   bool
+}
+
+// observeScores folds one heartbeat's cumulative score sketches into
+// the node's drift state and returns any threshold transitions. The
+// caller holds the owning shard's mutex.
+func observeScores(st *nodeState, node string, scores map[string]map[string]obs.SketchSnapshot, cfg DriftConfig) []driftEvent {
+	var events []driftEvent
+	for stream, mcs := range scores {
+		for mc, cur := range mcs {
+			key := stream + "/" + mc
+			if st.drift == nil {
+				st.drift = make(map[string]*driftState)
+			}
+			ds := st.drift[key]
+			if ds == nil {
+				ds = &driftState{}
+				st.drift[key] = ds
+			}
+			if cur.Count < ds.last.Count {
+				// The cumulative count went backwards: the MC was
+				// redeployed (fresh sketch). The old baseline describes
+				// the old model's scores, so start the pair over.
+				*ds = driftState{}
+			}
+			ds.last = cur
+			if !ds.baselineSet {
+				if cur.Count >= cfg.MinCount {
+					ds.baseline = cur
+					ds.prev = cur
+					ds.baselineSet = true
+				}
+				continue
+			}
+			win := cur.Sub(ds.prev)
+			if win.Count < cfg.MinCount {
+				continue
+			}
+			ds.psi = obs.PSI(ds.baseline, win)
+			ds.ks = obs.KS(ds.baseline, win)
+			ds.windows++
+			ds.prev = cur
+			drifted := ds.psi >= cfg.PSI || ds.ks >= cfg.KS
+			if drifted != ds.drifted {
+				events = append(events, driftEvent{
+					node: node, key: key, psi: ds.psi, ks: ds.ks,
+					window: win.Count, started: drifted,
+				})
+			}
+			ds.drifted = drifted
+		}
+	}
+	return events
+}
+
+// noteHeartbeat is the shard's per-heartbeat drift hook, invoked from
+// the session reader goroutine. It scores the heartbeat's sketches
+// against the node's drift state and logs threshold transitions; a
+// heartbeat landing after the session died or the node re-homed is
+// ignored, mirroring acceptUpload's staleness rules.
+func (sh *shard) noteHeartbeat(s *Session, hb Heartbeat) {
+	if len(hb.Scores) == 0 {
+		return
+	}
+	sh.mu.Lock()
+	select {
+	case <-s.done:
+		sh.mu.Unlock()
+		return
+	default:
+	}
+	st := sh.nodes[s.node]
+	if st == nil {
+		sh.mu.Unlock()
+		return
+	}
+	events := observeScores(st, s.node, hb.Scores, sh.c.cfg.Drift)
+	sh.mu.Unlock()
+	for _, ev := range events {
+		if ev.started {
+			sh.c.cfg.Log.Warn("fleet: drift detected",
+				"node", ev.node, "target", ev.key, "shard", sh.id,
+				"psi", ev.psi, "ks", ev.ks, "window", ev.window)
+		} else {
+			sh.c.cfg.Log.Info("fleet: drift cleared",
+				"node", ev.node, "target", ev.key, "shard", sh.id,
+				"psi", ev.psi, "ks", ev.ks, "window", ev.window)
+		}
+	}
+}
+
+// DriftReport is one (node, stream, MC) pair's current drift status —
+// the operator-facing view of the detector state.
+type DriftReport struct {
+	// Node, Stream, and MC identify the deployed microclassifier.
+	Node, Stream, MC string
+	// PSI and KS are the most recent scored window's statistics
+	// against the frozen baseline (zero until the first window).
+	PSI, KS float64
+	// Baseline is the observation count the baseline froze at (zero
+	// while still accumulating); Total is the cumulative observation
+	// count from the latest heartbeat.
+	Baseline, Total uint64
+	// Windows counts scored windows; Drifted reports whether the pair
+	// is currently above either alert threshold.
+	Windows int
+	Drifted bool
+}
+
+// DriftReports snapshots every tracked (node, stream, MC) pair's
+// drift state across all shards, sorted by node, stream, then MC.
+func (c *Controller) DriftReports() []DriftReport {
+	var out []DriftReport
+	for _, sh := range c.snapshotShards() {
+		sh.mu.Lock()
+		for name, st := range sh.nodes {
+			for key, ds := range st.drift {
+				stream, mc, _ := strings.Cut(key, "/")
+				r := DriftReport{
+					Node: name, Stream: stream, MC: mc,
+					PSI: ds.psi, KS: ds.ks,
+					Total: ds.last.Count, Windows: ds.windows, Drifted: ds.drifted,
+				}
+				if ds.baselineSet {
+					r.Baseline = ds.baseline.Count
+				}
+				out = append(out, r)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		if out[i].Stream != out[j].Stream {
+			return out[i].Stream < out[j].Stream
+		}
+		return out[i].MC < out[j].MC
+	})
+	return out
+}

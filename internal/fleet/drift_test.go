@@ -1,0 +1,158 @@
+package fleet
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// cumSketch builds a cumulative SketchSnapshot from a score history
+// (every score at or above 0.5 counts as a pass), mirroring what an
+// edge node's per-MC sketch reports in heartbeats.
+func cumSketch(scores []float64) obs.SketchSnapshot {
+	var s obs.ScoreSketch
+	for _, v := range scores {
+		s.Observe(v, v >= 0.5)
+	}
+	return s.Snapshot()
+}
+
+// repeat returns n copies of v.
+func repeat(v float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// TestObserveScoresLifecycle walks one (stream, MC) pair through the
+// detector: baseline accumulation, freeze, a stationary window (no
+// event), a shifted window (drift-started event), and recovery
+// (drift-cleared event).
+func TestObserveScoresLifecycle(t *testing.T) {
+	cfg := DriftConfig{}
+	cfg.fillDefaults()
+	st := &nodeState{}
+	hb := func(scores []float64) []driftEvent {
+		return observeScores(st, "n0", map[string]map[string]obs.SketchSnapshot{
+			"cam0": {"mc": cumSketch(scores)},
+		}, cfg)
+	}
+
+	// Below MinCount: no baseline yet, no events.
+	low := repeat(0.2, int(cfg.MinCount)-1)
+	if evs := hb(low); len(evs) != 0 {
+		t.Fatalf("events before baseline: %v", evs)
+	}
+	ds := st.drift["cam0/mc"]
+	if ds == nil || ds.baselineSet {
+		t.Fatalf("baseline frozen below MinCount (state %+v)", ds)
+	}
+
+	// Reaching MinCount freezes the baseline; nothing is scored yet.
+	base := repeat(0.2, int(cfg.MinCount))
+	if evs := hb(base); len(evs) != 0 {
+		t.Fatalf("events at baseline freeze: %v", evs)
+	}
+	if !ds.baselineSet || ds.baseline.Count != cfg.MinCount {
+		t.Fatalf("baseline not frozen at MinCount: %+v", ds)
+	}
+
+	// A stationary window scores ~0 and stays quiet.
+	calm := append(append([]float64(nil), base...), repeat(0.2, int(cfg.MinCount))...)
+	if evs := hb(calm); len(evs) != 0 {
+		t.Fatalf("events on stationary window: %v", evs)
+	}
+	if ds.windows != 1 || ds.psi >= cfg.PSI || ds.drifted {
+		t.Fatalf("stationary window misdetected: %+v", ds)
+	}
+
+	// A window concentrated in a different bin fires exactly one
+	// drift-started event.
+	shifted := append(append([]float64(nil), calm...), repeat(0.9, int(cfg.MinCount))...)
+	evs := hb(shifted)
+	if len(evs) != 1 || !evs[0].started {
+		t.Fatalf("shifted window events = %v, want one started", evs)
+	}
+	if evs[0].node != "n0" || evs[0].key != "cam0/mc" {
+		t.Fatalf("event identity = %+v", evs[0])
+	}
+	if !ds.drifted || ds.psi < cfg.PSI && ds.ks < cfg.KS {
+		t.Fatalf("shifted window not flagged: %+v", ds)
+	}
+
+	// Still drifted on the next shifted window: no second event.
+	shifted2 := append(append([]float64(nil), shifted...), repeat(0.9, int(cfg.MinCount))...)
+	if evs := hb(shifted2); len(evs) != 0 {
+		t.Fatalf("repeat drift re-fired: %v", evs)
+	}
+
+	// Scores returning to the baseline distribution clear the alert.
+	calm2 := append(append([]float64(nil), shifted2...), repeat(0.2, int(cfg.MinCount))...)
+	evs = hb(calm2)
+	if len(evs) != 1 || evs[0].started {
+		t.Fatalf("recovery events = %v, want one cleared", evs)
+	}
+	if ds.drifted {
+		t.Fatalf("still flagged after recovery: %+v", ds)
+	}
+}
+
+// TestObserveScoresWindowAccumulation verifies sub-MinCount heartbeat
+// deltas accumulate into one window instead of being scored as noise.
+func TestObserveScoresWindowAccumulation(t *testing.T) {
+	cfg := DriftConfig{MinCount: 20}
+	cfg.fillDefaults()
+	st := &nodeState{}
+	scores := repeat(0.3, 20)
+	observeScores(st, "n0", map[string]map[string]obs.SketchSnapshot{
+		"cam0": {"mc": cumSketch(scores)},
+	}, cfg)
+	ds := st.drift["cam0/mc"]
+	// Dribble in 5 observations per heartbeat: windows must only be
+	// scored every 4 heartbeats.
+	for i := 0; i < 8; i++ {
+		scores = append(scores, repeat(0.3, 5)...)
+		observeScores(st, "n0", map[string]map[string]obs.SketchSnapshot{
+			"cam0": {"mc": cumSketch(scores)},
+		}, cfg)
+	}
+	if ds.windows != 2 {
+		t.Fatalf("scored %d windows over 40 dribbled observations, want 2", ds.windows)
+	}
+}
+
+// TestObserveScoresRedeployReset verifies a cumulative count going
+// backwards (MC redeployed, fresh sketch) restarts the pair: the old
+// baseline describes the old model and must not score the new one.
+func TestObserveScoresRedeployReset(t *testing.T) {
+	cfg := DriftConfig{}
+	cfg.fillDefaults()
+	st := &nodeState{}
+	for i := 1; i <= 3; i++ {
+		observeScores(st, "n0", map[string]map[string]obs.SketchSnapshot{
+			"cam0": {"mc": cumSketch(repeat(0.2, i*int(cfg.MinCount)))},
+		}, cfg)
+	}
+	ds := st.drift["cam0/mc"]
+	if !ds.baselineSet || ds.windows != 2 {
+		t.Fatalf("setup state: %+v", ds)
+	}
+	// New incarnation scores high from the start — against the old
+	// 0.2-heavy baseline that would read as drift, but the reset must
+	// refreeze on the new distribution instead.
+	fresh := repeat(0.9, int(cfg.MinCount))
+	evs := observeScores(st, "n0", map[string]map[string]obs.SketchSnapshot{
+		"cam0": {"mc": cumSketch(fresh)},
+	}, cfg)
+	if len(evs) != 0 {
+		t.Fatalf("redeploy fired events: %v", evs)
+	}
+	if !ds.baselineSet || ds.baseline.Count != cfg.MinCount || ds.windows != 0 {
+		t.Fatalf("redeploy did not refreeze baseline: %+v", ds)
+	}
+	if ds.baseline.Mean() < 0.8 {
+		t.Fatalf("refrozen baseline mean %v still reflects old model", ds.baseline.Mean())
+	}
+}

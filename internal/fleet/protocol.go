@@ -212,6 +212,19 @@ type Heartbeat struct {
 	MCPush    obs.Summary
 	QueueWait obs.Summary
 	UploadRTT obs.Summary
+	// Scores carries each stream's per-MC cumulative score sketches
+	// (stream → MC name → sketch since deploy) — the semantic signal
+	// the controller's drift detector consumes. Cumulative, like the
+	// latency summaries: the controller derives recent windows by
+	// subtracting the previous heartbeat's snapshot. Nil/missing means
+	// an older node or no deployed MCs; gob decodes heartbeats from
+	// older nodes with the field zeroed.
+	Scores map[string]map[string]obs.SketchSnapshot
+	// PendingUploads is the node-level count of uploads buffered
+	// awaiting a controller ack — the edge's backlog, an SLO input on
+	// the datacenter side (a growing backlog means the uplink or the
+	// controller is falling behind the event rate).
+	PendingUploads int
 }
 
 // UploadAck acknowledges one received upload by its edge-assigned

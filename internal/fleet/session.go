@@ -70,9 +70,13 @@ type Session struct {
 	// hbGap, when non-nil, observes the gap between consecutive
 	// heartbeats — the owning shard's heartbeat-latency histogram.
 	hbGap *obs.Histogram
+	// onHeartbeat, when non-nil, runs in the reader goroutine for
+	// every heartbeat after it is stored — the shard's drift-detector
+	// hook. Called outside s.mu; it may take shard locks.
+	onHeartbeat func(*Session, Heartbeat)
 }
 
-func newSession(id uint64, hello Hello, conn net.Conn, timeout, liveness time.Duration, hbGap *obs.Histogram) *Session {
+func newSession(id uint64, hello Hello, conn net.Conn, timeout, liveness time.Duration, hbGap *obs.Histogram, onHeartbeat func(*Session, Heartbeat)) *Session {
 	return &Session{
 		id:          id,
 		node:        hello.Node,
@@ -86,6 +90,7 @@ func newSession(id uint64, hello Hello, conn net.Conn, timeout, liveness time.Du
 		dc:          core.NewDatacenter(),
 		done:        make(chan struct{}),
 		hbGap:       hbGap,
+		onHeartbeat: onHeartbeat,
 	}
 }
 
@@ -414,6 +419,9 @@ func (s *Session) readLoop(onUpload func(*Session, transport.UploadRecord) (acce
 			s.mu.Unlock()
 			if s.hbGap != nil && !prev.IsZero() {
 				s.hbGap.Observe(now.Sub(prev))
+			}
+			if s.onHeartbeat != nil {
+				s.onHeartbeat(s, hb)
 			}
 		case transport.KindBye:
 			return nil

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
@@ -174,7 +175,7 @@ func (sh *shard) serveSession(conn net.Conn, fwd Forward) error {
 	// pusher, and double-pushing would end in a duplicate rejection
 	// that rolls back valid intent.
 	work := reconcileWorkLocked(st, hello)
-	s := newSession(sh.c.nextID.Add(1), hello, conn, cfg.Timeout, liveness, sh.hbGap)
+	s := newSession(sh.c.nextID.Add(1), hello, conn, cfg.Timeout, liveness, sh.hbGap, sh.noteHeartbeat)
 	sh.sessions[s.id] = s
 	sh.mu.Unlock()
 	cfg.Log.Info("fleet: session open",
@@ -295,6 +296,7 @@ func (sh *shard) loads() []metrics.NodeLoad {
 	var loads []metrics.NodeLoad
 	for _, s := range sh.sessions {
 		hb, _ := s.LastHeartbeat()
+		ns := sh.nodes[s.Node()]
 		for i, si := range s.Streams() {
 			st := hb.Streams[si.Name]
 			load := metrics.NodeLoad{
@@ -305,12 +307,36 @@ func (sh *shard) loads() []metrics.NodeLoad {
 				ArchiveEvictedSegments: st.ArchiveEvictedSegments,
 				ArchiveEvictedBytes:    st.ArchiveEvictedBytes,
 			}
+			// Sketches and drift scores are per-stream (the heartbeat
+			// keys them by stream), so unlike the node-level latency
+			// digests they ride every load without double counting.
+			for _, sk := range hb.Scores[si.Name] {
+				load.Scores.Merge(sk)
+			}
+			if ns != nil {
+				prefix := si.Name + "/"
+				for key, ds := range ns.drift {
+					if !strings.HasPrefix(key, prefix) {
+						continue
+					}
+					if ds.drifted {
+						load.Drifted++
+					}
+					if ds.psi > load.DriftPSI {
+						load.DriftPSI = ds.psi
+					}
+					if ds.ks > load.DriftKS {
+						load.DriftKS = ds.ks
+					}
+				}
+			}
 			if i == 0 {
 				load.ExtractLat = hb.Extract
 				load.MCPushLat = hb.MCPush
 				load.QueueWaitLat = hb.QueueWait
 				load.UploadRTTLat = hb.UploadRTT
-				if ns := sh.nodes[s.Node()]; ns != nil {
+				load.PendingUploads = hb.PendingUploads
+				if ns != nil {
 					load.Evicted = ns.evicted
 					load.Reconnects = ns.reconnects
 				}

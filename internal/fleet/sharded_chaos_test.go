@@ -293,8 +293,33 @@ func TestShardedChaosSoak(t *testing.T) {
 	}
 
 	// ---- Phase 3: mid-soak re-shard 4 -> 6. Moved nodes' sessions
-	// are redirected and resume on their new owners; ledgers and
-	// intent travel with the node records, so nothing forks.
+	// are redirected and resume on their new owners; ledgers, intent,
+	// and drift-detector state travel with the node records, so
+	// nothing forks.
+	//
+	// Capture the per-(node, MC) sketch reports first. Every agent has
+	// pushed the same 10 frames through the same MC, so once the
+	// heartbeats settle all 100 reports carry the same cumulative
+	// sketch count; no frames are fed across the resize, so the
+	// post-resize reports must reproduce this capture exactly — any
+	// difference means a moved node's detector state was dropped or
+	// reset by the re-home.
+	waitSoak(t, "sketch reports settled before re-shard", func() bool {
+		reps := ctrl.DriftReports()
+		if len(reps) != shardedSoakAgents {
+			return false
+		}
+		for _, r := range reps {
+			if r.Total == 0 || r.Total != reps[0].Total {
+				return false
+			}
+		}
+		return true
+	}, func() string {
+		reps := ctrl.DriftReports()
+		return fmt.Sprintf("reports=%d", len(reps))
+	})
+	sketchesBefore := ctrl.DriftReports()
 	evBefore, rcBefore := ctrl.Lifecycle()
 	moved, err := ctrl.Resize(shardedSoakResizeTo)
 	if err != nil {
@@ -346,6 +371,13 @@ func TestShardedChaosSoak(t *testing.T) {
 	}
 	if rehomed == 0 {
 		t.Fatalf("no agent observed an explicit redirect record across %d moves", moved)
+	}
+
+	// Detector state rode the re-home: the sketch reports — cumulative
+	// counts, frozen baselines, window tallies, scores — are identical
+	// to the pre-resize capture, including for every moved node.
+	if sketchesAfter := ctrl.DriftReports(); !reflect.DeepEqual(sketchesAfter, sketchesBefore) {
+		t.Fatalf("re-shard changed the drift/sketch reports:\nbefore %+v\nafter  %+v", sketchesBefore, sketchesAfter)
 	}
 
 	// ---- Phase 4: final feed on the resized fleet, then converge. --

@@ -40,6 +40,10 @@ type NodeLoad struct {
 	// load so SummarizeFleet does not double-count.
 	Evicted    int
 	Reconnects int
+	// PendingUploads is the node's upload backlog (uploads buffered
+	// edge-side awaiting a controller ack) from its latest heartbeat.
+	// Node-level like Evicted: set it on a single load per node.
+	PendingUploads int
 	// ExtractLat, MCPushLat, QueueWaitLat, and UploadRTTLat digest the
 	// node's latency histograms (base-DNN extraction, MC push,
 	// scheduler queue wait, upload send-to-ack round trip) as carried
@@ -50,6 +54,21 @@ type NodeLoad struct {
 	MCPushLat    obs.Summary
 	QueueWaitLat obs.Summary
 	UploadRTTLat obs.Summary
+	// Scores merges the stream's per-MC cumulative score sketches as
+	// carried in heartbeats — the semantic load next to the byte
+	// counters above. The sketch is integer state (fixed-point moments
+	// plus histogram counts), so rollups of it are exact under any
+	// shard grouping, unlike the worst-case latency digests. Keyed by
+	// stream in heartbeats, it is per-stream like Frames, not
+	// node-level like ExtractLat.
+	Scores obs.SketchSnapshot
+	// DriftPSI and DriftKS are the worst most-recent drift scores
+	// across the stream's (stream, MC) pairs as scored by the
+	// controller's detector; Drifted counts pairs currently above an
+	// alert threshold. Per-stream, like Scores.
+	DriftPSI float64
+	DriftKS  float64
+	Drifted  int
 }
 
 // Bitrate returns the node's realized average uplink usage in bits/s
@@ -88,6 +107,10 @@ type FleetSummary struct {
 	// dying, not recovering.
 	Evicted    int
 	Reconnects int
+	// PendingUploads totals the fleet's edge-side upload backlog — the
+	// uploads buffered awaiting controller acks as of the latest
+	// heartbeats.
+	PendingUploads int
 	// ExtractLat, MCPushLat, QueueWaitLat, and UploadRTTLat are the
 	// fleet's latency rollups, merged worst-case across nodes
 	// (obs.Summary.Merge): counts and sums add, quantiles and max take
@@ -112,6 +135,19 @@ type FleetSummary struct {
 	MaxNodeBitrate float64
 	// MaxNode names the node behind MaxNodeBitrate.
 	MaxNode string
+	// Scores is the fleet-wide merge of per-stream score sketches.
+	// Sketch merging is exact (integer adds), so the fleet sketch is
+	// bit-for-bit identical however loads are grouped into shards.
+	Scores obs.SketchSnapshot
+	// Drifted totals the fleet's (stream, MC) pairs currently above a
+	// drift alert threshold. MaxDriftPSI and MaxDriftKS are the worst
+	// per-load drift scores; MaxDriftNode names the load behind
+	// MaxDriftPSI (ties break toward the smaller name, keeping the
+	// pick a proper semilattice like MaxNode).
+	Drifted      int
+	MaxDriftPSI  float64
+	MaxDriftKS   float64
+	MaxDriftNode string
 }
 
 // SummarizeFleet rolls up per-node heartbeat loads into a fleet
@@ -130,6 +166,7 @@ func SummarizeFleet(nodes []NodeLoad) FleetSummary {
 		s.ArchiveEvictedBytes += n.ArchiveEvictedBytes
 		s.Evicted += n.Evicted
 		s.Reconnects += n.Reconnects
+		s.PendingUploads += n.PendingUploads
 		s.ExtractLat.Merge(n.ExtractLat)
 		s.MCPushLat.Merge(n.MCPushLat)
 		s.QueueWaitLat.Merge(n.QueueWaitLat)
@@ -145,6 +182,16 @@ func SummarizeFleet(nodes []NodeLoad) FleetSummary {
 			(br > 0 && br == s.MaxNodeBitrate && n.Node < s.MaxNode) {
 			s.MaxNodeBitrate = br
 			s.MaxNode = n.Node
+		}
+		s.Scores.Merge(n.Scores)
+		s.Drifted += n.Drifted
+		if n.DriftPSI > s.MaxDriftPSI ||
+			(n.DriftPSI > 0 && n.DriftPSI == s.MaxDriftPSI && n.Node < s.MaxDriftNode) {
+			s.MaxDriftPSI = n.DriftPSI
+			s.MaxDriftNode = n.Node
+		}
+		if n.DriftKS > s.MaxDriftKS {
+			s.MaxDriftKS = n.DriftKS
 		}
 	}
 	if s.RatedSeconds > 0 {
@@ -173,6 +220,7 @@ func (s *FleetSummary) Merge(o FleetSummary) {
 	s.ArchiveEvictedBytes += o.ArchiveEvictedBytes
 	s.Evicted += o.Evicted
 	s.Reconnects += o.Reconnects
+	s.PendingUploads += o.PendingUploads
 	s.ExtractLat.Merge(o.ExtractLat)
 	s.MCPushLat.Merge(o.MCPushLat)
 	s.QueueWaitLat.Merge(o.QueueWaitLat)
@@ -183,6 +231,16 @@ func (s *FleetSummary) Merge(o FleetSummary) {
 		(o.MaxNodeBitrate > 0 && o.MaxNodeBitrate == s.MaxNodeBitrate && o.MaxNode < s.MaxNode) {
 		s.MaxNodeBitrate = o.MaxNodeBitrate
 		s.MaxNode = o.MaxNode
+	}
+	s.Scores.Merge(o.Scores)
+	s.Drifted += o.Drifted
+	if o.MaxDriftPSI > s.MaxDriftPSI ||
+		(o.MaxDriftPSI > 0 && o.MaxDriftPSI == s.MaxDriftPSI && o.MaxDriftNode < s.MaxDriftNode) {
+		s.MaxDriftPSI = o.MaxDriftPSI
+		s.MaxDriftNode = o.MaxDriftNode
+	}
+	if o.MaxDriftKS > s.MaxDriftKS {
+		s.MaxDriftKS = o.MaxDriftKS
 	}
 	s.AverageBitrate = 0
 	if s.RatedSeconds > 0 {

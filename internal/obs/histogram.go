@@ -180,7 +180,14 @@ func (h *Histogram) Summary() Summary {
 // the max merge by worst case (the larger value wins). Quantiles of
 // different distributions cannot be averaged meaningfully, so a fleet
 // rollup reports the worst node's tail — a pessimistic but honest
-// bound: if the rollup's p95 is fine, every node's p95 is fine.
+// bound: if the rollup's p95 is fine, every node's p95 is fine. The
+// cost is that merged quantiles depend on how loads are grouped only
+// in the sense of being an upper envelope; they are not the true
+// fleet-wide quantiles. Contrast SketchSnapshot.Merge, which carries
+// full (binned, fixed-point) state and is therefore exact: the merged
+// sketch is bit-for-bit the sketch of the combined observations under
+// any grouping. Summary trades that exactness for a digest small
+// enough to quote per heartbeat per stage.
 func (s *Summary) Merge(o Summary) {
 	s.Count += o.Count
 	s.Sum += o.Sum

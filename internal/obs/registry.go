@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -43,6 +44,8 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	sketches map[string]*ScoreSketch
+	help     map[string]string
 }
 
 // NewRegistry constructs an empty registry.
@@ -51,7 +54,19 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		sketches: make(map[string]*ScoreSketch),
+		help:     make(map[string]string),
 	}
+}
+
+// Describe registers HELP text for the named instrument.
+// WritePrometheus emits it as a "# HELP" line ahead of the "# TYPE"
+// line, which metric linters expect. Describing an instrument is
+// optional and idempotent; the last text registered wins.
+func (r *Registry) Describe(name, help string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.help[name] = help
 }
 
 // Counter returns the named counter, creating it on first use. Names
@@ -101,6 +116,20 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// Sketch returns the named score sketch, creating it on first use.
+// Sketches render on /metrics as Prometheus histograms with bucket
+// boundaries at the 32 bin edges over [0, 1].
+func (r *Registry) Sketch(name string) *ScoreSketch {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.sketches[name]
+	if !ok {
+		s = &ScoreSketch{}
+		r.sketches[name] = s
+	}
+	return s
+}
+
 // Metric is one named value in a registry snapshot.
 type Metric struct {
 	// Name is the registered name; histogram entries carry a
@@ -134,22 +163,36 @@ func (r *Registry) Snapshot() []Metric {
 			Metric{Name: name + "/max", Value: float64(s.Max)},
 		)
 	}
+	for name, sk := range r.sketches {
+		s := sk.Snapshot()
+		out = append(out,
+			Metric{Name: name + "/count", Value: float64(s.Count)},
+			Metric{Name: name + "/mean", Value: s.Mean()},
+			Metric{Name: name + "/pass_rate", Value: s.PassRate()},
+		)
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 
 // WritePrometheus renders the registry in the Prometheus text
 // exposition format (version 0.0.4): counters and gauges as single
-// samples, histograms as summaries with quantile labels. Output is
-// sorted by name for deterministic scrapes.
+// samples, latency histograms as summaries with quantile labels, and
+// score sketches as histograms with bucket boundaries at the bin
+// edges. Instruments with Describe'd help text get a "# HELP" line
+// ahead of their "# TYPE" line. Output is sorted by name for
+// deterministic scrapes.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.Lock()
 	cnames := sortedKeys(r.counters)
 	gnames := sortedKeys(r.gauges)
 	hnames := sortedKeys(r.hists)
+	knames := sortedKeys(r.sketches)
 	counters := make(map[string]int64, len(cnames))
 	gauges := make(map[string]int64, len(gnames))
 	sums := make(map[string]Summary, len(hnames))
+	sketches := make(map[string]SketchSnapshot, len(knames))
+	help := make(map[string]string, len(r.help))
 	for _, n := range cnames {
 		counters[n] = r.counters[n].Value()
 	}
@@ -159,19 +202,42 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, n := range hnames {
 		sums[n] = r.hists[n].Summary()
 	}
+	for _, n := range knames {
+		sketches[n] = r.sketches[n].Snapshot()
+	}
+	for n, h := range r.help {
+		help[n] = h
+	}
 	r.mu.Unlock()
 
+	writeHelp := func(n string) error {
+		h, ok := help[n]
+		if !ok {
+			return nil
+		}
+		_, err := fmt.Fprintf(w, "# HELP %s %s\n", n, promEscapeHelp(h))
+		return err
+	}
 	for _, n := range cnames {
+		if err := writeHelp(n); err != nil {
+			return err
+		}
 		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, counters[n]); err != nil {
 			return err
 		}
 	}
 	for _, n := range gnames {
+		if err := writeHelp(n); err != nil {
+			return err
+		}
 		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, gauges[n]); err != nil {
 			return err
 		}
 	}
 	for _, n := range hnames {
+		if err := writeHelp(n); err != nil {
+			return err
+		}
 		s := sums[n]
 		_, err := fmt.Fprintf(w,
 			"# TYPE %s summary\n%s{quantile=\"0.5\"} %d\n%s{quantile=\"0.95\"} %d\n%s{quantile=\"0.99\"} %d\n%s_sum %d\n%s_count %d\n",
@@ -180,7 +246,39 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			return err
 		}
 	}
+	for _, n := range knames {
+		if err := writeHelp(n); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
+			return err
+		}
+		s := sketches[n]
+		var cum uint64
+		for b := 0; b < SketchBins; b++ {
+			cum += s.Bins[b]
+			edge := float64(b+1) / SketchBins
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", n, edge, cum); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %g\n%s_count %d\n%s_passes %d\n",
+			n, s.Count, n, float64(s.Sum)/SketchUnit, n, s.Count, n, s.Passes)
+		if err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// promEscapeHelp escapes help text per the exposition format:
+// backslashes and line feeds only.
+func promEscapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
 }
 
 func sortedKeys[V any](m map[string]V) []string {

@@ -43,13 +43,20 @@ type DebugServer struct {
 // returns immediately; serving continues in the background until
 // Close. It is the implementation behind the cmds' -debug-addr flag.
 func ServeDebug(addr string, o *Observer) (*DebugServer, error) {
+	return ServeMux(addr, NewDebugMux(o))
+}
+
+// ServeMux is ServeDebug over a caller-built mux — the hook for cmds
+// that mount extra endpoints (e.g. a health engine's /healthz and
+// /debug/health) next to the standard debug set from NewDebugMux.
+func ServeMux(addr string, mux *http.ServeMux) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: debug server listen %s: %w", addr, err)
 	}
 	s := &DebugServer{
 		Addr: ln.Addr().String(),
-		srv:  &http.Server{Handler: NewDebugMux(o), ReadHeaderTimeout: 5 * time.Second},
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
 		ln:   ln,
 	}
 	go s.srv.Serve(ln)

@@ -19,6 +19,11 @@
 //	              brightness shift on one node must be flagged from
 //	              heartbeat score sketches with zero false positives
 //	              on a stationary control node
+//	retrain       the closed loop: induced drift is detected,
+//	              drifted frames are demand-fetched and labeled, the
+//	              incumbent MC is fine-tuned into a versioned
+//	              candidate, the canary evaluator promotes it, and a
+//	              deliberately crippled candidate is rolled back
 //	all           everything above
 //
 // -cpuprofile/-memprofile write pprof profiles of the run, which is
@@ -52,7 +57,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "datasets|bandwidth|throughput|breakdown|cost-accuracy|crop|window-buffer|pooling-baseline|phased-pipelined|multistream|archive|kernels|fleet|drift|all")
+		experiment = flag.String("experiment", "all", "datasets|bandwidth|throughput|breakdown|cost-accuracy|crop|window-buffer|pooling-baseline|phased-pipelined|multistream|archive|kernels|fleet|drift|retrain|all")
 		width      = flag.Int("width", 96, "working-scale frame width")
 		trainN     = flag.Int("train-frames", 1200, "training-day frames")
 		testN      = flag.Int("test-frames", 1200, "test-day frames")
@@ -69,6 +74,7 @@ func main() {
 		flResize   = flag.Int("fleet-resize", 6, "shard count after the fleet soak's mid-run resize")
 		flFrames   = flag.Int("fleet-frames", 8, "frames each agent filters in the fleet soak benchmark")
 		drFrames   = flag.Int("drift-frames", 96, "per-phase frame budget in the drift detection benchmark")
+		rtFrames   = flag.Int("retrain-frames", 96, "per-phase frame budget in the retraining loop benchmark")
 		kernFrames = flag.Int("kernel-frames", 200, "frames timed per path in the kernels benchmark")
 		jsonPath   = flag.String("json", "", "write machine-readable results (per-experiment data + wall times) to this path")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
@@ -300,6 +306,17 @@ func main() {
 				return err
 			}
 			record("drift", res)
+			return nil
+		})
+	}
+
+	if want("retrain") {
+		run("retrain (drift-triggered retraining with canary rollout)", func() error {
+			res, err := experiments.Retrain(w, o, *rtFrames)
+			if err != nil {
+				return err
+			}
+			record("retrain", res)
 			return nil
 		})
 	}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
+	"sort"
 	"time"
 
 	"repro/internal/core"
@@ -198,6 +199,17 @@ func main() {
 	if pending, dropped := agent.PendingUploads(); agent.Reconnects() > 0 || agent.Rehomes() > 0 || dropped > 0 || pending > 0 {
 		fmt.Printf("fleet resilience   %d reconnects, %d shard re-homes (last shard %d), %d uploads awaiting ack, %d dropped by buffer cap\n",
 			agent.Reconnects(), agent.Rehomes(), agent.Shard(), pending, dropped)
+	}
+
+	if vers := agent.MCVersions(*stream); len(vers) > 0 {
+		names := make([]string, 0, len(vers))
+		for name := range vers {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("deployed model     %s v%d\n", name, vers[name])
+		}
 	}
 
 	st := agent.Stats()

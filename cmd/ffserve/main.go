@@ -419,6 +419,10 @@ func printSummary(ctrl *fleet.Controller, frames int, observer *obs.Observer, ht
 			fmt.Printf("  fleet drift: %d score obs, pass rate %.3f, worst psi %.3f (%s), worst ks %.3f, %d pair(s) drifted\n",
 				sum.Scores.Count, sum.Scores.PassRate(), sum.MaxDriftPSI, sum.MaxDriftNode, sum.MaxDriftKS, sum.Drifted)
 		}
+		if sum.MaxMCVersion > 0 || sum.CanariesActive+sum.CanariesPromoted+sum.CanariesRolledBack+sum.CanariesExpired > 0 {
+			fmt.Printf("  fleet models: max version %d; canaries %d active, %d promoted, %d rolled back, %d expired\n",
+				sum.MaxMCVersion, sum.CanariesActive, sum.CanariesPromoted, sum.CanariesRolledBack, sum.CanariesExpired)
+		}
 		if ev > 0 || rc > 0 {
 			fmt.Printf("  fleet lifecycle: %d session(s) evicted, %d reconnect(s)\n", ev, rc)
 		}
@@ -462,6 +466,11 @@ func updateFleetGauges(o *obs.Observer, sum metrics.FleetSummary) {
 	o.Reg.Gauge("ff_fleet_drift_ks").Set(int64(sum.MaxDriftKS * 1000))
 	o.Reg.Gauge("ff_fleet_drift_pairs").Set(int64(sum.Drifted))
 	o.Reg.Gauge("ff_fleet_score_observations").Set(int64(sum.Scores.Count))
+	o.Reg.Gauge("ff_fleet_mc_version").Set(int64(sum.MaxMCVersion))
+	o.Reg.Gauge("ff_fleet_canary_active").Set(int64(sum.CanariesActive))
+	o.Reg.Gauge("ff_fleet_canary_promoted").Set(int64(sum.CanariesPromoted))
+	o.Reg.Gauge("ff_fleet_canary_rolled_back").Set(int64(sum.CanariesRolledBack))
+	o.Reg.Gauge("ff_fleet_canary_expired").Set(int64(sum.CanariesExpired))
 }
 
 // describeFleetGauges registers HELP text for the summary-tick gauges
@@ -475,6 +484,11 @@ func describeFleetGauges(reg *obs.Registry) {
 		"ff_fleet_drift_ks":           "worst per-stream binned KS drift score across the fleet, scaled by 1e3",
 		"ff_fleet_drift_pairs":        "(stream, MC) pairs currently above a drift alert threshold",
 		"ff_fleet_score_observations": "MC score observations aggregated across the fleet",
+		"ff_fleet_mc_version":         "highest deployed MC model version across the fleet",
+		"ff_fleet_canary_active":      "canary candidates currently under shadow evaluation",
+		"ff_fleet_canary_promoted":    "canary candidates promoted into the live slot (recorded verdicts)",
+		"ff_fleet_canary_rolled_back": "canary candidates rolled back on regression (recorded verdicts)",
+		"ff_fleet_canary_expired":     "canary candidates expired undecided (recorded verdicts)",
 	} {
 		reg.Describe(name, help)
 	}

@@ -233,6 +233,27 @@ type deployedMC struct {
 	segFrames int
 }
 
+// shadowMC is a canary candidate evaluated in the shadow of the live
+// deployment: it consumes the same shared feature maps as the
+// incumbents, but its classifications feed only a private score
+// sketch — no smoothing, no event assembly, no uploads. The
+// controller compares the shadow's sketch against the incumbent's to
+// decide promotion or rollback.
+type shadowMC struct {
+	mc        *filter.MC
+	threshold float32
+	sketch    *obs.ScoreSketch
+	// offset maps the shadow's local frame counter to stream indices,
+	// carried into the live deployment on promotion so windowed tails
+	// keep correct stream coordinates.
+	offset int
+	// cls holds phase 2a's result for phase 2b. MC.Push returns a
+	// slice that is reused by that MC's next Push/Flush, so the
+	// shadow fan-out copies the classifications out instead of
+	// aliasing the ring.
+	cls []filter.Classification
+}
+
 // EdgeNode is a FilterForward edge instance bound to one camera
 // stream.
 //
@@ -243,9 +264,13 @@ type deployedMC struct {
 // goroutine while the pipeline is running: mu guards the state they
 // read against the owner's writes.
 type EdgeNode struct {
-	cfg  Config
-	mcs  []*deployedMC
-	meta map[int]FrameMeta
+	cfg Config
+	mcs []*deployedMC
+	// shadows are canary candidates scoring alongside the incumbents;
+	// they never produce uploads. Owned by the pipeline goroutine;
+	// mu guards the list for observers.
+	shadows []*shadowMC
+	meta    map[int]FrameMeta
 
 	// ext is this node's private handle onto the shared base DNN's
 	// frozen inference fast path: a per-stream workspace arena keeps
@@ -276,10 +301,11 @@ type EdgeNode struct {
 	// per-MC result slots; curMaps points at the extractor's feature
 	// maps for the frame in flight; mcRun is the prebuilt fan-out
 	// body (building the closure per frame would allocate).
-	xbuf    *tensor.Tensor
-	steps   []mcStep
-	curMaps map[string]*tensor.Tensor
-	mcRun   func(int)
+	xbuf      *tensor.Tensor
+	steps     []mcStep
+	curMaps   map[string]*tensor.Tensor
+	mcRun     func(int)
+	shadowRun func(int)
 
 	// obs is the node's observability sink (nil disables); sid is the
 	// stream's interned trace ID.
@@ -317,6 +343,13 @@ func NewEdgeNode(cfg Config) (*EdgeNode, error) {
 		t1 := time.Now()
 		cls := d.mc.Push(e.curMaps[d.mc.Stage()])
 		e.steps[i] = mcStep{cls: cls, dt: time.Since(t1)}
+	}
+	e.shadowRun = func(i int) {
+		s := e.shadows[i]
+		// Copy, don't alias: the returned slice is only valid until
+		// this MC's next Push, and the copy is what phase 2b (and the
+		// heartbeat snapshot) may still be reading.
+		s.cls = append(s.cls[:0], s.mc.Push(e.curMaps[s.mc.Stage()])...)
 	}
 	if cfg.UplinkBandwidth > 0 {
 		e.uplink = NewTokenBucket(cfg.UplinkBandwidth, cfg.UplinkBandwidth) // 1 s burst
@@ -405,6 +438,124 @@ func (e *EdgeNode) Undeploy(name string) ([]Upload, error) {
 	return nil, fmt.Errorf("core: no deployed MC named %q", name)
 }
 
+// DeployShadow installs a canary candidate that scores every frame
+// alongside the live deployment without affecting uploads: its
+// classifications feed only a private score sketch that heartbeats
+// report for the controller's promote/rollback decision. A shadow
+// with the same name replaces the previous one (the canary deploy is
+// idempotent across agent reconnects). The candidate usually shares
+// its name with the incumbent it may replace; names never collide
+// because shadows live in their own namespace.
+func (e *EdgeNode) DeployShadow(mc *filter.MC, threshold float32) error {
+	shape := mc.FeatureMapShape()
+	if shape[1] <= 0 || shape[2] <= 0 {
+		return fmt.Errorf("core: shadow MC %q has empty feature map", mc.Spec().Name)
+	}
+	mc.Reset()
+	if e.obs != nil {
+		mc.Instrument(e.obs.Trace, e.obs.MCPush, e.sid, e.nextFrame)
+	}
+	s := &shadowMC{
+		mc:        mc,
+		threshold: threshold,
+		sketch:    &obs.ScoreSketch{},
+		offset:    e.nextFrame,
+	}
+	e.mu.Lock()
+	replaced := false
+	for i, old := range e.shadows {
+		if old.mc.Spec().Name == mc.Spec().Name {
+			e.shadows[i] = s
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		e.shadows = append(e.shadows, s)
+	}
+	e.mu.Unlock()
+	e.stages = e.stageUnion()
+	return nil
+}
+
+// UndeployShadow removes a canary candidate by name — the rollback
+// path. Its sketch is discarded with it.
+func (e *EdgeNode) UndeployShadow(name string) error {
+	for i, s := range e.shadows {
+		if s.mc.Spec().Name != name {
+			continue
+		}
+		e.mu.Lock()
+		e.shadows = append(e.shadows[:i], e.shadows[i+1:]...)
+		e.mu.Unlock()
+		e.stages = e.stageUnion()
+		return nil
+	}
+	return fmt.Errorf("core: no shadow MC named %q", name)
+}
+
+// PromoteShadow atomically swaps the named canary candidate into the
+// live slot of the same-named incumbent: the incumbent is flushed
+// (its final uploads are returned so open events still reach the
+// datacenter) and the candidate takes over event assembly from the
+// next frame with fresh smoothing state. The candidate keeps its
+// shadow-period score sketch — it describes the same model — so the
+// controller's version-keyed drift detector re-baselines on the
+// version change, not on a count reset.
+func (e *EdgeNode) PromoteShadow(name string) ([]Upload, error) {
+	si := -1
+	for i, s := range e.shadows {
+		if s.mc.Spec().Name == name {
+			si = i
+			break
+		}
+	}
+	if si < 0 {
+		return nil, fmt.Errorf("core: no shadow MC named %q", name)
+	}
+	s := e.shadows[si]
+	for i, d := range e.mcs {
+		if d.mc.Spec().Name != name {
+			continue
+		}
+		ups, err := e.flushMC(d)
+		if err != nil {
+			return nil, err
+		}
+		var agg *obs.ScoreSketch
+		if e.obs != nil {
+			agg = e.obs.Scores
+		}
+		s.mc.InstrumentScores(s.sketch, agg, float64(s.threshold))
+		e.mu.Lock()
+		e.mcs[i] = &deployedMC{
+			mc:        s.mc,
+			threshold: s.threshold,
+			smoother:  event.NewSmoother(e.cfg.SmoothN, e.cfg.SmoothK),
+			detector:  event.NewDetector(),
+			sketch:    s.sketch,
+			offset:    s.offset,
+		}
+		e.shadows = append(e.shadows[:si], e.shadows[si+1:]...)
+		e.mu.Unlock()
+		e.stages = e.stageUnion()
+		return ups, nil
+	}
+	return nil, fmt.Errorf("core: no deployed MC named %q to promote over", name)
+}
+
+// ShadowNames returns the canary candidates' names in deployment
+// order. Safe to call while another goroutine owns the pipeline.
+func (e *EdgeNode) ShadowNames() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	names := make([]string, len(e.shadows))
+	for i, s := range e.shadows {
+		names[i] = s.mc.Spec().Name
+	}
+	return names
+}
+
 // MC returns the deployed microclassifier with the given name, nil
 // when absent. The returned MC is live pipeline state: inspect it
 // only while the pipeline is quiescent (e.g. after a flush), never
@@ -446,6 +597,54 @@ func (e *EdgeNode) ScoreSketches() map[string]obs.SketchSnapshot {
 	out := make(map[string]obs.SketchSnapshot, len(e.mcs))
 	for _, d := range e.mcs {
 		out[d.mc.Spec().Name] = d.sketch.Snapshot()
+	}
+	return out
+}
+
+// ShadowSketches returns a snapshot of every canary candidate's score
+// sketch, keyed by MC name — the shadow-side signal heartbeats carry
+// for the controller's promote/rollback decision. Safe to call while
+// another goroutine owns the pipeline.
+func (e *EdgeNode) ShadowSketches() map[string]obs.SketchSnapshot {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.shadows) == 0 {
+		return nil
+	}
+	out := make(map[string]obs.SketchSnapshot, len(e.shadows))
+	for _, s := range e.shadows {
+		out[s.mc.Spec().Name] = s.sketch.Snapshot()
+	}
+	return out
+}
+
+// MCVersions returns the deployed MCs' model versions keyed by name
+// (zero for unversioned artifacts). Safe to call while another
+// goroutine owns the pipeline.
+func (e *EdgeNode) MCVersions() map[string]uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.mcs) == 0 {
+		return nil
+	}
+	out := make(map[string]uint64, len(e.mcs))
+	for _, d := range e.mcs {
+		out[d.mc.Spec().Name] = d.mc.Spec().Version
+	}
+	return out
+}
+
+// ShadowVersions returns the canary candidates' model versions keyed
+// by name. Safe to call while another goroutine owns the pipeline.
+func (e *EdgeNode) ShadowVersions() map[string]uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.shadows) == 0 {
+		return nil
+	}
+	out := make(map[string]uint64, len(e.shadows))
+	for _, s := range e.shadows {
+		out[s.mc.Spec().Name] = s.mc.Spec().Version
 	}
 	return out
 }
@@ -651,6 +850,11 @@ func (e *EdgeNode) ProcessFrame(img *vision.Image) ([]Upload, error) {
 	// per frame would allocate.
 	e.curMaps = maps
 	nn.ForEach(len(e.mcs), e.cfg.MCWorkers, e.mcRun)
+	// Canary candidates consume the same maps in their own fan-out;
+	// their results are copies (see shadowRun), never pipeline inputs.
+	if len(e.shadows) > 0 {
+		nn.ForEach(len(e.shadows), e.cfg.MCWorkers, e.shadowRun)
+	}
 	e.curMaps = nil
 
 	e.mu.Lock()
@@ -675,6 +879,14 @@ func (e *EdgeNode) ProcessFrame(img *vision.Image) ([]Upload, error) {
 			uploads = append(uploads, ups...)
 		}
 	}
+	// Shadow candidates only record scores: no smoothing, no events,
+	// no uploads. The cls slices are the shadow's own copies, so this
+	// read cannot race the MCs' ring reuse.
+	for _, s := range e.shadows {
+		for _, c := range s.cls {
+			s.sketch.Observe(float64(c.Prob), c.Prob >= s.threshold)
+		}
+	}
 	e.evict()
 	if o != nil {
 		o.Trace.RecordFrame(e.sid, int64(idx), tFrame, time.Since(tFrame))
@@ -693,6 +905,13 @@ func (e *EdgeNode) Flush() ([]Upload, error) {
 			return nil, err
 		}
 		uploads = append(uploads, ups...)
+	}
+	// Windowed shadow candidates have classification tails too; drain
+	// them into their sketches so the canary window sees every frame.
+	for _, s := range e.shadows {
+		for _, c := range s.mc.Flush() {
+			s.sketch.Observe(float64(c.Prob), c.Prob >= s.threshold)
+		}
 	}
 	return uploads, nil
 }
@@ -832,16 +1051,21 @@ func (e *EdgeNode) closeSegment(d *deployedMC, end int, final bool) (Upload, err
 }
 
 // stageUnion returns the distinct base-DNN stages needed by the
-// deployed MCs.
+// deployed MCs and shadow candidates.
 func (e *EdgeNode) stageUnion() []string {
 	seen := make(map[string]bool)
 	var stages []string
-	for _, d := range e.mcs {
-		s := d.mc.Stage()
+	add := func(s string) {
 		if !seen[s] {
 			seen[s] = true
 			stages = append(stages, s)
 		}
+	}
+	for _, d := range e.mcs {
+		add(d.mc.Stage())
+	}
+	for _, s := range e.shadows {
+		add(s.mc.Stage())
 	}
 	return stages
 }

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/filter"
+)
+
+// TestShadowScoreParityWithInterleavedPushes runs a canary candidate
+// in the shadow slot next to a live incumbent and checks its score
+// sketch frame for frame against a reference node where the same
+// weights run as the only live MC. Exact parity pins that the shadow
+// fan-out's interleaved pushes record the candidate's own scores —
+// copies of its Push results, never another MC's buffer or a stale
+// frame (see the MC.Push reuse contract and shadowRun's copy).
+func TestShadowScoreParityWithInterleavedPushes(t *testing.T) {
+	base := testBase()
+	cfg := Config{FrameWidth: 48, FrameHeight: 27, Base: base, UploadBitrate: 1000}
+	newMC := func(seed int64) *filter.MC {
+		mc, err := filter.NewMC(filter.Spec{Name: "mc", Arch: filter.PoolingClassifier, Seed: seed}, base, 48, 27)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mc
+	}
+
+	// Node under test: incumbent live (always-match threshold keeps
+	// the event pipeline busy), candidate in the shadow slot.
+	e, err := NewEdgeNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Deploy(newMC(3), -1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.DeployShadow(newMC(9), 0.5); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: the same candidate weights as the only live MC.
+	ref, err := NewEdgeNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Deploy(newMC(9), 0.5); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, f := range testFrames(12) {
+		if _, err := e.ProcessFrame(f); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ref.ProcessFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got := e.ShadowSketches()["mc"]
+	want := ref.ScoreSketches()["mc"]
+	if got.Count != 12 {
+		t.Fatalf("shadow scored %d frames, want 12", got.Count)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("shadow sketch diverged from reference run:\n got %+v\nwant %+v", got, want)
+	}
+}

@@ -1,0 +1,416 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"reflect"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/filter"
+	"repro/internal/fleet"
+	"repro/internal/metrics"
+	"repro/internal/mobilenet"
+	"repro/internal/retrain"
+	"repro/internal/simnet"
+	"repro/internal/train"
+	"repro/internal/vision"
+)
+
+// RetrainBenchResult is the closed-loop retraining experiment's
+// structured output: drift detection, demand-fetch fine-tuning, canary
+// promotion of the retrained candidate, and rollback of a deliberately
+// crippled one.
+type RetrainBenchResult struct {
+	// FramesPerPhase is the per-phase frame budget.
+	FramesPerPhase int `json:"frames_per_phase"`
+	// CanaryWindow echoes the evaluator's window configuration.
+	CanaryWindow uint64 `json:"canary_window"`
+	// Detected/DetectionFrames mirror the drift benchmark: whether the
+	// induced shift was flagged and after how many drifted frames.
+	Detected        bool `json:"detected"`
+	DetectionFrames int  `json:"detection_latency_frames"`
+	// FetchedFrames and FetchedBits are the demand-fetch training set
+	// size and its modeled uplink cost.
+	FetchedFrames int   `json:"fetched_frames"`
+	FetchedBits   int64 `json:"fetched_bits"`
+	// FitSamples and HoldoutAccuracy summarize the fine-tune.
+	FitSamples      int     `json:"fit_samples"`
+	HoldoutAccuracy float64 `json:"holdout_accuracy"`
+	// CandidateVersion is the retrained artifact's version (incumbent
+	// + 1); Promoted reports whether the canary evaluator promoted it;
+	// PromoteObservations/PromoteSpread the decision inputs.
+	CandidateVersion    uint64  `json:"candidate_version"`
+	Promoted            bool    `json:"promoted"`
+	PromoteObservations uint64  `json:"promote_observations"`
+	PromoteSpread       float64 `json:"promote_spread"`
+	PromotePassDelta    float64 `json:"promote_pass_delta"`
+	// DriftRebaselined reports that after promotion the detector
+	// re-keyed on the new version without a phantom drift alert.
+	DriftRebaselined bool `json:"drift_rebaselined"`
+	// CrippledVersion is the deliberately degenerate candidate's
+	// version; RolledBack whether the evaluator rolled it back;
+	// RollbackReason the recorded trigger; LiveVersionAfterRollback
+	// the version still serving after the rollback (must equal
+	// CandidateVersion).
+	CrippledVersion          uint64 `json:"crippled_version"`
+	RolledBack               bool   `json:"rolled_back"`
+	RollbackReason           string `json:"rollback_reason"`
+	LiveVersionAfterRollback uint64 `json:"live_version_after_rollback"`
+	// RollupExact reports whether the sharded fleet rollup (now
+	// carrying MC versions and canary counts) reproduced the flat one
+	// bit for bit.
+	RollupExact bool `json:"rollup_exact"`
+}
+
+// splicedSource serves the stationary dataset below the cut and the
+// drifted dataset above it (modulo its length) — the edge's archive
+// view of a world that changed at the cut, so demand-fetched training
+// frames come from the drifted regime.
+type splicedSource struct {
+	a, b *dataset.Dataset
+	cut  int
+}
+
+func (s splicedSource) Frame(i int) *vision.Image {
+	if i < s.cut {
+		return s.a.Frame(i)
+	}
+	return s.b.Frame((i - s.cut) % s.b.Cfg.Frames)
+}
+
+// Retrain benchmarks the full FilterForward loop on the deterministic
+// simulated network: an edge node runs a trained microclassifier; the
+// scene's lighting shifts; the controller's sketch detector flags the
+// drift; the datacenter demand-fetches the drifted frames, fine-tunes
+// the incumbent into a versioned candidate, and ships it back as a
+// shadow canary; the evaluator promotes it once its window fills. A
+// second, deliberately crippled candidate (an untrained head emitting
+// near-constant scores) must then be rolled back, leaving the promoted
+// version live.
+func Retrain(w io.Writer, o Options, frames int) (*RetrainBenchResult, error) {
+	o.fillDefaults()
+	if frames <= 0 {
+		frames = 96
+	}
+
+	const fw, fh = 48, 27
+	const node, stream, mcName = "edge-0", "cam0", "mc-retrain"
+	base := dataset.Jackson(fw, 4*frames, o.Seed)
+	base.BrightnessDrift = 0
+	stationary := dataset.Generate(base)
+	shifted := base
+	shifted.BrightnessDrift = 0.7
+	drifted := dataset.Generate(shifted)
+
+	dnn := mobilenet.New(mobilenet.Config{WidthMult: o.MCWidthMult, Seed: o.Seed})
+	mc, err := filter.NewMC(filter.Spec{Name: mcName, Arch: filter.PoolingClassifier, Seed: o.Seed + 7}, dnn, fw, fh)
+	if err != nil {
+		return nil, err
+	}
+	trainCfg := base
+	trainCfg.Frames = 2 * frames
+	trainD := dataset.Generate(trainCfg)
+	fms, err := extractStages(trainD, dnn, []string{mc.Stage()})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fitMC(w, o, mc, fms[mc.Stage()], trainD.Labels); err != nil {
+		return nil, err
+	}
+	var mcBuf bytes.Buffer
+	if err := mc.Save(&mcBuf); err != nil {
+		return nil, err
+	}
+
+	n := simnet.New(o.Seed)
+	ln, err := n.Listen("dc")
+	if err != nil {
+		return nil, err
+	}
+	driftCfg := fleet.DriftConfig{
+		PSI: fleet.DefaultDriftPSI, KS: fleet.DefaultDriftKS, MinCount: uint64(frames),
+	}
+	canaryCfg := fleet.CanaryConfig{Window: uint64(frames) / 2}
+	ctrl := fleet.NewController(fleet.ControllerConfig{
+		Timeout:       5 * time.Second,
+		HeartbeatMiss: 40,
+		Shards:        2,
+		Drift:         driftCfg,
+		Canary:        canaryCfg,
+	})
+	ctrl.Serve(ln)
+	defer ctrl.Close()
+
+	// Threshold 2 keeps the wire clear of uploads: the benchmark
+	// exercises the sketch, fetch, and canary paths, not the event
+	// path.
+	if err := ctrl.Deploy(node, stream, mcBuf.Bytes(), 2); !errors.Is(err, fleet.ErrDeferred) {
+		return nil, fmt.Errorf("deploy to offline %s: %v", node, err)
+	}
+	a, err := fleet.NewAgent(fleet.AgentConfig{
+		Node: node,
+		Edge: core.Config{
+			FrameWidth: fw, FrameHeight: fh, FPS: 15, Base: dnn,
+			UploadBitrate: 30_000,
+		},
+		Heartbeat:     30 * time.Millisecond,
+		Reconnect:     true,
+		ReconnectMin:  20 * time.Millisecond,
+		ReconnectMax:  250 * time.Millisecond,
+		ReconnectSeed: o.Seed,
+		WriteTimeout:  5 * time.Second,
+		Dial: func(network, addr string) (net.Conn, error) {
+			return n.Dial(node, addr)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer a.Close()
+	// The spliced source is the archive: frames below the cut replay
+	// the stationary regime, frames at or above it the drifted one —
+	// matching exactly what the phases feed the live pipeline.
+	if _, err := a.AddStream(stream, fw, fh, splicedSource{a: stationary, b: drifted, cut: frames}); err != nil {
+		return nil, err
+	}
+	if err := a.Connect("sim", "dc"); err != nil {
+		return nil, err
+	}
+
+	waitCond := func(what string, cond func() bool) error {
+		deadline := time.Now().Add(60 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("retrain bench: timed out waiting for %s", what)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		return nil
+	}
+	if err := waitCond("deploy reconciliation", func() bool {
+		return len(a.DeployedMCs(stream)) == 1
+	}); err != nil {
+		return nil, err
+	}
+
+	report := func() (fleet.DriftReport, bool) {
+		for _, r := range ctrl.DriftReports() {
+			if r.Node == node {
+				return r, true
+			}
+		}
+		return fleet.DriftReport{}, false
+	}
+	canary := func() (fleet.CanaryReport, bool) {
+		for _, r := range ctrl.CanaryReports() {
+			if r.Node == node && r.Stream == stream && r.MC == mcName {
+				return r, true
+			}
+		}
+		return fleet.CanaryReport{}, false
+	}
+	res := &RetrainBenchResult{
+		FramesPerPhase:  frames,
+		CanaryWindow:    canaryCfg.Window,
+		DetectionFrames: -1,
+	}
+
+	// Phase 1: stationary frames freeze the drift baseline.
+	for i := 0; i < frames; i++ {
+		if _, err := a.ProcessFrame(stream, stationary.Frame(i)); err != nil {
+			return nil, fmt.Errorf("phase 1 frame %d: %w", i, err)
+		}
+	}
+	if err := waitCond("phase-1 baseline", func() bool {
+		r, ok := report()
+		return ok && r.Total >= uint64(frames) && r.Baseline > 0
+	}); err != nil {
+		return nil, err
+	}
+
+	// Phase 2: the lighting shifts. Feed drifted frames until the
+	// detector flags the pair.
+	const chunk = 8
+	fed := 0
+	for fed < frames && !res.Detected {
+		for j := 0; j < chunk && fed < frames; j++ {
+			if _, err := a.ProcessFrame(stream, drifted.Frame(fed)); err != nil {
+				return nil, err
+			}
+			fed++
+		}
+		if err := waitCond("heartbeat after drift chunk", func() bool {
+			r, ok := report()
+			return ok && r.Total >= uint64(frames+fed)
+		}); err != nil {
+			return nil, err
+		}
+		if r, _ := report(); r.Drifted {
+			res.Detected = true
+			res.DetectionFrames = fed
+		}
+	}
+	if !res.Detected {
+		return nil, fmt.Errorf("retrain bench: induced drift went undetected after %d frames", fed)
+	}
+	logf(w, o, "  drift detected after %d drifted frames", res.DetectionFrames)
+
+	// Retrain: demand-fetch the drifted archive range, fine-tune the
+	// incumbent, start the canary. The labeler closes over the
+	// generating datasets — the benchmark's stand-in for the
+	// datacenter's ground-truth oracle.
+	svc, err := retrain.New(retrain.Config{
+		Controller: ctrl, Base: dnn,
+		FrameWidth: fw, FrameHeight: fh,
+		Label: func(_ string, frame int) bool {
+			if frame < frames {
+				return labelAt(stationary.Labels, frame) > 0.5
+			}
+			return labelAt(drifted.Labels, (frame-frames)%drifted.Cfg.Frames) > 0.5
+		},
+		Train: train.Config{
+			Epochs: o.Epochs, BatchSize: 16, Seed: o.Seed + 11,
+			BalanceClasses: true, Optimizer: train.NewAdam(0.003),
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	dr, _ := report()
+	rres, err := svc.HandleDrift(dr, frames, frames+fed)
+	if err != nil {
+		return nil, err
+	}
+	res.FetchedFrames = rres.Frames
+	res.FetchedBits = rres.FetchedBits
+	res.FitSamples = rres.FitSamples
+	res.HoldoutAccuracy = rres.HoldoutAccuracy
+	res.CandidateVersion = rres.Version
+	logf(w, o, "  retrained v%d on %d fetched frames: loss %.4f, holdout accuracy %.3f",
+		rres.Version, rres.Frames, rres.Loss, rres.HoldoutAccuracy)
+
+	// Phase 3: keep the drifted scene flowing so the shadow window
+	// fills; the evaluator must promote the retrained candidate.
+	for i := 0; i < 3*frames; i += chunk {
+		if r, ok := canary(); ok && r.State != "evaluating" {
+			break
+		}
+		for j := 0; j < chunk; j++ {
+			if _, err := a.ProcessFrame(stream, drifted.Frame((fed+i+j)%drifted.Cfg.Frames)); err != nil {
+				return nil, err
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := waitCond("canary verdict", func() bool {
+		r, ok := canary()
+		return ok && r.State != "evaluating"
+	}); err != nil {
+		return nil, err
+	}
+	cr, _ := canary()
+	res.Promoted = cr.State == fleet.CanaryPromoted
+	res.PromoteObservations = cr.Observations
+	res.PromoteSpread = cr.Spread
+	res.PromotePassDelta = cr.PassDelta
+	if !res.Promoted {
+		return nil, fmt.Errorf("retrain bench: candidate v%d not promoted: %s (%s)", rres.Version, cr.State, cr.Reason)
+	}
+	// The promotion must reach the edge (heartbeats report the new
+	// version) and the drift detector must re-key on it without a
+	// phantom alert.
+	if err := waitCond("promoted version in heartbeats", func() bool {
+		r, ok := report()
+		return ok && r.Version == rres.Version
+	}); err != nil {
+		return nil, err
+	}
+	if r, _ := report(); !r.Drifted {
+		res.DriftRebaselined = true
+	}
+	logf(w, o, "  canary v%d promoted after %d observations (spread %.4f)",
+		rres.Version, cr.Observations, cr.Spread)
+
+	// Rollback leg: a deliberately crippled candidate — an untrained
+	// head emits near-constant scores (no spread), which the evaluator
+	// must refuse to promote.
+	crippled, err := filter.NewMC(filter.Spec{Name: mcName, Arch: filter.PoolingClassifier, Seed: o.Seed + 99}, dnn, fw, fh)
+	if err != nil {
+		return nil, err
+	}
+	res.CrippledVersion = rres.Version + 1
+	crippled.SetVersion(res.CrippledVersion)
+	var crippledBuf bytes.Buffer
+	if err := crippled.Save(&crippledBuf); err != nil {
+		return nil, err
+	}
+	if err := ctrl.StartCanary(node, stream, crippledBuf.Bytes(), 2); err != nil {
+		return nil, fmt.Errorf("retrain bench: start crippled canary: %w", err)
+	}
+	for i := 0; i < 3*frames; i += chunk {
+		if r, ok := canary(); ok && r.Version == res.CrippledVersion && r.State != "evaluating" {
+			break
+		}
+		for j := 0; j < chunk; j++ {
+			if _, err := a.ProcessFrame(stream, drifted.Frame((fed+i+j)%drifted.Cfg.Frames)); err != nil {
+				return nil, err
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := waitCond("crippled canary verdict", func() bool {
+		r, ok := canary()
+		return ok && r.Version == res.CrippledVersion && r.State != "evaluating"
+	}); err != nil {
+		return nil, err
+	}
+	cr2, _ := canary()
+	res.RolledBack = cr2.State == fleet.CanaryRolledBack
+	res.RollbackReason = cr2.Reason
+	if !res.RolledBack {
+		return nil, fmt.Errorf("retrain bench: crippled candidate v%d was %s, want rollback", res.CrippledVersion, cr2.State)
+	}
+	// The rollback must leave the promoted version serving and remove
+	// the shadow from the edge.
+	if err := waitCond("shadow removed after rollback", func() bool {
+		for _, info := range ctrl.ListNodes() {
+			if info.Node == node {
+				return len(info.Heartbeat.ShadowScores) == 0
+			}
+		}
+		return false
+	}); err != nil {
+		return nil, err
+	}
+	if r, _ := report(); r.Version == rres.Version {
+		res.LiveVersionAfterRollback = r.Version
+	}
+	if res.LiveVersionAfterRollback != res.CandidateVersion {
+		return nil, fmt.Errorf("retrain bench: live version %d after rollback, want %d",
+			res.LiveVersionAfterRollback, res.CandidateVersion)
+	}
+	logf(w, o, "  crippled canary v%d rolled back: %s", res.CrippledVersion, cr2.Reason)
+
+	// The sharded rollup must stay bit-exact now that it carries MC
+	// versions and canary counts.
+	perShard := ctrl.ShardLoads()
+	var flat []metrics.NodeLoad
+	summaries := make([]metrics.FleetSummary, 0, len(perShard))
+	for _, loads := range perShard {
+		flat = append(flat, loads...)
+		summaries = append(summaries, metrics.SummarizeFleet(loads))
+	}
+	res.RollupExact = reflect.DeepEqual(metrics.MergeFleet(summaries), metrics.SummarizeFleet(flat))
+
+	fmt.Fprintf(w, "detected=%v latency=%d frames fetched=%d frames (%d bits) holdout-acc=%.3f\n",
+		res.Detected, res.DetectionFrames, res.FetchedFrames, res.FetchedBits, res.HoldoutAccuracy)
+	fmt.Fprintf(w, "promoted=v%d (obs=%d spread=%.4f) rolled-back=v%d (%s) live=v%d rollup-exact=%v\n",
+		res.CandidateVersion, res.PromoteObservations, res.PromoteSpread,
+		res.CrippledVersion, res.RollbackReason, res.LiveVersionAfterRollback, res.RollupExact)
+	return res, nil
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"os"
 
@@ -24,13 +25,21 @@ type savedMC struct {
 	NormStd  []float32
 }
 
-// Save writes the MC's spec, weights, and normalization to w.
+// Save writes the MC's spec, weights, and normalization to w. The
+// saved spec carries a WeightsHash fingerprint of the parameter
+// stream, stamped into the serialized copy only — Save never mutates
+// the receiver, so it is safe on a deployed MC whose spec concurrent
+// heartbeat snapshots are reading.
 func (m *MC) Save(w io.Writer) error {
 	var params bytes.Buffer
 	if err := nn.SaveParams(&params, m.net); err != nil {
 		return err
 	}
-	s := savedMC{Spec: m.spec, Params: params.Bytes()}
+	h := fnv.New64a()
+	h.Write(params.Bytes())
+	spec := m.spec
+	spec.WeightsHash = h.Sum64()
+	s := savedMC{Spec: spec, Params: params.Bytes()}
 	if m.normMean != nil {
 		s.NormMean = append([]float32(nil), m.normMean...)
 		s.NormStd = make([]float32, len(m.normInvStd))
@@ -54,20 +63,29 @@ func (m *MC) SaveFile(path string) error {
 	return f.Close()
 }
 
-// MCName reads just the microclassifier name from a Save stream,
-// without a base DNN to rebuild against — what the fleet controller
-// needs to key deployment intent by name before shipping the bytes.
-// Decoding into a spec-only view lets gob skip the weight payload
-// instead of materializing it.
-func MCName(r io.Reader) (string, error) {
+// MCInfo reads just the spec header from a Save stream, without a
+// base DNN to rebuild against — what the fleet controller needs to
+// key deployment intent by name (and version) before shipping the
+// bytes. Decoding into a spec-only view lets gob skip the weight
+// payload instead of materializing it.
+func MCInfo(r io.Reader) (Spec, error) {
 	var s struct{ Spec Spec }
 	if err := gob.NewDecoder(r).Decode(&s); err != nil {
-		return "", fmt.Errorf("filter: decode MC: %w", err)
+		return Spec{}, fmt.Errorf("filter: decode MC: %w", err)
 	}
 	if s.Spec.Name == "" {
-		return "", fmt.Errorf("filter: saved MC has no name")
+		return Spec{}, fmt.Errorf("filter: saved MC has no name")
 	}
-	return s.Spec.Name, nil
+	return s.Spec, nil
+}
+
+// MCName reads just the microclassifier name from a Save stream.
+func MCName(r io.Reader) (string, error) {
+	s, err := MCInfo(r)
+	if err != nil {
+		return "", err
+	}
+	return s.Name, nil
 }
 
 // LoadMC reconstructs a microclassifier saved with Save against a base

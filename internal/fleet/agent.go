@@ -631,6 +631,19 @@ func (a *Agent) DeployedMCs(stream string) []string {
 	return e.MCNames()
 }
 
+// MCVersions returns the deployed MCs' model versions on a stream,
+// keyed by name (zero for unversioned artifacts), nil for an unknown
+// stream.
+func (a *Agent) MCVersions(stream string) map[string]uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	e := a.node.Stream(stream)
+	if e == nil {
+		return nil
+	}
+	return e.MCVersions()
+}
+
 // Stats returns the node's aggregate pipeline counters (locked
 // against the control loop).
 func (a *Agent) Stats() core.Stats {
@@ -1082,11 +1095,66 @@ func (a *Agent) noteGen(gen uint64) {
 	a.sessMu.Unlock()
 }
 
+// withEdge runs f against a stream's edge node, serialized with the
+// stream's frames when the scheduler is running (the scheduler path)
+// and under a.mu otherwise (the serial path).
+func (a *Agent) withEdge(stream string, f func(*core.EdgeNode) error) error {
+	a.mu.Lock()
+	if s := a.sched; s != nil {
+		a.mu.Unlock()
+		return s.Do(stream, f)
+	}
+	defer a.mu.Unlock()
+	e := a.node.Stream(stream)
+	if e == nil {
+		return fmt.Errorf("unknown stream %q", stream)
+	}
+	return f(e)
+}
+
 // handleDeploy reconstructs the shipped microclassifier against the
 // local base DNN and installs it live on the target stream. With the
 // scheduler running the deployment is serialized after the stream's
-// in-flight frames.
+// in-flight frames. Canary requests install the MC as a shadow
+// candidate instead, and Promote swaps an installed shadow into the
+// live slot (shipping the displaced incumbent's final uploads before
+// the ack, like an undeploy).
 func (a *Agent) handleDeploy(req DeployRequest) {
+	if req.Promote {
+		var ups []core.Upload
+		err := a.withEdge(req.Stream, func(e *core.EdgeNode) error {
+			var perr error
+			ups, perr = e.PromoteShadow(req.MCName)
+			return perr
+		})
+		if err == nil {
+			a.mu.Lock()
+			a.noteManaged(req.Stream, req.MCName, true)
+			a.mu.Unlock()
+			a.noteGen(req.Gen)
+			err = a.sendUploads(ups)
+		}
+		a.ack(req.Seq, err)
+		return
+	}
+	if req.Canary {
+		err := func() error {
+			e := a.node.Stream(req.Stream)
+			if e == nil {
+				return fmt.Errorf("unknown stream %q", req.Stream)
+			}
+			cfg := e.Config()
+			mc, err := filter.LoadMC(bytes.NewReader(req.MC), cfg.Base, cfg.FrameWidth, cfg.FrameHeight)
+			if err != nil {
+				return err
+			}
+			return a.withEdge(req.Stream, func(e *core.EdgeNode) error {
+				return e.DeployShadow(mc, req.Threshold)
+			})
+		}()
+		a.ack(req.Seq, err)
+		return
+	}
 	err := func() error {
 		e := a.node.Stream(req.Stream)
 		if e == nil {
@@ -1149,6 +1217,16 @@ func (a *Agent) noteManaged(stream, name string, deployed bool) {
 // handleUndeploy removes an MC, shipping its final uploads before the
 // ack so the controller sees a complete event record.
 func (a *Agent) handleUndeploy(req UndeployRequest) {
+	if req.Canary {
+		// Canary rollback: discard the shadow candidate. No managed
+		// inventory or generation to touch — shadows are never part of
+		// the reconciled deployment set.
+		err := a.withEdge(req.Stream, func(e *core.EdgeNode) error {
+			return e.UndeployShadow(req.MCName)
+		})
+		a.ack(req.Seq, err)
+		return
+	}
 	var ups []core.Upload
 	var err error
 	a.mu.Lock()
@@ -1296,6 +1374,18 @@ func (a *Agent) snapshot() Heartbeat {
 				hb.Scores = make(map[string]map[string]obs.SketchSnapshot, len(a.streams))
 			}
 			hb.Scores[si.Name] = sketches
+			if hb.ScoreVersions == nil {
+				hb.ScoreVersions = make(map[string]map[string]uint64, len(a.streams))
+			}
+			hb.ScoreVersions[si.Name] = e.MCVersions()
+		}
+		if shadows := e.ShadowSketches(); len(shadows) > 0 {
+			if hb.ShadowScores == nil {
+				hb.ShadowScores = make(map[string]map[string]obs.SketchSnapshot, len(a.streams))
+				hb.ShadowVersions = make(map[string]map[string]uint64, len(a.streams))
+			}
+			hb.ShadowScores[si.Name] = shadows
+			hb.ShadowVersions[si.Name] = e.ShadowVersions()
 		}
 	}
 	if o := a.cfg.Edge.Obs; o != nil {

@@ -1,0 +1,344 @@
+package fleet
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/filter"
+	"repro/internal/obs"
+)
+
+// Default canary-evaluator parameters. The window is sized like the
+// drift detector's MinCount default (big enough that the score
+// statistics are not noise); the spread floor catches degenerate
+// candidates (an untrained or corrupted head emits near-constant
+// scores); the pass-rate gap bounds how far the candidate's decision
+// behavior may sit from the incumbent's before promotion is refused.
+const (
+	DefaultCanaryWindow       = 64
+	DefaultCanaryExpireAfter  = 400
+	DefaultCanaryMinSpread    = 0.01
+	DefaultCanaryMaxPassDelta = 0.5
+)
+
+// CanaryConfig parameterizes the controller's canary evaluator: the
+// shadow candidate scores live frames next to the incumbent, and once
+// its evaluation window fills, the controller either promotes it
+// (atomic deploy-generation swap) or rolls it back. Zero fields take
+// the defaults above.
+type CanaryConfig struct {
+	// Window is the minimum number of shadow score observations
+	// before a verdict.
+	Window uint64
+	// ExpireAfter is the number of shadow-carrying heartbeats the
+	// evaluator tolerates before a canary that never filled its
+	// window is declared undecided and rolled back — the guard
+	// against a canary stuck on a stalled stream.
+	ExpireAfter int
+	// MinSpread is the minimum candidate score standard deviation
+	// over the window. A candidate below it cannot discriminate
+	// frames (constant output) and is rolled back regardless of its
+	// agreement with the incumbent.
+	MinSpread float64
+	// MaxPassDelta is the maximum |candidate − incumbent| pass-rate
+	// gap over the window before the candidate is rolled back as a
+	// behavioral regression.
+	MaxPassDelta float64
+}
+
+func (c *CanaryConfig) fillDefaults() {
+	if c.Window == 0 {
+		c.Window = DefaultCanaryWindow
+	}
+	if c.ExpireAfter == 0 {
+		c.ExpireAfter = DefaultCanaryExpireAfter
+	}
+	if c.MinSpread == 0 {
+		c.MinSpread = DefaultCanaryMinSpread
+	}
+	if c.MaxPassDelta == 0 {
+		c.MaxPassDelta = DefaultCanaryMaxPassDelta
+	}
+}
+
+// Canary outcomes, as recorded in canaryState.outcome and
+// CanaryReport.State ("" / "evaluating" while undecided).
+const (
+	CanaryPromoted   = "promoted"
+	CanaryRolledBack = "rolled_back"
+	CanaryExpired    = "expired"
+)
+
+// canaryState is one (stream, MC) pair's canary-evaluation state on
+// its node record. Like driftState it lives in nodeState, so a Resize
+// re-home moves it wholesale and an in-flight window is never lost or
+// double-decided across shards.
+type canaryState struct {
+	// mc, threshold, and version describe the candidate artifact;
+	// mc is kept for reconciliation (re-pushing the shadow to a
+	// reconnecting node) and for the promotion intent.
+	mc        []byte
+	threshold float32
+	version   uint64
+	// incumbentVersion is the live model's version when the canary
+	// started, reported back in CanaryReport.
+	incumbentVersion uint64
+	// baseLive and baseShadow anchor the evaluation window: the
+	// cumulative live and shadow snapshots when the window opened.
+	// lastLive/lastShadow are the latest cumulative snapshots.
+	baseLive, baseShadow obs.SketchSnapshot
+	lastLive, lastShadow obs.SketchSnapshot
+	// heartbeats counts shadow-carrying heartbeats since the window
+	// opened — the expiry clock.
+	heartbeats int
+	// agreePSI, spread, and passDelta are the decision inputs at
+	// verdict time (or the latest observed values while evaluating).
+	agreePSI, spread, passDelta float64
+	// outcome is "" while evaluating, then one of the Canary*
+	// constants. Terminal states are kept for reporting; starting a
+	// new canary for the pair replaces the record.
+	outcome string
+	// reason annotates rollbacks with what tripped them.
+	reason string
+}
+
+// canaryEvent is one verdict, collected under the shard lock and
+// acted on (promote/rollback round trips, logging) outside it.
+type canaryEvent struct {
+	node, stream, mc            string
+	version                     uint64
+	outcome                     string
+	reason                      string
+	observations                uint64
+	agreePSI, spread, passDelta float64
+}
+
+// observeCanary folds one heartbeat's shadow sketches into the node's
+// canary state and returns any verdicts reached. The caller holds the
+// owning shard's mutex; verdict side effects (the promote/rollback
+// round trips) must run outside it.
+func observeCanary(st *nodeState, node string, hb Heartbeat, cfg CanaryConfig) []canaryEvent {
+	var events []canaryEvent
+	for stream, mcs := range hb.ShadowScores {
+		for mc, cur := range mcs {
+			key := stream + "/" + mc
+			cs := st.canary[key]
+			if cs == nil || cs.outcome != "" {
+				// No canary started for this pair (a stale shadow the
+				// rollback hasn't reached yet) or already decided.
+				continue
+			}
+			live := hb.Scores[stream][mc]
+			if cur.Count < cs.lastShadow.Count {
+				// The shadow restarted (node reconnected and
+				// reconciliation re-pushed the candidate): re-anchor
+				// the window on the fresh sketches.
+				cs.baseShadow = obs.SketchSnapshot{}
+				cs.baseLive = live
+			}
+			if cs.heartbeats == 0 {
+				// First shadow-carrying heartbeat: anchor the live
+				// side so the window compares the same frame span.
+				cs.baseLive = live
+			}
+			cs.heartbeats++
+			cs.lastShadow = cur
+			cs.lastLive = live
+
+			shadowWin := cur.Sub(cs.baseShadow)
+			liveWin := live.Sub(cs.baseLive)
+			cs.spread = shadowWin.StdDev()
+			cs.passDelta = shadowWin.PassRate() - liveWin.PassRate()
+			if cs.passDelta < 0 {
+				cs.passDelta = -cs.passDelta
+			}
+			cs.agreePSI = obs.PSI(liveWin, shadowWin)
+
+			if shadowWin.Count < cfg.Window {
+				if cs.heartbeats >= cfg.ExpireAfter {
+					cs.outcome = CanaryExpired
+					cs.reason = fmt.Sprintf("window %d/%d after %d heartbeats",
+						shadowWin.Count, cfg.Window, cs.heartbeats)
+					events = append(events, canaryEventFrom(node, stream, mc, cs, shadowWin.Count))
+				}
+				continue
+			}
+			switch {
+			case cs.spread < cfg.MinSpread:
+				cs.outcome = CanaryRolledBack
+				cs.reason = fmt.Sprintf("degenerate scores: spread %.4f < %.4f", cs.spread, cfg.MinSpread)
+			case cs.passDelta > cfg.MaxPassDelta:
+				cs.outcome = CanaryRolledBack
+				cs.reason = fmt.Sprintf("pass-rate gap %.3f > %.3f", cs.passDelta, cfg.MaxPassDelta)
+			default:
+				cs.outcome = CanaryPromoted
+			}
+			events = append(events, canaryEventFrom(node, stream, mc, cs, shadowWin.Count))
+		}
+	}
+	return events
+}
+
+func canaryEventFrom(node, stream, mc string, cs *canaryState, observations uint64) canaryEvent {
+	return canaryEvent{
+		node: node, stream: stream, mc: mc,
+		version: cs.version, outcome: cs.outcome, reason: cs.reason,
+		observations: observations,
+		agreePSI:     cs.agreePSI, spread: cs.spread, passDelta: cs.passDelta,
+	}
+}
+
+// StartCanary ships candidate MC bytes (a filter.(*MC).Save stream,
+// normally a retrained artifact from internal/retrain) to the named
+// node as a shadow deployment and opens an evaluation window for it.
+// The candidate must share its name with a live incumbent on the
+// stream; the heartbeat sketches of the two are compared until the
+// window fills, then the controller promotes the candidate into the
+// live slot or rolls it back, logging either edge. With the node
+// offline the canary is recorded and ErrDeferred returned;
+// reconciliation pushes the shadow when the node reconnects.
+func (c *Controller) StartCanary(node, stream string, mc []byte, threshold float32) error {
+	info, err := filter.MCInfo(bytes.NewReader(mc))
+	if err != nil {
+		return fmt.Errorf("fleet: canary MC bytes: %w", err)
+	}
+	key := stream + "/" + info.Name
+	var sess *Session
+	c.onNode(node, true, func(sh *shard, st *nodeState) {
+		if st.canary == nil {
+			st.canary = make(map[string]*canaryState)
+		}
+		cs := &canaryState{mc: mc, threshold: threshold, version: info.Version}
+		if dep, ok := st.intent[stream][info.Name]; ok {
+			if inc, err := filter.MCInfo(bytes.NewReader(dep.mc)); err == nil {
+				cs.incumbentVersion = inc.Version
+			}
+		}
+		st.canary[key] = cs
+		sess = sh.liveSessionLocked(node)
+	})
+	c.cfg.Log.Info("fleet: canary started",
+		"node", node, "target", key, "version", info.Version)
+	if sess == nil {
+		return fmt.Errorf("fleet: canary %s/%s: %w", node, key, ErrDeferred)
+	}
+	err = sess.deployCanary(stream, mc, threshold, info.Version)
+	if err != nil && errors.Is(err, ErrRejected) {
+		// The node answered and refused the shadow: the canary can
+		// never evaluate, drop it.
+		c.onNode(node, true, func(_ *shard, st *nodeState) {
+			delete(st.canary, key)
+		})
+	}
+	return err
+}
+
+// resolveCanary performs a verdict's side effects off the shard lock:
+// the promote swap (riding the deploy-generation machinery, so a
+// reconnecting node converges on the candidate) or the shadow
+// rollback. Invoked from noteHeartbeat's dispatch goroutine.
+func (c *Controller) resolveCanary(ev canaryEvent) {
+	switch ev.outcome {
+	case CanaryPromoted:
+		var gen uint64
+		var version uint64
+		var sess *Session
+		c.onNode(ev.node, true, func(sh *shard, st *nodeState) {
+			cs := st.canary[ev.stream+"/"+ev.mc]
+			if cs == nil {
+				return
+			}
+			if st.intent[ev.stream] == nil {
+				st.intent[ev.stream] = make(map[string]deployment)
+			}
+			st.intent[ev.stream][ev.mc] = deployment{mc: cs.mc, threshold: cs.threshold, version: cs.version}
+			st.gen++
+			gen = st.gen
+			version = cs.version
+			sess = sh.liveSessionLocked(ev.node)
+		})
+		if sess == nil {
+			// The node dropped between verdict and swap: the intent
+			// now carries the candidate, so reconciliation finishes
+			// the promotion on reconnect.
+			return
+		}
+		if err := sess.promoteCanary(ev.stream, ev.mc, gen, version); err != nil {
+			c.cfg.Log.Warn("fleet: canary promote push failed",
+				"node", ev.node, "target", ev.stream+"/"+ev.mc, "err", err)
+		}
+	case CanaryRolledBack, CanaryExpired:
+		var sess *Session
+		c.onNode(ev.node, false, func(sh *shard, _ *nodeState) {
+			sess = sh.liveSessionLocked(ev.node)
+		})
+		if sess == nil {
+			return
+		}
+		if err := sess.undeployCanary(ev.stream, ev.mc); err != nil {
+			c.cfg.Log.Warn("fleet: canary rollback push failed",
+				"node", ev.node, "target", ev.stream+"/"+ev.mc, "err", err)
+		}
+	}
+}
+
+// CanaryReport is one (node, stream, MC) pair's canary status — the
+// operator-facing view of the evaluator state.
+type CanaryReport struct {
+	// Node, Stream, and MC identify the candidate deployment.
+	Node, Stream, MC string
+	// Version is the candidate's model version; IncumbentVersion the
+	// live model's version when the canary started.
+	Version, IncumbentVersion uint64
+	// Observations is the shadow window's score count so far;
+	// Heartbeats the expiry clock.
+	Observations uint64
+	Heartbeats   int
+	// AgreePSI, Spread, and PassDelta are the decision inputs (see
+	// CanaryConfig).
+	AgreePSI, Spread, PassDelta float64
+	// State is "evaluating" until a verdict, then one of the Canary*
+	// constants. Reason annotates rollbacks and expiries.
+	State  string
+	Reason string
+}
+
+// CanaryReports snapshots every tracked canary across all shards,
+// terminal outcomes included, sorted by node, stream, then MC.
+func (c *Controller) CanaryReports() []CanaryReport {
+	var out []CanaryReport
+	for _, sh := range c.snapshotShards() {
+		sh.mu.Lock()
+		for name, st := range sh.nodes {
+			for key, cs := range st.canary {
+				stream, mc, _ := strings.Cut(key, "/")
+				state := cs.outcome
+				if state == "" {
+					state = "evaluating"
+				}
+				out = append(out, CanaryReport{
+					Node: name, Stream: stream, MC: mc,
+					Version: cs.version, IncumbentVersion: cs.incumbentVersion,
+					Observations: cs.lastShadow.Sub(cs.baseShadow).Count,
+					Heartbeats:   cs.heartbeats,
+					AgreePSI:     cs.agreePSI, Spread: cs.spread, PassDelta: cs.passDelta,
+					State: state, Reason: cs.reason,
+				})
+			}
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		if out[i].Stream != out[j].Stream {
+			return out[i].Stream < out[j].Stream
+		}
+		return out[i].MC < out[j].MC
+	})
+	return out
+}

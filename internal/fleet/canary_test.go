@@ -1,0 +1,163 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// alt returns n scores alternating between a and b — a distribution
+// with nonzero spread and a pass rate set by how the two values sit
+// around the 0.5 decision line.
+func alt(a, b float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		if i%2 == 0 {
+			out[i] = a
+		} else {
+			out[i] = b
+		}
+	}
+	return out
+}
+
+// canaryHB builds the heartbeat observeCanary consumes: cumulative
+// live scores for the incumbent and cumulative shadow scores for the
+// candidate, both under the same (stream, MC) key.
+func canaryHB(live, shadow []float64) Heartbeat {
+	return Heartbeat{
+		Scores:       map[string]map[string]obs.SketchSnapshot{"cam0": {"mc": cumSketch(live)}},
+		ShadowScores: map[string]map[string]obs.SketchSnapshot{"cam0": {"mc": cumSketch(shadow)}},
+	}
+}
+
+func canaryTestState() *nodeState {
+	return &nodeState{canary: map[string]*canaryState{
+		"cam0/mc": {version: 2, incumbentVersion: 1},
+	}}
+}
+
+// TestObserveCanaryPromote fills the window with a candidate whose
+// score spread and pass rate track the incumbent's: the verdict must
+// be promotion, and a decided canary must go quiet afterwards.
+func TestObserveCanaryPromote(t *testing.T) {
+	cfg := CanaryConfig{Window: 16}
+	cfg.fillDefaults()
+	st := canaryTestState()
+
+	// First shadow-carrying heartbeat anchors the live window (the
+	// incumbent already has history) and is below the window: no
+	// verdict yet.
+	evs := observeCanary(st, "n0", canaryHB(alt(0.2, 0.7, 32), alt(0.3, 0.8, 8)), cfg)
+	if len(evs) != 0 {
+		t.Fatalf("verdict before window filled: %+v", evs)
+	}
+	cs := st.canary["cam0/mc"]
+	if cs.outcome != "" || cs.heartbeats != 1 {
+		t.Fatalf("state after first heartbeat: %+v", cs)
+	}
+
+	// The window fills with matched behavior: 16 fresh shadow scores
+	// and 16 fresh live scores, both passing half the time.
+	evs = observeCanary(st, "n0", canaryHB(alt(0.2, 0.7, 48), alt(0.3, 0.8, 16)), cfg)
+	if len(evs) != 1 {
+		t.Fatalf("want one verdict, got %+v", evs)
+	}
+	ev := evs[0]
+	if ev.outcome != CanaryPromoted || ev.version != 2 || ev.observations != 16 {
+		t.Fatalf("promote verdict: %+v", ev)
+	}
+	if ev.node != "n0" || ev.stream != "cam0" || ev.mc != "mc" {
+		t.Fatalf("verdict identity: %+v", ev)
+	}
+	if cs.outcome != CanaryPromoted {
+		t.Fatalf("state outcome after promote: %q", cs.outcome)
+	}
+
+	// Decided canaries are terminal: further heartbeats (the promote
+	// round trip is still in flight) produce no second verdict.
+	if evs := observeCanary(st, "n0", canaryHB(alt(0.2, 0.7, 64), alt(0.3, 0.8, 32)), cfg); len(evs) != 0 {
+		t.Fatalf("verdict on decided canary: %+v", evs)
+	}
+}
+
+// TestObserveCanaryRollbackPassDelta gives the candidate healthy
+// spread but a pass rate far from the incumbent's: a behavioral
+// regression that must roll back.
+func TestObserveCanaryRollbackPassDelta(t *testing.T) {
+	cfg := CanaryConfig{Window: 16}
+	cfg.fillDefaults()
+	st := canaryTestState()
+
+	// Incumbent passes nothing (scores below 0.5); the candidate
+	// passes everything while keeping nonzero spread.
+	if evs := observeCanary(st, "n0", canaryHB(alt(0.2, 0.3, 16), alt(0.6, 0.9, 8)), cfg); len(evs) != 0 {
+		t.Fatalf("verdict before window filled: %+v", evs)
+	}
+	evs := observeCanary(st, "n0", canaryHB(alt(0.2, 0.3, 32), alt(0.6, 0.9, 16)), cfg)
+	if len(evs) != 1 || evs[0].outcome != CanaryRolledBack {
+		t.Fatalf("want rollback, got %+v", evs)
+	}
+	if !strings.Contains(evs[0].reason, "pass-rate gap") {
+		t.Fatalf("rollback reason: %q", evs[0].reason)
+	}
+	if evs[0].passDelta <= cfg.MaxPassDelta {
+		t.Fatalf("passDelta %.3f should exceed %.3f", evs[0].passDelta, cfg.MaxPassDelta)
+	}
+}
+
+// TestObserveCanaryRollbackDegenerate gives the candidate constant
+// scores — an untrained or corrupted head — which must roll back on
+// the spread floor even though its pass rate matches the incumbent.
+func TestObserveCanaryRollbackDegenerate(t *testing.T) {
+	cfg := CanaryConfig{Window: 16}
+	cfg.fillDefaults()
+	st := canaryTestState()
+
+	if evs := observeCanary(st, "n0", canaryHB(alt(0.6, 0.9, 16), repeat(0.7, 8)), cfg); len(evs) != 0 {
+		t.Fatalf("verdict before window filled: %+v", evs)
+	}
+	evs := observeCanary(st, "n0", canaryHB(alt(0.6, 0.9, 32), repeat(0.7, 16)), cfg)
+	if len(evs) != 1 || evs[0].outcome != CanaryRolledBack {
+		t.Fatalf("want rollback, got %+v", evs)
+	}
+	if !strings.Contains(evs[0].reason, "degenerate") {
+		t.Fatalf("rollback reason: %q", evs[0].reason)
+	}
+	if evs[0].spread >= cfg.MinSpread {
+		t.Fatalf("spread %.4f should be under %.4f", evs[0].spread, cfg.MinSpread)
+	}
+}
+
+// TestObserveCanaryExpiry starves the window (a stalled stream feeds
+// no new frames) until the heartbeat clock runs out: the canary must
+// expire rather than sit undecided forever.
+func TestObserveCanaryExpiry(t *testing.T) {
+	cfg := CanaryConfig{Window: 1 << 20, ExpireAfter: 3}
+	cfg.fillDefaults()
+	st := canaryTestState()
+
+	// The same cumulative sketches arrive on every heartbeat: the
+	// shadow saw a few frames once, then the stream stalled.
+	hb := canaryHB(alt(0.2, 0.7, 4), alt(0.3, 0.8, 4))
+	for i := 0; i < 2; i++ {
+		if evs := observeCanary(st, "n0", hb, cfg); len(evs) != 0 {
+			t.Fatalf("verdict on heartbeat %d: %+v", i+1, evs)
+		}
+	}
+	evs := observeCanary(st, "n0", hb, cfg)
+	if len(evs) != 1 || evs[0].outcome != CanaryExpired {
+		t.Fatalf("want expiry, got %+v", evs)
+	}
+	if !strings.Contains(evs[0].reason, "heartbeats") {
+		t.Fatalf("expiry reason: %q", evs[0].reason)
+	}
+
+	// A shadow sketch with no canary record (a stale shadow whose
+	// rollback has not reached the node yet) is ignored, not a panic.
+	orphan := &nodeState{}
+	if evs := observeCanary(orphan, "n0", hb, cfg); len(evs) != 0 {
+		t.Fatalf("events for untracked shadow: %+v", evs)
+	}
+}

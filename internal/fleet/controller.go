@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -64,12 +65,19 @@ type ControllerConfig struct {
 	// per-MC score sketches heartbeats carry (zero fields take the
 	// package defaults).
 	Drift DriftConfig
+	// Canary parameterizes the canary evaluator that decides
+	// promotion or rollback for shadow candidates started with
+	// StartCanary (zero fields take the package defaults).
+	Canary CanaryConfig
 }
 
-// deployment is one intended microclassifier deployment.
+// deployment is one intended microclassifier deployment. version
+// mirrors the Spec.Version decoded from mc, cached so reconciliation
+// can restate it without re-decoding the artifact.
 type deployment struct {
 	mc        []byte
 	threshold float32
+	version   uint64
 }
 
 // nodeState is a shard's durable record of one edge node, keyed by
@@ -102,6 +110,11 @@ type nodeState struct {
 	// nodeState pointer, so baselines, window boundaries, and scores
 	// survive re-homes without forking or resetting.
 	drift map[string]*driftState
+	// canary is the per-(stream, MC) canary-evaluation state, keyed
+	// "stream/mc" like drift. It rides the node record through
+	// re-homes the same way, so an in-flight canary window survives a
+	// Resize without losing its baselines or double-deciding.
+	canary map[string]*canaryState
 }
 
 // Controller is the datacenter side of the fleet control plane: a
@@ -143,6 +156,7 @@ func NewController(cfg ControllerConfig) *Controller {
 		cfg.Log = slog.New(slog.DiscardHandler)
 	}
 	cfg.Drift.fillDefaults()
+	cfg.Canary.fillDefaults()
 	c := &Controller{
 		cfg:   cfg,
 		ring:  newRing(cfg.Shards),
@@ -509,11 +523,17 @@ func (c *Controller) Resize(shards int) (moved int, err error) {
 }
 
 // reconcileItem is one reconciliation push: a re-deploy of missing
-// intent, or (dep nil) a withdrawal of a managed MC whose intent was
-// removed while the node was away.
+// intent, a re-send of an undecided canary candidate, or (dep nil) a
+// withdrawal of a managed MC whose intent was removed while the node
+// was away.
 type reconcileItem struct {
 	stream, name string
 	dep          *deployment
+	// canary re-sends the deployment as a shadow candidate (the edge
+	// replaces a same-named shadow, so the push is idempotent; the
+	// evaluator tolerates the sketch restarting).
+	canary  bool
+	version uint64
 }
 
 // reconcileWorkLocked diffs the node's reported deployment against
@@ -551,6 +571,19 @@ func reconcileWorkLocked(st *nodeState, hello Hello) []reconcileItem {
 			}
 		}
 	}
+	// Undecided canary candidates are re-pushed as shadows: a node
+	// that reconnected lost them with its process, and the evaluation
+	// window picks back up from the fresh sketch.
+	for key, cs := range st.canary {
+		if cs.outcome != "" {
+			continue
+		}
+		stream, name, _ := strings.Cut(key, "/")
+		d := deployment{mc: cs.mc, threshold: cs.threshold}
+		work = append(work, reconcileItem{
+			stream: stream, name: name, dep: &d, canary: true, version: cs.version,
+		})
+	}
 	return work
 }
 
@@ -565,9 +598,12 @@ func runReconcile(s *Session, gen uint64, work []reconcileItem) {
 		return work[i].name < work[j].name
 	})
 	for _, w := range work {
-		if w.dep != nil {
-			_ = s.deploy(w.stream, w.dep.mc, w.dep.threshold, gen)
-		} else {
+		switch {
+		case w.canary:
+			_ = s.deployCanary(w.stream, w.dep.mc, w.dep.threshold, w.version)
+		case w.dep != nil:
+			_ = s.deploy(w.stream, w.dep.mc, w.dep.threshold, gen, w.dep.version)
+		default:
 			_ = s.undeploy(w.stream, w.name, gen)
 		}
 	}
@@ -723,7 +759,8 @@ func (c *Controller) LegacyReceived() int {
 // keeps it, because the node's state is unknown and reconciliation
 // will settle it.
 func (c *Controller) Deploy(node, stream string, mc []byte, threshold float32) error {
-	name, nameErr := filter.MCName(bytes.NewReader(mc))
+	info, nameErr := filter.MCInfo(bytes.NewReader(mc))
+	name := info.Name
 
 	var prev deployment
 	var had bool
@@ -735,7 +772,7 @@ func (c *Controller) Deploy(node, stream string, mc []byte, threshold float32) e
 				st.intent[stream] = make(map[string]deployment)
 			}
 			prev, had = st.intent[stream][name]
-			st.intent[stream][name] = deployment{mc: mc, threshold: threshold}
+			st.intent[stream][name] = deployment{mc: mc, threshold: threshold, version: info.Version}
 			st.gen++
 			gen = st.gen
 		}
@@ -748,7 +785,7 @@ func (c *Controller) Deploy(node, stream string, mc []byte, threshold float32) e
 		}
 		return fmt.Errorf("fleet: deploy %s/%s %q: %w", node, stream, name, ErrDeferred)
 	}
-	err := sess.deploy(stream, mc, threshold, gen)
+	err := sess.deploy(stream, mc, threshold, gen, info.Version)
 	if err != nil && nameErr == nil && errors.Is(err, ErrRejected) {
 		// The node answered and refused: this intent can never apply.
 		// The rollback re-resolves the node record — a resize may have
@@ -830,6 +867,21 @@ func (c *Controller) IntentMCBytes(node, stream, mcName string) ([]byte, bool) {
 		}
 	})
 	return out, ok
+}
+
+// IntentDeployment returns the intended MC bytes and decision
+// threshold for one node/stream/MC — what internal/retrain warm-starts
+// a candidate from.
+func (c *Controller) IntentDeployment(node, stream, mcName string) (mc []byte, threshold float32, ok bool) {
+	c.onNode(node, false, func(_ *shard, st *nodeState) {
+		dep, found := st.intent[stream][mcName]
+		if found {
+			mc = append([]byte(nil), dep.mc...)
+			threshold = dep.threshold
+			ok = true
+		}
+	})
+	return mc, threshold, ok
 }
 
 // Fetch demand-fetches archived frames [start, end) of a stream on

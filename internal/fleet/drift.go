@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"math"
 	"sort"
 	"strings"
 
@@ -17,6 +18,13 @@ const (
 	DefaultDriftMinCount = 32
 )
 
+// DriftOff disables one statistic's threshold entirely when assigned
+// to DriftConfig.PSI or DriftConfig.KS — the per-threshold analogue of
+// ffserve's `-slo name=off`. fillDefaults maps it to +Inf, so the
+// disabled statistic can never flag drift on its own (zero still means
+// "use the default").
+const DriftOff = -1
+
 // DriftConfig parameterizes the controller's semantic drift detector,
 // which compares each deployed MC's recent score distribution against
 // a baseline frozen shortly after deploy (FilterForward's gateway to
@@ -29,6 +37,8 @@ type DriftConfig struct {
 	// KS is the binned Kolmogorov–Smirnov alert threshold, an
 	// independent trigger (KS catches localized CDF shifts PSI's
 	// log-ratio form can understate).
+	//
+	// Set PSI or KS to DriftOff to disable that statistic.
 	KS float64
 	// MinCount is the minimum number of score observations before a
 	// baseline freezes and before a window is scored — small windows
@@ -37,10 +47,16 @@ type DriftConfig struct {
 }
 
 func (d *DriftConfig) fillDefaults() {
-	if d.PSI <= 0 {
+	switch {
+	case d.PSI == DriftOff:
+		d.PSI = math.Inf(1)
+	case d.PSI <= 0:
 		d.PSI = DefaultDriftPSI
 	}
-	if d.KS <= 0 {
+	switch {
+	case d.KS == DriftOff:
+		d.KS = math.Inf(1)
+	case d.KS <= 0:
 		d.KS = DefaultDriftKS
 	}
 	if d.MinCount == 0 {
@@ -67,6 +83,11 @@ type driftState struct {
 	// backwards marks an MC redeploy, which resets the pair).
 	prev obs.SketchSnapshot
 	last obs.SketchSnapshot
+	// version is the model version behind the sketches (zero for
+	// agents predating versioning). A version change marks a redeploy
+	// even when the fresh sketch's count has already caught up to the
+	// old cumulative count between heartbeats.
+	version uint64
 	// psi and ks are the most recent window's scores; windows counts
 	// scored windows; drifted is the current threshold state, kept so
 	// events fire on transitions, not on every heartbeat.
@@ -85,9 +106,11 @@ type driftEvent struct {
 }
 
 // observeScores folds one heartbeat's cumulative score sketches into
-// the node's drift state and returns any threshold transitions. The
-// caller holds the owning shard's mutex.
-func observeScores(st *nodeState, node string, scores map[string]map[string]obs.SketchSnapshot, cfg DriftConfig) []driftEvent {
+// the node's drift state and returns any threshold transitions.
+// versions carries the model version behind each sketch (nil from
+// agents predating versioning). The caller holds the owning shard's
+// mutex.
+func observeScores(st *nodeState, node string, scores map[string]map[string]obs.SketchSnapshot, versions map[string]map[string]uint64, cfg DriftConfig) []driftEvent {
 	var events []driftEvent
 	for stream, mcs := range scores {
 		for mc, cur := range mcs {
@@ -100,12 +123,19 @@ func observeScores(st *nodeState, node string, scores map[string]map[string]obs.
 				ds = &driftState{}
 				st.drift[key] = ds
 			}
-			if cur.Count < ds.last.Count {
-				// The cumulative count went backwards: the MC was
-				// redeployed (fresh sketch). The old baseline describes
-				// the old model's scores, so start the pair over.
+			ver := versions[stream][mc]
+			if (ds.last.Count > 0 && ver != ds.version) || cur.Count < ds.last.Count {
+				// The model version changed, or the cumulative count
+				// went backwards (a redeploy reported by an agent too
+				// old to carry versions): the sketches now describe a
+				// different model, and the old baseline must not score
+				// it. Keying on the version catches the case the count
+				// check alone misses — a redeployed MC whose fresh
+				// sketch reaches the old cumulative count between
+				// heartbeats.
 				*ds = driftState{}
 			}
+			ds.version = ver
 			ds.last = cur
 			if !ds.baselineSet {
 				if cur.Count >= cfg.MinCount {
@@ -142,7 +172,7 @@ func observeScores(st *nodeState, node string, scores map[string]map[string]obs.
 // heartbeat landing after the session died or the node re-homed is
 // ignored, mirroring acceptUpload's staleness rules.
 func (sh *shard) noteHeartbeat(s *Session, hb Heartbeat) {
-	if len(hb.Scores) == 0 {
+	if len(hb.Scores) == 0 && len(hb.ShadowScores) == 0 {
 		return
 	}
 	sh.mu.Lock()
@@ -157,7 +187,8 @@ func (sh *shard) noteHeartbeat(s *Session, hb Heartbeat) {
 		sh.mu.Unlock()
 		return
 	}
-	events := observeScores(st, s.node, hb.Scores, sh.c.cfg.Drift)
+	events := observeScores(st, s.node, hb.Scores, hb.ScoreVersions, sh.c.cfg.Drift)
+	canaryEvents := observeCanary(st, s.node, hb, sh.c.cfg.Canary)
 	sh.mu.Unlock()
 	for _, ev := range events {
 		if ev.started {
@@ -170,6 +201,25 @@ func (sh *shard) noteHeartbeat(s *Session, hb Heartbeat) {
 				"psi", ev.psi, "ks", ev.ks, "window", ev.window)
 		}
 	}
+	for _, ev := range canaryEvents {
+		ev := ev
+		if ev.outcome == CanaryPromoted {
+			sh.c.cfg.Log.Info("fleet: canary promoted",
+				"node", ev.node, "target", ev.stream+"/"+ev.mc, "shard", sh.id,
+				"version", ev.version, "observations", ev.observations,
+				"agree_psi", ev.agreePSI, "spread", ev.spread, "pass_delta", ev.passDelta)
+		} else {
+			sh.c.cfg.Log.Warn("fleet: canary "+ev.outcome,
+				"node", ev.node, "target", ev.stream+"/"+ev.mc, "shard", sh.id,
+				"version", ev.version, "observations", ev.observations,
+				"reason", ev.reason)
+		}
+		// The verdict's round trips (promote swap / shadow removal)
+		// must not run on this goroutine: it is the session reader,
+		// and a round trip here would wait on an ack only this
+		// goroutine can deliver.
+		go sh.c.resolveCanary(ev)
+	}
 }
 
 // DriftReport is one (node, stream, MC) pair's current drift status —
@@ -177,6 +227,9 @@ func (sh *shard) noteHeartbeat(s *Session, hb Heartbeat) {
 type DriftReport struct {
 	// Node, Stream, and MC identify the deployed microclassifier.
 	Node, Stream, MC string
+	// Version is the model version behind the scored sketches (zero
+	// for unversioned artifacts or agents predating versioning).
+	Version uint64
 	// PSI and KS are the most recent scored window's statistics
 	// against the frozen baseline (zero until the first window).
 	PSI, KS float64
@@ -201,7 +254,7 @@ func (c *Controller) DriftReports() []DriftReport {
 				stream, mc, _ := strings.Cut(key, "/")
 				r := DriftReport{
 					Node: name, Stream: stream, MC: mc,
-					PSI: ds.psi, KS: ds.ks,
+					Version: ds.version, PSI: ds.psi, KS: ds.ks,
 					Total: ds.last.Count, Windows: ds.windows, Drifted: ds.drifted,
 				}
 				if ds.baselineSet {

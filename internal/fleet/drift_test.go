@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/obs"
@@ -37,7 +38,7 @@ func TestObserveScoresLifecycle(t *testing.T) {
 	hb := func(scores []float64) []driftEvent {
 		return observeScores(st, "n0", map[string]map[string]obs.SketchSnapshot{
 			"cam0": {"mc": cumSketch(scores)},
-		}, cfg)
+		}, nil, cfg)
 	}
 
 	// Below MinCount: no baseline yet, no events.
@@ -108,7 +109,7 @@ func TestObserveScoresWindowAccumulation(t *testing.T) {
 	scores := repeat(0.3, 20)
 	observeScores(st, "n0", map[string]map[string]obs.SketchSnapshot{
 		"cam0": {"mc": cumSketch(scores)},
-	}, cfg)
+	}, nil, cfg)
 	ds := st.drift["cam0/mc"]
 	// Dribble in 5 observations per heartbeat: windows must only be
 	// scored every 4 heartbeats.
@@ -116,7 +117,7 @@ func TestObserveScoresWindowAccumulation(t *testing.T) {
 		scores = append(scores, repeat(0.3, 5)...)
 		observeScores(st, "n0", map[string]map[string]obs.SketchSnapshot{
 			"cam0": {"mc": cumSketch(scores)},
-		}, cfg)
+		}, nil, cfg)
 	}
 	if ds.windows != 2 {
 		t.Fatalf("scored %d windows over 40 dribbled observations, want 2", ds.windows)
@@ -133,7 +134,7 @@ func TestObserveScoresRedeployReset(t *testing.T) {
 	for i := 1; i <= 3; i++ {
 		observeScores(st, "n0", map[string]map[string]obs.SketchSnapshot{
 			"cam0": {"mc": cumSketch(repeat(0.2, i*int(cfg.MinCount)))},
-		}, cfg)
+		}, nil, cfg)
 	}
 	ds := st.drift["cam0/mc"]
 	if !ds.baselineSet || ds.windows != 2 {
@@ -145,7 +146,7 @@ func TestObserveScoresRedeployReset(t *testing.T) {
 	fresh := repeat(0.9, int(cfg.MinCount))
 	evs := observeScores(st, "n0", map[string]map[string]obs.SketchSnapshot{
 		"cam0": {"mc": cumSketch(fresh)},
-	}, cfg)
+	}, nil, cfg)
 	if len(evs) != 0 {
 		t.Fatalf("redeploy fired events: %v", evs)
 	}
@@ -154,5 +155,86 @@ func TestObserveScoresRedeployReset(t *testing.T) {
 	}
 	if ds.baseline.Mean() < 0.8 {
 		t.Fatalf("refrozen baseline mean %v still reflects old model", ds.baseline.Mean())
+	}
+}
+
+// TestObserveScoresVersionKeyedReset is the regression test for the
+// count-only redeploy detector: a busy stream redeploys an MC
+// mid-flight and the replacement's fresh sketch reaches the old
+// cumulative count before the next heartbeat, so cur.Count never goes
+// backwards. The count-only logic scores the new model against the old
+// baseline and flags phantom drift; keying the detector state on the
+// model version must reset instead.
+func TestObserveScoresVersionKeyedReset(t *testing.T) {
+	cfg := DriftConfig{}
+	cfg.fillDefaults()
+	st := &nodeState{}
+	vers := func(v uint64) map[string]map[string]uint64 {
+		return map[string]map[string]uint64{"cam0": {"mc": v}}
+	}
+	// Version 1 establishes a 0.2-heavy baseline and a scored window.
+	for i := 1; i <= 2; i++ {
+		observeScores(st, "n0", map[string]map[string]obs.SketchSnapshot{
+			"cam0": {"mc": cumSketch(repeat(0.2, i*int(cfg.MinCount)))},
+		}, vers(1), cfg)
+	}
+	ds := st.drift["cam0/mc"]
+	if !ds.baselineSet || ds.windows != 1 || ds.version != 1 {
+		t.Fatalf("setup state: %+v", ds)
+	}
+	// Version 2 arrives on a busy stream: its fresh sketch has already
+	// accumulated MORE observations than version 1's cumulative total,
+	// so the count-regression check cannot see the swap. The scores are
+	// 0.9-heavy — against the stale baseline that reads as drift.
+	busy := repeat(0.9, 3*int(cfg.MinCount))
+	evs := observeScores(st, "n0", map[string]map[string]obs.SketchSnapshot{
+		"cam0": {"mc": cumSketch(busy)},
+	}, vers(2), cfg)
+	if len(evs) != 0 {
+		t.Fatalf("version swap fired phantom drift events: %v", evs)
+	}
+	if ds.version != 2 || ds.windows != 0 {
+		t.Fatalf("detector state not reset on version change: %+v", ds)
+	}
+	if !ds.baselineSet || ds.baseline.Mean() < 0.8 {
+		t.Fatalf("baseline not refrozen on the new model: %+v", ds)
+	}
+}
+
+// TestDriftConfigOff verifies the DriftOff sentinel disables a single
+// statistic: with PSI off, a window that would trip the PSI threshold
+// but not the KS threshold must stay quiet, while zero still means
+// "use the default".
+func TestDriftConfigOff(t *testing.T) {
+	cfg := DriftConfig{PSI: DriftOff}
+	cfg.fillDefaults()
+	if !math.IsInf(cfg.PSI, 1) {
+		t.Fatalf("DriftOff PSI = %v, want +Inf", cfg.PSI)
+	}
+	if cfg.KS != DefaultDriftKS || cfg.MinCount != DefaultDriftMinCount {
+		t.Fatalf("zero fields lost defaults: %+v", cfg)
+	}
+
+	// Both off: even a wholesale distribution swap cannot flag drift.
+	both := DriftConfig{PSI: DriftOff, KS: DriftOff}
+	both.fillDefaults()
+	st := &nodeState{}
+	hb := func(scores []float64) []driftEvent {
+		return observeScores(st, "n0", map[string]map[string]obs.SketchSnapshot{
+			"cam0": {"mc": cumSketch(scores)},
+		}, nil, both)
+	}
+	base := repeat(0.1, int(both.MinCount))
+	hb(base)
+	shifted := append(append([]float64(nil), base...), repeat(0.95, int(both.MinCount))...)
+	if evs := hb(shifted); len(evs) != 0 {
+		t.Fatalf("disabled detector fired: %v", evs)
+	}
+	ds := st.drift["cam0/mc"]
+	if ds.windows != 1 || ds.drifted {
+		t.Fatalf("disabled detector flagged drift: %+v", ds)
+	}
+	if ds.psi < DefaultDriftPSI {
+		t.Fatalf("test window too tame to prove anything: psi=%v", ds.psi)
 	}
 }

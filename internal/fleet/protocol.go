@@ -113,6 +113,23 @@ type DeployRequest struct {
 	// deploys). The edge remembers the highest generation applied and
 	// reports it in resume hellos.
 	Gen uint64
+	// Version echoes the MC artifact's model version (filter.Spec
+	// .Version, already inside MC) for edge-side logging without a
+	// second decode. Zero from older controllers.
+	Version uint64
+	// Canary installs the MC as a shadow candidate: it scores frames
+	// alongside the same-named incumbent into a private sketch without
+	// affecting uploads, until the controller promotes or rolls it
+	// back. Older agents decode the field as false and treat the
+	// request as a live deploy — the controller only sends canary
+	// deploys to agents whose heartbeats carry version maps.
+	Canary bool
+	// Promote atomically swaps the named shadow candidate into the
+	// live slot; MC is empty (the edge already holds the candidate)
+	// and MCName names it.
+	Promote bool
+	// MCName names the shadow for Promote; derived from MC otherwise.
+	MCName string
 }
 
 // UndeployRequest removes a deployed microclassifier
@@ -125,6 +142,9 @@ type UndeployRequest struct {
 	// Gen is the controller's deploy generation after this request
 	// (see DeployRequest.Gen).
 	Gen uint64
+	// Canary removes the named shadow candidate instead of a live
+	// MC — the rollback path. The live deployment is untouched.
+	Canary bool
 }
 
 // Ack answers a deploy or undeploy request (edge → datacenter).
@@ -220,6 +240,18 @@ type Heartbeat struct {
 	// an older node or no deployed MCs; gob decodes heartbeats from
 	// older nodes with the field zeroed.
 	Scores map[string]map[string]obs.SketchSnapshot
+	// ScoreVersions carries the deployed model version behind each
+	// sketch in Scores (stream → MC name → filter.Spec.Version). The
+	// drift detector keys redeploy resets on version changes; agents
+	// predating versioning omit the map (gob zero) and the controller
+	// falls back to cumulative-count regression.
+	ScoreVersions map[string]map[string]uint64
+	// ShadowScores and ShadowVersions mirror Scores/ScoreVersions for
+	// canary candidates running in shadow mode — the
+	// candidate-vs-incumbent signal the controller's canary evaluator
+	// consumes. Cumulative since shadow deploy.
+	ShadowScores   map[string]map[string]obs.SketchSnapshot
+	ShadowVersions map[string]map[string]uint64
 	// PendingUploads is the node-level count of uploads buffered
 	// awaiting a controller ack — the edge's backlog, an SLO input on
 	// the datacenter side (a growing backlog means the uplink or the

@@ -147,12 +147,50 @@ func (s *Session) Done() <-chan struct{} { return s.done }
 // session deploys bypass the controller's intent tracking — prefer
 // Controller.Deploy for deployments that should survive reconnects.
 func (s *Session) Deploy(stream string, mc []byte, threshold float32) error {
-	return s.deploy(stream, mc, threshold, 0)
+	return s.deploy(stream, mc, threshold, 0, 0)
 }
 
-func (s *Session) deploy(stream string, mc []byte, threshold float32, gen uint64) error {
+func (s *Session) deploy(stream string, mc []byte, threshold float32, gen, version uint64) error {
 	resp, err := s.roundTrip(transport.KindDeploy, func(seq uint64) any {
-		return DeployRequest{Seq: seq, Stream: stream, MC: mc, Threshold: threshold, Gen: gen}
+		return DeployRequest{Seq: seq, Stream: stream, MC: mc, Threshold: threshold, Gen: gen, Version: version}
+	})
+	if err != nil {
+		return err
+	}
+	return ackErr(resp)
+}
+
+// deployCanary ships a candidate MC as a shadow deployment: it scores
+// alongside the same-named incumbent without affecting uploads until
+// the controller promotes or rolls it back.
+func (s *Session) deployCanary(stream string, mc []byte, threshold float32, version uint64) error {
+	resp, err := s.roundTrip(transport.KindDeploy, func(seq uint64) any {
+		return DeployRequest{Seq: seq, Stream: stream, MC: mc, Threshold: threshold, Version: version, Canary: true}
+	})
+	if err != nil {
+		return err
+	}
+	return ackErr(resp)
+}
+
+// promoteCanary atomically swaps the named shadow candidate into the
+// live slot on the edge. The candidate bytes are already on the node;
+// only the name crosses the wire.
+func (s *Session) promoteCanary(stream, mcName string, gen, version uint64) error {
+	resp, err := s.roundTrip(transport.KindDeploy, func(seq uint64) any {
+		return DeployRequest{Seq: seq, Stream: stream, MCName: mcName, Gen: gen, Version: version, Promote: true}
+	})
+	if err != nil {
+		return err
+	}
+	return ackErr(resp)
+}
+
+// undeployCanary removes the named shadow candidate — the rollback
+// path. The live deployment is untouched.
+func (s *Session) undeployCanary(stream, mcName string) error {
+	resp, err := s.roundTrip(transport.KindUndeploy, func(seq uint64) any {
+		return UndeployRequest{Seq: seq, Stream: stream, MCName: mcName, Canary: true}
 	})
 	if err != nil {
 		return err

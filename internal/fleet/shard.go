@@ -313,6 +313,11 @@ func (sh *shard) loads() []metrics.NodeLoad {
 			for _, sk := range hb.Scores[si.Name] {
 				load.Scores.Merge(sk)
 			}
+			for _, v := range hb.ScoreVersions[si.Name] {
+				if v > load.MCVersion {
+					load.MCVersion = v
+				}
+			}
 			if ns != nil {
 				prefix := si.Name + "/"
 				for key, ds := range ns.drift {
@@ -327,6 +332,21 @@ func (sh *shard) loads() []metrics.NodeLoad {
 					}
 					if ds.ks > load.DriftKS {
 						load.DriftKS = ds.ks
+					}
+				}
+				for key, cs := range ns.canary {
+					if !strings.HasPrefix(key, prefix) {
+						continue
+					}
+					switch cs.outcome {
+					case "":
+						load.CanariesActive++
+					case CanaryPromoted:
+						load.CanariesPromoted++
+					case CanaryRolledBack:
+						load.CanariesRolledBack++
+					case CanaryExpired:
+						load.CanariesExpired++
 					}
 				}
 			}

@@ -101,6 +101,11 @@ func TestShardedChaosSoak(t *testing.T) {
 		// tight enough that the scripted stalls evict within the soak.
 		HeartbeatMiss: 30,
 		Shards:        shardedSoakShards,
+		// The soak's canaries must stay undecided through the re-shard
+		// (the assert is that their evaluation state rides the re-home,
+		// not that a verdict fires), so the window and expiry are set
+		// far beyond the soak's frame and heartbeat budget.
+		Canary: CanaryConfig{Window: 1 << 20, ExpireAfter: 1 << 30},
 	})
 	ctrl.Serve(ln)
 	defer ctrl.Close()
@@ -319,6 +324,55 @@ func TestShardedChaosSoak(t *testing.T) {
 		reps := ctrl.DriftReports()
 		return fmt.Sprintf("reports=%d", len(reps))
 	})
+	// Start canaries on a few nodes before the re-shard: their
+	// evaluation state (window anchors, candidate bytes, expiry clock)
+	// lives in the same node records as the drift state and must ride
+	// the re-home the same way.
+	canaryIdx := []int{7, 42, 93}
+	for _, i := range canaryIdx {
+		if err := ctrl.StartCanary(agents[i].name, "cam0", mc, -1); err != nil {
+			t.Fatalf("start canary on %s: %v", agents[i].name, err)
+		}
+	}
+	for _, i := range canaryIdx {
+		c := agents[i]
+		waitSoak(t, c.name+" shadow deployed", func() bool {
+			return len(c.edge.ShadowNames()) == 1
+		}, func() string {
+			return fmt.Sprintf("shadows=%v connected=%v", c.edge.ShadowNames(), c.agent.Connected())
+		})
+	}
+	// Settle before the capture: the first shadow-carrying heartbeat
+	// anchors the controller-side window (baseLive), so the capture
+	// must not race it — after it, no frames are fed until phase 4, so
+	// every compared field is stable.
+	waitSoak(t, "canary heartbeats anchored", func() bool {
+		reps := ctrl.CanaryReports()
+		if len(reps) != len(canaryIdx) {
+			return false
+		}
+		for _, r := range reps {
+			if r.Heartbeats == 0 {
+				return false
+			}
+		}
+		return true
+	}, func() string {
+		return fmt.Sprintf("reports=%+v", ctrl.CanaryReports())
+	})
+	// Heartbeats is the per-heartbeat expiry clock — it keeps ticking
+	// across the captures, so the before/after comparison strips it.
+	stripCanary := func(reps []CanaryReport) []CanaryReport {
+		out := append([]CanaryReport(nil), reps...)
+		for i := range out {
+			out[i].Heartbeats = 0
+		}
+		return out
+	}
+	canariesBefore := stripCanary(ctrl.CanaryReports())
+	if len(canariesBefore) != len(canaryIdx) {
+		t.Fatalf("CanaryReports has %d entries before re-shard, want %d", len(canariesBefore), len(canaryIdx))
+	}
 	sketchesBefore := ctrl.DriftReports()
 	evBefore, rcBefore := ctrl.Lifecycle()
 	moved, err := ctrl.Resize(shardedSoakResizeTo)
@@ -379,6 +433,11 @@ func TestShardedChaosSoak(t *testing.T) {
 	if sketchesAfter := ctrl.DriftReports(); !reflect.DeepEqual(sketchesAfter, sketchesBefore) {
 		t.Fatalf("re-shard changed the drift/sketch reports:\nbefore %+v\nafter  %+v", sketchesBefore, sketchesAfter)
 	}
+	// Canary evaluation state rode the re-home exactly like the drift
+	// state: same candidates, same window anchors, still evaluating.
+	if canariesAfter := stripCanary(ctrl.CanaryReports()); !reflect.DeepEqual(canariesAfter, canariesBefore) {
+		t.Fatalf("re-shard changed the canary reports:\nbefore %+v\nafter  %+v", canariesBefore, canariesAfter)
+	}
 
 	// ---- Phase 4: final feed on the resized fleet, then converge. --
 	feedAll(4)
@@ -415,6 +474,23 @@ func TestShardedChaosSoak(t *testing.T) {
 		if _, dropped := c.agent.PendingUploads(); dropped != 0 {
 			t.Fatalf("%s dropped %d uploads from the resend buffer", c.name, dropped)
 		}
+	}
+
+	// The re-homed canaries are still live end to end: the phase-4
+	// frames flowed through the re-pushed shadows, and the evaluation
+	// windows (huge by configuration) kept them undecided.
+	for _, i := range canaryIdx {
+		c := agents[i]
+		waitSoak(t, c.name+" canary observed phase-4 frames", func() bool {
+			for _, r := range ctrl.CanaryReports() {
+				if r.Node == c.name {
+					return r.State == "evaluating" && r.Observations >= 4
+				}
+			}
+			return false
+		}, func() string {
+			return fmt.Sprintf("reports=%+v", ctrl.CanaryReports())
+		})
 	}
 
 	// ---- Converged end state. --------------------------------------

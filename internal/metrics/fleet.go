@@ -69,6 +69,18 @@ type NodeLoad struct {
 	DriftPSI float64
 	DriftKS  float64
 	Drifted  int
+	// MCVersion is the highest deployed model version across the
+	// stream's MCs (zero for unversioned artifacts). Per-stream, like
+	// Scores.
+	MCVersion uint64
+	// CanariesActive counts the stream's shadow candidates still under
+	// evaluation; CanariesPromoted, CanariesRolledBack, and
+	// CanariesExpired count decided ones still recorded in controller
+	// state. Per-stream, like Scores.
+	CanariesActive     int
+	CanariesPromoted   int
+	CanariesRolledBack int
+	CanariesExpired    int
 }
 
 // Bitrate returns the node's realized average uplink usage in bits/s
@@ -148,6 +160,16 @@ type FleetSummary struct {
 	MaxDriftPSI  float64
 	MaxDriftKS   float64
 	MaxDriftNode string
+	// MaxMCVersion is the highest deployed model version anywhere in
+	// the fleet — a max, so it is exact under any shard grouping.
+	MaxMCVersion uint64
+	// CanariesActive, CanariesPromoted, CanariesRolledBack, and
+	// CanariesExpired total the fleet's canary states (sums, exact
+	// under any grouping).
+	CanariesActive     int
+	CanariesPromoted   int
+	CanariesRolledBack int
+	CanariesExpired    int
 }
 
 // SummarizeFleet rolls up per-node heartbeat loads into a fleet
@@ -193,6 +215,13 @@ func SummarizeFleet(nodes []NodeLoad) FleetSummary {
 		if n.DriftKS > s.MaxDriftKS {
 			s.MaxDriftKS = n.DriftKS
 		}
+		if n.MCVersion > s.MaxMCVersion {
+			s.MaxMCVersion = n.MCVersion
+		}
+		s.CanariesActive += n.CanariesActive
+		s.CanariesPromoted += n.CanariesPromoted
+		s.CanariesRolledBack += n.CanariesRolledBack
+		s.CanariesExpired += n.CanariesExpired
 	}
 	if s.RatedSeconds > 0 {
 		s.AverageBitrate = float64(s.RatedBits) / s.RatedSeconds
@@ -242,6 +271,13 @@ func (s *FleetSummary) Merge(o FleetSummary) {
 	if o.MaxDriftKS > s.MaxDriftKS {
 		s.MaxDriftKS = o.MaxDriftKS
 	}
+	if o.MaxMCVersion > s.MaxMCVersion {
+		s.MaxMCVersion = o.MaxMCVersion
+	}
+	s.CanariesActive += o.CanariesActive
+	s.CanariesPromoted += o.CanariesPromoted
+	s.CanariesRolledBack += o.CanariesRolledBack
+	s.CanariesExpired += o.CanariesExpired
 	s.AverageBitrate = 0
 	if s.RatedSeconds > 0 {
 		s.AverageBitrate = float64(s.RatedBits) / s.RatedSeconds

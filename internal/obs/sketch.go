@@ -157,6 +157,15 @@ func (s SketchSnapshot) Variance() float64 {
 	return v
 }
 
+// StdDev returns the population score standard deviation, 0 when
+// empty. The canary evaluator uses it as a degeneracy check: a
+// candidate whose scores have (near) zero spread cannot discriminate
+// frames and is rolled back regardless of its agreement with the
+// incumbent.
+func (s SketchSnapshot) StdDev() float64 {
+	return math.Sqrt(s.Variance())
+}
+
 // PassRate returns the fraction of observations at or above the MC's
 // threshold, 0 when empty.
 func (s SketchSnapshot) PassRate() float64 {

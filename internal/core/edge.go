@@ -243,6 +243,10 @@ type shadowMC struct {
 	mc        *filter.MC
 	threshold float32
 	sketch    *obs.ScoreSketch
+	// epoch is the controller-assigned install counter for this shadow
+	// slot, echoed in heartbeats so the controller can tell a fresh
+	// sketch from the previous install's even when the counts line up.
+	epoch uint64
 	// offset maps the shadow's local frame counter to stream indices,
 	// carried into the live deployment on promotion so windowed tails
 	// keep correct stream coordinates.
@@ -445,8 +449,11 @@ func (e *EdgeNode) Undeploy(name string) ([]Upload, error) {
 // with the same name replaces the previous one (the canary deploy is
 // idempotent across agent reconnects). The candidate usually shares
 // its name with the incumbent it may replace; names never collide
-// because shadows live in their own namespace.
-func (e *EdgeNode) DeployShadow(mc *filter.MC, threshold float32) error {
+// because shadows live in their own namespace. epoch is the
+// controller's install counter for the slot (zero from controllers
+// predating it), reported back verbatim so each install's sketch is
+// distinguishable from its predecessor's.
+func (e *EdgeNode) DeployShadow(mc *filter.MC, threshold float32, epoch uint64) error {
 	shape := mc.FeatureMapShape()
 	if shape[1] <= 0 || shape[2] <= 0 {
 		return fmt.Errorf("core: shadow MC %q has empty feature map", mc.Spec().Name)
@@ -459,6 +466,7 @@ func (e *EdgeNode) DeployShadow(mc *filter.MC, threshold float32) error {
 		mc:        mc,
 		threshold: threshold,
 		sketch:    &obs.ScoreSketch{},
+		epoch:     epoch,
 		offset:    e.nextFrame,
 	}
 	e.mu.Lock()
@@ -645,6 +653,22 @@ func (e *EdgeNode) ShadowVersions() map[string]uint64 {
 	out := make(map[string]uint64, len(e.shadows))
 	for _, s := range e.shadows {
 		out[s.mc.Spec().Name] = s.mc.Spec().Version
+	}
+	return out
+}
+
+// ShadowEpochs returns the canary candidates' controller-assigned
+// install counters keyed by name (see DeployShadow). Safe to call
+// while another goroutine owns the pipeline.
+func (e *EdgeNode) ShadowEpochs() map[string]uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.shadows) == 0 {
+		return nil
+	}
+	out := make(map[string]uint64, len(e.shadows))
+	for _, s := range e.shadows {
+		out[s.mc.Spec().Name] = s.epoch
 	}
 	return out
 }

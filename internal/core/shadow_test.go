@@ -34,7 +34,7 @@ func TestShadowScoreParityWithInterleavedPushes(t *testing.T) {
 	if err := e.Deploy(newMC(3), -1); err != nil {
 		t.Fatal(err)
 	}
-	if err := e.DeployShadow(newMC(9), 0.5); err != nil {
+	if err := e.DeployShadow(newMC(9), 0.5, 1); err != nil {
 		t.Fatal(err)
 	}
 

@@ -368,6 +368,7 @@ func (a *Agent) handshake(conn net.Conn) error {
 		Resume:         resume,
 		DeployGen:      gen,
 		Deployed:       a.managedSnapshot(),
+		Shadows:        a.shadowSnapshot(),
 		HeartbeatEvery: a.cfg.Heartbeat,
 	}
 	a.mu.Unlock()
@@ -490,6 +491,29 @@ func (a *Agent) managedSnapshot() map[string][]string {
 		}
 		sort.Strings(names)
 		out[stream] = names
+	}
+	return out
+}
+
+// shadowSnapshot copies the per-stream shadow (canary candidate)
+// inventory for a hello, so reconciliation can withdraw candidates
+// whose rollback push was lost. Callers hold a.mu.
+func (a *Agent) shadowSnapshot() map[string][]string {
+	var out map[string][]string
+	for _, si := range a.streams {
+		e := a.node.Stream(si.Name)
+		if e == nil {
+			continue
+		}
+		names := e.ShadowNames()
+		if len(names) == 0 {
+			continue
+		}
+		sort.Strings(names)
+		if out == nil {
+			out = make(map[string][]string, len(a.streams))
+		}
+		out[si.Name] = names
 	}
 	return out
 }
@@ -1149,7 +1173,7 @@ func (a *Agent) handleDeploy(req DeployRequest) {
 				return err
 			}
 			return a.withEdge(req.Stream, func(e *core.EdgeNode) error {
-				return e.DeployShadow(mc, req.Threshold)
+				return e.DeployShadow(mc, req.Threshold, req.Epoch)
 			})
 		}()
 		a.ack(req.Seq, err)
@@ -1383,9 +1407,11 @@ func (a *Agent) snapshot() Heartbeat {
 			if hb.ShadowScores == nil {
 				hb.ShadowScores = make(map[string]map[string]obs.SketchSnapshot, len(a.streams))
 				hb.ShadowVersions = make(map[string]map[string]uint64, len(a.streams))
+				hb.ShadowEpochs = make(map[string]map[string]uint64, len(a.streams))
 			}
 			hb.ShadowScores[si.Name] = shadows
 			hb.ShadowVersions[si.Name] = e.ShadowVersions()
+			hb.ShadowEpochs[si.Name] = e.ShadowEpochs()
 		}
 	}
 	if o := a.cfg.Edge.Obs; o != nil {

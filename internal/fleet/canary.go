@@ -86,6 +86,13 @@ type canaryState struct {
 	// incumbentVersion is the live model's version when the canary
 	// started, reported back in CanaryReport.
 	incumbentVersion uint64
+	// epoch is the controller's install counter for the shadow slot:
+	// 1 on the StartCanary push, bumped on every reconciliation
+	// re-push. Carried in DeployRequest.Epoch and echoed back in
+	// heartbeats. seenEpoch is the last echoed value; any change means
+	// the shadow was reinstalled and the window must re-anchor, even
+	// when the fresh sketch's count caught up with the old one.
+	epoch, seenEpoch uint64
 	// baseLive and baseShadow anchor the evaluation window: the
 	// cumulative live and shadow snapshots when the window opened.
 	// lastLive/lastShadow are the latest cumulative snapshots.
@@ -132,16 +139,27 @@ func observeCanary(st *nodeState, node string, hb Heartbeat, cfg CanaryConfig) [
 				continue
 			}
 			live := hb.Scores[stream][mc]
-			if cur.Count < cs.lastShadow.Count {
-				// The shadow restarted (node reconnected and
-				// reconciliation re-pushed the candidate): re-anchor
-				// the window on the fresh sketches.
+			epoch := hb.ShadowEpochs[stream][mc]
+			if epoch != cs.seenEpoch || cur.Count < cs.lastShadow.Count {
+				// The shadow was reinstalled (reconciliation re-pushed
+				// the candidate after a reconnect): re-anchor the
+				// window on the fresh sketches. The epoch check catches
+				// a fresh sketch whose count already caught up between
+				// heartbeats; count regression is the fallback for
+				// agents predating epochs (always echoing zero).
 				cs.baseShadow = obs.SketchSnapshot{}
 				cs.baseLive = live
 			}
+			cs.seenEpoch = epoch
 			if cs.heartbeats == 0 {
 				// First shadow-carrying heartbeat: anchor the live
 				// side so the window compares the same frame span.
+				cs.baseLive = live
+			}
+			if live.Count < cs.baseLive.Count {
+				// The incumbent's sketch restarted (redeployed while
+				// the canary ran): re-anchor the live side rather than
+				// subtract across sketch lifetimes.
 				cs.baseLive = live
 			}
 			cs.heartbeats++
@@ -157,11 +175,15 @@ func observeCanary(st *nodeState, node string, hb Heartbeat, cfg CanaryConfig) [
 			}
 			cs.agreePSI = obs.PSI(liveWin, shadowWin)
 
-			if shadowWin.Count < cfg.Window {
+			if shadowWin.Count < cfg.Window || liveWin.Count < cfg.Window {
+				// No verdict until BOTH windows fill: with an empty or
+				// short live window the pass-rate comparison degenerates
+				// to the candidate's absolute pass rate, which would
+				// spuriously roll back (or promote) healthy candidates.
 				if cs.heartbeats >= cfg.ExpireAfter {
 					cs.outcome = CanaryExpired
-					cs.reason = fmt.Sprintf("window %d/%d after %d heartbeats",
-						shadowWin.Count, cfg.Window, cs.heartbeats)
+					cs.reason = fmt.Sprintf("window shadow %d/%d live %d/%d after %d heartbeats",
+						shadowWin.Count, cfg.Window, liveWin.Count, cfg.Window, cs.heartbeats)
 					events = append(events, canaryEventFrom(node, stream, mc, cs, shadowWin.Count))
 				}
 				continue
@@ -195,11 +217,15 @@ func canaryEventFrom(node, stream, mc string, cs *canaryState, observations uint
 // normally a retrained artifact from internal/retrain) to the named
 // node as a shadow deployment and opens an evaluation window for it.
 // The candidate must share its name with a live incumbent on the
-// stream; the heartbeat sketches of the two are compared until the
-// window fills, then the controller promotes the candidate into the
-// live slot or rolls it back, logging either edge. With the node
-// offline the canary is recorded and ErrDeferred returned;
-// reconciliation pushes the shadow when the node reconnects.
+// stream — one recorded in the controller's intent or already
+// reporting score sketches — otherwise the call is refused: without
+// an incumbent the evaluator has nothing to compare against and every
+// verdict would degenerate to the candidate's absolute pass rate. The
+// heartbeat sketches of the two are compared until the window fills,
+// then the controller promotes the candidate into the live slot or
+// rolls it back, logging either edge. With the node offline the
+// canary is recorded and ErrDeferred returned; reconciliation pushes
+// the shadow when the node reconnects.
 func (c *Controller) StartCanary(node, stream string, mc []byte, threshold float32) error {
 	info, err := filter.MCInfo(bytes.NewReader(mc))
 	if err != nil {
@@ -207,25 +233,42 @@ func (c *Controller) StartCanary(node, stream string, mc []byte, threshold float
 	}
 	key := stream + "/" + info.Name
 	var sess *Session
+	hasIncumbent := false
 	c.onNode(node, true, func(sh *shard, st *nodeState) {
-		if st.canary == nil {
-			st.canary = make(map[string]*canaryState)
-		}
-		cs := &canaryState{mc: mc, threshold: threshold, version: info.Version}
+		sess = sh.liveSessionLocked(node)
+		cs := &canaryState{mc: mc, threshold: threshold, version: info.Version, epoch: 1}
 		if dep, ok := st.intent[stream][info.Name]; ok {
+			hasIncumbent = true
 			if inc, err := filter.MCInfo(bytes.NewReader(dep.mc)); err == nil {
 				cs.incumbentVersion = inc.Version
 			}
+		} else if sess != nil {
+			// Not intent-managed: accept a directly deployed incumbent
+			// if the node's heartbeats already carry its sketch.
+			if hb, at := sess.LastHeartbeat(); !at.IsZero() {
+				if _, ok := hb.Scores[stream][info.Name]; ok {
+					hasIncumbent = true
+					cs.incumbentVersion = hb.ScoreVersions[stream][info.Name]
+				}
+			}
+		}
+		if !hasIncumbent {
+			return
+		}
+		if st.canary == nil {
+			st.canary = make(map[string]*canaryState)
 		}
 		st.canary[key] = cs
-		sess = sh.liveSessionLocked(node)
 	})
+	if !hasIncumbent {
+		return fmt.Errorf("fleet: canary %s/%s: no live incumbent %q to evaluate against", node, key, info.Name)
+	}
 	c.cfg.Log.Info("fleet: canary started",
 		"node", node, "target", key, "version", info.Version)
 	if sess == nil {
 		return fmt.Errorf("fleet: canary %s/%s: %w", node, key, ErrDeferred)
 	}
-	err = sess.deployCanary(stream, mc, threshold, info.Version)
+	err = sess.deployCanary(stream, mc, threshold, info.Version, 1)
 	if err != nil && errors.Is(err, ErrRejected) {
 		// The node answered and refused the shadow: the canary can
 		// never evaluate, drop it.
@@ -248,7 +291,11 @@ func (c *Controller) resolveCanary(ev canaryEvent) {
 		var sess *Session
 		c.onNode(ev.node, true, func(sh *shard, st *nodeState) {
 			cs := st.canary[ev.stream+"/"+ev.mc]
-			if cs == nil {
+			if cs == nil || cs.outcome != CanaryPromoted || cs.version != ev.version {
+				// The record no longer matches the verdict: a new
+				// StartCanary replaced it between the verdict and this
+				// goroutine. Promoting now would ship the unevaluated
+				// replacement — leave it to its own evaluation.
 				return
 			}
 			if st.intent[ev.stream] == nil {
@@ -260,8 +307,9 @@ func (c *Controller) resolveCanary(ev canaryEvent) {
 			version = cs.version
 			sess = sh.liveSessionLocked(ev.node)
 		})
-		if sess == nil {
-			// The node dropped between verdict and swap: the intent
+		if gen == 0 || sess == nil {
+			// Stale verdict (gen untouched), or the node dropped
+			// between verdict and swap — in the latter case the intent
 			// now carries the candidate, so reconciliation finishes
 			// the promotion on reconnect.
 			return
@@ -272,10 +320,20 @@ func (c *Controller) resolveCanary(ev canaryEvent) {
 		}
 	case CanaryRolledBack, CanaryExpired:
 		var sess *Session
-		c.onNode(ev.node, false, func(sh *shard, _ *nodeState) {
+		stale := false
+		c.onNode(ev.node, false, func(sh *shard, st *nodeState) {
+			cs := st.canary[ev.stream+"/"+ev.mc]
+			if cs == nil || cs.outcome != ev.outcome || cs.version != ev.version {
+				// A new canary owns the shadow slot (StartCanary
+				// replaced the record): withdrawing would kill the
+				// fresh candidate. Stale leftovers on the edge are
+				// reconciliation's job.
+				stale = true
+				return
+			}
 			sess = sh.liveSessionLocked(ev.node)
 		})
-		if sess == nil {
+		if stale || sess == nil {
 			return
 		}
 		if err := sess.undeployCanary(ev.stream, ev.mc); err != nil {

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -159,5 +160,199 @@ func TestObserveCanaryExpiry(t *testing.T) {
 	orphan := &nodeState{}
 	if evs := observeCanary(orphan, "n0", hb, cfg); len(evs) != 0 {
 		t.Fatalf("events for untracked shadow: %+v", evs)
+	}
+}
+
+// withShadowEpoch stamps the heartbeat's shadow install counter for
+// the canary pair, as agents echoing DeployRequest.Epoch do.
+func withShadowEpoch(hb Heartbeat, epoch uint64) Heartbeat {
+	hb.ShadowEpochs = map[string]map[string]uint64{"cam0": {"mc": epoch}}
+	return hb
+}
+
+// TestObserveCanaryLiveWindowGate arrives with a full shadow window
+// before the live window has any span (frame rates outpace the
+// heartbeat cadence, or the incumbent never reports scores). A verdict
+// there would compare the candidate against nothing — passDelta
+// degenerates to its absolute pass rate, rolling back a healthy
+// always-pass candidate — so the evaluator must hold until both
+// windows fill and fall back to expiry when the live side never does.
+func TestObserveCanaryLiveWindowGate(t *testing.T) {
+	cfg := CanaryConfig{Window: 16, ExpireAfter: 3}
+	cfg.fillDefaults()
+	st := canaryTestState()
+
+	hb := canaryHB(alt(0.2, 0.7, 8), alt(0.6, 0.9, 16))
+	if evs := observeCanary(st, "n0", hb, cfg); len(evs) != 0 {
+		t.Fatalf("verdict with empty live window: %+v", evs)
+	}
+
+	// The incumbent stalls (same cumulative live sketch) while the
+	// shadow keeps scoring: the live window never fills and the
+	// canary expires rather than deciding blind.
+	if evs := observeCanary(st, "n0", canaryHB(alt(0.2, 0.7, 8), alt(0.6, 0.9, 32)), cfg); len(evs) != 0 {
+		t.Fatalf("verdict with unfilled live window: %+v", evs)
+	}
+	evs := observeCanary(st, "n0", canaryHB(alt(0.2, 0.7, 8), alt(0.6, 0.9, 48)), cfg)
+	if len(evs) != 1 || evs[0].outcome != CanaryExpired {
+		t.Fatalf("want expiry, got %+v", evs)
+	}
+	if !strings.Contains(evs[0].reason, "live 0/16") {
+		t.Fatalf("expiry reason should name the live window: %q", evs[0].reason)
+	}
+
+	// No live sketch at all (the incumbent exists in intent but the
+	// node never reported its scores): same refusal to decide.
+	st2 := canaryTestState()
+	noLive := Heartbeat{ShadowScores: map[string]map[string]obs.SketchSnapshot{
+		"cam0": {"mc": cumSketch(alt(0.6, 0.9, 32))},
+	}}
+	if evs := observeCanary(st2, "n0", noLive, cfg); len(evs) != 0 {
+		t.Fatalf("verdict with no live sketch: %+v", evs)
+	}
+}
+
+// TestObserveCanaryEpochReAnchor re-pushes the candidate (epoch bump)
+// with a fresh sketch whose cumulative count has caught up to exactly
+// the old install's — the case count-regression detection cannot see.
+// The evaluator must re-anchor both windows on the new lifetime
+// instead of subtracting across sketch lifetimes.
+func TestObserveCanaryEpochReAnchor(t *testing.T) {
+	cfg := CanaryConfig{Window: 16}
+	cfg.fillDefaults()
+	st := canaryTestState()
+	cs := st.canary["cam0/mc"]
+
+	if evs := observeCanary(st, "n0", withShadowEpoch(canaryHB(alt(0.2, 0.7, 32), alt(0.3, 0.8, 8)), 1), cfg); len(evs) != 0 {
+		t.Fatalf("verdict before window filled: %+v", evs)
+	}
+
+	// Install 2 reports the same shadow count as install 1's last
+	// heartbeat, under a new epoch.
+	if evs := observeCanary(st, "n0", withShadowEpoch(canaryHB(alt(0.2, 0.7, 48), alt(0.3, 0.8, 8)), 2), cfg); len(evs) != 0 {
+		t.Fatalf("verdict across sketch lifetimes: %+v", evs)
+	}
+	if cs.seenEpoch != 2 {
+		t.Fatalf("seenEpoch = %d, want 2", cs.seenEpoch)
+	}
+	if want := cumSketch(alt(0.2, 0.7, 48)); cs.baseLive != want {
+		t.Fatalf("live window not re-anchored:\n got %+v\nwant %+v", cs.baseLive, want)
+	}
+
+	// The re-anchored windows fill and decide on install 2's span
+	// only: 16 fresh observations each side, matched behavior.
+	evs := observeCanary(st, "n0", withShadowEpoch(canaryHB(alt(0.2, 0.7, 64), alt(0.3, 0.8, 16)), 2), cfg)
+	if len(evs) != 1 || evs[0].outcome != CanaryPromoted || evs[0].observations != 16 {
+		t.Fatalf("want promote on re-anchored window, got %+v", evs)
+	}
+}
+
+// TestStartCanaryRequiresIncumbent refuses a canary with nothing to
+// evaluate against: no same-named incumbent in intent and no live
+// session reporting its sketch.
+func TestStartCanaryRequiresIncumbent(t *testing.T) {
+	ctrl := NewController(ControllerConfig{})
+	defer ctrl.Close()
+	cand := saveMC(t, "mc-c", 7)
+
+	err := ctrl.StartCanary("edge-x", "cam0", cand, -1)
+	if err == nil || !strings.Contains(err.Error(), "no live incumbent") {
+		t.Fatalf("want incumbent refusal, got %v", err)
+	}
+	if n := len(ctrl.CanaryReports()); n != 0 {
+		t.Fatalf("refused canary recorded: %d reports", n)
+	}
+
+	// Intent for the same-named incumbent makes the pair eligible
+	// even while the node is offline: the canary is recorded for
+	// reconciliation and the call defers.
+	if err := ctrl.Deploy("edge-x", "cam0", saveMC(t, "mc-c", 3), -1); !errors.Is(err, ErrDeferred) {
+		t.Fatalf("offline deploy: %v", err)
+	}
+	if err := ctrl.StartCanary("edge-x", "cam0", cand, -1); !errors.Is(err, ErrDeferred) {
+		t.Fatalf("offline canary with intent: %v", err)
+	}
+	reports := ctrl.CanaryReports()
+	if len(reports) != 1 || reports[0].State != "evaluating" {
+		t.Fatalf("canary reports: %+v", reports)
+	}
+}
+
+// TestResolveCanaryStaleVerdict replaces the canary record between
+// verdict and async resolution (a new StartCanary for the pair): the
+// stale verdict must not promote the unevaluated replacement.
+func TestResolveCanaryStaleVerdict(t *testing.T) {
+	ctrl := NewController(ControllerConfig{})
+	defer ctrl.Close()
+
+	ctrl.onNode("n0", true, func(_ *shard, st *nodeState) {
+		st.canary = map[string]*canaryState{
+			"cam0/mc": {mc: []byte{9}, version: 3},
+		}
+	})
+	// Version mismatch (verdict was for the replaced candidate) and
+	// outcome mismatch (the replacement is still evaluating): both
+	// must leave intent and generation untouched.
+	ctrl.resolveCanary(canaryEvent{node: "n0", stream: "cam0", mc: "mc", version: 2, outcome: CanaryPromoted})
+	ctrl.resolveCanary(canaryEvent{node: "n0", stream: "cam0", mc: "mc", version: 3, outcome: CanaryPromoted})
+	ctrl.onNode("n0", true, func(_ *shard, st *nodeState) {
+		if len(st.intent) != 0 {
+			t.Errorf("stale promote wrote intent: %+v", st.intent)
+		}
+		if st.gen != 0 {
+			t.Errorf("stale promote bumped generation to %d", st.gen)
+		}
+		if st.canary["cam0/mc"].outcome != "" {
+			t.Errorf("stale promote touched the replacement record: %+v", st.canary["cam0/mc"])
+		}
+	})
+}
+
+// TestReconcileShadowWithdrawal diffs a resume hello's reported
+// shadows against the canary ledger: undecided candidates are
+// re-pushed under a bumped epoch, while shadows whose record is
+// decided (a lost rollback push) or untracked are withdrawn.
+func TestReconcileShadowWithdrawal(t *testing.T) {
+	st := &nodeState{canary: map[string]*canaryState{
+		"cam0/live-one": {mc: []byte{1}, version: 5, epoch: 1},
+		"cam0/dead-one": {mc: []byte{2}, version: 6, epoch: 1, outcome: CanaryRolledBack},
+	}}
+	hello := Hello{Shadows: map[string][]string{
+		"cam0": {"dead-one", "live-one", "untracked"},
+	}}
+
+	var rePush []reconcileItem
+	withdrawn := map[string]bool{}
+	for _, w := range reconcileWorkLocked(st, hello) {
+		switch {
+		case !w.canary:
+			t.Fatalf("non-canary work from shadow-only state: %+v", w)
+		case w.dep != nil:
+			rePush = append(rePush, w)
+		default:
+			withdrawn[w.name] = true
+		}
+	}
+	if len(rePush) != 1 || rePush[0].name != "live-one" || rePush[0].version != 5 || rePush[0].epoch != 2 {
+		t.Fatalf("re-push items: %+v", rePush)
+	}
+	if st.canary["cam0/live-one"].epoch != 2 {
+		t.Fatalf("record epoch not bumped: %d", st.canary["cam0/live-one"].epoch)
+	}
+	if len(withdrawn) != 2 || !withdrawn["dead-one"] || !withdrawn["untracked"] {
+		t.Fatalf("withdrawals: %v", withdrawn)
+	}
+
+	// An older agent reports no shadow inventory (gob zero): nothing
+	// to diff, so no withdrawals — only the re-push.
+	count := 0
+	for _, w := range reconcileWorkLocked(st, Hello{}) {
+		if w.dep == nil {
+			t.Fatalf("withdrawal without a reported inventory: %+v", w)
+		}
+		count++
+	}
+	if count != 1 {
+		t.Fatalf("want 1 re-push for older agent, got %d", count)
 	}
 }

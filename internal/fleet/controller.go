@@ -524,16 +524,21 @@ func (c *Controller) Resize(shards int) (moved int, err error) {
 
 // reconcileItem is one reconciliation push: a re-deploy of missing
 // intent, a re-send of an undecided canary candidate, or (dep nil) a
-// withdrawal of a managed MC whose intent was removed while the node
-// was away.
+// withdrawal — of a managed MC whose intent was removed while the
+// node was away, or (canary set) of a reported shadow whose canary
+// record is decided or gone.
 type reconcileItem struct {
 	stream, name string
 	dep          *deployment
 	// canary re-sends the deployment as a shadow candidate (the edge
 	// replaces a same-named shadow, so the push is idempotent; the
-	// evaluator tolerates the sketch restarting).
+	// evaluator re-anchors on the bumped epoch), or with dep nil
+	// withdraws the named shadow.
 	canary  bool
 	version uint64
+	// epoch is the canary re-push's install counter (see
+	// DeployRequest.Epoch).
+	epoch uint64
 }
 
 // reconcileWorkLocked diffs the node's reported deployment against
@@ -573,16 +578,31 @@ func reconcileWorkLocked(st *nodeState, hello Hello) []reconcileItem {
 	}
 	// Undecided canary candidates are re-pushed as shadows: a node
 	// that reconnected lost them with its process, and the evaluation
-	// window picks back up from the fresh sketch.
+	// window picks back up from the fresh sketch. The bumped epoch
+	// tells the evaluator to re-anchor even if the fresh sketch's
+	// count catches up with the old one between heartbeats.
 	for key, cs := range st.canary {
 		if cs.outcome != "" {
 			continue
 		}
 		stream, name, _ := strings.Cut(key, "/")
+		cs.epoch++
 		d := deployment{mc: cs.mc, threshold: cs.threshold}
 		work = append(work, reconcileItem{
-			stream: stream, name: name, dep: &d, canary: true, version: cs.version,
+			stream: stream, name: name, dep: &d, canary: true,
+			version: cs.version, epoch: cs.epoch,
 		})
+	}
+	// Reported shadows with no undecided canary record are withdrawn:
+	// a rollback or expiry push that never reached the node (or a
+	// record this controller no longer tracks) must not leave a dead
+	// candidate scoring every frame forever.
+	for stream, reported := range hello.Shadows {
+		for _, name := range reported {
+			if cs := st.canary[stream+"/"+name]; cs == nil || cs.outcome != "" {
+				work = append(work, reconcileItem{stream: stream, name: name, canary: true})
+			}
+		}
 	}
 	return work
 }
@@ -599,8 +619,10 @@ func runReconcile(s *Session, gen uint64, work []reconcileItem) {
 	})
 	for _, w := range work {
 		switch {
+		case w.canary && w.dep != nil:
+			_ = s.deployCanary(w.stream, w.dep.mc, w.dep.threshold, w.version, w.epoch)
 		case w.canary:
-			_ = s.deployCanary(w.stream, w.dep.mc, w.dep.threshold, w.version)
+			_ = s.undeployCanary(w.stream, w.name)
 		case w.dep != nil:
 			_ = s.deploy(w.stream, w.dep.mc, w.dep.threshold, gen, w.dep.version)
 		default:

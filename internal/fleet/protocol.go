@@ -51,6 +51,13 @@ type Hello struct {
 	// restarted reports empty sets even if its generation looks
 	// current).
 	Deployed map[string][]string
+	// Shadows is the node's per-stream shadow (canary candidate)
+	// inventory, mirroring Deployed. Reconciliation withdraws reported
+	// shadows whose canary record is decided or gone — without it a
+	// lost rollback push would leave a dead candidate scoring frames
+	// forever on a node that reconnects without restarting. Nil from
+	// older agents (gob zero), which disables shadow withdrawal only.
+	Shadows map[string][]string
 	// HeartbeatEvery is the node's heartbeat interval (non-positive:
 	// heartbeats disabled). The controller derives its liveness window
 	// from it: HeartbeatMiss consecutive silent intervals evict the
@@ -124,6 +131,13 @@ type DeployRequest struct {
 	// request as a live deploy — the controller only sends canary
 	// deploys to agents whose heartbeats carry version maps.
 	Canary bool
+	// Epoch is the controller's install counter for the canary's
+	// shadow slot, starting at 1 and bumped on every reconciliation
+	// re-push. The edge stores it with the shadow and echoes it in
+	// Heartbeat.ShadowEpochs, so the evaluator can re-anchor its window
+	// on any reinstall even when the fresh sketch's count has caught up
+	// with the old one. Zero outside canary deploys.
+	Epoch uint64
 	// Promote atomically swaps the named shadow candidate into the
 	// live slot; MC is empty (the edge already holds the candidate)
 	// and MCName names it.
@@ -252,6 +266,13 @@ type Heartbeat struct {
 	// consumes. Cumulative since shadow deploy.
 	ShadowScores   map[string]map[string]obs.SketchSnapshot
 	ShadowVersions map[string]map[string]uint64
+	// ShadowEpochs echoes each shadow's DeployRequest.Epoch (stream →
+	// MC name → install counter). The canary evaluator re-anchors its
+	// window whenever a pair's epoch changes — cumulative-count
+	// regression alone misses a reinstalled shadow whose fresh sketch
+	// caught up between heartbeats. Agents predating the field omit it
+	// (gob zero) and the controller falls back to count regression.
+	ShadowEpochs map[string]map[string]uint64
 	// PendingUploads is the node-level count of uploads buffered
 	// awaiting a controller ack — the edge's backlog, an SLO input on
 	// the datacenter side (a growing backlog means the uplink or the

@@ -162,10 +162,11 @@ func (s *Session) deploy(stream string, mc []byte, threshold float32, gen, versi
 
 // deployCanary ships a candidate MC as a shadow deployment: it scores
 // alongside the same-named incumbent without affecting uploads until
-// the controller promotes or rolls it back.
-func (s *Session) deployCanary(stream string, mc []byte, threshold float32, version uint64) error {
+// the controller promotes or rolls it back. epoch is the controller's
+// install counter for the shadow slot, echoed back in heartbeats.
+func (s *Session) deployCanary(stream string, mc []byte, threshold float32, version, epoch uint64) error {
 	resp, err := s.roundTrip(transport.KindDeploy, func(seq uint64) any {
-		return DeployRequest{Seq: seq, Stream: stream, MC: mc, Threshold: threshold, Version: version, Canary: true}
+		return DeployRequest{Seq: seq, Stream: stream, MC: mc, Threshold: threshold, Version: version, Canary: true, Epoch: epoch}
 	})
 	if err != nil {
 		return err

@@ -57,7 +57,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "datasets|bandwidth|throughput|breakdown|cost-accuracy|crop|window-buffer|pooling-baseline|phased-pipelined|multistream|archive|kernels|fleet|drift|retrain|all")
+		experiment = flag.String("experiment", "all", "datasets|bandwidth|throughput|breakdown|cost-accuracy|crop|window-buffer|pooling-baseline|phased-pipelined|multistream|archive|kernels|fleet|drift|retrain|restart|all")
 		width      = flag.Int("width", 96, "working-scale frame width")
 		trainN     = flag.Int("train-frames", 1200, "training-day frames")
 		testN      = flag.Int("test-frames", 1200, "test-day frames")
@@ -75,6 +75,7 @@ func main() {
 		flFrames   = flag.Int("fleet-frames", 8, "frames each agent filters in the fleet soak benchmark")
 		drFrames   = flag.Int("drift-frames", 96, "per-phase frame budget in the drift detection benchmark")
 		rtFrames   = flag.Int("retrain-frames", 96, "per-phase frame budget in the retraining loop benchmark")
+		rsFrames   = flag.Int("restart-frames", 24, "frames each agent filters in the controller-restart benchmark")
 		kernFrames = flag.Int("kernel-frames", 200, "frames timed per path in the kernels benchmark")
 		jsonPath   = flag.String("json", "", "write machine-readable results (per-experiment data + wall times) to this path")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
@@ -317,6 +318,17 @@ func main() {
 				return err
 			}
 			record("retrain", res)
+			return nil
+		})
+	}
+
+	if want("restart") {
+		run("restart (durable control plane crash recovery)", func() error {
+			res, err := experiments.Restart(w, o, *rsFrames)
+			if err != nil {
+				return err
+			}
+			record("restart", res)
 			return nil
 		})
 	}

@@ -95,6 +95,9 @@ func main() {
 		hbMiss   = flag.Int("heartbeat-miss", 5, "evict a session after this many missed heartbeat intervals (0 disables liveness eviction)")
 		shards   = flag.Int("shards", 1, "controller shards; nodes are placed by consistent hashing and per-shard summaries are merged into the fleet rollup")
 
+		stateDir = flag.String("state-dir", "", "persist per-shard control-plane state (intent, ledgers, canary records) under this directory and recover it on restart (empty keeps state in memory)")
+		walSync  = flag.Bool("wal-sync", false, "fsync every wal append (survives machine power loss; default page-cache durability survives process crashes)")
+
 		deploy    = flag.String("deploy", "", "MC weights file (from fftrain) to deploy to every connecting node")
 		deployTo  = flag.String("deploy-stream", "", "stream to deploy onto (default: each node's first advertised stream)")
 		threshold = flag.Float64("threshold", 0.5, "decision threshold for -deploy")
@@ -224,7 +227,15 @@ func main() {
 			}()
 		},
 	}
-	ctrl = fleet.NewController(cfg)
+	// OpenController replays the state dir (and logs the recovery
+	// stats) before accepting any session.
+	cfg.StateDir = *stateDir
+	cfg.WALSync = *walSync
+	ctrl, _, err = fleet.OpenController(cfg)
+	if err != nil {
+		log.Error("ffserve: open controller failed", "state-dir", *stateDir, "err", err)
+		os.Exit(1)
+	}
 	bound, err := ctrl.Listen("tcp", *addr)
 	if err != nil {
 		log.Error("ffserve: listen failed", "addr", *addr, "err", err)

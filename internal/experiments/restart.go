@@ -1,0 +1,429 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/filter"
+	"repro/internal/fleet"
+	"repro/internal/mobilenet"
+	"repro/internal/simnet"
+	"repro/internal/tensor"
+	"repro/internal/vision"
+)
+
+// RestartBenchResult is the controller-restart benchmark's structured
+// output: what a crash-recovery cycle costs (records replayed,
+// snapshot size, replay time) and what it preserves (exactly-once
+// ledgers, monotonic generations, a resolving canary).
+type RestartBenchResult struct {
+	Agents         int `json:"agents"`
+	Shards         int `json:"shards"`
+	FramesPerAgent int `json:"frames_per_agent"`
+	// SnapshotEvery is the wal compaction threshold the run used.
+	SnapshotEvery int `json:"snapshot_every"`
+	// UploadsBeforeCrash is the fleet ledger total at the kill.
+	UploadsBeforeCrash int `json:"uploads_before_crash"`
+	// RecordsReplayed, SnapshotBytes, TornBytes, and ReplayMS are the
+	// recovery's cost: wal records applied on top of the loaded
+	// snapshots, snapshot bytes read, torn tail bytes truncated, and
+	// wall time for the whole replay.
+	RecordsReplayed int     `json:"records_replayed"`
+	SnapshotBytes   int64   `json:"snapshot_bytes"`
+	TornBytes       int64   `json:"torn_bytes"`
+	ReplayMS        float64 `json:"replay_ms"`
+	// NodesRecovered counts node records rebuilt from the state dir
+	// before any agent reconnected.
+	NodesRecovered int `json:"nodes_recovered"`
+	// ConvergenceMS is the wall time from serving the restarted
+	// listener until every agent reconnected, drained its resend
+	// buffer, and matched the ledger record for record;
+	// ConvergenceHeartbeats is that time in heartbeat intervals — the
+	// operator's "how many beats until the fleet is whole again".
+	ConvergenceMS         float64 `json:"post_restart_convergence_ms"`
+	ConvergenceHeartbeats int     `json:"post_restart_convergence_heartbeats"`
+	// UploadsTotal is the final fleet ledger; ExactlyOnce whether every
+	// node's ledger matched its edge ground truth record for record
+	// across the crash; GenerationsMonotonic whether no node's deploy
+	// generation regressed or reset to zero.
+	UploadsTotal         int  `json:"uploads_total"`
+	ExactlyOnce          bool `json:"exactly_once"`
+	GenerationsMonotonic bool `json:"generations_monotonic"`
+	// CanaryOutcome is the recovered in-flight canary's terminal state
+	// ("promoted" or "rolled-back"); OrphanShadows counts shadows left
+	// on any edge after the verdict (must be zero).
+	CanaryOutcome string `json:"canary_outcome"`
+	OrphanShadows int    `json:"orphan_shadows"`
+	// CleanReplayRecords is the wal record count replayed by a reopen
+	// after a graceful close — zero proves close-time compaction.
+	CleanReplayRecords int `json:"clean_replay_records"`
+}
+
+// Restart benchmarks controller crash recovery on the deterministic
+// simulated network: a durable sharded controller serving a filtering
+// fleet is killed mid-upload and mid-canary, restarted from its state
+// dir, and measured — replay cost, reconvergence time, and the
+// recovered guarantees (exactly-once ledgers, monotonic generations,
+// the in-flight canary resolving instead of leaking its shadow).
+func Restart(w io.Writer, o Options, frames int) (*RestartBenchResult, error) {
+	o.fillDefaults()
+	if frames <= 0 {
+		frames = 24
+	}
+	const agents, shards = 6, 2
+	const fw, fh = 48, 27
+	const heartbeat = 40 * time.Millisecond
+	stateDir, err := os.MkdirTemp("", "ffbench-restart-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(stateDir)
+
+	// A systems benchmark: an untrained always-positive MC keeps every
+	// frame flowing through extract→filter→upload without training.
+	base := mobilenet.New(mobilenet.Config{WidthMult: o.MCWidthMult, Seed: o.Seed})
+	mkMC := func(version uint64) ([]byte, error) {
+		mc, err := filter.NewMC(filter.Spec{Name: "mc-restart", Arch: filter.PoolingClassifier, Seed: o.Seed + 7}, base, fw, fh)
+		if err != nil {
+			return nil, err
+		}
+		mc.SetVersion(version)
+		var buf bytes.Buffer
+		if err := mc.Save(&buf); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+	incumbent, err := mkMC(1)
+	if err != nil {
+		return nil, err
+	}
+	candidate, err := mkMC(2)
+	if err != nil {
+		return nil, err
+	}
+
+	n := simnet.New(o.Seed)
+	ln, err := n.Listen("dc")
+	if err != nil {
+		return nil, err
+	}
+	cfg := fleet.ControllerConfig{
+		Timeout:       5 * time.Second,
+		HeartbeatMiss: 40,
+		Shards:        shards,
+		StateDir:      stateDir,
+		SnapshotEvery: 16,
+		Canary:        fleet.CanaryConfig{Window: 16, ExpireAfter: 1 << 30},
+	}
+	ctrl, _, err := fleet.OpenController(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ctrl.Serve(ln)
+	closed := false
+	defer func() {
+		if !closed {
+			ctrl.Close()
+		}
+	}()
+
+	type restartEdge struct {
+		name  string
+		agent *fleet.Agent
+		edge  *core.EdgeNode
+		gt    int
+		next  int
+	}
+	edges := make([]*restartEdge, 0, agents)
+	defer func() {
+		var wg sync.WaitGroup
+		for _, e := range edges {
+			wg.Add(1)
+			go func(e *restartEdge) { defer wg.Done(); e.agent.Close() }(e)
+		}
+		wg.Wait()
+	}()
+	for i := 0; i < agents; i++ {
+		name := fmt.Sprintf("edge-%03d", i)
+		if err := ctrl.Deploy(name, "cam0", incumbent, -1); !errors.Is(err, fleet.ErrDeferred) {
+			return nil, fmt.Errorf("deploy to offline %s: %v", name, err)
+		}
+		a, err := fleet.NewAgent(fleet.AgentConfig{
+			Node: name,
+			Edge: core.Config{
+				FrameWidth: fw, FrameHeight: fh, FPS: 16, Base: base,
+				UploadBitrate: 30_000, MaxChunkFrames: 4,
+			},
+			Heartbeat:     heartbeat,
+			Reconnect:     true,
+			ReconnectMin:  20 * time.Millisecond,
+			ReconnectMax:  250 * time.Millisecond,
+			ReconnectSeed: o.Seed,
+			WriteTimeout:  5 * time.Second,
+			Dial: func(network, addr string) (net.Conn, error) {
+				return n.Dial(name, addr)
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		en, err := a.AddStream("cam0", fw, fh, nil)
+		if err != nil {
+			a.Close()
+			return nil, err
+		}
+		if err := a.Connect("sim", "dc"); err != nil {
+			a.Close()
+			return nil, err
+		}
+		edges = append(edges, &restartEdge{name: name, agent: a, edge: en})
+	}
+
+	waitCond := func(what string, cond func() bool) error {
+		deadline := time.Now().Add(60 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("restart bench: timed out waiting for %s", what)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		return nil
+	}
+	if err := waitCond("deploy reconciliation", func() bool {
+		for _, e := range edges {
+			if len(e.agent.DeployedMCs("cam0")) != 1 {
+				return false
+			}
+		}
+		return true
+	}); err != nil {
+		return nil, err
+	}
+
+	feedOne := func(e *restartEdge, count int) error {
+		bg := vision.Background(fw, fh, nil, 2)
+		scene := &vision.Scene{Background: bg, NoiseStd: 0.01}
+		for i := 0; i < count; i++ {
+			img := scene.Render(nil, 1, tensor.NewRNG(int64(e.next)))
+			ups, err := e.agent.ProcessFrame("cam0", img)
+			if err != nil {
+				return fmt.Errorf("%s frame %d: %w", e.name, e.next, err)
+			}
+			e.gt += len(ups)
+			e.next++
+		}
+		ups, err := e.agent.Flush()
+		if err != nil {
+			return fmt.Errorf("%s flush: %w", e.name, err)
+		}
+		e.gt += len(ups)
+		return nil
+	}
+	feed := func(count int) error {
+		var wg sync.WaitGroup
+		errs := make(chan error, len(edges))
+		for _, e := range edges {
+			wg.Add(1)
+			go func(e *restartEdge) {
+				defer wg.Done()
+				if err := feedOne(e, count); err != nil {
+					errs <- err
+				}
+			}(e)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			return err
+		}
+		return nil
+	}
+	nodeReceived := func(name string) int {
+		total := -1
+		if err := ctrl.WithNodeDatacenter(name, func(dc *core.Datacenter) {
+			total = 0
+			for _, app := range dc.KnownApplications() {
+				total += len(dc.Uploads(app))
+			}
+		}); err != nil {
+			return -1
+		}
+		return total
+	}
+	converged := func() bool {
+		for _, e := range edges {
+			if pending, _ := e.agent.PendingUploads(); pending != 0 {
+				return false
+			}
+			if nodeReceived(e.name) != e.gt {
+				return false
+			}
+		}
+		return true
+	}
+	fleetGT := func() int {
+		total := 0
+		for _, e := range edges {
+			total += e.gt
+		}
+		return total
+	}
+
+	res := &RestartBenchResult{
+		Agents: agents, Shards: shards, FramesPerAgent: frames,
+		SnapshotEvery: cfg.SnapshotEvery,
+	}
+
+	// Phase 1: healthy fleet, then an in-flight canary.
+	if err := feed(frames / 2); err != nil {
+		return nil, err
+	}
+	if err := waitCond("pre-crash convergence", converged); err != nil {
+		return nil, err
+	}
+	if err := ctrl.StartCanary(edges[0].name, "cam0", candidate, -1); err != nil {
+		return nil, err
+	}
+	if err := waitCond("canary anchored", func() bool {
+		reps := ctrl.CanaryReports()
+		return len(reps) == 1 && reps[0].Heartbeats > 0 && reps[0].State == "evaluating"
+	}); err != nil {
+		return nil, err
+	}
+	genBefore := make(map[string]uint64, agents)
+	for _, e := range edges {
+		_, gen := ctrl.Intent(e.name)
+		genBefore[e.name] = gen
+	}
+	res.UploadsBeforeCrash = fleetGT()
+
+	// Phase 2: kill the controller mid-canary, keep filtering against
+	// the dead listener (uploads buffer edge-side), restart from the
+	// state dir.
+	ctrl.Crash()
+	logf(w, o, "  controller killed at %d uploads, canary in flight", res.UploadsBeforeCrash)
+	if err := feed(frames / 4); err != nil {
+		return nil, err
+	}
+	ln2, err := n.Listen("dc")
+	if err != nil {
+		return nil, err
+	}
+	ctrl2, stats, err := fleet.OpenController(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("recovery: %w", err)
+	}
+	ctrl = ctrl2
+	res.RecordsReplayed = stats.RecordsReplayed
+	res.SnapshotBytes = stats.SnapshotBytes
+	res.TornBytes = stats.TornBytes
+	res.ReplayMS = float64(stats.Replay) / float64(time.Millisecond)
+	res.NodesRecovered = stats.Nodes
+	logf(w, o, "  recovered %d nodes: %d wal records on %d snapshot bytes in %.2fms",
+		stats.Nodes, stats.RecordsReplayed, stats.SnapshotBytes, res.ReplayMS)
+
+	restartAt := time.Now()
+	ctrl.Serve(ln2)
+	if err := waitCond("post-restart convergence", converged); err != nil {
+		return nil, err
+	}
+	res.ConvergenceMS = float64(time.Since(restartAt)) / float64(time.Millisecond)
+	res.ConvergenceHeartbeats = int(math.Ceil(res.ConvergenceMS / (float64(heartbeat) / float64(time.Millisecond))))
+	logf(w, o, "  fleet reconverged %.0fms (%d heartbeats) after restart",
+		res.ConvergenceMS, res.ConvergenceHeartbeats)
+
+	// Phase 3: the recovered canary must resolve. Keep frames flowing
+	// on its node until the evaluator reaches a verdict.
+	verdictDeadline := time.Now().Add(60 * time.Second)
+	for {
+		reps := ctrl.CanaryReports()
+		if len(reps) != 1 {
+			return nil, fmt.Errorf("restart bench: %d canary reports after restart", len(reps))
+		}
+		if reps[0].State != "evaluating" {
+			res.CanaryOutcome = reps[0].State
+			break
+		}
+		if time.Now().After(verdictDeadline) {
+			return nil, fmt.Errorf("restart bench: recovered canary never resolved: %+v", reps[0])
+		}
+		if err := feedOne(edges[0], 4); err != nil {
+			return nil, err
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := waitCond("shadow cleanup after verdict", func() bool {
+		for _, e := range edges {
+			if len(e.edge.ShadowNames()) != 0 {
+				return false
+			}
+		}
+		return true
+	}); err != nil {
+		res.OrphanShadows = 0
+		for _, e := range edges {
+			res.OrphanShadows += len(e.edge.ShadowNames())
+		}
+		return nil, err
+	}
+	logf(w, o, "  recovered canary %s, no shadow left behind", res.CanaryOutcome)
+
+	// Phase 4: finish the frame budget and audit the guarantees.
+	if err := feed(frames - frames/2 - frames/4); err != nil {
+		return nil, err
+	}
+	if err := waitCond("final convergence", converged); err != nil {
+		return nil, err
+	}
+	res.UploadsTotal = fleetGT()
+	res.ExactlyOnce = true
+	for _, e := range edges {
+		if nodeReceived(e.name) != e.gt {
+			res.ExactlyOnce = false
+		}
+	}
+	shardSum := 0
+	for _, s := range ctrl.ShardStats() {
+		shardSum += s.Uploads
+	}
+	if shardSum != res.UploadsTotal {
+		res.ExactlyOnce = false
+	}
+	res.GenerationsMonotonic = true
+	for _, e := range edges {
+		_, gen := ctrl.Intent(e.name)
+		if gen == 0 || gen < genBefore[e.name] {
+			res.GenerationsMonotonic = false
+		}
+	}
+
+	// Phase 5: graceful close compacts — a reopen replays nothing.
+	for _, e := range edges {
+		e.agent.Close()
+	}
+	edges = edges[:0]
+	if err := ctrl.Close(); err != nil {
+		return nil, err
+	}
+	closed = true
+	ctrl3, stats3, err := fleet.OpenController(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("reopen after close: %w", err)
+	}
+	res.CleanReplayRecords = stats3.RecordsReplayed
+	if err := ctrl3.Close(); err != nil {
+		return nil, err
+	}
+	logf(w, o, "  exactly-once %v, generations monotonic %v, clean reopen replayed %d records",
+		res.ExactlyOnce, res.GenerationsMonotonic, res.CleanReplayRecords)
+	return res, nil
+}

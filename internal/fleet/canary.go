@@ -259,6 +259,11 @@ func (c *Controller) StartCanary(node, stream string, mc []byte, threshold float
 			st.canary = make(map[string]*canaryState)
 		}
 		st.canary[key] = cs
+		sh.persist(wrecCanaryStart, canaryStartRec{
+			Node: node, Stream: stream, Name: info.Name,
+			MC: mc, Threshold: threshold, Version: info.Version,
+			IncumbentVersion: cs.incumbentVersion,
+		})
 	})
 	if !hasIncumbent {
 		return fmt.Errorf("fleet: canary %s/%s: no live incumbent %q to evaluate against", node, key, info.Name)
@@ -272,8 +277,12 @@ func (c *Controller) StartCanary(node, stream string, mc []byte, threshold float
 	if err != nil && errors.Is(err, ErrRejected) {
 		// The node answered and refused the shadow: the canary can
 		// never evaluate, drop it.
-		c.onNode(node, true, func(_ *shard, st *nodeState) {
+		c.onNode(node, true, func(sh *shard, st *nodeState) {
 			delete(st.canary, key)
+			sh.persist(wrecCanaryVerdict, canaryVerdictRec{
+				Node: node, Stream: stream, Name: info.Name,
+				Version: info.Version, Outcome: canaryRemoved,
+			})
 		})
 	}
 	return err
@@ -305,6 +314,10 @@ func (c *Controller) resolveCanary(ev canaryEvent) {
 			st.gen++
 			gen = st.gen
 			version = cs.version
+			sh.persist(wrecIntent, intentRec{
+				Node: ev.node, Stream: ev.stream, Name: ev.mc,
+				MC: cs.mc, Threshold: cs.threshold, Version: cs.version, Gen: st.gen,
+			})
 			sess = sh.liveSessionLocked(ev.node)
 		})
 		if gen == 0 || sess == nil {

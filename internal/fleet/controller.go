@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -18,6 +20,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/transport"
 	"repro/internal/vision"
+	"repro/internal/walog"
 )
 
 // DefaultTimeout bounds how long controller round trips (deploy,
@@ -69,7 +72,28 @@ type ControllerConfig struct {
 	// promotion or rollback for shadow candidates started with
 	// StartCanary (zero fields take the package defaults).
 	Canary CanaryConfig
+	// StateDir, when set, makes the controller durable: each shard
+	// keeps an append-only WAL plus snapshot store in a "shard-NNNN"
+	// directory under StateDir, every intent, ledger, canary, and
+	// drift-baseline mutation is logged before it is acknowledged
+	// anywhere, and OpenController replays the store on start. Empty
+	// keeps the controller fully in-memory.
+	StateDir string
+	// SnapshotEvery is the wal-record count between automatic
+	// per-shard snapshot compactions (DefaultSnapshotEvery when zero;
+	// negative disables automatic compaction — snapshots then happen
+	// only at Close and recovery).
+	SnapshotEvery int
+	// WALSync forces an fsync after every appended record. Off,
+	// appends reach the OS page cache synchronously — they survive a
+	// process kill, and an OS crash loses at most a tail that reopen
+	// detects and truncates.
+	WALSync bool
 }
+
+// DefaultSnapshotEvery is the wal-record count between automatic
+// per-shard snapshot compactions.
+const DefaultSnapshotEvery = 1024
 
 // deployment is one intended microclassifier deployment. version
 // mirrors the Spec.Version decoded from mc, cached so reconciliation
@@ -142,10 +166,31 @@ type Controller struct {
 	ring   *ring
 	conns  map[net.Conn]struct{} // every open conn, incl. pre-hello and legacy
 	wg     sync.WaitGroup
+
+	// recovery holds the stats of the StateDir replay OpenController
+	// performed, nil for an in-memory controller. Written once before
+	// the controller serves.
+	recovery *RecoveryStats
 }
 
-// NewController constructs a controller with cfg.Shards shards.
+// NewController constructs a controller with cfg.Shards shards. With
+// cfg.StateDir set it recovers durable state and panics if the state
+// store is unreadable — use OpenController to handle that error.
 func NewController(cfg ControllerConfig) *Controller {
+	c, _, err := OpenController(cfg)
+	if err != nil {
+		panic("fleet: " + err.Error())
+	}
+	return c
+}
+
+// OpenController constructs a controller and, when cfg.StateDir is
+// set, replays the per-shard WAL + snapshot store into it: deploy
+// intent and generations, exactly-once upload ledgers, model
+// versions, canary records, and drift baselines all resume where the
+// previous process left them. The returned stats are nil for an
+// in-memory controller.
+func OpenController(cfg ControllerConfig) (*Controller, *RecoveryStats, error) {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = DefaultTimeout
 	}
@@ -154,6 +199,9 @@ func NewController(cfg ControllerConfig) *Controller {
 	}
 	if cfg.Log == nil {
 		cfg.Log = slog.New(slog.DiscardHandler)
+	}
+	if cfg.SnapshotEvery == 0 {
+		cfg.SnapshotEvery = DefaultSnapshotEvery
 	}
 	cfg.Drift.fillDefaults()
 	cfg.Canary.fillDefaults()
@@ -165,8 +213,29 @@ func NewController(cfg ControllerConfig) *Controller {
 	for i := 0; i < cfg.Shards; i++ {
 		c.shards = append(c.shards, newShard(i, c))
 	}
-	return c
+	if cfg.StateDir == "" {
+		return c, nil, nil
+	}
+	stats, err := c.recoverState()
+	if err != nil {
+		for _, sh := range c.shards {
+			if sh.wal != nil {
+				sh.wal.Close()
+			}
+		}
+		return nil, nil, err
+	}
+	cfg.Log.Info("fleet: state recovered",
+		"dirs", stats.Dirs, "nodes", stats.Nodes,
+		"records", stats.RecordsReplayed, "snapshot_bytes", stats.SnapshotBytes,
+		"torn_bytes", stats.TornBytes, "folded_dirs", stats.FoldedDirs,
+		"replay", stats.Replay)
+	return c, stats, nil
 }
+
+// LastRecovery returns the stats of the state replay OpenController
+// performed, nil for a controller without a StateDir.
+func (c *Controller) LastRecovery() *RecoveryStats { return c.recovery }
 
 // NumShards returns the current shard count.
 func (c *Controller) NumShards() int {
@@ -323,8 +392,43 @@ func (c *Controller) Serve(ln net.Listener) {
 
 // Close stops the listener, tears down every open connection (live
 // sessions, legacy pipes, and half-finished handshakes alike), and
-// waits for their goroutines to drain.
+// waits for their goroutines to drain. A durable controller then
+// writes a final snapshot per shard and closes the state store, so
+// the next open replays no wal at all.
 func (c *Controller) Close() error {
+	err := c.teardown()
+	for _, sh := range c.snapshotShards() {
+		sh.mu.Lock()
+		if sh.wal != nil {
+			if serr := sh.snapshotLocked(); serr != nil {
+				c.cfg.Log.Error("fleet: close snapshot failed", "shard", sh.id, "err", serr)
+			}
+			sh.wal.Close()
+			sh.wal = nil
+		}
+		sh.mu.Unlock()
+	}
+	return err
+}
+
+// Crash closes the controller the hard way: connections drop and the
+// state store is abandoned with no final snapshot or sync, leaving
+// exactly what a killed process would leave. A recovery test helper —
+// production shutdown is Close.
+func (c *Controller) Crash() {
+	_ = c.teardown()
+	for _, sh := range c.snapshotShards() {
+		sh.mu.Lock()
+		if sh.wal != nil {
+			sh.wal.Abandon()
+			sh.wal = nil
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// teardown stops the listener and drains every connection goroutine.
+func (c *Controller) teardown() error {
 	c.mu.Lock()
 	ln := c.ln
 	conns := make([]net.Conn, 0, len(c.conns))
@@ -422,6 +526,24 @@ func (c *Controller) Resize(shards int) (moved int, err error) {
 		c.mu.Unlock()
 		return 0, nil
 	}
+	// A durable controller opens the new shards' state stores before
+	// committing to the resize: a store that cannot open must abort
+	// the whole operation, not leave a shard accepting state it cannot
+	// log.
+	var newLogs []*walog.Log
+	if c.cfg.StateDir != "" && shards > old {
+		for i := old; i < shards; i++ {
+			l, lerr := walog.Open(filepath.Join(c.cfg.StateDir, shardDirName(i)))
+			if lerr != nil {
+				for _, opened := range newLogs {
+					opened.Close()
+				}
+				c.mu.Unlock()
+				return 0, fmt.Errorf("fleet: open shard log %d: %w", i, lerr)
+			}
+			newLogs = append(newLogs, l)
+		}
+	}
 	// Epoch first, then the ring: any routing decision that read the
 	// old ring fails its epoch check, and any that reads the new
 	// epoch (via onNode's retry) blocks on c.mu until the new ring is
@@ -429,7 +551,11 @@ func (c *Controller) Resize(shards int) (moved int, err error) {
 	c.epoch.Add(1)
 	epoch := c.epoch.Load()
 	for i := old; i < shards; i++ {
-		c.shards = append(c.shards, newShard(i, c))
+		sh := newShard(i, c)
+		if newLogs != nil {
+			sh.wal = newLogs[i-old]
+		}
+		c.shards = append(c.shards, sh)
 	}
 	c.ring = newRing(shards)
 
@@ -481,6 +607,11 @@ func (c *Controller) Resize(shards int) (moved int, err error) {
 		st.rehomed++
 		to.mu.Lock()
 		to.nodes[m.node] = st
+		// The move-in record carries the node's full state at its new
+		// incarnation: whichever log last wrote the node at the highest
+		// Rehomed wins recovery, so the stale copy still sitting in the
+		// source shard's log can never resurrect.
+		to.persist(wrecMoveIn, moveInRec{Node: toNodeSnap(m.node, st)})
 		to.mu.Unlock()
 		moved++
 		c.cfg.Log.Info("fleet: node re-homed",
@@ -499,13 +630,45 @@ func (c *Controller) Resize(shards int) (moved int, err error) {
 			for _, app := range sh.dc.KnownApplications() {
 				ups = append(ups, sh.dc.Uploads(app)...)
 			}
+			w := sh.wal
+			sh.wal = nil
 			sh.mu.Unlock()
 			base.mu.Lock()
 			base.legacy += legacy
 			base.uploads += uploads
 			base.uploadBits += uploadBits
 			base.dc.ReceiveAll(ups)
+			// On a durable controller the fold is a WAL record keyed by
+			// the retired store's identity — committed and synced before
+			// the retired directory is deleted, so a crash anywhere in
+			// the shrink either replays the fold or re-folds the
+			// surviving directory, never loses it, and (via the identity
+			// key) never counts it twice.
+			durable := true
+			if w != nil && base.wal != nil {
+				fold := foldRec{
+					FromID: w.ID(),
+					Legacy: legacy, Uploads: uploads, UploadBits: uploadBits,
+				}
+				for _, u := range ups {
+					fold.DC = append(fold.DC, toUpSnap(u))
+				}
+				base.folded = append(base.folded, w.ID())
+				durable = base.persist(wrecFold, fold) && base.wal.Sync() == nil
+			}
 			base.mu.Unlock()
+			if w != nil {
+				dir := w.Dir()
+				w.Close()
+				if durable {
+					_ = os.RemoveAll(dir)
+				} else {
+					// Without a durable fold record the directory is the
+					// only copy of this history: leave it for the next
+					// recovery to fold.
+					c.cfg.Log.Error("fleet: retired shard fold not durable, keeping state dir", "dir", dir)
+				}
+			}
 		}
 		c.shards = c.shards[:shards]
 	}
@@ -797,6 +960,10 @@ func (c *Controller) Deploy(node, stream string, mc []byte, threshold float32) e
 			st.intent[stream][name] = deployment{mc: mc, threshold: threshold, version: info.Version}
 			st.gen++
 			gen = st.gen
+			sh.persist(wrecIntent, intentRec{
+				Node: node, Stream: stream, Name: name,
+				MC: mc, Threshold: threshold, Version: info.Version, Gen: st.gen,
+			})
 		}
 		sess = sh.liveSessionLocked(node)
 	})
@@ -812,13 +979,20 @@ func (c *Controller) Deploy(node, stream string, mc []byte, threshold float32) e
 		// The node answered and refused: this intent can never apply.
 		// The rollback re-resolves the node record — a resize may have
 		// moved it (pointer and all) to another shard mid round trip.
-		c.onNode(node, true, func(_ *shard, st *nodeState) {
+		c.onNode(node, true, func(sh *shard, st *nodeState) {
+			rec := intentRec{Node: node, Stream: stream, Name: name, Remove: true}
 			if had {
 				st.intent[stream][name] = prev
+				rec = intentRec{
+					Node: node, Stream: stream, Name: name,
+					MC: prev.mc, Threshold: prev.threshold, Version: prev.version,
+				}
 			} else {
 				delete(st.intent[stream], name)
 			}
 			st.gen++
+			rec.Gen = st.gen
+			sh.persist(wrecIntent, rec)
 		})
 	}
 	return err
@@ -836,6 +1010,9 @@ func (c *Controller) Undeploy(node, stream, mcName string) error {
 		if _, had := st.intent[stream][mcName]; had {
 			delete(st.intent[stream], mcName)
 			st.gen++
+			sh.persist(wrecIntent, intentRec{
+				Node: node, Stream: stream, Name: mcName, Gen: st.gen, Remove: true,
+			})
 		}
 		gen = st.gen
 		sess = sh.liveSessionLocked(node)

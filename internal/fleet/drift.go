@@ -187,8 +187,48 @@ func (sh *shard) noteHeartbeat(s *Session, hb Heartbeat) {
 		sh.mu.Unlock()
 		return
 	}
+	// Capture which pairs already had a frozen baseline: a freeze (or a
+	// reset-and-refreeze after a redeploy) during this observation is
+	// logged below, so a restarted controller scores windows against
+	// the same reference distribution instead of re-accumulating one
+	// shifted by however long the outage lasted.
+	var preBase map[string]obs.SketchSnapshot
+	if sh.wal != nil {
+		preBase = make(map[string]obs.SketchSnapshot)
+		for stream, mcs := range hb.Scores {
+			for mc := range mcs {
+				key := stream + "/" + mc
+				if ds := st.drift[key]; ds != nil && ds.baselineSet {
+					preBase[key] = ds.baseline
+				}
+			}
+		}
+	}
 	events := observeScores(st, s.node, hb.Scores, hb.ScoreVersions, sh.c.cfg.Drift)
 	canaryEvents := observeCanary(st, s.node, hb, sh.c.cfg.Canary)
+	if sh.wal != nil {
+		for stream, mcs := range hb.Scores {
+			for mc := range mcs {
+				key := stream + "/" + mc
+				ds := st.drift[key]
+				if ds == nil || !ds.baselineSet {
+					continue
+				}
+				if old, ok := preBase[key]; ok && old == ds.baseline {
+					continue
+				}
+				sh.persist(wrecDriftBaseline, driftBaselineRec{
+					Node: s.node, Key: key, Baseline: ds.baseline, Version: ds.version,
+				})
+			}
+		}
+		for _, ev := range canaryEvents {
+			sh.persist(wrecCanaryVerdict, canaryVerdictRec{
+				Node: ev.node, Stream: ev.stream, Name: ev.mc,
+				Version: ev.version, Outcome: ev.outcome, Reason: ev.reason,
+			})
+		}
+	}
 	sh.mu.Unlock()
 	for _, ev := range events {
 		if ev.started {

@@ -57,6 +57,10 @@ type Hello struct {
 	// lost rollback push would leave a dead candidate scoring frames
 	// forever on a node that reconnects without restarting. Nil from
 	// older agents (gob zero), which disables shadow withdrawal only.
+	// The inventory also covers controller restarts: a durable
+	// controller recovers undecided canary records from its state dir,
+	// so a resume hello reporting the matching shadow is re-adopted
+	// (re-pushed with a bumped epoch), never withdrawn as untracked.
 	Shadows map[string][]string
 	// HeartbeatEvery is the node's heartbeat interval (non-positive:
 	// heartbeats disabled). The controller derives its liveness window

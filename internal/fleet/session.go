@@ -367,6 +367,12 @@ func (s *Session) readLoop(onUpload func(*Session, transport.UploadRecord) (acce
 	// (dedup makes retransmissions harmless), so a failed ack write —
 	// typical when an edge says goodbye and closes while its final
 	// uploads are still buffered here — must not abort the drain.
+	// Ordering, however, is load-bearing: the ack is written only
+	// after onUpload returns, and on a durable controller acceptUpload
+	// logs the record to the shard wal before returning ack=true — an
+	// acked upload is on disk, so a controller crash can neither lose
+	// it nor (thanks to the recovered high-water mark) double-count
+	// its retransmission.
 	ackBroken := false
 	for {
 		kind, body, err := transport.ReadRecordDeadline(s.conn, s.liveness)

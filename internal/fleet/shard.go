@@ -13,6 +13,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/transport"
+	"repro/internal/walog"
 )
 
 // shard is one slice of the control plane: a self-contained session
@@ -40,6 +41,16 @@ type shard struct {
 	// redirects counts hellos and sessions this shard turned away
 	// because the placement epoch moved under them.
 	redirects int
+	// wal is the shard's durable state store (nil on an in-memory
+	// controller): every intent, ledger, canary, and drift-baseline
+	// mutation appends here before it is acknowledged anywhere, and
+	// snapshots compact it. Guarded by mu.
+	wal *walog.Log
+	// folded lists retired shard stores whose aggregate history this
+	// shard has absorbed (fold records), by store identity — carried in
+	// snapshots so a crash between a fold and the retired directory's
+	// deletion cannot double-count it. Only shard 0 folds.
+	folded []uint64
 
 	// hbGap observes the gap between consecutive heartbeats of each
 	// session — the shard's control-latency signal.
@@ -103,6 +114,13 @@ func (sh *shard) serveLegacy(conn net.Conn) error {
 				return err
 			}
 			sh.mu.Lock()
+			// Persist before applying: legacy records replay by
+			// re-aggregating, so the record must never land after a
+			// snapshot that already counted it. Durability is still
+			// best-effort — v1 pipes have no acks, so a failed append
+			// cannot ask the peer to retransmit; the upload is kept in
+			// memory regardless.
+			sh.persist(wrecLegacyUpload, legacyUploadRec{Rec: rec})
 			sh.dc.Receive(rec.ToUpload())
 			sh.legacy++
 			sh.mu.Unlock()
@@ -161,12 +179,15 @@ func (sh *shard) serveSession(conn net.Conn, fwd Forward) error {
 	}
 	if hello.Resume {
 		st.reconnects++
-	} else {
+	} else if st.lastSeq != 0 {
 		// A fresh (non-resume) hello is a new edge incarnation whose
 		// upload sequence space restarts at 1; keeping the previous
 		// incarnation's high-water mark would silently drop every
-		// upload the new process sends as a "duplicate".
+		// upload the new process sends as a "duplicate". The reset must
+		// be logged: replaying the old mark over the new incarnation's
+		// uploads would drop them all the same way after a restart.
 		st.lastSeq = 0
+		sh.persist(wrecSeqReset, seqResetRec{Node: hello.Node})
 	}
 	gen := st.gen
 	// Snapshot the reconciliation work in the same critical section
@@ -175,6 +196,16 @@ func (sh *shard) serveSession(conn net.Conn, fwd Forward) error {
 	// pusher, and double-pushing would end in a duplicate rejection
 	// that rolls back valid intent.
 	work := reconcileWorkLocked(st, hello)
+	for _, w := range work {
+		// Canary re-pushes bumped the shadow's install epoch; the bump
+		// must be durable, or a replayed canary would trust sketches
+		// from an install it no longer knows about.
+		if w.canary && w.dep != nil {
+			sh.persist(wrecCanaryEpoch, canaryEpochRec{
+				Node: hello.Node, Stream: w.stream, Name: w.name, Epoch: w.epoch,
+			})
+		}
+	}
 	s := newSession(sh.c.nextID.Add(1), hello, conn, cfg.Timeout, liveness, sh.hbGap, sh.noteHeartbeat)
 	sh.sessions[s.id] = s
 	sh.mu.Unlock()
@@ -262,11 +293,20 @@ func (sh *shard) acceptUpload(s *Session, rec transport.UploadRecord) (accept, a
 		sh.mu.Unlock()
 		return false, false
 	}
+	if rec.Seq != 0 && rec.Seq <= st.lastSeq {
+		sh.mu.Unlock()
+		return false, true
+	}
+	// Log before ack, mutate after log: an upload whose record did not
+	// reach the wal is refused without an ack, so the edge keeps it
+	// buffered and retransmits — at-least-once delivery plus the
+	// durable high-water mark is what keeps the ledger exactly-once
+	// across controller crashes.
+	if !sh.persist(wrecUpload, uploadRec{Node: s.node, Rec: rec}) {
+		sh.mu.Unlock()
+		return false, false
+	}
 	if rec.Seq != 0 {
-		if rec.Seq <= st.lastSeq {
-			sh.mu.Unlock()
-			return false, true
-		}
 		st.lastSeq = rec.Seq
 	}
 	st.dc.Receive(up)
